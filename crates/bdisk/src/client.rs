@@ -1,0 +1,259 @@
+//! The broadcast client: retrieving one file from the broadcast stream.
+//!
+//! A client that needs file `Fᵢ` starts listening at some slot and collects
+//! blocks of that file as they go by.  With IDA dispersal any `mᵢ` *distinct*
+//! blocks complete the retrieval; without dispersal (`nᵢ = mᵢ`) the client
+//! effectively needs every one of the `mᵢ` source blocks.  A block reception
+//! can fail (transmission error); the client simply keeps listening — the
+//! whole point of the paper is how long that makes it wait.
+
+use crate::Transmission;
+use ida::{Dispersal, DispersedBlock, FileId, IdaError};
+use std::collections::BTreeMap;
+
+/// The outcome of a completed retrieval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetrievalOutcome {
+    /// The file that was retrieved.
+    pub file: FileId,
+    /// The slot at which the client started listening.
+    pub request_slot: usize,
+    /// The slot in which the final needed block was received.
+    pub completion_slot: usize,
+    /// Number of block receptions that failed while listening.
+    pub errors_observed: usize,
+    /// The reconstructed file contents.
+    pub data: Vec<u8>,
+}
+
+impl RetrievalOutcome {
+    /// The retrieval latency in slots, counted inclusively: a retrieval that
+    /// completes in the very slot it was issued has latency 1.
+    pub fn latency(&self) -> usize {
+        self.completion_slot - self.request_slot + 1
+    }
+}
+
+/// A client session retrieving a single file.
+#[derive(Debug, Clone)]
+pub struct ClientSession {
+    file: FileId,
+    threshold: usize,
+    request_slot: usize,
+    received: BTreeMap<u32, DispersedBlock>,
+    errors_observed: usize,
+    completed_at: Option<usize>,
+}
+
+impl ClientSession {
+    /// Starts a session for `file` (reconstruction threshold `m`) at
+    /// `request_slot`.
+    pub fn new(file: FileId, threshold: usize, request_slot: usize) -> Self {
+        ClientSession {
+            file,
+            threshold,
+            request_slot,
+            received: BTreeMap::new(),
+            errors_observed: 0,
+            completed_at: None,
+        }
+    }
+
+    /// The file being retrieved.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of distinct blocks received so far.
+    pub fn blocks_received(&self) -> usize {
+        self.received.len()
+    }
+
+    /// Number of failed receptions observed so far.
+    pub fn errors_observed(&self) -> usize {
+        self.errors_observed
+    }
+
+    /// `true` once enough distinct blocks have been received.
+    pub fn is_complete(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Feeds one slot of the broadcast into the session.
+    ///
+    /// * `transmission` — what the server put on the channel this slot
+    ///   (`None` for idle slots);
+    /// * `received_ok` — whether the client's reception succeeded; a failed
+    ///   reception of a block of *this* file counts as an observed error.
+    ///
+    /// Returns `true` if this slot completed the retrieval.
+    pub fn observe(&mut self, transmission: Option<&Transmission>, received_ok: bool) -> bool {
+        if self.is_complete() {
+            return false;
+        }
+        let Some(tx) = transmission else {
+            return false;
+        };
+        if tx.block.file() != self.file {
+            return false;
+        }
+        if !received_ok {
+            self.errors_observed += 1;
+            return false;
+        }
+        self.received.entry(tx.block.index()).or_insert_with(|| tx.block.clone());
+        if self.received.len() >= self.threshold {
+            self.completed_at = Some(tx.slot);
+            return true;
+        }
+        false
+    }
+
+    /// Finishes the session: reconstructs the file from the received blocks.
+    ///
+    /// Returns an IDA error if called before enough blocks were received.
+    pub fn finish(&self, dispersal: &Dispersal) -> Result<RetrievalOutcome, IdaError> {
+        let blocks: Vec<DispersedBlock> = self.received.values().cloned().collect();
+        let data = dispersal.reconstruct(&blocks)?;
+        Ok(RetrievalOutcome {
+            file: self.file,
+            request_slot: self.request_slot,
+            completion_slot: self
+                .completed_at
+                .expect("reconstruct succeeded, so the session completed"),
+            errors_observed: self.errors_observed,
+            data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BroadcastFile, BroadcastProgram, BroadcastServer, FileSet, FlatOrder};
+
+    fn setup() -> (FileSet, BroadcastServer, Dispersal) {
+        let files = FileSet::new(vec![
+            BroadcastFile::new(FileId(0), "A", 5, 16).with_dispersal(10),
+            BroadcastFile::new(FileId(1), "B", 3, 16).with_dispersal(6),
+        ])
+        .unwrap();
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        let server = BroadcastServer::with_synthetic_contents(&files, program).unwrap();
+        let dispersal = Dispersal::new(5, 10).unwrap();
+        (files, server, dispersal)
+    }
+
+    #[test]
+    fn fault_free_retrieval_completes_within_one_period() {
+        let (_, server, dispersal) = setup();
+        let mut session = ClientSession::new(FileId(0), 5, 0);
+        let mut slot = 0;
+        while !session.is_complete() {
+            let tx = server.transmit(slot);
+            session.observe(tx.as_ref(), true);
+            slot += 1;
+            assert!(slot <= 16, "retrieval did not complete in a data cycle");
+        }
+        let outcome = session.finish(&dispersal).unwrap();
+        assert_eq!(outcome.errors_observed, 0);
+        assert!(outcome.latency() <= 8, "latency {} > broadcast period", outcome.latency());
+        // The reconstruction matches the server's original content.
+        let expected = {
+            let df = server.dispersed(FileId(0)).unwrap();
+            dispersal.reconstruct(df.blocks()).unwrap()
+        };
+        assert_eq!(outcome.data, expected);
+    }
+
+    #[test]
+    fn a_lost_block_only_costs_a_few_slots_with_ida() {
+        let (_, server, dispersal) = setup();
+        // Fail the first reception of a block of file A, succeed afterwards.
+        let mut session = ClientSession::new(FileId(0), 5, 0);
+        let mut failed = false;
+        let mut slot = 0;
+        while !session.is_complete() {
+            let tx = server.transmit(slot);
+            let ok = if !failed
+                && tx.as_ref().map(|t| t.block.file()) == Some(FileId(0))
+            {
+                failed = true;
+                false
+            } else {
+                true
+            };
+            session.observe(tx.as_ref(), ok);
+            slot += 1;
+        }
+        let outcome = session.finish(&dispersal).unwrap();
+        assert_eq!(outcome.errors_observed, 1);
+        // Paper Figure 7: one error costs at most 3 extra slots in the
+        // AIDA-based program (worst case), so the latency stays well below a
+        // full extra broadcast period.
+        assert!(outcome.latency() <= 8 + 3, "latency {}", outcome.latency());
+    }
+
+    #[test]
+    fn duplicate_blocks_do_not_complete_a_session() {
+        let (_, _, _) = setup();
+        let files = FileSet::new(vec![BroadcastFile::new(FileId(0), "A", 2, 8).with_dispersal(2)])
+            .unwrap();
+        let program = BroadcastProgram::flat(&files, FlatOrder::Spread).unwrap();
+        let server = BroadcastServer::with_synthetic_contents(&files, program).unwrap();
+        let mut session = ClientSession::new(FileId(0), 2, 0);
+        // Feed the same slot repeatedly: only one distinct block arrives.
+        let tx = server.transmit(0);
+        for _ in 0..5 {
+            session.observe(tx.as_ref(), true);
+        }
+        assert_eq!(session.blocks_received(), 1);
+        assert!(!session.is_complete());
+    }
+
+    #[test]
+    fn blocks_of_other_files_are_ignored() {
+        let (_, server, _) = setup();
+        let mut session = ClientSession::new(FileId(1), 3, 0);
+        // Slot 0 carries A1 in the spread layout; it must not count for B.
+        let tx = server.transmit(0);
+        assert_eq!(tx.as_ref().unwrap().block.file(), FileId(0));
+        session.observe(tx.as_ref(), true);
+        assert_eq!(session.blocks_received(), 0);
+    }
+
+    #[test]
+    fn finishing_early_fails_cleanly() {
+        let (_, server, dispersal) = setup();
+        let mut session = ClientSession::new(FileId(0), 5, 0);
+        session.observe(server.transmit(0).as_ref(), true);
+        assert!(session.finish(&dispersal).is_err());
+    }
+
+    #[test]
+    fn latency_is_inclusive_of_the_completion_slot() {
+        let outcome = RetrievalOutcome {
+            file: FileId(0),
+            request_slot: 10,
+            completion_slot: 14,
+            errors_observed: 0,
+            data: vec![],
+        };
+        assert_eq!(outcome.latency(), 5);
+    }
+
+    #[test]
+    fn observation_after_completion_is_a_no_op() {
+        let (_, server, _) = setup();
+        let mut session = ClientSession::new(FileId(0), 1, 0);
+        assert!(!session.is_complete());
+        let mut slot = 0;
+        while !session.is_complete() {
+            session.observe(server.transmit(slot).as_ref(), true);
+            slot += 1;
+        }
+        let before = session.blocks_received();
+        assert!(!session.observe(server.transmit(slot).as_ref(), true));
+        assert_eq!(session.blocks_received(), before);
+    }
+}

@@ -1,0 +1,270 @@
+//! Broadcast files: data items with real-time and fault-tolerance
+//! requirements.
+
+use ida::FileId;
+use serde::{Deserialize, Serialize};
+
+/// The latency vector `d⃗ = [d⁽⁰⁾, d⁽¹⁾, …, d⁽ʳ⁾]` of a *generalized*
+/// fault-tolerant real-time broadcast file (paper Section 4.1):
+/// `d⁽ʲ⁾` is the worst-case latency (in block-transmission slots) tolerable
+/// when `j` faults occur during the retrieval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyVector(Vec<u32>);
+
+impl LatencyVector {
+    /// Builds a latency vector; entries must be positive and there must be at
+    /// least one (the fault-free latency `d⁽⁰⁾`).
+    pub fn new(latencies: Vec<u32>) -> Option<Self> {
+        if latencies.is_empty() || latencies.iter().any(|&d| d == 0) {
+            return None;
+        }
+        Some(LatencyVector(latencies))
+    }
+
+    /// A "regular" real-time file: a single latency, no fault tolerance.
+    pub fn uniform_zero_faults(latency: u32) -> Self {
+        LatencyVector(vec![latency])
+    }
+
+    /// A "regular" fault-tolerant real-time file: the same latency for every
+    /// fault level `0..=faults`.
+    pub fn uniform(latency: u32, faults: usize) -> Self {
+        LatencyVector(vec![latency; faults + 1])
+    }
+
+    /// The latency tolerable with `j` faults, if specified.
+    pub fn latency(&self, faults: usize) -> Option<u32> {
+        self.0.get(faults).copied()
+    }
+
+    /// The fault-free latency `d⁽⁰⁾`.
+    pub fn base_latency(&self) -> u32 {
+        self.0[0]
+    }
+
+    /// The number of faults covered, `r` (the vector has `r + 1` entries).
+    pub fn max_faults(&self) -> usize {
+        self.0.len() - 1
+    }
+
+    /// All entries, in fault order.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+/// A broadcast data item (file).
+///
+/// In the paper's notation a file `Fᵢ` has a size `mᵢ` (in blocks), a latency
+/// `Tᵢ` (or, in the generalized model, a latency vector `d⃗ᵢ`), and — when it
+/// is dispersed with AIDA — a dispersal width `nᵢ ≥ mᵢ` of which any `mᵢ`
+/// blocks reconstruct the file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BroadcastFile {
+    /// The file identifier.
+    pub id: FileId,
+    /// A human-readable name (used by examples and experiment output).
+    pub name: String,
+    /// Size in blocks before dispersal (`mᵢ`).
+    pub size_blocks: u32,
+    /// Size of one block in bytes.
+    pub block_bytes: u32,
+    /// Number of dispersed blocks placed on the broadcast (`nᵢ`); equals
+    /// `size_blocks` when the file is not dispersed.
+    pub dispersed_blocks: u32,
+    /// The latency vector (per-fault-level deadlines, in slots).
+    pub latencies: LatencyVector,
+}
+
+impl BroadcastFile {
+    /// Creates an undispersed file with a very loose default deadline (its
+    /// own size); tighten it with [`BroadcastFile::with_latency`] or
+    /// [`BroadcastFile::with_latency_vector`].
+    pub fn new(id: FileId, name: impl Into<String>, size_blocks: u32, block_bytes: u32) -> Self {
+        BroadcastFile {
+            id,
+            name: name.into(),
+            size_blocks,
+            block_bytes,
+            dispersed_blocks: size_blocks,
+            latencies: LatencyVector::uniform_zero_faults(size_blocks.max(1)),
+        }
+    }
+
+    /// Sets the dispersal width `nᵢ` (AIDA): any `size_blocks` of the
+    /// `dispersed` blocks reconstruct the file.
+    pub fn with_dispersal(mut self, dispersed: u32) -> Self {
+        self.dispersed_blocks = dispersed.max(self.size_blocks);
+        self
+    }
+
+    /// Sets a single real-time latency (slots) with no fault tolerance.
+    pub fn with_latency(mut self, latency: u32) -> Self {
+        self.latencies = LatencyVector::uniform_zero_faults(latency);
+        self
+    }
+
+    /// Sets a uniform latency for up to `faults` faults ("regular"
+    /// fault-tolerant real-time file).
+    pub fn with_fault_tolerance(mut self, latency: u32, faults: usize) -> Self {
+        self.latencies = LatencyVector::uniform(latency, faults);
+        self
+    }
+
+    /// Sets the full generalized latency vector.
+    pub fn with_latency_vector(mut self, latencies: LatencyVector) -> Self {
+        self.latencies = latencies;
+        self
+    }
+
+    /// `mᵢ`, the reconstruction threshold.
+    pub fn threshold(&self) -> u32 {
+        self.size_blocks
+    }
+
+    /// The redundancy `nᵢ − mᵢ` (number of faults masked within one data
+    /// cycle visit).
+    pub fn redundancy(&self) -> u32 {
+        self.dispersed_blocks - self.size_blocks
+    }
+
+    /// `true` when the file is AIDA-dispersed (carries redundant blocks).
+    pub fn is_dispersed(&self) -> bool {
+        self.dispersed_blocks > self.size_blocks
+    }
+
+    /// Total size of the original file in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.size_blocks as usize * self.block_bytes as usize
+    }
+}
+
+/// A set of broadcast files destined for the same broadcast disk.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSet {
+    files: Vec<BroadcastFile>,
+}
+
+impl FileSet {
+    /// Builds a file set; ids must be unique.
+    pub fn new(files: Vec<BroadcastFile>) -> Option<Self> {
+        for (i, f) in files.iter().enumerate() {
+            if files.iter().skip(i + 1).any(|g| g.id == f.id) {
+                return None;
+            }
+        }
+        Some(FileSet { files })
+    }
+
+    /// The files in declaration order.
+    pub fn files(&self) -> &[BroadcastFile] {
+        &self.files
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Looks a file up by id.
+    pub fn get(&self, id: FileId) -> Option<&BroadcastFile> {
+        self.files.iter().find(|f| f.id == id)
+    }
+
+    /// Total number of pre-dispersal blocks, `Σ mᵢ` — the broadcast period of
+    /// a flat program over this set.
+    pub fn total_blocks(&self) -> u32 {
+        self.files.iter().map(|f| f.size_blocks).sum()
+    }
+
+    /// Total number of dispersed blocks, `Σ nᵢ` — the program data cycle of
+    /// an AIDA flat program over this set.
+    pub fn total_dispersed_blocks(&self) -> u32 {
+        self.files.iter().map(|f| f.dispersed_blocks).sum()
+    }
+}
+
+impl FromIterator<BroadcastFile> for FileSet {
+    fn from_iter<T: IntoIterator<Item = BroadcastFile>>(iter: T) -> Self {
+        FileSet {
+            files: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_vector_construction() {
+        assert!(LatencyVector::new(vec![]).is_none());
+        assert!(LatencyVector::new(vec![10, 0]).is_none());
+        let v = LatencyVector::new(vec![100, 105, 110]).unwrap();
+        assert_eq!(v.base_latency(), 100);
+        assert_eq!(v.max_faults(), 2);
+        assert_eq!(v.latency(1), Some(105));
+        assert_eq!(v.latency(3), None);
+        assert_eq!(v.as_slice(), &[100, 105, 110]);
+    }
+
+    #[test]
+    fn uniform_latency_vectors() {
+        let v = LatencyVector::uniform(50, 3);
+        assert_eq!(v.as_slice(), &[50, 50, 50, 50]);
+        let z = LatencyVector::uniform_zero_faults(9);
+        assert_eq!(z.max_faults(), 0);
+    }
+
+    #[test]
+    fn file_builders_and_accessors() {
+        let f = BroadcastFile::new(FileId(1), "A", 5, 128)
+            .with_dispersal(10)
+            .with_fault_tolerance(40, 2);
+        assert_eq!(f.threshold(), 5);
+        assert_eq!(f.redundancy(), 5);
+        assert!(f.is_dispersed());
+        assert_eq!(f.total_bytes(), 640);
+        assert_eq!(f.latencies.max_faults(), 2);
+
+        let plain = BroadcastFile::new(FileId(2), "B", 3, 128);
+        assert!(!plain.is_dispersed());
+        assert_eq!(plain.redundancy(), 0);
+    }
+
+    #[test]
+    fn dispersal_width_cannot_shrink_below_size() {
+        let f = BroadcastFile::new(FileId(1), "A", 5, 64).with_dispersal(2);
+        assert_eq!(f.dispersed_blocks, 5);
+    }
+
+    #[test]
+    fn file_set_totals_match_paper_example() {
+        // Paper Section 2.3: A (5 → 10 blocks), B (3 → 6 blocks):
+        // broadcast period 8, program data cycle 16.
+        let set = FileSet::new(vec![
+            BroadcastFile::new(FileId(0), "A", 5, 64).with_dispersal(10),
+            BroadcastFile::new(FileId(1), "B", 3, 64).with_dispersal(6),
+        ])
+        .unwrap();
+        assert_eq!(set.total_blocks(), 8);
+        assert_eq!(set.total_dispersed_blocks(), 16);
+        assert_eq!(set.len(), 2);
+        assert!(set.get(FileId(1)).is_some());
+        assert!(set.get(FileId(9)).is_none());
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let dup = FileSet::new(vec![
+            BroadcastFile::new(FileId(1), "A", 5, 64),
+            BroadcastFile::new(FileId(1), "B", 3, 64),
+        ]);
+        assert!(dup.is_none());
+    }
+}

@@ -1,0 +1,265 @@
+//! The broadcast server: dispersing file contents and emitting the program.
+
+use crate::{BroadcastProgram, FileSet, ProgramEntry};
+use ida::{Dispersal, DispersedBlock, DispersedFile, FileId, IdaError};
+use std::collections::BTreeMap;
+
+/// A block transmission in one slot of the broadcast.
+#[derive(Debug, Clone)]
+pub struct Transmission {
+    /// The slot (time) of the transmission.
+    pub slot: usize,
+    /// The transmitted block (self-identifying).
+    pub block: DispersedBlock,
+}
+
+/// Errors raised when assembling a server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// Content was supplied for a file id that is not in the file set.
+    UnknownFile(FileId),
+    /// No content was supplied for a file that the program transmits.
+    MissingContent(FileId),
+    /// The supplied content length does not match the file's declared size.
+    ContentSizeMismatch {
+        /// The offending file.
+        file: FileId,
+        /// Declared size in bytes.
+        expected: usize,
+        /// Supplied size in bytes.
+        actual: usize,
+    },
+    /// Dispersal of a file's content failed.
+    Ida(IdaError),
+}
+
+impl core::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ServerError::UnknownFile(id) => write!(f, "content supplied for unknown file {id}"),
+            ServerError::MissingContent(id) => write!(f, "no content supplied for file {id}"),
+            ServerError::ContentSizeMismatch {
+                file,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "file {file} declared {expected} bytes but {actual} were supplied"
+            ),
+            ServerError::Ida(e) => write!(f, "dispersal failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<IdaError> for ServerError {
+    fn from(value: IdaError) -> Self {
+        ServerError::Ida(value)
+    }
+}
+
+/// A broadcast server: holds the dispersed contents of every file and walks
+/// the broadcast program, emitting one block per slot.
+#[derive(Debug, Clone)]
+pub struct BroadcastServer {
+    program: BroadcastProgram,
+    dispersed: BTreeMap<FileId, DispersedFile>,
+}
+
+impl BroadcastServer {
+    /// Builds a server: disperses each file's content according to its
+    /// declared `(mᵢ, nᵢ)` parameters and binds the program to it.
+    ///
+    /// `contents` maps file ids to raw bytes; every file in the set must have
+    /// content of exactly `size_blocks × block_bytes` bytes.
+    pub fn new(
+        files: &FileSet,
+        program: BroadcastProgram,
+        contents: &BTreeMap<FileId, Vec<u8>>,
+    ) -> Result<Self, ServerError> {
+        for id in contents.keys() {
+            if files.get(*id).is_none() {
+                return Err(ServerError::UnknownFile(*id));
+            }
+        }
+        let mut dispersed = BTreeMap::new();
+        for f in files.files() {
+            let data = contents
+                .get(&f.id)
+                .ok_or(ServerError::MissingContent(f.id))?;
+            if data.len() != f.total_bytes() {
+                return Err(ServerError::ContentSizeMismatch {
+                    file: f.id,
+                    expected: f.total_bytes(),
+                    actual: data.len(),
+                });
+            }
+            let dispersal = Dispersal::new(f.size_blocks as usize, f.dispersed_blocks as usize)?;
+            dispersed.insert(f.id, dispersal.disperse(f.id, data)?);
+        }
+        Ok(BroadcastServer { program, dispersed })
+    }
+
+    /// Builds a server with synthetic (deterministic pseudo-random) contents
+    /// for every file — convenient for simulations that only care about
+    /// timing, not payloads.
+    pub fn with_synthetic_contents(
+        files: &FileSet,
+        program: BroadcastProgram,
+    ) -> Result<Self, ServerError> {
+        let mut contents = BTreeMap::new();
+        for f in files.files() {
+            let data: Vec<u8> = (0..f.total_bytes())
+                .map(|i| ((i as u32).wrapping_mul(2_654_435_761).wrapping_add(f.id.0) >> 24) as u8)
+                .collect();
+            contents.insert(f.id, data);
+        }
+        Self::new(files, program, &contents)
+    }
+
+    /// The broadcast program driving this server.
+    pub fn program(&self) -> &BroadcastProgram {
+        &self.program
+    }
+
+    /// The dispersed representation of one file (e.g. to hand a client its
+    /// expected reconstruction).
+    pub fn dispersed(&self, file: FileId) -> Option<&DispersedFile> {
+        self.dispersed.get(&file)
+    }
+
+    /// What the server transmits in slot `slot`: `None` for an idle slot.
+    pub fn transmit(&self, slot: usize) -> Option<Transmission> {
+        match self.program.entry(slot) {
+            ProgramEntry::Idle => None,
+            ProgramEntry::Block { file, block } => {
+                let df = self
+                    .dispersed
+                    .get(&file)
+                    .expect("program only references dispersed files");
+                let block = df
+                    .block(block as usize)
+                    .expect("program block indices stay within the dispersal width")
+                    .clone();
+                Some(Transmission { slot, block })
+            }
+        }
+    }
+
+    /// An iterator over the transmissions of slots `[start, start + len)`.
+    pub fn transmissions(
+        &self,
+        start: usize,
+        len: usize,
+    ) -> impl Iterator<Item = Option<Transmission>> + '_ {
+        (start..start + len).map(move |s| self.transmit(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BroadcastFile, FlatOrder};
+
+    fn paper_files() -> FileSet {
+        FileSet::new(vec![
+            BroadcastFile::new(FileId(0), "A", 5, 16).with_dispersal(10),
+            BroadcastFile::new(FileId(1), "B", 3, 16).with_dispersal(6),
+        ])
+        .unwrap()
+    }
+
+    fn contents(files: &FileSet) -> BTreeMap<FileId, Vec<u8>> {
+        files
+            .files()
+            .iter()
+            .map(|f| {
+                (
+                    f.id,
+                    (0..f.total_bytes()).map(|i| (i as u8) ^ (f.id.0 as u8)).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn server_emits_blocks_matching_the_program() {
+        let files = paper_files();
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        let server = BroadcastServer::new(&files, program.clone(), &contents(&files)).unwrap();
+        for slot in 0..program.data_cycle() * 2 {
+            let tx = server.transmit(slot).expect("flat programs have no idle slots");
+            match program.entry(slot) {
+                ProgramEntry::Block { file, block } => {
+                    assert_eq!(tx.block.file(), file);
+                    assert_eq!(tx.block.index(), block);
+                    assert_eq!(tx.slot, slot);
+                }
+                ProgramEntry::Idle => panic!("unexpected idle entry"),
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_contents_round_trip_through_ida() {
+        let files = paper_files();
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        let server = BroadcastServer::with_synthetic_contents(&files, program).unwrap();
+        // Reconstruct file A from 5 of its dispersed blocks.
+        let df = server.dispersed(FileId(0)).unwrap();
+        let dispersal = Dispersal::new(5, 10).unwrap();
+        let recovered = dispersal.reconstruct(&df.blocks()[3..8]).unwrap();
+        assert_eq!(recovered.len(), 5 * 16);
+    }
+
+    #[test]
+    fn missing_and_mismatched_contents_are_rejected() {
+        let files = paper_files();
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+
+        let mut partial = contents(&files);
+        partial.remove(&FileId(1));
+        assert_eq!(
+            BroadcastServer::new(&files, program.clone(), &partial).unwrap_err(),
+            ServerError::MissingContent(FileId(1))
+        );
+
+        let mut wrong_size = contents(&files);
+        wrong_size.insert(FileId(0), vec![0u8; 3]);
+        assert!(matches!(
+            BroadcastServer::new(&files, program.clone(), &wrong_size).unwrap_err(),
+            ServerError::ContentSizeMismatch { file: FileId(0), .. }
+        ));
+
+        let mut unknown = contents(&files);
+        unknown.insert(FileId(77), vec![0u8; 3]);
+        assert_eq!(
+            BroadcastServer::new(&files, program, &unknown).unwrap_err(),
+            ServerError::UnknownFile(FileId(77))
+        );
+    }
+
+    #[test]
+    fn idle_slots_transmit_nothing() {
+        use pinwheel::Schedule;
+        let files = FileSet::new(vec![BroadcastFile::new(FileId(0), "A", 1, 8)]).unwrap();
+        let schedule = Schedule::new(vec![Some(1), None]);
+        let program =
+            BroadcastProgram::from_pinwheel_schedule(&schedule, &files, |_| Some(FileId(0)))
+                .unwrap();
+        let server = BroadcastServer::with_synthetic_contents(&files, program).unwrap();
+        assert!(server.transmit(0).is_some());
+        assert!(server.transmit(1).is_none());
+    }
+
+    #[test]
+    fn transmissions_iterator_covers_a_range() {
+        let files = paper_files();
+        let program = BroadcastProgram::flat(&files, FlatOrder::Spread).unwrap();
+        let server = BroadcastServer::with_synthetic_contents(&files, program).unwrap();
+        let txs: Vec<_> = server.transmissions(4, 10).collect();
+        assert_eq!(txs.len(), 10);
+        assert!(txs.iter().all(Option::is_some));
+    }
+}

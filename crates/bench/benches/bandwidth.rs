@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the bandwidth planner (Equations 1 and 2) and the
+//! constructive minimum-bandwidth search — the machinery behind the `eq1` /
+//! `eq2` experiments.
+
+use bcore::Planner;
+use bsim::{RequirementGenerator, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bandwidth_planning");
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(15);
+    for &files in &[10usize, 50, 200] {
+        let config = WorkloadConfig {
+            files,
+            max_faults: 2,
+            ..WorkloadConfig::default()
+        };
+        let reqs = RequirementGenerator::new(config, 11).generate();
+        group.bench_with_input(BenchmarkId::new("equation_bounds", files), &reqs, |b, r| {
+            b.iter(|| Planner::default().plan(r).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("constructive_search", files),
+            &reqs,
+            |b, r| b.iter(|| Planner::default().minimum_constructive_bandwidth(r).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_planning");
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
+    group.bench_function("awacs", |b| {
+        let reqs = bsim::awacs_scenario();
+        b.iter(|| Planner::default().minimum_constructive_bandwidth(&reqs).unwrap())
+    });
+    group.bench_function("ivhs", |b| {
+        let reqs = bsim::ivhs_scenario();
+        b.iter(|| Planner::default().minimum_constructive_bandwidth(&reqs).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning, bench_scenarios);
+criterion_main!(benches);

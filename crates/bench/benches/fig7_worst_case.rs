@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the worst-case adversarial delay analysis
+//! (the generator of the Figure 7 table) and of end-to-end program design.
+
+use bcore::{BdiskDesigner, GeneralizedFileSpec};
+use bdisk::{BroadcastProgram, FlatOrder};
+use bsim::worst_case_table;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ida::FileId;
+use std::time::Duration;
+
+fn bench_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_worst_case");
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(15);
+    // The paper's Figure 6 program (A: 5→10, B: 3→6).
+    let paper = bench::figures::paper_example_files(true);
+    let paper_program = BroadcastProgram::aida_flat(&paper, FlatOrder::Spread).unwrap();
+    group.bench_function("paper_example_r5", |b| {
+        b.iter(|| worst_case_table(&paper_program, FileId(0), 5, 5))
+    });
+    // Larger synthetic programs.
+    for &(files, blocks) in &[(5u32, 8u32), (10, 10)] {
+        let set = bsim::workload::uniform_file_set(files, blocks, 32, 2.0);
+        let program = BroadcastProgram::aida_flat(&set, FlatOrder::Spread).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("synthetic_r3", format!("{files}x{blocks}")),
+            &program,
+            |b, p| b.iter(|| worst_case_table(p, FileId(0), blocks as usize, 3)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_designer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("program_design");
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(15);
+    for &files in &[4usize, 8, 16] {
+        let specs: Vec<GeneralizedFileSpec> = (0..files)
+            .map(|i| {
+                let size = 1 + (i % 3) as u32;
+                let base = 20 + 10 * i as u32;
+                GeneralizedFileSpec::new(
+                    FileId(i as u32 + 1),
+                    size,
+                    vec![base, base + size, base + 2 * size],
+                )
+                .unwrap()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("design", files), &specs, |b, s| {
+            b.iter(|| BdiskDesigner::default().design(s).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worst_case, bench_designer);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of IDA dispersal / reconstruction throughput — the
+//! software stand-in for the paper's SETH VLSI chip (which achieved roughly
+//! 1 MB/s in 1990 silicon).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ida::{Dispersal, FileId};
+use std::time::Duration;
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 131 + 17) as u8).collect()
+}
+
+fn bench_dispersal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ida_disperse");
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
+    for &(m, n) in &[(5usize, 10usize), (8, 16), (16, 24)] {
+        let data = payload(64 * 1024);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        let dispersal = Dispersal::new(m, n).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("disperse_64KiB", format!("{m}of{n}")),
+            &data,
+            |b, d| b.iter(|| dispersal.disperse(FileId(1), d).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ida_reconstruct");
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
+    for &(m, n) in &[(5usize, 10usize), (8, 16), (16, 24)] {
+        let data = payload(64 * 1024);
+        let dispersal = Dispersal::new(m, n).unwrap();
+        let dispersed = dispersal.disperse(FileId(1), &data).unwrap();
+        // Reconstruct from the *last* m blocks (all coded, worst case for the
+        // systematic layout).
+        let blocks = dispersed.blocks()[n - m..].to_vec();
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("reconstruct_64KiB", format!("{m}of{n}")),
+            &blocks,
+            |b, blocks| b.iter(|| dispersal.reconstruct(blocks).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispersal, bench_reconstruction);
+criterion_main!(benches);

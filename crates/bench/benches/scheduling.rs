@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the pinwheel scheduler families (backs the
+//! scheduler-ablation experiment with wall-clock numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pinwheel::{
+    AutoScheduler, DoubleIntegerScheduler, ExactSolver, LlfScheduler, PinwheelScheduler,
+    SaScheduler, SxScheduler, Task, TaskSystem,
+};
+use std::time::Duration;
+
+/// A deterministic instance of `n` unit tasks with density ≈ 0.6.
+fn instance(n: usize) -> TaskSystem {
+    let tasks: Vec<Task> = (0..n)
+        .map(|i| {
+            // Windows spread between 2n and 6n so the per-task density sums
+            // to roughly 0.6 regardless of n.
+            let window = (2 * n + (i * 4 * n) / n.max(1)) as u32 + (i as u32 % 7);
+            Task::unit(i as u32 + 1, window.max(2))
+        })
+        .collect();
+    TaskSystem::new(tasks).expect("valid tasks")
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
+    for &n in &[4usize, 8, 16, 32] {
+        let system = instance(n);
+        group.bench_with_input(BenchmarkId::new("sa", n), &system, |b, s| {
+            b.iter(|| SaScheduler.schedule(s))
+        });
+        group.bench_with_input(BenchmarkId::new("sx", n), &system, |b, s| {
+            b.iter(|| SxScheduler::default().schedule(s))
+        });
+        group.bench_with_input(BenchmarkId::new("double-integer", n), &system, |b, s| {
+            b.iter(|| DoubleIntegerScheduler::default().schedule(s))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &system, |b, s| {
+            b.iter(|| LlfScheduler::default().schedule(s))
+        });
+        group.bench_with_input(BenchmarkId::new("auto", n), &system, |b, s| {
+            b.iter(|| AutoScheduler::default().schedule(s))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solver");
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(15);
+    // The paper's Example 1 instances plus a slightly larger one.
+    let cases = vec![
+        ("example1a", TaskSystem::from_windows(&[(1, 2), (2, 3)]).unwrap()),
+        (
+            "example1c",
+            TaskSystem::from_windows(&[(1, 2), (2, 3), (3, 12)]).unwrap(),
+        ),
+        (
+            "five-tasks",
+            TaskSystem::from_windows(&[(1, 4), (2, 5), (3, 6), (4, 7), (5, 9)]).unwrap(),
+        ),
+    ];
+    for (name, system) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| ExactSolver::default().decide(&system))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_exact_solver);
+criterion_main!(benches);

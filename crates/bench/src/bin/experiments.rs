@@ -1,0 +1,81 @@
+//! Regenerates every table and figure of the paper (plus the ablations) from
+//! the command line.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- all
+//! cargo run --release -p bench --bin experiments -- fig7 --json
+//! ```
+//!
+//! Available experiment ids: `fig5`, `fig6`, `fig7`, `lemma1`, `lemma2`,
+//! `example1`, `eq1`, `eq2`, `examples`, `speedup`, `ablation-schedulers`,
+//! `ablation-redundancy`, `ablation-blocksize`, `all`.
+
+use bench::{ablations, bounds, figures};
+
+fn print_experiment<T: core::fmt::Display + serde::Serialize>(value: &T, json: bool) {
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(value).expect("experiment results serialise")
+        );
+    } else {
+        println!("{value}");
+    }
+}
+
+fn run(id: &str, json: bool) -> bool {
+    match id {
+        "fig5" => print_experiment(&figures::figure_5(), json),
+        "fig6" => print_experiment(&figures::figure_6(), json),
+        "fig7" => print_experiment(&figures::figure_7(), json),
+        "lemma1" | "lemma2" | "lemmas" => print_experiment(&figures::lemma_bounds(), json),
+        "speedup" => print_experiment(&figures::section_2_3_speedup(), json),
+        "example1" => print_experiment(&bounds::example_1(), json),
+        "eq1" => print_experiment(&bounds::bandwidth_experiment(&[5, 10, 20, 50, 100], false, 42), json),
+        "eq2" => print_experiment(&bounds::bandwidth_experiment(&[5, 10, 20, 50, 100], true, 42), json),
+        "examples" => print_experiment(&bounds::examples_2_to_6(), json),
+        "ablation-schedulers" => print_experiment(&ablations::scheduler_ablation(40, 2024), json),
+        "ablation-redundancy" => print_experiment(&ablations::redundancy_ablation(300, 7), json),
+        "ablation-blocksize" => print_experiment(&ablations::blocksize_ablation(), json),
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = [
+        "fig5",
+        "fig6",
+        "fig7",
+        "lemmas",
+        "speedup",
+        "example1",
+        "eq1",
+        "eq2",
+        "examples",
+        "ablation-schedulers",
+        "ablation-redundancy",
+        "ablation-blocksize",
+    ];
+    let selected: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        all.to_vec()
+    } else {
+        ids
+    };
+    for (i, id) in selected.iter().enumerate() {
+        if i > 0 && !json {
+            println!();
+        }
+        if !run(id, json) {
+            eprintln!("unknown experiment id `{id}`; known ids: {all:?}");
+            std::process::exit(2);
+        }
+    }
+}

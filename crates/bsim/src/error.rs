@@ -1,0 +1,237 @@
+//! Channel error models.
+//!
+//! The paper's broadcast medium model (Section 3.2) is one in which
+//! "individual transmission errors occur independently of each other, and the
+//! occurrence of an error during the transmission of a block renders the
+//! entire block unreadable" — the Bernoulli model below.  Real wireless
+//! channels are bursty, so a two-state Gilbert–Elliott model is provided as
+//! well, plus deterministic models for tests and worst-case experiments.
+
+use bdisk::Transmission;
+use ida::FileId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Decides, per slot, whether the client's reception of the transmitted block
+/// fails.
+pub trait ErrorModel {
+    /// Returns `true` when the reception of `transmission` is lost.
+    fn is_lost(&mut self, transmission: &Transmission) -> bool;
+}
+
+/// A lossless channel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoErrors;
+
+impl ErrorModel for NoErrors {
+    fn is_lost(&mut self, _transmission: &Transmission) -> bool {
+        false
+    }
+}
+
+/// Independent (Bernoulli) block-loss with probability `p` per reception.
+#[derive(Debug, Clone)]
+pub struct BernoulliErrors {
+    probability: f64,
+    rng: StdRng,
+}
+
+impl BernoulliErrors {
+    /// Creates the model with a loss probability and a deterministic seed.
+    pub fn new(probability: f64, seed: u64) -> Self {
+        BernoulliErrors {
+            probability: probability.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The loss probability.
+    pub fn probability(&self) -> f64 {
+        self.probability
+    }
+}
+
+impl ErrorModel for BernoulliErrors {
+    fn is_lost(&mut self, _transmission: &Transmission) -> bool {
+        self.rng.gen::<f64>() < self.probability
+    }
+}
+
+/// A two-state Gilbert–Elliott burst-loss model: the channel alternates
+/// between a *good* state (low loss) and a *bad* state (high loss), with
+/// geometric sojourn times.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    /// Probability of moving good → bad at each slot.
+    pub p_good_to_bad: f64,
+    /// Probability of moving bad → good at each slot.
+    pub p_bad_to_good: f64,
+    /// Loss probability while in the good state.
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+    in_bad_state: bool,
+    rng: StdRng,
+}
+
+impl GilbertElliott {
+    /// Creates a burst model with the given transition and loss
+    /// probabilities.
+    pub fn new(
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        loss_good: f64,
+        loss_bad: f64,
+        seed: u64,
+    ) -> Self {
+        GilbertElliott {
+            p_good_to_bad: p_good_to_bad.clamp(0.0, 1.0),
+            p_bad_to_good: p_bad_to_good.clamp(0.0, 1.0),
+            loss_good: loss_good.clamp(0.0, 1.0),
+            loss_bad: loss_bad.clamp(0.0, 1.0),
+            in_bad_state: false,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A typical mobile-channel parameterisation: 2% of slots enter a burst,
+    /// bursts last ~10 slots, and lose 60% of blocks.
+    pub fn typical(seed: u64) -> Self {
+        GilbertElliott::new(0.02, 0.1, 0.005, 0.6, seed)
+    }
+}
+
+impl ErrorModel for GilbertElliott {
+    fn is_lost(&mut self, _transmission: &Transmission) -> bool {
+        // State transition first, then sample the loss for this slot.
+        if self.in_bad_state {
+            if self.rng.gen::<f64>() < self.p_bad_to_good {
+                self.in_bad_state = false;
+            }
+        } else if self.rng.gen::<f64>() < self.p_good_to_bad {
+            self.in_bad_state = true;
+        }
+        let p = if self.in_bad_state {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
+        self.rng.gen::<f64>() < p
+    }
+}
+
+/// Deterministically loses the first `count` receptions of a given file —
+/// used by tests and the worst-case experiments to inject exactly `r` faults
+/// into one retrieval.
+#[derive(Debug, Clone)]
+pub struct TargetedLoss {
+    file: FileId,
+    remaining: usize,
+}
+
+impl TargetedLoss {
+    /// Loses the first `count` blocks of `file` that go by.
+    pub fn new(file: FileId, count: usize) -> Self {
+        TargetedLoss {
+            file,
+            remaining: count,
+        }
+    }
+
+    /// How many losses are still pending.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+impl ErrorModel for TargetedLoss {
+    fn is_lost(&mut self, transmission: &Transmission) -> bool {
+        if self.remaining > 0 && transmission.block.file() == self.file {
+            self.remaining -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk::{BroadcastFile, BroadcastProgram, BroadcastServer, FileSet, FlatOrder};
+
+    fn a_transmission() -> Transmission {
+        let files = FileSet::new(vec![BroadcastFile::new(FileId(0), "A", 2, 8)]).unwrap();
+        let program = BroadcastProgram::flat(&files, FlatOrder::Spread).unwrap();
+        let server = BroadcastServer::with_synthetic_contents(&files, program).unwrap();
+        server.transmit(0).unwrap()
+    }
+
+    #[test]
+    fn no_errors_never_loses() {
+        let tx = a_transmission();
+        let mut model = NoErrors;
+        assert!((0..100).all(|_| !model.is_lost(&tx)));
+    }
+
+    #[test]
+    fn bernoulli_loss_rate_is_close_to_p() {
+        let tx = a_transmission();
+        let mut model = BernoulliErrors::new(0.3, 42);
+        let losses = (0..20_000).filter(|_| model.is_lost(&tx)).count();
+        let rate = losses as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!((model.probability() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_is_deterministic_per_seed() {
+        let tx = a_transmission();
+        let sample = |seed| {
+            let mut m = BernoulliErrors::new(0.5, seed);
+            (0..64).map(|_| m.is_lost(&tx)).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(7), sample(7));
+        assert_ne!(sample(7), sample(8));
+    }
+
+    #[test]
+    fn gilbert_elliott_produces_bursty_losses() {
+        let tx = a_transmission();
+        let mut model = GilbertElliott::typical(1);
+        let outcomes: Vec<bool> = (0..50_000).map(|_| model.is_lost(&tx)).collect();
+        let losses = outcomes.iter().filter(|&&l| l).count();
+        assert!(losses > 0);
+        // Burstiness: the probability that a loss is followed by another loss
+        // must clearly exceed the marginal loss rate.
+        let marginal = losses as f64 / outcomes.len() as f64;
+        let mut pairs = 0usize;
+        let mut loss_then_loss = 0usize;
+        for w in outcomes.windows(2) {
+            if w[0] {
+                pairs += 1;
+                if w[1] {
+                    loss_then_loss += 1;
+                }
+            }
+        }
+        let conditional = loss_then_loss as f64 / pairs.max(1) as f64;
+        assert!(
+            conditional > marginal * 2.0,
+            "conditional {conditional} vs marginal {marginal}"
+        );
+    }
+
+    #[test]
+    fn targeted_loss_counts_down_per_matching_file() {
+        let tx = a_transmission();
+        let mut model = TargetedLoss::new(FileId(0), 2);
+        assert!(model.is_lost(&tx));
+        assert!(model.is_lost(&tx));
+        assert!(!model.is_lost(&tx));
+        assert_eq!(model.remaining(), 0);
+        let mut other = TargetedLoss::new(FileId(9), 2);
+        assert!(!other.is_lost(&tx));
+        assert_eq!(other.remaining(), 2);
+    }
+}

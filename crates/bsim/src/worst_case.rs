@@ -1,0 +1,356 @@
+//! Exact worst-case retrieval-delay analysis under bounded reception
+//! failures.
+//!
+//! For a given broadcast program, target file and number of reception
+//! failures `r`, the *worst-case latency* is the longest a client can
+//! possibly need to collect its `m` distinct blocks when an adversary picks
+//! the request slot **and** which `r` receptions fail.  This is the quantity
+//! behind the paper's Figure 7 table, Lemma 1 (flat programs:
+//! extra delay ≤ r·τ) and Lemma 2 (AIDA programs: extra delay ≤ r·Δ where Δ
+//! is the maximum inter-block gap).
+//!
+//! The analysis is exact: for every request slot the adversary's choice of
+//! failures is explored by memoised search over (next reception, set of
+//! distinct blocks already received, failures left).  The state space is
+//! `O(H · 2ⁿ · r)` where `n` is the file's dispersal width and `H` the
+//! reception horizon, which is tiny for program-design-sized instances
+//! (`n ≤ 20` or so).  Wider dispersals fall back to a pessimistic greedy
+//! adversary and are flagged in the result.
+
+use bdisk::{BroadcastProgram, ProgramEntry};
+use ida::FileId;
+use std::collections::HashMap;
+
+/// The result of a worst-case analysis for one `(file, r)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorstCaseAnalysis {
+    /// Number of reception failures the adversary may inject.
+    pub errors: usize,
+    /// Worst-case retrieval latency in slots (inclusive of the completing
+    /// slot).
+    pub latency: usize,
+    /// Worst-case *extra* delay relative to the fault-free worst case.
+    pub extra_delay: usize,
+    /// `true` when the exact adversary search was used; `false` means the
+    /// dispersal width was too large and a greedy (still adversarial, but
+    /// possibly not maximal) strategy was used instead.
+    pub exact: bool,
+}
+
+/// Exact-search width limit: dispersals up to this many blocks use the
+/// memoised adversary.
+const EXACT_WIDTH_LIMIT: usize = 20;
+
+/// Computes the worst-case retrieval latency (slots) for retrieving `file`
+/// (needing `threshold` distinct blocks) from `program`, when an adversary
+/// chooses the request slot and fails exactly up to `errors` receptions.
+pub fn worst_case_latency(
+    program: &BroadcastProgram,
+    file: FileId,
+    threshold: usize,
+    errors: usize,
+) -> WorstCaseAnalysis {
+    let receptions = reception_sequence(program, file);
+    assert!(
+        !receptions.is_empty(),
+        "file {file} never appears in the program"
+    );
+    let width = (receptions.iter().map(|r| r.block).max().unwrap_or(0) + 1) as usize;
+    let exact = width <= EXACT_WIDTH_LIMIT;
+
+    let cycle = program.data_cycle();
+    let fault_free = (0..cycle)
+        .map(|s| latency_from(&receptions, cycle, s, threshold, 0, exact))
+        .max()
+        .expect("non-empty cycle");
+    let with_errors = (0..cycle)
+        .map(|s| latency_from(&receptions, cycle, s, threshold, errors, exact))
+        .max()
+        .expect("non-empty cycle");
+    WorstCaseAnalysis {
+        errors,
+        latency: with_errors,
+        extra_delay: with_errors.saturating_sub(fault_free),
+        exact,
+    }
+}
+
+/// The worst-case latency table for `r = 0..=max_errors` (absolute
+/// latencies).
+pub fn worst_case_table(
+    program: &BroadcastProgram,
+    file: FileId,
+    threshold: usize,
+    max_errors: usize,
+) -> Vec<WorstCaseAnalysis> {
+    (0..=max_errors)
+        .map(|r| worst_case_latency(program, file, threshold, r))
+        .collect()
+}
+
+/// The paper's Figure 7 view: worst-case **extra** delay per error count.
+pub fn extra_delay_table(
+    program: &BroadcastProgram,
+    file: FileId,
+    threshold: usize,
+    max_errors: usize,
+) -> Vec<usize> {
+    worst_case_table(program, file, threshold, max_errors)
+        .into_iter()
+        .map(|a| a.extra_delay)
+        .collect()
+}
+
+/// One reception opportunity for the target file within the data cycle.
+#[derive(Debug, Clone, Copy)]
+struct Reception {
+    slot: usize,
+    block: u32,
+}
+
+fn reception_sequence(program: &BroadcastProgram, file: FileId) -> Vec<Reception> {
+    program
+        .entries()
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, e)| match e {
+            ProgramEntry::Block { file: f, block } if *f == file => {
+                Some(Reception { slot, block: *block })
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Worst-case completion latency when the retrieval starts at `start` and the
+/// adversary may fail up to `errors` receptions.
+fn latency_from(
+    receptions: &[Reception],
+    cycle: usize,
+    start: usize,
+    threshold: usize,
+    errors: usize,
+    exact: bool,
+) -> usize {
+    // Materialise the reception stream from `start`, long enough that even
+    // `errors` failures plus duplicate blocks cannot exhaust it: every data
+    // cycle contains every dispersed block at least once, so
+    // `errors + threshold + 1` cycles are always sufficient.
+    let cycles_needed = errors + threshold + 1;
+    let mut stream = Vec::with_capacity(receptions.len() * cycles_needed);
+    for c in 0..cycles_needed {
+        for r in receptions {
+            let slot = r.slot + c * cycle;
+            if slot >= start {
+                stream.push(Reception {
+                    slot,
+                    block: r.block,
+                });
+            }
+        }
+    }
+    if exact {
+        let mut memo = HashMap::new();
+        let slot = adversary_search(&stream, 0, 0u64, threshold, errors, &mut memo);
+        slot - start + 1
+    } else {
+        let slot = greedy_adversary(&stream, threshold, errors);
+        slot - start + 1
+    }
+}
+
+/// Exact adversary: maximise the completion slot over all choices of which
+/// receptions to fail (at most `errors_left`).
+fn adversary_search(
+    stream: &[Reception],
+    index: usize,
+    collected: u64,
+    threshold: usize,
+    errors_left: usize,
+    memo: &mut HashMap<(usize, u64, usize), usize>,
+) -> usize {
+    if index >= stream.len() {
+        // The horizon is sized so that completion always happens first; this
+        // is a defensive bound for degenerate inputs.
+        return stream.last().map(|r| r.slot).unwrap_or(0);
+    }
+    let key = (index, collected, errors_left);
+    if let Some(&v) = memo.get(&key) {
+        return v;
+    }
+    let reception = stream[index];
+    let bit = 1u64 << reception.block;
+    // Option 1: the reception succeeds.
+    let succeed = {
+        let next = collected | bit;
+        if next.count_ones() as usize >= threshold {
+            reception.slot
+        } else {
+            adversary_search(stream, index + 1, next, threshold, errors_left, memo)
+        }
+    };
+    // Option 2: the adversary fails it (only useful if it would be new, but
+    // exploring both keeps the search obviously exact).
+    let fail = if errors_left > 0 {
+        adversary_search(stream, index + 1, collected, threshold, errors_left - 1, memo)
+    } else {
+        0
+    };
+    let best = succeed.max(fail);
+    memo.insert(key, best);
+    best
+}
+
+/// Pessimistic greedy adversary for very wide dispersals: fail the last
+/// `errors` receptions that would otherwise complete the retrieval.
+fn greedy_adversary(stream: &[Reception], threshold: usize, errors: usize) -> usize {
+    let mut errors_left = errors;
+    let mut collected: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for r in stream {
+        let is_new = !collected.contains(&r.block);
+        if is_new && collected.len() + 1 >= threshold && errors_left > 0 {
+            // This reception would complete the retrieval: fail it.
+            errors_left -= 1;
+            continue;
+        }
+        if is_new {
+            collected.insert(r.block);
+            if collected.len() >= threshold {
+                return r.slot;
+            }
+        }
+    }
+    stream.last().map(|r| r.slot).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk::{BroadcastFile, BroadcastProgram, FileSet, FlatOrder};
+
+    fn paper_files(dispersed: bool) -> FileSet {
+        let (na, nb) = if dispersed { (10, 6) } else { (5, 3) };
+        FileSet::new(vec![
+            BroadcastFile::new(FileId(0), "A", 5, 64).with_dispersal(na),
+            BroadcastFile::new(FileId(1), "B", 3, 64).with_dispersal(nb),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lemma_1_flat_program_extra_delay_is_bounded_by_r_tau() {
+        // Lemma 1: extra delay ≤ r·τ where τ is the broadcast period.
+        let files = paper_files(false);
+        let program = BroadcastProgram::flat(&files, FlatOrder::Spread).unwrap();
+        let tau = program.broadcast_period();
+        for (file, m) in [(FileId(0), 5usize), (FileId(1), 3usize)] {
+            for r in 0..=4 {
+                let analysis = worst_case_latency(&program, file, m, r);
+                assert!(analysis.exact);
+                assert!(
+                    analysis.extra_delay <= r * tau,
+                    "file {file}, r={r}: extra {} > r·τ = {}",
+                    analysis.extra_delay,
+                    r * tau
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_2_aida_program_extra_delay_is_bounded_by_r_delta() {
+        // Lemma 2: extra delay ≤ r·Δ where Δ is the maximum inter-block gap.
+        // The bound applies while the error count stays within the file's
+        // redundancy (r ≤ nᵢ − mᵢ): beyond that the client starts seeing
+        // duplicate blocks and a single further error can cost more than Δ
+        // (see EXPERIMENTS.md).  File A tolerates 5 errors, file B only 3.
+        let files = paper_files(true);
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        for (file, m, max_r) in [(FileId(0), 5usize, 5usize), (FileId(1), 3usize, 3usize)] {
+            let delta = program.max_gap(file).unwrap();
+            for r in 0..=max_r {
+                let analysis = worst_case_latency(&program, file, m, r);
+                assert!(
+                    analysis.extra_delay <= r * delta,
+                    "file {file}, r={r}: extra {} > r·Δ = {}",
+                    analysis.extra_delay,
+                    r * delta
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure_7_shape_ida_beats_no_ida_and_errors_cost_a_period_without_ida() {
+        let flat = BroadcastProgram::flat(&paper_files(false), FlatOrder::Spread).unwrap();
+        let aida = BroadcastProgram::aida_flat(&paper_files(true), FlatOrder::Spread).unwrap();
+        let without = extra_delay_table(&flat, FileId(0), 5, 5);
+        let with = extra_delay_table(&aida, FileId(0), 5, 5);
+        assert_eq!(without[0], 0);
+        assert_eq!(with[0], 0);
+        for r in 1..=5 {
+            // Without IDA every error costs a full broadcast period (8 slots).
+            assert_eq!(without[r], r * 8, "without IDA, r={r}");
+            // With IDA the cost is a handful of slots, strictly better.
+            assert!(with[r] < without[r], "r={r}: {} !< {}", with[r], without[r]);
+            assert!(with[r] <= 8, "r={r}: extra {} should stay within one period", with[r]);
+        }
+        // Monotonicity in r.
+        assert!(with.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn fault_free_latency_never_exceeds_the_broadcast_period_for_flat_programs() {
+        let files = paper_files(true);
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        for (file, m) in [(FileId(0), 5usize), (FileId(1), 3usize)] {
+            let analysis = worst_case_latency(&program, file, m, 0);
+            assert!(analysis.latency <= program.broadcast_period());
+            assert_eq!(analysis.extra_delay, 0);
+        }
+    }
+
+    #[test]
+    fn single_block_files_recover_in_one_gap() {
+        // A 1-block file dispersed into 3: one error costs at most the gap to
+        // the next copy.
+        let files = FileSet::new(vec![
+            BroadcastFile::new(FileId(0), "X", 1, 64).with_dispersal(3),
+            BroadcastFile::new(FileId(1), "Y", 3, 64).with_dispersal(3),
+        ])
+        .unwrap();
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        let delta = program.max_gap(FileId(0)).unwrap();
+        let a = worst_case_latency(&program, FileId(0), 1, 1);
+        assert!(a.extra_delay <= delta);
+    }
+
+    #[test]
+    fn greedy_fallback_is_used_for_very_wide_dispersals() {
+        let files = FileSet::new(vec![
+            BroadcastFile::new(FileId(0), "W", 12, 64).with_dispersal(36)
+        ])
+        .unwrap();
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        let a = worst_case_latency(&program, FileId(0), 12, 2);
+        assert!(!a.exact);
+        assert!(a.latency >= 12);
+    }
+
+    #[test]
+    fn exact_adversary_dominates_the_greedy_one() {
+        // On a small instance the exact adversary must be at least as bad
+        // (for the client) as the greedy heuristic.
+        let files = paper_files(true);
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        let receptions = reception_sequence(&program, FileId(0));
+        let cycle = program.data_cycle();
+        for start in 0..cycle {
+            for r in 0..=3 {
+                let exact = latency_from(&receptions, cycle, start, 5, r, true);
+                let greedy = latency_from(&receptions, cycle, start, 5, r, false);
+                assert!(exact >= greedy, "start {start}, r {r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! # gf256 — finite-field substrate for information dispersal
+//!
+//! This crate implements arithmetic over the Galois field GF(2⁸), together
+//! with polynomials and dense matrices over that field.  It is the numeric
+//! substrate underneath Rabin's Information Dispersal Algorithm (IDA) as used
+//! by the broadcast-disk crates in this workspace: dispersal is a matrix
+//! multiplication over GF(2⁸), and reconstruction is a multiplication by the
+//! inverse of an m×m sub-matrix of the dispersal matrix.
+//!
+//! The field is realised with the Reed–Solomon-style irreducible polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (bit pattern `0x11d`).  Multiplication and
+//! division use compile-time generated exponential/logarithm tables, so a
+//! single multiply is two table lookups and one conditional.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use gf256::{Gf256, Matrix};
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xCA);
+//! assert_eq!((a * b) / b, a);
+//!
+//! // A 3×3 Vandermonde matrix is invertible.
+//! let v = Matrix::vandermonde(3, 3).unwrap();
+//! let inv = v.inverted().unwrap();
+//! assert!(v.mul(&inv).unwrap().is_identity());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod matrix;
+mod poly;
+
+pub use field::Gf256;
+pub use matrix::{Matrix, MatrixError};
+pub use poly::Poly;
+
+/// Errors produced by field-level operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldError {
+    /// Division by the zero element was attempted.
+    DivisionByZero,
+    /// The inverse of the zero element was requested.
+    ZeroHasNoInverse,
+}
+
+impl core::fmt::Display for FieldError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FieldError::DivisionByZero => write!(f, "division by zero in GF(256)"),
+            FieldError::ZeroHasNoInverse => write!(f, "zero has no multiplicative inverse"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}

@@ -1,0 +1,258 @@
+//! Polynomials over GF(2⁸).
+//!
+//! IDA itself only needs matrices, but polynomial evaluation and
+//! interpolation give an independent reference implementation of
+//! "disperse / reconstruct" (a Vandermonde encode is exactly polynomial
+//! evaluation, and reconstruction is Lagrange interpolation).  The `ida`
+//! crate's test-suite cross-checks the matrix path against this one.
+
+use crate::Gf256;
+use core::fmt;
+
+/// A polynomial with coefficients in GF(2⁸), stored least-significant-degree
+/// first (`coeffs[i]` is the coefficient of `xⁱ`).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Poly {
+    coeffs: Vec<Gf256>,
+}
+
+impl fmt::Debug for Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.coeffs.is_empty() {
+            return write!(f, "0");
+        }
+        let terms: Vec<String> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(i, c)| format!("{c}·x^{i}"))
+            .collect();
+        if terms.is_empty() {
+            write!(f, "0")
+        } else {
+            write!(f, "{}", terms.join(" + "))
+        }
+    }
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// Builds a polynomial from coefficients, lowest degree first.
+    pub fn new(coeffs: Vec<Gf256>) -> Self {
+        let mut p = Poly { coeffs };
+        p.normalize();
+        p
+    }
+
+    /// Builds a polynomial from raw bytes, lowest degree first.
+    pub fn from_bytes(coeffs: &[u8]) -> Self {
+        Poly::new(coeffs.iter().copied().map(Gf256::new).collect())
+    }
+
+    /// The degree, or `None` for the zero polynomial.
+    pub fn degree(&self) -> Option<usize> {
+        if self.coeffs.is_empty() {
+            None
+        } else {
+            Some(self.coeffs.len() - 1)
+        }
+    }
+
+    /// Borrow the coefficients (lowest degree first, no trailing zeros).
+    pub fn coefficients(&self) -> &[Gf256] {
+        &self.coeffs
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's rule.
+    pub fn eval(&self, x: Gf256) -> Gf256 {
+        let mut acc = Gf256::ZERO;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Adds two polynomials.
+    pub fn add(&self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = vec![Gf256::ZERO; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let a = self.coeffs.get(i).copied().unwrap_or(Gf256::ZERO);
+            let b = rhs.coeffs.get(i).copied().unwrap_or(Gf256::ZERO);
+            *o = a + b;
+        }
+        Poly::new(out)
+    }
+
+    /// Multiplies two polynomials (schoolbook; degrees here are tiny).
+    pub fn mul(&self, rhs: &Poly) -> Poly {
+        if self.coeffs.is_empty() || rhs.coeffs.is_empty() {
+            return Poly::zero();
+        }
+        let mut out = vec![Gf256::ZERO; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::new(out)
+    }
+
+    /// Multiplies by a scalar.
+    pub fn scale(&self, s: Gf256) -> Poly {
+        Poly::new(self.coeffs.iter().map(|&c| c * s).collect())
+    }
+
+    /// Lagrange interpolation: the unique polynomial of degree `< points.len()`
+    /// passing through all `(x, y)` pairs.  The x values must be distinct.
+    ///
+    /// Returns `None` if two x values coincide.
+    pub fn interpolate(points: &[(Gf256, Gf256)]) -> Option<Poly> {
+        for (i, (xi, _)) in points.iter().enumerate() {
+            for (xj, _) in points.iter().skip(i + 1) {
+                if xi == xj {
+                    return None;
+                }
+            }
+        }
+        let mut acc = Poly::zero();
+        for (i, &(xi, yi)) in points.iter().enumerate() {
+            // Basis polynomial Lᵢ(x) = Π_{j≠i} (x - xⱼ)/(xᵢ - xⱼ)
+            let mut basis = Poly::new(vec![Gf256::ONE]);
+            let mut denom = Gf256::ONE;
+            for (j, &(xj, _)) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                // (x + xⱼ) — subtraction is addition in characteristic 2.
+                basis = basis.mul(&Poly::new(vec![xj, Gf256::ONE]));
+                denom *= xi + xj;
+            }
+            let denom_inv = denom.inverse().ok()?;
+            acc = acc.add(&basis.scale(yi * denom_inv));
+        }
+        Some(acc)
+    }
+
+    fn normalize(&mut self) {
+        while self.coeffs.last().is_some_and(|c| c.is_zero()) {
+            self.coeffs.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(bytes: &[u8]) -> Poly {
+        Poly::from_bytes(bytes)
+    }
+
+    #[test]
+    fn zero_polynomial_properties() {
+        let z = Poly::zero();
+        assert_eq!(z.degree(), None);
+        assert_eq!(z.eval(Gf256::new(17)), Gf256::ZERO);
+        assert_eq!(z.add(&p(&[1, 2])), p(&[1, 2]));
+        assert_eq!(z.mul(&p(&[1, 2])), Poly::zero());
+    }
+
+    #[test]
+    fn trailing_zero_coefficients_are_trimmed() {
+        assert_eq!(p(&[1, 2, 0, 0]), p(&[1, 2]));
+        assert_eq!(p(&[0, 0, 0]).degree(), None);
+    }
+
+    #[test]
+    fn evaluation_via_horner_matches_manual_expansion() {
+        // f(x) = 3 + 5x + 7x²
+        let f = p(&[3, 5, 7]);
+        for x in [0u8, 1, 2, 9, 200] {
+            let x = Gf256::new(x);
+            let manual = Gf256::new(3) + Gf256::new(5) * x + Gf256::new(7) * x * x;
+            assert_eq!(f.eval(x), manual);
+        }
+    }
+
+    #[test]
+    fn addition_is_commutative_and_self_cancelling() {
+        let a = p(&[1, 2, 3]);
+        let b = p(&[7, 0, 9, 4]);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&a), Poly::zero());
+    }
+
+    #[test]
+    fn multiplication_degree_and_commutativity() {
+        let a = p(&[1, 2, 3]);
+        let b = p(&[7, 9]);
+        let ab = a.mul(&b);
+        assert_eq!(ab.degree(), Some(3));
+        assert_eq!(ab, b.mul(&a));
+    }
+
+    #[test]
+    fn multiplication_distributes_over_addition() {
+        let a = p(&[1, 5]);
+        let b = p(&[2, 3, 4]);
+        let c = p(&[9, 0, 1]);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn interpolation_recovers_original_polynomial() {
+        let f = p(&[42, 17, 99, 3]);
+        let points: Vec<(Gf256, Gf256)> = (1u8..=4)
+            .map(|x| {
+                let x = Gf256::new(x);
+                (x, f.eval(x))
+            })
+            .collect();
+        let g = Poly::interpolate(&points).expect("distinct points");
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn interpolation_with_duplicate_points_fails() {
+        let pts = [
+            (Gf256::new(1), Gf256::new(5)),
+            (Gf256::new(1), Gf256::new(7)),
+        ];
+        assert!(Poly::interpolate(&pts).is_none());
+    }
+
+    #[test]
+    fn interpolation_matches_any_subset_of_evaluations() {
+        // Evaluate a degree-2 polynomial at 6 points; any 3 recover it.
+        let f = p(&[11, 22, 33]);
+        let xs: Vec<Gf256> = (1u8..=6).map(Gf256::new).collect();
+        let ys: Vec<Gf256> = xs.iter().map(|&x| f.eval(x)).collect();
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let pts = [(xs[a], ys[a]), (xs[b], ys[b]), (xs[c], ys[c])];
+                    let g = Poly::interpolate(&pts).unwrap();
+                    assert_eq!(f, g, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn debug_format_is_readable() {
+        let f = p(&[1, 0, 3]);
+        let s = format!("{f:?}");
+        assert!(s.contains("x^0"));
+        assert!(s.contains("x^2"));
+        assert_eq!(format!("{:?}", Poly::zero()), "0");
+    }
+}

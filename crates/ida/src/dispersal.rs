@@ -1,0 +1,418 @@
+//! The dispersal and reconstruction operations of IDA (paper Figure 3).
+
+use crate::{BlockHeader, DispersedBlock, FileId, IdaError};
+use bytes::Bytes;
+use gf256::{Gf256, Matrix};
+use std::collections::HashSet;
+
+/// Which generator matrix family backs the dispersal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixKind {
+    /// A systematic matrix: the first `m` dispersed blocks are verbatim
+    /// copies of the source blocks (cheapest reconstruction when no faults
+    /// occur).  This is the default.
+    #[default]
+    Systematic,
+    /// A plain Vandermonde matrix: every dispersed block is a coded block.
+    Vandermonde,
+    /// A Cauchy matrix (requires `m + n ≤ 256`).
+    Cauchy,
+}
+
+/// A dispersal configuration: files are split into `m` source blocks and
+/// encoded into `n ≥ m` dispersed blocks, any `m` of which reconstruct the
+/// original.
+///
+/// The transformation matrix is precomputed once per configuration; the paper
+/// likewise notes that the inverse transformations "could be precomputed for
+/// some or even all possible subsets of m rows" — we invert lazily per
+/// reconstruction, which is plenty for a software implementation.
+#[derive(Debug, Clone)]
+pub struct Dispersal {
+    m: usize,
+    n: usize,
+    kind: MatrixKind,
+    matrix: Matrix,
+}
+
+/// The result of dispersing one file: the dispersed blocks plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct DispersedFile {
+    file: FileId,
+    original_len: usize,
+    blocks: Vec<DispersedBlock>,
+}
+
+impl DispersedFile {
+    /// The file these blocks belong to.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// Length of the original file in bytes.
+    pub fn original_len(&self) -> usize {
+        self.original_len
+    }
+
+    /// All `n` dispersed blocks, in index order.
+    pub fn blocks(&self) -> &[DispersedBlock] {
+        &self.blocks
+    }
+
+    /// Consumes the value and returns the blocks.
+    pub fn into_blocks(self) -> Vec<DispersedBlock> {
+        self.blocks
+    }
+
+    /// The block with the given dispersal index.
+    pub fn block(&self, index: usize) -> Option<&DispersedBlock> {
+        self.blocks.get(index)
+    }
+}
+
+impl Dispersal {
+    /// Creates a dispersal configuration with a systematic generator matrix.
+    ///
+    /// `m` is the reconstruction threshold, `n` the total number of dispersed
+    /// blocks; `1 ≤ m ≤ n ≤ 255` must hold.
+    pub fn new(m: usize, n: usize) -> Result<Self, IdaError> {
+        Self::with_kind(m, n, MatrixKind::Systematic)
+    }
+
+    /// Creates a dispersal configuration with an explicit matrix family.
+    pub fn with_kind(m: usize, n: usize, kind: MatrixKind) -> Result<Self, IdaError> {
+        if m == 0 {
+            return Err(IdaError::ThresholdTooSmall);
+        }
+        if n < m || n > 255 {
+            return Err(IdaError::InvalidBlockCount { m, n });
+        }
+        let matrix = match kind {
+            MatrixKind::Systematic => Matrix::systematic(n, m)?,
+            MatrixKind::Vandermonde => Matrix::vandermonde(n, m)?,
+            MatrixKind::Cauchy => Matrix::cauchy(n, m)?,
+        };
+        Ok(Dispersal { m, n, kind, matrix })
+    }
+
+    /// The reconstruction threshold `m`.
+    pub fn threshold(&self) -> usize {
+        self.m
+    }
+
+    /// The total number of dispersed blocks `n`.
+    pub fn total_blocks(&self) -> usize {
+        self.n
+    }
+
+    /// The number of *redundant* blocks, `n − m`.
+    pub fn redundancy(&self) -> usize {
+        self.n - self.m
+    }
+
+    /// The matrix family in use.
+    pub fn kind(&self) -> MatrixKind {
+        self.kind
+    }
+
+    /// The per-block payload size for a file of `len` bytes: the file is
+    /// padded to a multiple of `m` and split column-wise.
+    pub fn block_payload_len(&self, len: usize) -> usize {
+        len.div_ceil(self.m)
+    }
+
+    /// Disperses `data` into `n` self-identifying blocks (paper Figure 3,
+    /// left side).
+    pub fn disperse(&self, file: FileId, data: &[u8]) -> Result<DispersedFile, IdaError> {
+        if data.is_empty() {
+            return Err(IdaError::EmptyFile);
+        }
+        let block_len = self.block_payload_len(data.len());
+        // Split the (zero-padded) file into m source blocks of block_len bytes.
+        let mut sources: Vec<Vec<Gf256>> = Vec::with_capacity(self.m);
+        for i in 0..self.m {
+            let start = i * block_len;
+            let mut blk = Vec::with_capacity(block_len);
+            for k in 0..block_len {
+                let byte = data.get(start + k).copied().unwrap_or(0);
+                blk.push(Gf256::new(byte));
+            }
+            sources.push(blk);
+        }
+        let encoded = self.matrix.mul_blocks(&sources)?;
+        let blocks = encoded
+            .into_iter()
+            .enumerate()
+            .map(|(index, payload)| {
+                let bytes: Vec<u8> = payload.into_iter().map(Gf256::value).collect();
+                DispersedBlock::new(
+                    BlockHeader {
+                        file,
+                        index: index as u32,
+                        m: self.m as u32,
+                        n: self.n as u32,
+                        original_len: data.len() as u64,
+                    },
+                    Bytes::from(bytes),
+                )
+            })
+            .collect();
+        Ok(DispersedFile {
+            file,
+            original_len: data.len(),
+            blocks,
+        })
+    }
+
+    /// Reconstructs the original file from any `m` (or more) distinct
+    /// dispersed blocks (paper Figure 3, right side).
+    ///
+    /// Extra blocks beyond the first `m` distinct indices are ignored.
+    pub fn reconstruct(&self, blocks: &[DispersedBlock]) -> Result<Vec<u8>, IdaError> {
+        // Select the first m blocks with distinct indices and a consistent header.
+        let mut chosen: Vec<&DispersedBlock> = Vec::with_capacity(self.m);
+        let mut seen = HashSet::new();
+        let mut reference: Option<&BlockHeader> = None;
+        for b in blocks {
+            let h = b.header();
+            if let Some(r) = reference {
+                if h.file != r.file
+                    || h.m != r.m
+                    || h.n != r.n
+                    || h.original_len != r.original_len
+                    || b.len() != chosen[0].len()
+                {
+                    return Err(IdaError::InconsistentBlocks);
+                }
+            } else {
+                if h.m as usize != self.m || h.n as usize != self.n {
+                    return Err(IdaError::InconsistentBlocks);
+                }
+                reference = Some(h);
+            }
+            if h.index as usize >= self.n {
+                return Err(IdaError::CorruptHeader {
+                    index: h.index as usize,
+                    n: self.n,
+                });
+            }
+            if seen.insert(h.index) {
+                chosen.push(b);
+                if chosen.len() == self.m {
+                    break;
+                }
+            }
+        }
+        if chosen.len() < self.m {
+            return Err(IdaError::NotEnoughBlocks {
+                required: self.m,
+                supplied: chosen.len(),
+            });
+        }
+        let reference = reference.expect("at least one block present");
+        let original_len = reference.original_len as usize;
+
+        // Build the m×m sub-matrix for the received indices and invert it.
+        let rows: Vec<usize> = chosen.iter().map(|b| b.index() as usize).collect();
+        let sub = self.matrix.submatrix_rows(&rows)?;
+        let inverse = sub.inverted()?;
+
+        let received: Vec<Vec<Gf256>> = chosen
+            .iter()
+            .map(|b| b.payload().iter().copied().map(Gf256::new).collect())
+            .collect();
+        let decoded = inverse.mul_blocks(&received)?;
+
+        // Concatenate the m source blocks and strip the padding.
+        let mut out = Vec::with_capacity(original_len);
+        'outer: for block in decoded {
+            for g in block {
+                if out.len() == original_len {
+                    break 'outer;
+                }
+                out.push(g.value());
+            }
+        }
+        out.truncate(original_len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i * 31 + 7) as u8).collect()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert_eq!(Dispersal::new(0, 5).unwrap_err(), IdaError::ThresholdTooSmall);
+        assert!(matches!(
+            Dispersal::new(6, 5),
+            Err(IdaError::InvalidBlockCount { .. })
+        ));
+        assert!(matches!(
+            Dispersal::new(5, 300),
+            Err(IdaError::InvalidBlockCount { .. })
+        ));
+        assert!(Dispersal::new(1, 1).is_ok());
+        assert!(Dispersal::new(5, 255).is_ok());
+    }
+
+    #[test]
+    fn empty_file_is_rejected() {
+        let d = Dispersal::new(3, 6).unwrap();
+        assert_eq!(d.disperse(FileId(1), &[]).unwrap_err(), IdaError::EmptyFile);
+    }
+
+    #[test]
+    fn round_trip_with_all_blocks() {
+        for kind in [MatrixKind::Systematic, MatrixKind::Vandermonde, MatrixKind::Cauchy] {
+            let d = Dispersal::with_kind(5, 10, kind).unwrap();
+            let data = sample(997); // not a multiple of m → exercises padding
+            let df = d.disperse(FileId(1), &data).unwrap();
+            assert_eq!(df.blocks().len(), 10);
+            let out = d.reconstruct(df.blocks()).unwrap();
+            assert_eq!(out, data, "kind {kind:?}");
+        }
+    }
+
+    #[test]
+    fn round_trip_from_every_minimal_subset() {
+        let d = Dispersal::new(3, 6).unwrap();
+        let data = sample(64);
+        let df = d.disperse(FileId(9), &data).unwrap();
+        let blocks = df.blocks();
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let subset = vec![blocks[a].clone(), blocks[b].clone(), blocks[c].clone()];
+                    let out = d.reconstruct(&subset).unwrap();
+                    assert_eq!(out, data, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_prefix_blocks_are_verbatim_source() {
+        let d = Dispersal::new(4, 8).unwrap();
+        let data = sample(400); // exactly 4 * 100
+        let df = d.disperse(FileId(2), &data).unwrap();
+        for i in 0..4 {
+            assert_eq!(&df.blocks()[i].payload()[..], &data[i * 100..(i + 1) * 100]);
+        }
+    }
+
+    #[test]
+    fn reconstruction_order_does_not_matter() {
+        let d = Dispersal::new(4, 9).unwrap();
+        let data = sample(123);
+        let df = d.disperse(FileId(5), &data).unwrap();
+        let mut subset = vec![
+            df.blocks()[8].clone(),
+            df.blocks()[2].clone(),
+            df.blocks()[6].clone(),
+            df.blocks()[0].clone(),
+        ];
+        assert_eq!(d.reconstruct(&subset).unwrap(), data);
+        subset.reverse();
+        assert_eq!(d.reconstruct(&subset).unwrap(), data);
+    }
+
+    #[test]
+    fn duplicate_blocks_do_not_count_towards_threshold() {
+        let d = Dispersal::new(3, 6).unwrap();
+        let data = sample(50);
+        let df = d.disperse(FileId(1), &data).unwrap();
+        let dup = vec![
+            df.blocks()[1].clone(),
+            df.blocks()[1].clone(),
+            df.blocks()[1].clone(),
+        ];
+        assert!(matches!(
+            d.reconstruct(&dup),
+            Err(IdaError::NotEnoughBlocks { required: 3, supplied: 1 })
+        ));
+    }
+
+    #[test]
+    fn too_few_blocks_fails() {
+        let d = Dispersal::new(5, 10).unwrap();
+        let data = sample(100);
+        let df = d.disperse(FileId(1), &data).unwrap();
+        let few: Vec<_> = df.blocks()[..4].to_vec();
+        assert!(matches!(
+            d.reconstruct(&few),
+            Err(IdaError::NotEnoughBlocks { required: 5, supplied: 4 })
+        ));
+    }
+
+    #[test]
+    fn mixed_files_are_rejected() {
+        let d = Dispersal::new(2, 4).unwrap();
+        let df1 = d.disperse(FileId(1), &sample(20)).unwrap();
+        let df2 = d.disperse(FileId(2), &sample(20)).unwrap();
+        let mixed = vec![df1.blocks()[0].clone(), df2.blocks()[1].clone()];
+        assert_eq!(d.reconstruct(&mixed).unwrap_err(), IdaError::InconsistentBlocks);
+    }
+
+    #[test]
+    fn mismatched_configuration_is_rejected() {
+        let d24 = Dispersal::new(2, 4).unwrap();
+        let d36 = Dispersal::new(3, 6).unwrap();
+        let df = d36.disperse(FileId(1), &sample(30)).unwrap();
+        assert_eq!(
+            d24.reconstruct(df.blocks()).unwrap_err(),
+            IdaError::InconsistentBlocks
+        );
+    }
+
+    #[test]
+    fn single_byte_file_and_m_equals_one() {
+        let d = Dispersal::new(1, 3).unwrap();
+        let data = vec![0xAB];
+        let df = d.disperse(FileId(1), &data).unwrap();
+        for b in df.blocks() {
+            let out = d.reconstruct(&[b.clone()]).unwrap();
+            assert_eq!(out, data);
+        }
+    }
+
+    #[test]
+    fn m_equals_n_degenerates_to_plain_striping() {
+        let d = Dispersal::new(4, 4).unwrap();
+        let data = sample(64);
+        let df = d.disperse(FileId(1), &data).unwrap();
+        assert_eq!(d.redundancy(), 0);
+        assert_eq!(d.reconstruct(df.blocks()).unwrap(), data);
+    }
+
+    #[test]
+    fn block_payload_len_matches_paper_model() {
+        // A file of m_i blocks of size b_i: dispersing with threshold m keeps
+        // each dispersed block the same size as a source block.
+        let d = Dispersal::new(5, 10).unwrap();
+        assert_eq!(d.block_payload_len(5 * 512), 512);
+        assert_eq!(d.block_payload_len(5 * 512 + 1), 513);
+    }
+
+    #[test]
+    fn paper_example_file_a_five_to_ten() {
+        // Section 2.3: file A of 5 blocks dispersed into 10, any 5 suffice.
+        let d = Dispersal::new(5, 10).unwrap();
+        let data = sample(5 * 128);
+        let df = d.disperse(FileId(0), &data).unwrap();
+        // Receive blocks 1..=4 plus block 6 (the paper's A'6 example).
+        let subset = vec![
+            df.blocks()[0].clone(),
+            df.blocks()[1].clone(),
+            df.blocks()[2].clone(),
+            df.blocks()[3].clone(),
+            df.blocks()[5].clone(),
+        ];
+        assert_eq!(d.reconstruct(&subset).unwrap(), data);
+    }
+}

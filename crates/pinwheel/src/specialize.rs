@@ -1,0 +1,255 @@
+//! Window specialization.
+//!
+//! The classic constructive pinwheel schedulers do not schedule arbitrary
+//! windows directly.  They first *specialize* every window down to a value
+//! drawn from a structured set — powers of two (Holte et al.'s `Sa`),
+//! a single geometric chain `{x·2^j}` (single-integer reduction), or the
+//! union of two chains `{x·2^j} ∪ {y·2^j}` (Chan & Chin's double-integer
+//! reduction) — and then schedule the specialized instance.  Shrinking a
+//! window is always safe (rule R0 of the paper's pinwheel algebra), so a
+//! schedule for the specialized instance is a schedule for the original;
+//! the price is an inflated density.
+
+use crate::{Task, TaskId, TaskSystem};
+
+/// The largest power of two that does not exceed `w` (`w ≥ 1`).
+pub fn specialize_pow2(w: u32) -> u32 {
+    debug_assert!(w >= 1);
+    1 << (31 - w.leading_zeros())
+}
+
+/// The largest value of the form `x·2^j ≤ w`, or `None` when `w < x`.
+pub fn specialize_single(w: u32, x: u32) -> Option<u32> {
+    if w < x || x == 0 {
+        return None;
+    }
+    let mut v = u64::from(x);
+    while v * 2 <= u64::from(w) {
+        v *= 2;
+    }
+    Some(v as u32)
+}
+
+/// The largest value in `{x·2^j} ∪ {y·2^j}` that does not exceed `w`, or
+/// `None` when `w < min(x, y)`.
+pub fn specialize_double(w: u32, x: u32, y: u32) -> Option<u32> {
+    let a = specialize_single(w, x);
+    let b = specialize_single(w, y);
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.max(b)),
+        (Some(a), None) => Some(a),
+        (None, Some(b)) => Some(b),
+        (None, None) => None,
+    }
+}
+
+/// One task's specialization: the original window and its specialized value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Specialization {
+    /// The task id.
+    pub id: TaskId,
+    /// The original window.
+    pub original: u32,
+    /// The specialized (shrunk) window.
+    pub specialized: u32,
+}
+
+impl Specialization {
+    /// The inflation factor `original / specialized` (always ≥ 1).
+    pub fn inflation(&self) -> f64 {
+        f64::from(self.original) / f64::from(self.specialized)
+    }
+}
+
+/// A fully specialized unit-requirement system, remembering the mapping back
+/// to the original windows.
+#[derive(Debug, Clone)]
+pub struct SpecializedSystem {
+    entries: Vec<Specialization>,
+}
+
+impl SpecializedSystem {
+    /// Specializes every window of a *unit* task system through `f`.
+    ///
+    /// Returns `None` if any window cannot be specialized (i.e. `f` returns
+    /// `None` for it).
+    pub fn build(
+        system: &TaskSystem,
+        mut f: impl FnMut(u32) -> Option<u32>,
+    ) -> Option<SpecializedSystem> {
+        let mut entries = Vec::with_capacity(system.len());
+        for t in system.tasks() {
+            debug_assert_eq!(t.requirement, 1, "specialization expects unit tasks");
+            let specialized = f(t.window)?;
+            debug_assert!(specialized <= t.window);
+            entries.push(Specialization {
+                id: t.id,
+                original: t.window,
+                specialized,
+            });
+        }
+        Some(SpecializedSystem { entries })
+    }
+
+    /// The per-task specializations.
+    pub fn entries(&self) -> &[Specialization] {
+        &self.entries
+    }
+
+    /// The density of the specialized system, `Σ 1/specialized`.
+    pub fn density(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|e| 1.0 / f64::from(e.specialized))
+            .sum()
+    }
+
+    /// The worst single-task inflation factor.
+    pub fn max_inflation(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(Specialization::inflation)
+            .fold(1.0, f64::max)
+    }
+
+    /// The specialized system as a unit [`TaskSystem`] (ids preserved).
+    pub fn to_task_system(&self) -> TaskSystem {
+        TaskSystem::new(
+            self.entries
+                .iter()
+                .map(|e| Task::unit(e.id, e.specialized))
+                .collect(),
+        )
+        .expect("specialized windows are ≥ 1 and ids are unique")
+    }
+
+    /// The specialized windows as `(id, window)` pairs.
+    pub fn windows(&self) -> Vec<(TaskId, u32)> {
+        self.entries.iter().map(|e| (e.id, e.specialized)).collect()
+    }
+}
+
+/// Candidate bases for single- and double-integer reduction.
+///
+/// Bases `x ≤ ⌊w_min/2⌋` are equivalent (on windows ≥ `w_min`) to their
+/// doubled representative in `(⌊w_min/2⌋, w_min]`, so only that half-open
+/// range needs to be searched.  For very large `w_min` the range is sampled
+/// down to `max_candidates` evenly spaced values.
+pub fn candidate_bases(min_window: u32, max_candidates: usize) -> Vec<u32> {
+    if min_window == 0 {
+        return Vec::new();
+    }
+    let lo = min_window / 2 + 1;
+    let hi = min_window;
+    let count = (hi - lo + 1) as usize;
+    if count <= max_candidates || max_candidates == 0 {
+        (lo..=hi).collect()
+    } else {
+        // Evenly sample the range, always including both endpoints.
+        let mut out = Vec::with_capacity(max_candidates);
+        for i in 0..max_candidates {
+            let v = lo + ((hi - lo) as usize * i / (max_candidates - 1)) as u32;
+            if out.last() != Some(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_specialization() {
+        assert_eq!(specialize_pow2(1), 1);
+        assert_eq!(specialize_pow2(2), 2);
+        assert_eq!(specialize_pow2(3), 2);
+        assert_eq!(specialize_pow2(4), 4);
+        assert_eq!(specialize_pow2(7), 4);
+        assert_eq!(specialize_pow2(8), 8);
+        assert_eq!(specialize_pow2(1023), 512);
+        assert_eq!(specialize_pow2(u32::MAX), 1 << 31);
+    }
+
+    #[test]
+    fn single_chain_specialization() {
+        assert_eq!(specialize_single(13, 5), Some(10));
+        assert_eq!(specialize_single(100, 7), Some(56));
+        assert_eq!(specialize_single(7, 7), Some(7));
+        assert_eq!(specialize_single(6, 7), None);
+        assert_eq!(specialize_single(10, 0), None);
+        // Equivalence of a base and its halved version on windows ≥ base.
+        for w in 7..200 {
+            assert_eq!(specialize_single(w, 7), specialize_single(w, 14).or(specialize_single(w, 7)));
+        }
+    }
+
+    #[test]
+    fn double_chain_specialization_takes_the_larger() {
+        // chains {5,10,20,40,...} and {7,14,28,...}
+        assert_eq!(specialize_double(13, 5, 7), Some(10));
+        assert_eq!(specialize_double(14, 5, 7), Some(14));
+        assert_eq!(specialize_double(27, 5, 7), Some(20));
+        assert_eq!(specialize_double(28, 5, 7), Some(28));
+        assert_eq!(specialize_double(6, 5, 7), Some(5));
+        assert_eq!(specialize_double(4, 5, 7), None);
+    }
+
+    #[test]
+    fn specialization_never_exceeds_factor_two_for_pow2() {
+        for w in 1u32..5000 {
+            let s = specialize_pow2(w);
+            assert!(s <= w);
+            assert!(f64::from(w) / f64::from(s) < 2.0);
+        }
+    }
+
+    #[test]
+    fn double_specialization_with_sqrt2_ratio_bounds_inflation() {
+        // With y ≈ x·√2 the worst inflation approaches √2 ≈ 1.415 < 10/7.
+        let (x, y) = (10u32, 14u32);
+        for w in 10u32..20_000 {
+            let s = specialize_double(w, x, y).unwrap();
+            let inflation = f64::from(w) / f64::from(s);
+            assert!(inflation <= 10.0 / 7.0 + 1e-9, "w = {w}, inflation {inflation}");
+        }
+    }
+
+    #[test]
+    fn specialized_system_bookkeeping() {
+        let system = TaskSystem::from_windows(&[(1, 10), (2, 13), (3, 27)]).unwrap();
+        let spec = SpecializedSystem::build(&system, |w| specialize_single(w, 5)).unwrap();
+        assert_eq!(spec.windows(), vec![(1, 10), (2, 10), (3, 20)]);
+        assert!((spec.density() - (0.1 + 0.1 + 0.05)).abs() < 1e-12);
+        assert!((spec.max_inflation() - 1.35).abs() < 1e-12);
+        let ts = spec.to_task_system();
+        assert_eq!(ts.task(3).unwrap().window, 20);
+    }
+
+    #[test]
+    fn specialization_fails_when_window_below_base() {
+        let system = TaskSystem::from_windows(&[(1, 4), (2, 13)]).unwrap();
+        assert!(SpecializedSystem::build(&system, |w| specialize_single(w, 5)).is_none());
+    }
+
+    #[test]
+    fn candidate_bases_cover_upper_half() {
+        assert_eq!(candidate_bases(10, 100), vec![6, 7, 8, 9, 10]);
+        assert_eq!(candidate_bases(1, 100), vec![1]);
+        assert_eq!(candidate_bases(2, 100), vec![2]);
+        assert_eq!(candidate_bases(3, 100), vec![2, 3]);
+        assert_eq!(candidate_bases(0, 100), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn candidate_bases_sampling_respects_cap() {
+        let c = candidate_bases(100_000, 16);
+        assert!(c.len() <= 16);
+        assert_eq!(*c.first().unwrap(), 50_001);
+        assert_eq!(*c.last().unwrap(), 100_000);
+        // Monotone increasing.
+        assert!(c.windows(2).all(|p| p[0] < p[1]));
+    }
+}

@@ -1,0 +1,133 @@
+//! IVHS (Intelligent Vehicle Highway System) navigation scenario.
+//!
+//! The paper's introduction motivates broadcast disks with on-board
+//! navigation systems: a server broadcasts incident alerts, link travel
+//! times and map data to thousands of vehicles over a fat downstream channel.
+//! This example sizes the channel with Equations 1/2, builds a
+//! **pinwheel-scheduled** broadcast program at that bandwidth, and measures
+//! retrieval latencies under a bursty (Gilbert–Elliott) radio channel —
+//! contrasting it with a naive demand-agnostic flat program, which misses the
+//! tight deadlines exactly as the paper warns.
+//!
+//! ```text
+//! cargo run --release --example ivhs_navigation
+//! ```
+
+use bcore::Planner;
+use bdisk::{BroadcastFile, BroadcastProgram, BroadcastServer, FileSet, FlatOrder};
+use bsim::{ivhs_scenario, GilbertElliott, RetrievalSimulator, SimulationConfig};
+use ida::FileId;
+use std::collections::BTreeMap;
+
+const NAMES: [&str; 5] = [
+    "incident-alerts",
+    "link-travel-times",
+    "congestion-map",
+    "poi-delta",
+    "roadworks-schedule",
+];
+
+fn main() {
+    // 1. Size the channel with Equations 1/2 and get the pinwheel schedule.
+    let requirements = ivhs_scenario();
+    let planner = Planner::default();
+    let plan = planner.plan(&requirements).expect("valid scenario");
+    let (bandwidth, schedule) = planner
+        .minimum_constructive_bandwidth(&requirements)
+        .expect("scenario is schedulable");
+
+    println!("== IVHS channel sizing ==");
+    println!("files                         : {}", requirements.len());
+    println!("information lower bound       : {} blocks/sec", plan.lower_bound);
+    println!("Equation 1/2 sufficient bound : {} blocks/sec", plan.chan_chin_bound);
+    println!("constructively scheduled at   : {bandwidth} blocks/sec");
+    println!("analytic overhead             : {:.1}%", plan.overhead * 100.0);
+    println!("pinwheel schedule period      : {} slots", schedule.period());
+
+    // 2. Turn the schedule into a broadcast program.  Planner task `i + 1`
+    //    corresponds to requirement `i`; each file's dispersal width is its
+    //    occurrence count per schedule period (every visit carries a distinct
+    //    AIDA block).
+    let mut occurrences: BTreeMap<u32, u32> = BTreeMap::new();
+    for slot in 0..schedule.period() {
+        if let Some(task) = schedule.at(slot) {
+            *occurrences.entry(task - 1).or_insert(0) += 1;
+        }
+    }
+    let files: FileSet = requirements
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let per_cycle = occurrences.get(&(i as u32)).copied().unwrap_or(r.size_blocks);
+            BroadcastFile::new(FileId(i as u32), NAMES[i], r.size_blocks, 256)
+                .with_dispersal(per_cycle.max(r.size_blocks))
+                .with_fault_tolerance(
+                    (bandwidth as f64 * r.latency_seconds) as u32,
+                    r.faults as usize,
+                )
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect();
+    let pinwheel_program =
+        BroadcastProgram::from_pinwheel_schedule(&schedule, &files, |task| {
+            Some(FileId(task - 1))
+        })
+        .expect("every task maps to a file");
+    let flat_program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).expect("non-empty");
+
+    println!();
+    println!("== pinwheel-scheduled broadcast program ==");
+    println!("broadcast period   : {} slots", pinwheel_program.broadcast_period());
+    println!("program data cycle : {} slots", pinwheel_program.data_cycle());
+    for f in files.files() {
+        println!(
+            "  {:<20} m={:<3} n={:<3} max gap Δ = {:?} (deadline {} slots)",
+            f.name,
+            f.size_blocks,
+            f.dispersed_blocks,
+            pinwheel_program.max_gap(f.id).unwrap_or(0),
+            f.latencies.base_latency(),
+        );
+    }
+
+    // 3. Vehicles retrieve files over a bursty channel, from both programs.
+    for (label, program) in [("pinwheel program", &pinwheel_program), ("naive flat program", &flat_program)] {
+        let server = BroadcastServer::with_synthetic_contents(&files, program.clone())
+            .expect("valid contents");
+        println!();
+        println!("== retrieval latencies under a bursty channel — {label} ==");
+        println!(
+            "{:<20} {:>8} {:>8} {:>8} {:>10} {:>10}",
+            "file", "mean", "p99", "max", "deadline", "miss-ratio"
+        );
+        for (i, r) in requirements.iter().enumerate() {
+            let file = FileId(i as u32);
+            let deadline = (bandwidth as f64 * r.latency_seconds) as usize;
+            let config = SimulationConfig {
+                retrievals_per_file: 400,
+                deadline_slots: Some(deadline),
+                max_listen_slots: 100_000,
+                seed: 0x1915 + i as u64,
+            };
+            let mut sim =
+                RetrievalSimulator::new(&server, GilbertElliott::typical(9 + i as u64), config);
+            let report = sim.run_file(file, r.size_blocks as usize);
+            println!(
+                "{:<20} {:>8.1} {:>8} {:>8} {:>10} {:>9.2}%",
+                NAMES[i],
+                report.latency.mean(),
+                report.latency.p99(),
+                report.latency.max(),
+                deadline,
+                report.misses.miss_ratio() * 100.0
+            );
+        }
+    }
+    println!();
+    println!(
+        "The flat program ignores per-file deadlines, so the urgent incident-alert feed\n\
+         misses most of its deadlines; the pinwheel program spaces its blocks to the\n\
+         deadline and absorbs bursts with AIDA redundancy."
+    );
+}

@@ -1,0 +1,7 @@
+//! Workspace facade re-exporting all rtbdisk crates.
+pub use bcore;
+pub use bdisk;
+pub use bsim;
+pub use gf256;
+pub use ida;
+pub use pinwheel;

@@ -1,0 +1,193 @@
+//! End-to-end integration tests: specifications → design → broadcast server →
+//! lossy channel → client reconstruction, across all crates.
+
+use bcore::{BdiskDesigner, GeneralizedFileSpec};
+use bdisk::{BroadcastServer, ClientSession};
+use bsim::{BernoulliErrors, ErrorModel, NoErrors, TargetedLoss};
+use ida::{Dispersal, FileId};
+use std::collections::BTreeMap;
+
+fn design(specs: &[GeneralizedFileSpec]) -> bcore::DesignReport {
+    BdiskDesigner::default()
+        .design(specs)
+        .expect("specification set is schedulable")
+}
+
+/// Retrieves `file` from `server` starting at `start`, with a given error
+/// model; returns (latency, observed errors, reconstructed bytes).
+fn retrieve(
+    server: &BroadcastServer,
+    file: FileId,
+    threshold: usize,
+    dispersal_width: usize,
+    start: usize,
+    errors: &mut dyn ErrorModel,
+) -> (usize, usize, Vec<u8>) {
+    let mut session = ClientSession::new(file, threshold, start);
+    let mut slot = start;
+    while !session.is_complete() {
+        let tx = server.transmit(slot);
+        let ok = tx.as_ref().map(|t| !errors.is_lost(t)).unwrap_or(true);
+        session.observe(tx.as_ref(), ok);
+        slot += 1;
+        assert!(
+            slot - start < 100_000,
+            "retrieval of {file} did not complete"
+        );
+    }
+    let dispersal = Dispersal::new(threshold, dispersal_width).unwrap();
+    let outcome = session.finish(&dispersal).expect("enough blocks collected");
+    (outcome.latency(), outcome.errors_observed, outcome.data)
+}
+
+#[test]
+fn designed_program_delivers_correct_bytes_for_every_file() {
+    let specs = vec![
+        GeneralizedFileSpec::new(FileId(1), 2, vec![10, 14]).unwrap(),
+        GeneralizedFileSpec::new(FileId(2), 1, vec![6, 8]).unwrap(),
+        GeneralizedFileSpec::new(FileId(3), 3, vec![40]).unwrap(),
+    ];
+    let report = design(&specs);
+    assert!(report.verification.is_ok());
+
+    // Real (deterministic) contents, not synthetic ones.
+    let contents: BTreeMap<FileId, Vec<u8>> = report
+        .files
+        .files()
+        .iter()
+        .map(|f| {
+            let bytes: Vec<u8> = (0..f.total_bytes())
+                .map(|i| (i as u8).wrapping_mul(31).wrapping_add(f.id.0 as u8))
+                .collect();
+            (f.id, bytes)
+        })
+        .collect();
+    let server = BroadcastServer::new(&report.files, report.program.clone(), &contents).unwrap();
+
+    for f in report.files.files() {
+        let (latency, observed_errors, data) = retrieve(
+            &server,
+            f.id,
+            f.size_blocks as usize,
+            f.dispersed_blocks as usize,
+            0,
+            &mut NoErrors,
+        );
+        assert_eq!(data, contents[&f.id], "bytes for {} differ", f.id);
+        assert_eq!(observed_errors, 0);
+        // Fault-free retrieval meets the fault-free deadline.
+        assert!(
+            latency <= f.latencies.base_latency() as usize,
+            "file {} latency {latency} exceeds deadline {}",
+            f.id,
+            f.latencies.base_latency()
+        );
+    }
+}
+
+#[test]
+fn deadlines_hold_for_every_request_slot_and_fault_level() {
+    // The paper's guarantee is per-window, not just from slot 0: check the
+    // fault-free and single-fault deadlines from every possible request slot.
+    let specs = vec![
+        GeneralizedFileSpec::new(FileId(1), 1, vec![5, 8]).unwrap(),
+        GeneralizedFileSpec::new(FileId(2), 2, vec![12, 15]).unwrap(),
+    ];
+    let report = design(&specs);
+    let server =
+        BroadcastServer::with_synthetic_contents(&report.files, report.program.clone()).unwrap();
+    let cycle = report.program.data_cycle();
+    for f in report.files.files() {
+        for start in 0..cycle {
+            // Fault level 0.
+            let (latency, _, _) = retrieve(
+                &server,
+                f.id,
+                f.size_blocks as usize,
+                f.dispersed_blocks as usize,
+                start,
+                &mut NoErrors,
+            );
+            assert!(
+                latency <= f.latencies.base_latency() as usize,
+                "file {} from slot {start}: {latency} > {}",
+                f.id,
+                f.latencies.base_latency()
+            );
+            // Fault level 1: lose the first block of this file that goes by.
+            if let Some(d1) = f.latencies.latency(1) {
+                let mut one_loss = TargetedLoss::new(f.id, 1);
+                let (latency, observed, _) = retrieve(
+                    &server,
+                    f.id,
+                    f.size_blocks as usize,
+                    f.dispersed_blocks as usize,
+                    start,
+                    &mut one_loss,
+                );
+                assert!(observed <= 1);
+                assert!(
+                    latency <= d1 as usize,
+                    "file {} from slot {start} with 1 fault: {latency} > {d1}",
+                    f.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lossy_channel_retrievals_still_reconstruct_exact_contents() {
+    let specs = vec![
+        GeneralizedFileSpec::new(FileId(1), 4, vec![30, 36, 40]).unwrap(),
+        GeneralizedFileSpec::new(FileId(2), 2, vec![16, 20]).unwrap(),
+    ];
+    let report = design(&specs);
+    let server =
+        BroadcastServer::with_synthetic_contents(&report.files, report.program.clone()).unwrap();
+    let mut errors = BernoulliErrors::new(0.15, 99);
+    for f in report.files.files() {
+        let reference = {
+            let df = server.dispersed(f.id).unwrap();
+            Dispersal::new(f.size_blocks as usize, f.dispersed_blocks as usize)
+                .unwrap()
+                .reconstruct(df.blocks())
+                .unwrap()
+        };
+        for start in [0usize, 3, 11, 29] {
+            let (_, _, data) = retrieve(
+                &server,
+                f.id,
+                f.size_blocks as usize,
+                f.dispersed_blocks as usize,
+                start,
+                &mut errors,
+            );
+            assert_eq!(data, reference, "file {} from slot {start}", f.id);
+        }
+    }
+}
+
+#[test]
+fn designer_and_planner_agree_on_an_awacs_style_disk() {
+    // Plan the bandwidth with Equations 1/2 (seconds), then express the same
+    // requirements in slots at the constructive bandwidth and design the
+    // program; the design must be feasible and verified.
+    let requirements = bsim::awacs_scenario();
+    let planner = bcore::Planner::default();
+    let (bandwidth, _) = planner
+        .minimum_constructive_bandwidth(&requirements)
+        .unwrap();
+    let specs: Vec<GeneralizedFileSpec> = requirements
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let window = (bandwidth as f64 * r.latency_seconds).floor() as u32;
+            let latencies: Vec<u32> = (0..=r.faults).map(|_| window.max(r.size_blocks + r.faults)).collect();
+            GeneralizedFileSpec::new(FileId(i as u32 + 1), r.size_blocks, latencies).unwrap()
+        })
+        .collect();
+    let report = design(&specs);
+    assert!(report.verification.is_ok(), "{:?}", report.verification);
+    assert!(report.density <= 1.0);
+}

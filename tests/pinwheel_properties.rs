@@ -1,0 +1,174 @@
+//! Property-based tests of the pinwheel scheduling substrate: every
+//! guarantee the broadcast-disk planner relies on, exercised on random
+//! instances.
+
+use pinwheel::{
+    verify, AutoScheduler, DoubleIntegerScheduler, ExactOutcome, ExactSolver, LlfScheduler,
+    PinwheelScheduler, SaScheduler, SxScheduler, Task, TaskSystem,
+};
+use proptest::prelude::*;
+
+/// Strategy: a unit-task system with density at most `max_density`.
+fn unit_system(max_tasks: usize, max_density: f64) -> impl Strategy<Value = TaskSystem> {
+    prop::collection::vec(2u32..200, 1..=max_tasks).prop_filter_map(
+        "density within bound",
+        move |windows| {
+            let density: f64 = windows.iter().map(|&w| 1.0 / f64::from(w)).sum();
+            if density > max_density {
+                return None;
+            }
+            let tasks: Vec<Task> = windows
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| Task::unit(i as u32 + 1, w))
+                .collect();
+            TaskSystem::new(tasks).ok()
+        },
+    )
+}
+
+/// Strategy: a multi-unit task system (requirements up to 4) with bounded
+/// density.
+fn multi_unit_system(max_tasks: usize, max_density: f64) -> impl Strategy<Value = TaskSystem> {
+    prop::collection::vec((1u32..=4, 4u32..300), 1..=max_tasks).prop_filter_map(
+        "density within bound and valid",
+        move |pairs| {
+            let density: f64 = pairs
+                .iter()
+                .map(|&(a, b)| f64::from(a) / f64::from(b))
+                .sum();
+            if density > max_density {
+                return None;
+            }
+            let tasks: Vec<Task> = pairs
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b))| Task::new(i as u32 + 1, a, b.max(a)))
+                .collect();
+            TaskSystem::new(tasks).ok()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Holte et al.'s guarantee: density ≤ 1/2 ⇒ Sa schedules it, and the
+    /// schedule verifies.
+    #[test]
+    fn sa_schedules_everything_below_density_half(system in unit_system(8, 0.5)) {
+        let schedule = SaScheduler.schedule(&system)
+            .expect("Sa is guaranteed below density 1/2");
+        prop_assert!(verify(&schedule, &system).is_ok());
+    }
+
+    /// Every scheduler only ever returns verified schedules, at any density.
+    #[test]
+    fn schedulers_never_return_invalid_schedules(system in unit_system(8, 1.0)) {
+        let schedulers: Vec<Box<dyn PinwheelScheduler>> = vec![
+            Box::new(SaScheduler),
+            Box::new(SxScheduler::default()),
+            Box::new(DoubleIntegerScheduler::default()),
+            Box::new(LlfScheduler::default()),
+            Box::new(AutoScheduler::default()),
+        ];
+        for s in schedulers {
+            if let Ok(schedule) = s.schedule(&system) {
+                prop_assert!(verify(&schedule, &system).is_ok(), "{} returned a bad schedule", s.name());
+            }
+        }
+    }
+
+    /// The Chan & Chin regime the paper's Equations 1/2 rely on: the cascade
+    /// schedules every instance with density ≤ 7/10 (every such instance is
+    /// feasible, so a failure here is a genuine gap in the cascade).
+    #[test]
+    fn auto_scheduler_covers_the_seven_tenths_regime(system in unit_system(5, 0.70)) {
+        let schedule = AutoScheduler::default().schedule(&system)
+            .expect("cascade must cover density ≤ 0.7");
+        prop_assert!(verify(&schedule, &system).is_ok());
+    }
+
+    /// Multi-unit tasks (the `pc(i, m, d)` conditions of the paper) are
+    /// handled through rule R3; schedules remain valid against the original
+    /// multi-unit conditions.
+    #[test]
+    fn multi_unit_conditions_verify_against_originals(system in multi_unit_system(5, 0.55)) {
+        if let Ok(schedule) = AutoScheduler::default().schedule(&system) {
+            prop_assert!(verify(&schedule, &system).is_ok());
+        }
+    }
+
+    /// Exact solver soundness: when it says "schedulable" the witness
+    /// verifies; when a heuristic finds a schedule the exact solver never
+    /// says "infeasible".
+    #[test]
+    fn exact_solver_agrees_with_constructive_schedulers(system in unit_system(4, 0.9)) {
+        // Keep the state space small enough for the exact solver.
+        let states: u128 = system
+            .tasks()
+            .iter()
+            .fold(1u128, |acc, t| acc.saturating_mul(u128::from(t.window)));
+        prop_assume!(states <= 200_000);
+        let exact = ExactSolver::default().decide(&system);
+        match &exact {
+            ExactOutcome::Schedulable(s) => prop_assert!(verify(s, &system).is_ok()),
+            ExactOutcome::Infeasible => {
+                for s in [
+                    SaScheduler.schedule(&system),
+                    SxScheduler::default().schedule(&system),
+                    LlfScheduler::default().schedule(&system),
+                ] {
+                    prop_assert!(s.is_err(), "heuristic scheduled an infeasible instance");
+                }
+            }
+            ExactOutcome::Undecided { .. } => {}
+        }
+    }
+
+    /// Density above one is always rejected, never mis-scheduled.
+    #[test]
+    fn density_above_one_is_always_rejected(
+        windows in prop::collection::vec(2u32..6, 3..6)
+    ) {
+        let density: f64 = windows.iter().map(|&w| 1.0 / f64::from(w)).sum();
+        prop_assume!(density > 1.0 + 1e-9);
+        let tasks: Vec<Task> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Task::unit(i as u32 + 1, w))
+            .collect();
+        let system = TaskSystem::new(tasks).unwrap();
+        prop_assert!(AutoScheduler::default().schedule(&system).is_err());
+        prop_assert!(ExactSolver::default().decide(&system).is_infeasible());
+    }
+}
+
+// The verifier itself, cross-checked against a brute-force window count on
+// random schedules.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn verifier_matches_brute_force(
+        slots in prop::collection::vec(prop::option::of(1u32..4), 1..40),
+        requirement in 1u32..4,
+        window in 1u32..30,
+    ) {
+        prop_assume!(requirement <= window);
+        let schedule = pinwheel::Schedule::new(slots.clone());
+        let task = Task::new(1, requirement, window);
+        let system = TaskSystem::new(vec![task]).unwrap();
+        let verified = verify(&schedule, &system).is_ok();
+
+        // Brute force over windows starting within one period.
+        let period = slots.len();
+        let brute = (0..period).all(|start| {
+            let count = (start..start + window as usize)
+                .filter(|&t| slots[t % period] == Some(1))
+                .count();
+            count >= requirement as usize
+        });
+        prop_assert_eq!(verified, brute);
+    }
+}
