@@ -7,7 +7,7 @@
 //! can fail (transmission error); the client simply keeps listening — the
 //! whole point of the paper is how long that makes it wait.
 
-use crate::Transmission;
+use crate::{Transmission, TransmissionRef};
 use ida::{Dispersal, DispersedBlock, FileId, IdaError};
 use std::collections::BTreeMap;
 
@@ -86,22 +86,39 @@ impl ClientSession {
     /// * `received_ok` — whether the client's reception succeeded; a failed
     ///   reception of a block of *this* file counts as an observed error.
     ///
+    /// Slots before the session's request slot are ignored (the client was
+    /// not listening yet), so sessions with different request slots can
+    /// share one slot-driver loop.
+    ///
     /// Returns `true` if this slot completed the retrieval.
     pub fn observe(&mut self, transmission: Option<&Transmission>, received_ok: bool) -> bool {
+        self.observe_ref(transmission.map(Transmission::as_ref), received_ok)
+    }
+
+    /// Borrowing variant of [`ClientSession::observe`] — pairs with
+    /// [`crate::BroadcastServer::transmit_ref`] so a slot-driver loop never
+    /// clones blocks the session doesn't keep.
+    pub fn observe_ref(
+        &mut self,
+        transmission: Option<TransmissionRef<'_>>,
+        received_ok: bool,
+    ) -> bool {
         if self.is_complete() {
             return false;
         }
         let Some(tx) = transmission else {
             return false;
         };
-        if tx.block.file() != self.file {
+        if tx.slot < self.request_slot || tx.block.file() != self.file {
             return false;
         }
         if !received_ok {
             self.errors_observed += 1;
             return false;
         }
-        self.received.entry(tx.block.index()).or_insert_with(|| tx.block.clone());
+        self.received
+            .entry(tx.block.index())
+            .or_insert_with(|| tx.block.clone());
         if self.received.len() >= self.threshold {
             self.completed_at = Some(tx.slot);
             return true;
@@ -157,7 +174,11 @@ mod tests {
         }
         let outcome = session.finish(&dispersal).unwrap();
         assert_eq!(outcome.errors_observed, 0);
-        assert!(outcome.latency() <= 8, "latency {} > broadcast period", outcome.latency());
+        assert!(
+            outcome.latency() <= 8,
+            "latency {} > broadcast period",
+            outcome.latency()
+        );
         // The reconstruction matches the server's original content.
         let expected = {
             let df = server.dispersed(FileId(0)).unwrap();
@@ -175,9 +196,7 @@ mod tests {
         let mut slot = 0;
         while !session.is_complete() {
             let tx = server.transmit(slot);
-            let ok = if !failed
-                && tx.as_ref().map(|t| t.block.file()) == Some(FileId(0))
-            {
+            let ok = if !failed && tx.as_ref().map(|t| t.block.file()) == Some(FileId(0)) {
                 failed = true;
                 false
             } else {
@@ -197,8 +216,10 @@ mod tests {
     #[test]
     fn duplicate_blocks_do_not_complete_a_session() {
         let (_, _, _) = setup();
-        let files = FileSet::new(vec![BroadcastFile::new(FileId(0), "A", 2, 8).with_dispersal(2)])
-            .unwrap();
+        let files = FileSet::new(vec![
+            BroadcastFile::new(FileId(0), "A", 2, 8).with_dispersal(2)
+        ])
+        .unwrap();
         let program = BroadcastProgram::flat(&files, FlatOrder::Spread).unwrap();
         let server = BroadcastServer::with_synthetic_contents(&files, program).unwrap();
         let mut session = ClientSession::new(FileId(0), 2, 0);

@@ -15,7 +15,7 @@ impl LatencyVector {
     /// Builds a latency vector; entries must be positive and there must be at
     /// least one (the fault-free latency `d⁽⁰⁾`).
     pub fn new(latencies: Vec<u32>) -> Option<Self> {
-        if latencies.is_empty() || latencies.iter().any(|&d| d == 0) {
+        if latencies.is_empty() || latencies.contains(&0) {
             return None;
         }
         Some(LatencyVector(latencies))

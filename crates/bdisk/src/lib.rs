@@ -46,4 +46,4 @@ pub use client::{ClientSession, RetrievalOutcome};
 pub use file::{BroadcastFile, FileSet, LatencyVector};
 pub use ida::FileId;
 pub use program::{BroadcastProgram, FlatOrder, ProgramEntry, ProgramError};
-pub use server::{BroadcastServer, ServerError, Transmission};
+pub use server::{BroadcastServer, ServerError, Transmission, TransmissionRef};

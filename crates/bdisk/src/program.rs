@@ -100,7 +100,10 @@ impl BroadcastProgram {
             .into_iter()
             .map(|file| {
                 let c = counters.entry(file).or_insert(0);
-                let sized = files.get(file).expect("layout uses known files").size_blocks;
+                let sized = files
+                    .get(file)
+                    .expect("layout uses known files")
+                    .size_blocks;
                 let entry = ProgramEntry::Block {
                     file,
                     block: *c % sized,
@@ -347,7 +350,13 @@ fn period_layout(
                     credit[i] += i64::from(quota(f));
                 }
                 let chosen = (0..files.len())
-                    .max_by_key(|&i| (credit[i], quota(&files[i]), std::cmp::Reverse(files[i].id.0)))
+                    .max_by_key(|&i| {
+                        (
+                            credit[i],
+                            quota(&files[i]),
+                            std::cmp::Reverse(files[i].id.0),
+                        )
+                    })
                     .expect("non-empty file list");
                 credit[chosen] -= total;
                 out.push(files[chosen].id);
@@ -526,8 +535,7 @@ mod tests {
             for b in 0..n {
                 assert!(
                     p.entries()
-                        .iter()
-                        .any(|e| *e == ProgramEntry::Block { file, block: b }),
+                        .contains(&ProgramEntry::Block { file, block: b }),
                     "missing block {b} of {file}"
                 );
             }

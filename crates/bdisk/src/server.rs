@@ -4,13 +4,47 @@ use crate::{BroadcastProgram, FileSet, ProgramEntry};
 use ida::{Dispersal, DispersedBlock, DispersedFile, FileId, IdaError};
 use std::collections::BTreeMap;
 
-/// A block transmission in one slot of the broadcast.
+/// A block transmission in one slot of the broadcast (owned).
+///
+/// Cloning a [`DispersedBlock`] is cheap-ish (the payload is
+/// reference-counted) but still allocates a header copy per slot; hot loops
+/// should prefer [`BroadcastServer::transmit_ref`] and [`TransmissionRef`].
 #[derive(Debug, Clone)]
 pub struct Transmission {
     /// The slot (time) of the transmission.
     pub slot: usize,
     /// The transmitted block (self-identifying).
     pub block: DispersedBlock,
+}
+
+impl Transmission {
+    /// A borrowing view of this transmission.
+    pub fn as_ref(&self) -> TransmissionRef<'_> {
+        TransmissionRef {
+            slot: self.slot,
+            block: &self.block,
+        }
+    }
+}
+
+/// A borrowed view of one slot's transmission — the zero-copy hot path used
+/// by the facade slot-driver and the simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct TransmissionRef<'a> {
+    /// The slot (time) of the transmission.
+    pub slot: usize,
+    /// The transmitted block (borrowed from the server).
+    pub block: &'a DispersedBlock,
+}
+
+impl TransmissionRef<'_> {
+    /// An owned copy of this transmission.
+    pub fn to_owned(self) -> Transmission {
+        Transmission {
+            slot: self.slot,
+            block: self.block.clone(),
+        }
+    }
 }
 
 /// Errors raised when assembling a server.
@@ -101,6 +135,28 @@ impl BroadcastServer {
         Ok(BroadcastServer { program, dispersed })
     }
 
+    /// Deterministic pseudo-random content for one file — convenient for
+    /// simulations and for the facade's default payloads.
+    pub fn synthetic_content(file: &crate::BroadcastFile) -> Vec<u8> {
+        (0..file.total_bytes())
+            .map(|i| {
+                ((i as u32)
+                    .wrapping_mul(2_654_435_761)
+                    .wrapping_add(file.id.0)
+                    >> 24) as u8
+            })
+            .collect()
+    }
+
+    /// [`BroadcastServer::synthetic_content`] for every file in the set.
+    pub fn synthetic_contents(files: &FileSet) -> BTreeMap<FileId, Vec<u8>> {
+        files
+            .files()
+            .iter()
+            .map(|f| (f.id, Self::synthetic_content(f)))
+            .collect()
+    }
+
     /// Builds a server with synthetic (deterministic pseudo-random) contents
     /// for every file — convenient for simulations that only care about
     /// timing, not payloads.
@@ -108,14 +164,7 @@ impl BroadcastServer {
         files: &FileSet,
         program: BroadcastProgram,
     ) -> Result<Self, ServerError> {
-        let mut contents = BTreeMap::new();
-        for f in files.files() {
-            let data: Vec<u8> = (0..f.total_bytes())
-                .map(|i| ((i as u32).wrapping_mul(2_654_435_761).wrapping_add(f.id.0) >> 24) as u8)
-                .collect();
-            contents.insert(f.id, data);
-        }
-        Self::new(files, program, &contents)
+        Self::new(files, program, &Self::synthetic_contents(files))
     }
 
     /// The broadcast program driving this server.
@@ -130,7 +179,15 @@ impl BroadcastServer {
     }
 
     /// What the server transmits in slot `slot`: `None` for an idle slot.
+    ///
+    /// This clones the block (header + reference-counted payload handle);
+    /// slot-driver loops should use [`BroadcastServer::transmit_ref`].
     pub fn transmit(&self, slot: usize) -> Option<Transmission> {
+        self.transmit_ref(slot).map(TransmissionRef::to_owned)
+    }
+
+    /// Borrowing variant of [`BroadcastServer::transmit`]: no per-slot clone.
+    pub fn transmit_ref(&self, slot: usize) -> Option<TransmissionRef<'_>> {
         match self.program.entry(slot) {
             ProgramEntry::Idle => None,
             ProgramEntry::Block { file, block } => {
@@ -140,9 +197,8 @@ impl BroadcastServer {
                     .expect("program only references dispersed files");
                 let block = df
                     .block(block as usize)
-                    .expect("program block indices stay within the dispersal width")
-                    .clone();
-                Some(Transmission { slot, block })
+                    .expect("program block indices stay within the dispersal width");
+                Some(TransmissionRef { slot, block })
             }
         }
     }
@@ -154,6 +210,12 @@ impl BroadcastServer {
         len: usize,
     ) -> impl Iterator<Item = Option<Transmission>> + '_ {
         (start..start + len).map(move |s| self.transmit(s))
+    }
+}
+
+impl AsRef<BroadcastServer> for BroadcastServer {
+    fn as_ref(&self) -> &BroadcastServer {
+        self
     }
 }
 
@@ -177,7 +239,9 @@ mod tests {
             .map(|f| {
                 (
                     f.id,
-                    (0..f.total_bytes()).map(|i| (i as u8) ^ (f.id.0 as u8)).collect(),
+                    (0..f.total_bytes())
+                        .map(|i| (i as u8) ^ (f.id.0 as u8))
+                        .collect(),
                 )
             })
             .collect()
@@ -189,7 +253,9 @@ mod tests {
         let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
         let server = BroadcastServer::new(&files, program.clone(), &contents(&files)).unwrap();
         for slot in 0..program.data_cycle() * 2 {
-            let tx = server.transmit(slot).expect("flat programs have no idle slots");
+            let tx = server
+                .transmit(slot)
+                .expect("flat programs have no idle slots");
             match program.entry(slot) {
                 ProgramEntry::Block { file, block } => {
                     assert_eq!(tx.block.file(), file);
@@ -229,7 +295,10 @@ mod tests {
         wrong_size.insert(FileId(0), vec![0u8; 3]);
         assert!(matches!(
             BroadcastServer::new(&files, program.clone(), &wrong_size).unwrap_err(),
-            ServerError::ContentSizeMismatch { file: FileId(0), .. }
+            ServerError::ContentSizeMismatch {
+                file: FileId(0),
+                ..
+            }
         ));
 
         let mut unknown = contents(&files);

@@ -26,7 +26,13 @@ fn bench_planning(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("constructive_search", files),
             &reqs,
-            |b, r| b.iter(|| Planner::default().minimum_constructive_bandwidth(r).unwrap()),
+            |b, r| {
+                b.iter(|| {
+                    Planner::default()
+                        .minimum_constructive_bandwidth(r)
+                        .unwrap()
+                })
+            },
         );
     }
     group.finish();
@@ -40,11 +46,19 @@ fn bench_scenarios(c: &mut Criterion) {
         .sample_size(20);
     group.bench_function("awacs", |b| {
         let reqs = bsim::awacs_scenario();
-        b.iter(|| Planner::default().minimum_constructive_bandwidth(&reqs).unwrap())
+        b.iter(|| {
+            Planner::default()
+                .minimum_constructive_bandwidth(&reqs)
+                .unwrap()
+        })
     });
     group.bench_function("ivhs", |b| {
         let reqs = bsim::ivhs_scenario();
-        b.iter(|| Planner::default().minimum_constructive_bandwidth(&reqs).unwrap())
+        b.iter(|| {
+            Planner::default()
+                .minimum_constructive_bandwidth(&reqs)
+                .unwrap()
+        })
     });
     group.finish();
 }

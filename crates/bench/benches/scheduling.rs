@@ -56,7 +56,10 @@ fn bench_exact_solver(c: &mut Criterion) {
         .sample_size(15);
     // The paper's Example 1 instances plus a slightly larger one.
     let cases = vec![
-        ("example1a", TaskSystem::from_windows(&[(1, 2), (2, 3)]).unwrap()),
+        (
+            "example1a",
+            TaskSystem::from_windows(&[(1, 2), (2, 3)]).unwrap(),
+        ),
         (
             "example1c",
             TaskSystem::from_windows(&[(1, 2), (2, 3), (3, 12)]).unwrap(),
@@ -67,9 +70,7 @@ fn bench_exact_solver(c: &mut Criterion) {
         ),
     ];
     for (name, system) in cases {
-        group.bench_function(name, |b| {
-            b.iter(|| ExactSolver::default().decide(&system))
-        });
+        group.bench_function(name, |b| b.iter(|| ExactSolver::default().decide(&system)));
     }
     group.finish();
 }

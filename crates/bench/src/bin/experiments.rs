@@ -31,8 +31,14 @@ fn run(id: &str, json: bool) -> bool {
         "lemma1" | "lemma2" | "lemmas" => print_experiment(&figures::lemma_bounds(), json),
         "speedup" => print_experiment(&figures::section_2_3_speedup(), json),
         "example1" => print_experiment(&bounds::example_1(), json),
-        "eq1" => print_experiment(&bounds::bandwidth_experiment(&[5, 10, 20, 50, 100], false, 42), json),
-        "eq2" => print_experiment(&bounds::bandwidth_experiment(&[5, 10, 20, 50, 100], true, 42), json),
+        "eq1" => print_experiment(
+            &bounds::bandwidth_experiment(&[5, 10, 20, 50, 100], false, 42),
+            json,
+        ),
+        "eq2" => print_experiment(
+            &bounds::bandwidth_experiment(&[5, 10, 20, 50, 100], true, 42),
+            json,
+        ),
         "examples" => print_experiment(&bounds::examples_2_to_6(), json),
         "ablation-schedulers" => print_experiment(&ablations::scheduler_ablation(40, 2024), json),
         "ablation-redundancy" => print_experiment(&ablations::redundancy_ablation(300, 7), json),

@@ -23,11 +23,25 @@ pub struct Example1 {
 
 impl core::fmt::Display for Example1 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(f, "Example 1 — pinwheel schedulability (exact state-space solver)")?;
-        writeln!(f, "  {{(1,1,2),(2,1,3)}} schedulable      : {}", self.first_schedulable)?;
-        writeln!(f, "  {{(1,2,5),(2,1,3)}} schedulable      : {}", self.second_schedulable)?;
+        writeln!(
+            f,
+            "Example 1 — pinwheel schedulability (exact state-space solver)"
+        )?;
+        writeln!(
+            f,
+            "  {{(1,1,2),(2,1,3)}} schedulable      : {}",
+            self.first_schedulable
+        )?;
+        writeln!(
+            f,
+            "  {{(1,2,5),(2,1,3)}} schedulable      : {}",
+            self.second_schedulable
+        )?;
         for (n, infeasible) in &self.third_infeasible_for {
-            writeln!(f, "  {{(1,1,2),(2,1,3),(3,1,{n})}} infeasible: {infeasible}")?;
+            writeln!(
+                f,
+                "  {{(1,1,2),(2,1,3),(3,1,{n})}} infeasible: {infeasible}"
+            )?;
         }
         Ok(())
     }
@@ -131,7 +145,11 @@ impl core::fmt::Display for BandwidthExperiment {
 
 /// Runs the bandwidth experiment over synthetic workloads of increasing size,
 /// with (`Equation 2`) and without (`Equation 1`) fault-tolerance demands.
-pub fn bandwidth_experiment(sizes: &[usize], fault_tolerant: bool, seed: u64) -> BandwidthExperiment {
+pub fn bandwidth_experiment(
+    sizes: &[usize],
+    fault_tolerant: bool,
+    seed: u64,
+) -> BandwidthExperiment {
     let planner = Planner::default();
     let mut rows = Vec::new();
     for &files in sizes {
@@ -155,10 +173,7 @@ pub fn bandwidth_experiment(sizes: &[usize], fault_tolerant: bool, seed: u64) ->
             constructive_overhead: constructive as f64 / plan.lower_bound.max(1) as f64 - 1.0,
         });
     }
-    let max_equation_overhead = rows
-        .iter()
-        .map(|r| r.equation_overhead)
-        .fold(0.0, f64::max);
+    let max_equation_overhead = rows.iter().map(|r| r.equation_overhead).fold(0.0, f64::max);
     BandwidthExperiment {
         rows,
         max_equation_overhead,
@@ -197,8 +212,14 @@ pub struct AlgebraExamples {
 
 impl core::fmt::Display for AlgebraExamples {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(f, "Examples 2–6 — nice-conjunct densities per transformation")?;
-        let fmt = |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or_else(|| "-".to_string());
+        writeln!(
+            f,
+            "Examples 2–6 — nice-conjunct densities per transformation"
+        )?;
+        let fmt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.4}"))
+                .unwrap_or_else(|| "-".to_string())
+        };
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -221,7 +242,14 @@ impl core::fmt::Display for AlgebraExamples {
             "{}",
             render_table(
                 &[
-                    "example", "condition", "lower", "TR1", "TR2", "R1+R5", "subsume", "chosen",
+                    "example",
+                    "condition",
+                    "lower",
+                    "TR1",
+                    "TR2",
+                    "R1+R5",
+                    "subsume",
+                    "chosen",
                     "paper"
                 ],
                 &rows
@@ -239,10 +267,22 @@ pub fn examples_2_to_6() -> AlgebraExamples {
             Bc::new(FileId(1), 5, vec![100, 105, 110, 115, 120]).unwrap(),
             0.0769,
         ),
-        ("Example 3", Bc::new(FileId(2), 6, vec![105, 110]).unwrap(), 0.0662),
+        (
+            "Example 3",
+            Bc::new(FileId(2), 6, vec![105, 110]).unwrap(),
+            0.0662,
+        ),
         ("Example 4", Bc::new(FileId(3), 4, vec![8, 9]).unwrap(), 0.6),
-        ("Example 5", Bc::new(FileId(4), 2, vec![5, 6, 6]).unwrap(), 2.0 / 3.0),
-        ("Example 6", Bc::new(FileId(5), 1, vec![2, 3]).unwrap(), 2.0 / 3.0),
+        (
+            "Example 5",
+            Bc::new(FileId(4), 2, vec![5, 6, 6]).unwrap(),
+            2.0 / 3.0,
+        ),
+        (
+            "Example 6",
+            Bc::new(FileId(5), 1, vec![2, 3]).unwrap(),
+            2.0 / 3.0,
+        ),
     ];
     let mut ids = TaskIdAllocator::new(1);
     let rows = cases
@@ -288,7 +328,11 @@ mod tests {
     fn bandwidth_overhead_stays_within_the_43_percent_claim() {
         let exp = bandwidth_experiment(&[5, 10, 20], false, 42);
         assert_eq!(exp.rows.len(), 3);
-        assert!(exp.max_equation_overhead <= 0.45, "{}", exp.max_equation_overhead);
+        assert!(
+            exp.max_equation_overhead <= 0.45,
+            "{}",
+            exp.max_equation_overhead
+        );
         for row in &exp.rows {
             assert!(row.constructive >= row.lower_bound);
             assert!(row.constructive <= row.equation_bound + 2);

@@ -59,7 +59,11 @@ impl core::fmt::Display for ProgramFigure {
 pub fn figure_5() -> ProgramFigure {
     let files = paper_example_files(false);
     let program = BroadcastProgram::flat(&files, FlatOrder::Spread).expect("non-empty set");
-    figure_from(&files, &program, "Figure 5 — flat broadcast program (A: 5 blocks, B: 3 blocks)")
+    figure_from(
+        &files,
+        &program,
+        "Figure 5 — flat broadcast program (A: 5 blocks, B: 3 blocks)",
+    )
 }
 
 /// Figure 6: the AIDA-based flat program (A: 5→10 blocks, B: 3→6 blocks).
@@ -132,7 +136,13 @@ impl core::fmt::Display for Figure7 {
             f,
             "{}",
             render_table(
-                &["errors", "with IDA", "without IDA", "paper(IDA)", "paper(no IDA)"],
+                &[
+                    "errors",
+                    "with IDA",
+                    "without IDA",
+                    "paper(IDA)",
+                    "paper(no IDA)"
+                ],
                 &rows
             )
         )
@@ -172,7 +182,10 @@ pub struct LemmaBounds {
 
 impl core::fmt::Display for LemmaBounds {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(f, "Lemmas 1 & 2 — measured worst-case extra delay vs. analytic bound")?;
+        writeln!(
+            f,
+            "Lemmas 1 & 2 — measured worst-case extra delay vs. analytic bound"
+        )?;
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -244,7 +257,10 @@ pub struct SpeedupExample {
 
 impl core::fmt::Display for SpeedupExample {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        writeln!(f, "Section 2.3 — uniform spreading example (10 files × 20 blocks)")?;
+        writeln!(
+            f,
+            "Section 2.3 — uniform spreading example (10 files × 20 blocks)"
+        )?;
         writeln!(f, "  broadcast period τ : {}", self.period)?;
         writeln!(f, "  max inter-block Δ  : {}", self.max_gap)?;
         writeln!(f, "  recovery speedup   : {:.1}×", self.speedup)

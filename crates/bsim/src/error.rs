@@ -7,16 +7,20 @@
 //! channels are bursty, so a two-state Gilbert–Elliott model is provided as
 //! well, plus deterministic models for tests and worst-case experiments.
 
-use bdisk::Transmission;
+use bdisk::TransmissionRef;
 use ida::FileId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Decides, per slot, whether the client's reception of the transmitted block
 /// fails.
+///
+/// Models receive a borrowed [`TransmissionRef`] so that slot-driver loops
+/// (the facade's `Station` and the simulator) never clone blocks just to ask
+/// whether they were lost.
 pub trait ErrorModel {
     /// Returns `true` when the reception of `transmission` is lost.
-    fn is_lost(&mut self, transmission: &Transmission) -> bool;
+    fn is_lost(&mut self, transmission: TransmissionRef<'_>) -> bool;
 }
 
 /// A lossless channel.
@@ -24,7 +28,7 @@ pub trait ErrorModel {
 pub struct NoErrors;
 
 impl ErrorModel for NoErrors {
-    fn is_lost(&mut self, _transmission: &Transmission) -> bool {
+    fn is_lost(&mut self, _transmission: TransmissionRef<'_>) -> bool {
         false
     }
 }
@@ -52,7 +56,7 @@ impl BernoulliErrors {
 }
 
 impl ErrorModel for BernoulliErrors {
-    fn is_lost(&mut self, _transmission: &Transmission) -> bool {
+    fn is_lost(&mut self, _transmission: TransmissionRef<'_>) -> bool {
         self.rng.gen::<f64>() < self.probability
     }
 }
@@ -102,7 +106,7 @@ impl GilbertElliott {
 }
 
 impl ErrorModel for GilbertElliott {
-    fn is_lost(&mut self, _transmission: &Transmission) -> bool {
+    fn is_lost(&mut self, _transmission: TransmissionRef<'_>) -> bool {
         // State transition first, then sample the loss for this slot.
         if self.in_bad_state {
             if self.rng.gen::<f64>() < self.p_bad_to_good {
@@ -145,7 +149,7 @@ impl TargetedLoss {
 }
 
 impl ErrorModel for TargetedLoss {
-    fn is_lost(&mut self, transmission: &Transmission) -> bool {
+    fn is_lost(&mut self, transmission: TransmissionRef<'_>) -> bool {
         if self.remaining > 0 && transmission.block.file() == self.file {
             self.remaining -= 1;
             true
@@ -158,7 +162,9 @@ impl ErrorModel for TargetedLoss {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bdisk::{BroadcastFile, BroadcastProgram, BroadcastServer, FileSet, FlatOrder};
+    use bdisk::{
+        BroadcastFile, BroadcastProgram, BroadcastServer, FileSet, FlatOrder, Transmission,
+    };
 
     fn a_transmission() -> Transmission {
         let files = FileSet::new(vec![BroadcastFile::new(FileId(0), "A", 2, 8)]).unwrap();
@@ -171,14 +177,14 @@ mod tests {
     fn no_errors_never_loses() {
         let tx = a_transmission();
         let mut model = NoErrors;
-        assert!((0..100).all(|_| !model.is_lost(&tx)));
+        assert!((0..100).all(|_| !model.is_lost(tx.as_ref())));
     }
 
     #[test]
     fn bernoulli_loss_rate_is_close_to_p() {
         let tx = a_transmission();
         let mut model = BernoulliErrors::new(0.3, 42);
-        let losses = (0..20_000).filter(|_| model.is_lost(&tx)).count();
+        let losses = (0..20_000).filter(|_| model.is_lost(tx.as_ref())).count();
         let rate = losses as f64 / 20_000.0;
         assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
         assert!((model.probability() - 0.3).abs() < 1e-12);
@@ -189,7 +195,7 @@ mod tests {
         let tx = a_transmission();
         let sample = |seed| {
             let mut m = BernoulliErrors::new(0.5, seed);
-            (0..64).map(|_| m.is_lost(&tx)).collect::<Vec<_>>()
+            (0..64).map(|_| m.is_lost(tx.as_ref())).collect::<Vec<_>>()
         };
         assert_eq!(sample(7), sample(7));
         assert_ne!(sample(7), sample(8));
@@ -199,7 +205,7 @@ mod tests {
     fn gilbert_elliott_produces_bursty_losses() {
         let tx = a_transmission();
         let mut model = GilbertElliott::typical(1);
-        let outcomes: Vec<bool> = (0..50_000).map(|_| model.is_lost(&tx)).collect();
+        let outcomes: Vec<bool> = (0..50_000).map(|_| model.is_lost(tx.as_ref())).collect();
         let losses = outcomes.iter().filter(|&&l| l).count();
         assert!(losses > 0);
         // Burstiness: the probability that a loss is followed by another loss
@@ -226,12 +232,12 @@ mod tests {
     fn targeted_loss_counts_down_per_matching_file() {
         let tx = a_transmission();
         let mut model = TargetedLoss::new(FileId(0), 2);
-        assert!(model.is_lost(&tx));
-        assert!(model.is_lost(&tx));
-        assert!(!model.is_lost(&tx));
+        assert!(model.is_lost(tx.as_ref()));
+        assert!(model.is_lost(tx.as_ref()));
+        assert!(!model.is_lost(tx.as_ref()));
         assert_eq!(model.remaining(), 0);
         let mut other = TargetedLoss::new(FileId(9), 2);
-        assert!(!other.is_lost(&tx));
+        assert!(!other.is_lost(tx.as_ref()));
         assert_eq!(other.remaining(), 2);
     }
 }

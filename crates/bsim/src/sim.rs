@@ -62,10 +62,17 @@ pub struct RetrievalSimulator<'a, E: ErrorModel> {
 }
 
 impl<'a, E: ErrorModel> RetrievalSimulator<'a, E> {
-    /// Creates a simulator for `server` with the given error model.
-    pub fn new(server: &'a BroadcastServer, error_model: E, config: SimulationConfig) -> Self {
+    /// Creates a simulator with the given error model.
+    ///
+    /// `source` is anything that exposes a broadcast server — a
+    /// [`BroadcastServer`] itself, or the `rtbdisk` facade's `Station`.
+    pub fn new(
+        source: &'a impl AsRef<BroadcastServer>,
+        error_model: E,
+        config: SimulationConfig,
+    ) -> Self {
         RetrievalSimulator {
-            server,
+            server: source.as_ref(),
             error_model,
             config,
         }
@@ -87,12 +94,12 @@ impl<'a, E: ErrorModel> RetrievalSimulator<'a, E> {
                 if slot - request_slot >= self.config.max_listen_slots {
                     break false;
                 }
-                let tx = self.server.transmit(slot);
-                let ok = match &tx {
+                let tx = self.server.transmit_ref(slot);
+                let ok = match tx {
                     Some(t) => !self.error_model.is_lost(t),
                     None => true,
                 };
-                session.observe(tx.as_ref(), ok);
+                session.observe_ref(tx, ok);
                 if session.is_complete() {
                     break true;
                 }
@@ -152,16 +159,10 @@ mod tests {
         };
         let plain = server(1.0);
         let dispersed = server(2.0);
-        let mut sim_plain = RetrievalSimulator::new(
-            &plain,
-            BernoulliErrors::new(0.10, 11),
-            config.clone(),
-        );
-        let mut sim_disp = RetrievalSimulator::new(
-            &dispersed,
-            BernoulliErrors::new(0.10, 11),
-            config,
-        );
+        let mut sim_plain =
+            RetrievalSimulator::new(&plain, BernoulliErrors::new(0.10, 11), config.clone());
+        let mut sim_disp =
+            RetrievalSimulator::new(&dispersed, BernoulliErrors::new(0.10, 11), config);
         let plain_report = sim_plain.run_file(FileId(0), 5);
         let disp_report = sim_disp.run_file(FileId(0), 5);
         assert!(

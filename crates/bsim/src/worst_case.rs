@@ -114,9 +114,10 @@ fn reception_sequence(program: &BroadcastProgram, file: FileId) -> Vec<Reception
         .iter()
         .enumerate()
         .filter_map(|(slot, e)| match e {
-            ProgramEntry::Block { file: f, block } if *f == file => {
-                Some(Reception { slot, block: *block })
-            }
+            ProgramEntry::Block { file: f, block } if *f == file => Some(Reception {
+                slot,
+                block: *block,
+            }),
             _ => None,
         })
         .collect()
@@ -192,7 +193,14 @@ fn adversary_search(
     // Option 2: the adversary fails it (only useful if it would be new, but
     // exploring both keeps the search obviously exact).
     let fail = if errors_left > 0 {
-        adversary_search(stream, index + 1, collected, threshold, errors_left - 1, memo)
+        adversary_search(
+            stream,
+            index + 1,
+            collected,
+            threshold,
+            errors_left - 1,
+            memo,
+        )
     } else {
         0
     };
@@ -293,7 +301,11 @@ mod tests {
             assert_eq!(without[r], r * 8, "without IDA, r={r}");
             // With IDA the cost is a handful of slots, strictly better.
             assert!(with[r] < without[r], "r={r}: {} !< {}", with[r], without[r]);
-            assert!(with[r] <= 8, "r={r}: extra {} should stay within one period", with[r]);
+            assert!(
+                with[r] <= 8,
+                "r={r}: extra {} should stay within one period",
+                with[r]
+            );
         }
         // Monotonicity in r.
         assert!(with.windows(2).all(|w| w[0] <= w[1]));

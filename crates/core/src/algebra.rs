@@ -118,7 +118,7 @@ pub fn r4_split(first: &Pc, second: &Pc, alias: TaskId) -> Option<(Pc, Pc)> {
 /// R1 and the function returns the base alone, encoded as `x = 0` ⇒ `None`
 /// for the alias).
 pub fn r5_split(base: &Pc, second: &Pc, alias: TaskId) -> Option<(Pc, Option<Pc>)> {
-    if base.task != second.task || second.requirement % base.requirement != 0 {
+    if base.task != second.task || !second.requirement.is_multiple_of(base.requirement) {
         return None;
     }
     let n = second.requirement / base.requirement;
@@ -173,7 +173,8 @@ mod tests {
             )
         });
         for p in lhs {
-            let lhs_system = TaskSystem::new(vec![Task::new(p.task, p.requirement, p.window)]).unwrap();
+            let lhs_system =
+                TaskSystem::new(vec![Task::new(p.task, p.requirement, p.window)]).unwrap();
             verify(&folded, &lhs_system)
                 .unwrap_or_else(|e| panic!("rule conclusion {p} violated: {e}"));
         }

@@ -77,7 +77,10 @@ impl Pc {
     /// Builds `pc(task, a, b)`, validating `1 ≤ a ≤ b`.
     pub fn new(task: TaskId, requirement: u32, window: u32) -> Result<Self, ConditionError> {
         if requirement == 0 || window == 0 || requirement > window {
-            return Err(ConditionError::InvalidPinwheelCondition { requirement, window });
+            return Err(ConditionError::InvalidPinwheelCondition {
+                requirement,
+                window,
+            });
         }
         Ok(Pc {
             task,
@@ -137,7 +140,11 @@ impl Pc {
 
 impl core::fmt::Display for Pc {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "pc({}, {}, {})", self.task, self.requirement, self.window)
+        write!(
+            f,
+            "pc({}, {}, {})",
+            self.task, self.requirement, self.window
+        )
     }
 }
 
@@ -158,7 +165,7 @@ impl Bc {
     /// Builds a broadcast condition, validating that every fault level is
     /// individually satisfiable.
     pub fn new(file: FileId, size: u32, latencies: Vec<u32>) -> Result<Self, ConditionError> {
-        if size == 0 || latencies.is_empty() || latencies.iter().any(|&d| d == 0) {
+        if size == 0 || latencies.is_empty() || latencies.contains(&0) {
             return Err(ConditionError::InvalidBroadcastCondition);
         }
         for (j, &d) in latencies.iter().enumerate() {
@@ -318,23 +325,41 @@ mod tests {
 
     #[test]
     fn pc_normalization_divides_by_gcd() {
-        assert_eq!(Pc::new(1, 4, 6).unwrap().normalized(), Pc::new(1, 2, 3).unwrap());
-        assert_eq!(Pc::new(1, 3, 7).unwrap().normalized(), Pc::new(1, 3, 7).unwrap());
+        assert_eq!(
+            Pc::new(1, 4, 6).unwrap().normalized(),
+            Pc::new(1, 2, 3).unwrap()
+        );
+        assert_eq!(
+            Pc::new(1, 3, 7).unwrap().normalized(),
+            Pc::new(1, 3, 7).unwrap()
+        );
     }
 
     #[test]
     fn pc_implication_examples_from_the_paper() {
         // Example 6: pc(i,2,3) ⇒ pc(i,1,2) (via R2).
-        assert!(Pc::new(1, 2, 3).unwrap().implies(&Pc::new(1, 1, 2).unwrap()));
+        assert!(Pc::new(1, 2, 3)
+            .unwrap()
+            .implies(&Pc::new(1, 1, 2).unwrap()));
         // Example 5: pc(i,4,6) ⇒ pc(i,3,6) (R0) and pc(i,4,6) ⇒ pc(i,2,5).
-        assert!(Pc::new(1, 4, 6).unwrap().implies(&Pc::new(1, 3, 6).unwrap()));
-        assert!(Pc::new(1, 4, 6).unwrap().implies(&Pc::new(1, 2, 5).unwrap()));
+        assert!(Pc::new(1, 4, 6)
+            .unwrap()
+            .implies(&Pc::new(1, 3, 6).unwrap()));
+        assert!(Pc::new(1, 4, 6)
+            .unwrap()
+            .implies(&Pc::new(1, 2, 5).unwrap()));
         // R1: pc(i,2,3) ⇒ pc(i,4,6).
-        assert!(Pc::new(1, 2, 3).unwrap().implies(&Pc::new(1, 4, 6).unwrap()));
+        assert!(Pc::new(1, 2, 3)
+            .unwrap()
+            .implies(&Pc::new(1, 4, 6).unwrap()));
         // Not implied: a tighter condition.
-        assert!(!Pc::new(1, 1, 2).unwrap().implies(&Pc::new(1, 2, 3).unwrap()));
+        assert!(!Pc::new(1, 1, 2)
+            .unwrap()
+            .implies(&Pc::new(1, 2, 3).unwrap()));
         // Different tasks never imply each other.
-        assert!(!Pc::new(1, 2, 3).unwrap().implies(&Pc::new(2, 1, 2).unwrap()));
+        assert!(!Pc::new(1, 2, 3)
+            .unwrap()
+            .implies(&Pc::new(2, 1, 2).unwrap()));
     }
 
     #[test]

@@ -160,15 +160,38 @@ impl DesignReport {
 }
 
 /// The broadcast-program designer for generalized Bdisks.
+///
+/// The scheduler backing step 3 of the pipeline is a type parameter so that
+/// callers (notably the `rtbdisk` facade's `SchedulerChoice`) can plug in any
+/// [`PinwheelScheduler`]; the default remains the [`AutoScheduler`] cascade.
 #[derive(Debug, Clone, Default)]
-pub struct BdiskDesigner {
-    scheduler: AutoScheduler,
+pub struct BdiskDesigner<S: PinwheelScheduler = AutoScheduler> {
+    scheduler: S,
 }
 
-impl BdiskDesigner {
-    /// Creates a designer with an explicitly configured scheduler cascade.
-    pub fn with_scheduler(scheduler: AutoScheduler) -> Self {
+impl BdiskDesigner<AutoScheduler> {
+    /// The default designer, backed by the [`AutoScheduler`] cascade.
+    ///
+    /// An inherent shadow of `Default::default` so that
+    /// `BdiskDesigner::default()` keeps inferring `S = AutoScheduler`
+    /// (default type parameters don't participate in expression inference).
+    #[allow(clippy::should_implement_trait)]
+    pub fn default() -> Self {
+        BdiskDesigner {
+            scheduler: AutoScheduler::default(),
+        }
+    }
+}
+
+impl<S: PinwheelScheduler> BdiskDesigner<S> {
+    /// Creates a designer with an explicitly configured scheduler.
+    pub fn with_scheduler(scheduler: S) -> Self {
         BdiskDesigner { scheduler }
+    }
+
+    /// The scheduler backing this designer.
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
     }
 
     /// Designs a broadcast program for the given specifications.
@@ -235,11 +258,10 @@ impl BdiskDesigner {
             .collect();
         let files = FileSet::new(files).expect("duplicate ids rejected above");
         let mapping = conjunct.mapping().clone();
-        let program =
-            BroadcastProgram::from_pinwheel_schedule(&schedule, &files, |task| {
-                mapping.get(&task).copied()
-            })
-            .map_err(|e| DesignError::Program(e.to_string()))?;
+        let program = BroadcastProgram::from_pinwheel_schedule(&schedule, &files, |task| {
+            mapping.get(&task).copied()
+        })
+        .map_err(|e| DesignError::Program(e.to_string()))?;
 
         // 5: verify the program against every original broadcast condition.
         let verification = verify_program(&program, specs);

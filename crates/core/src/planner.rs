@@ -88,7 +88,10 @@ impl core::fmt::Display for PlannerError {
             }
             PlannerError::ZeroSize { index } => write!(f, "file {index} has zero size"),
             PlannerError::SearchExhausted { max_tried } => {
-                write!(f, "no schedulable bandwidth found up to {max_tried} blocks/sec")
+                write!(
+                    f,
+                    "no schedulable bandwidth found up to {max_tried} blocks/sec"
+                )
             }
         }
     }
@@ -183,7 +186,9 @@ impl Planner {
         files
             .iter()
             .map(|f| {
-                let window = (blocks_per_second as f64 * f.latency_seconds).floor().max(1.0);
+                let window = (blocks_per_second as f64 * f.latency_seconds)
+                    .floor()
+                    .max(1.0);
                 f64::from(f.demand()) / window
             })
             .sum()
@@ -375,15 +380,11 @@ mod tests {
         let planner = Planner::default();
         assert_eq!(planner.plan(&[]).unwrap_err(), PlannerError::NoFiles);
         assert_eq!(
-            planner
-                .plan(&[FileRequirement::new(5, 0.0)])
-                .unwrap_err(),
+            planner.plan(&[FileRequirement::new(5, 0.0)]).unwrap_err(),
             PlannerError::NonPositiveLatency { index: 0 }
         );
         assert_eq!(
-            planner
-                .plan(&[FileRequirement::new(0, 1.0)])
-                .unwrap_err(),
+            planner.plan(&[FileRequirement::new(0, 1.0)]).unwrap_err(),
             PlannerError::ZeroSize { index: 0 }
         );
     }

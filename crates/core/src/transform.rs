@@ -129,10 +129,7 @@ pub fn convert_to_nice(bc: &Bc, ids: &mut TaskIdAllocator) -> Result<Candidate, 
 }
 
 /// TR1: `bc(i, m, d⃗) ⇐ pc(i, 1, min_j ⌊d⁽ʲ⁾/(m+j)⌋)`.
-fn tr1_candidate(
-    bc: &Bc,
-    ids: &mut TaskIdAllocator,
-) -> Result<Option<Candidate>, ConditionError> {
+fn tr1_candidate(bc: &Bc, ids: &mut TaskIdAllocator) -> Result<Option<Candidate>, ConditionError> {
     let window = bc
         .latencies
         .iter()
@@ -261,8 +258,7 @@ fn r1r5_candidate(
 }
 
 fn conjunct_for(file: FileId, conditions: Vec<Pc>) -> Result<NiceConjunct, ConditionError> {
-    let mapping: BTreeMap<TaskId, FileId> =
-        conditions.iter().map(|c| (c.task, file)).collect();
+    let mapping: BTreeMap<TaskId, FileId> = conditions.iter().map(|c| (c.task, file)).collect();
     NiceConjunct::new(conditions, mapping)
 }
 

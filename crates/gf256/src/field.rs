@@ -179,6 +179,8 @@ impl From<Gf256> for u8 {
 
 impl Add for Gf256 {
     type Output = Gf256;
+    // Addition in GF(2^8) *is* carry-less xor; the lint expects integer `+`.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn add(self, rhs: Self) -> Self {
         Gf256(self.0 ^ rhs.0)
@@ -186,6 +188,7 @@ impl Add for Gf256 {
 }
 
 impl AddAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn add_assign(&mut self, rhs: Self) {
         self.0 ^= rhs.0;
@@ -194,6 +197,7 @@ impl AddAssign for Gf256 {
 
 impl Sub for Gf256 {
     type Output = Gf256;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn sub(self, rhs: Self) -> Self {
         // In characteristic 2, subtraction is identical to addition.
@@ -202,6 +206,7 @@ impl Sub for Gf256 {
 }
 
 impl SubAssign for Gf256 {
+    #[allow(clippy::suspicious_op_assign_impl)]
     #[inline]
     fn sub_assign(&mut self, rhs: Self) {
         self.0 ^= rhs.0;

@@ -73,7 +73,10 @@ impl fmt::Display for MatrixError {
             }
             MatrixError::Singular => write!(f, "matrix is singular"),
             MatrixError::TooManyRows { requested, maximum } => {
-                write!(f, "requested {requested} rows, GF(256) supports at most {maximum}")
+                write!(
+                    f,
+                    "requested {requested} rows, GF(256) supports at most {maximum}"
+                )
             }
             MatrixError::RowOutOfRange { row, rows } => {
                 write!(f, "row {row} out of range for matrix with {rows} rows")
@@ -357,7 +360,9 @@ impl Matrix {
     /// non-zero pivot in an exact field).
     pub fn inverted(&self) -> Result<Matrix, MatrixError> {
         if self.rows != self.cols {
-            return Err(MatrixError::NotSquare { shape: self.shape() });
+            return Err(MatrixError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let n = self.rows;
         let mut a = self.clone();
@@ -541,7 +546,10 @@ mod tests {
             Err(MatrixError::IncompatibleShapes { .. })
         ));
         let rect = Matrix::zero(2, 3);
-        assert!(matches!(rect.inverted(), Err(MatrixError::NotSquare { .. })));
+        assert!(matches!(
+            rect.inverted(),
+            Err(MatrixError::NotSquare { .. })
+        ));
         assert!(matches!(
             Matrix::vandermonde(300, 3),
             Err(MatrixError::TooManyRows { .. })

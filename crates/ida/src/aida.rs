@@ -233,8 +233,14 @@ mod tests {
     #[test]
     fn policy_resolution() {
         assert_eq!(RedundancyPolicy::None.resolve(5, 10), 5);
-        assert_eq!(RedundancyPolicy::TolerateFaults { faults: 3 }.resolve(5, 10), 8);
-        assert_eq!(RedundancyPolicy::TolerateFaults { faults: 30 }.resolve(5, 10), 10);
+        assert_eq!(
+            RedundancyPolicy::TolerateFaults { faults: 3 }.resolve(5, 10),
+            8
+        );
+        assert_eq!(
+            RedundancyPolicy::TolerateFaults { faults: 30 }.resolve(5, 10),
+            10
+        );
         assert_eq!(RedundancyPolicy::Maximum.resolve(5, 10), 10);
         assert_eq!(RedundancyPolicy::Fixed { count: 2 }.resolve(5, 10), 5);
         assert_eq!(RedundancyPolicy::Fixed { count: 7 }.resolve(5, 10), 7);

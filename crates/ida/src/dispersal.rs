@@ -248,7 +248,10 @@ mod tests {
 
     #[test]
     fn parameter_validation() {
-        assert_eq!(Dispersal::new(0, 5).unwrap_err(), IdaError::ThresholdTooSmall);
+        assert_eq!(
+            Dispersal::new(0, 5).unwrap_err(),
+            IdaError::ThresholdTooSmall
+        );
         assert!(matches!(
             Dispersal::new(6, 5),
             Err(IdaError::InvalidBlockCount { .. })
@@ -269,7 +272,11 @@ mod tests {
 
     #[test]
     fn round_trip_with_all_blocks() {
-        for kind in [MatrixKind::Systematic, MatrixKind::Vandermonde, MatrixKind::Cauchy] {
+        for kind in [
+            MatrixKind::Systematic,
+            MatrixKind::Vandermonde,
+            MatrixKind::Cauchy,
+        ] {
             let d = Dispersal::with_kind(5, 10, kind).unwrap();
             let data = sample(997); // not a multiple of m → exercises padding
             let df = d.disperse(FileId(1), &data).unwrap();
@@ -334,7 +341,10 @@ mod tests {
         ];
         assert!(matches!(
             d.reconstruct(&dup),
-            Err(IdaError::NotEnoughBlocks { required: 3, supplied: 1 })
+            Err(IdaError::NotEnoughBlocks {
+                required: 3,
+                supplied: 1
+            })
         ));
     }
 
@@ -346,7 +356,10 @@ mod tests {
         let few: Vec<_> = df.blocks()[..4].to_vec();
         assert!(matches!(
             d.reconstruct(&few),
-            Err(IdaError::NotEnoughBlocks { required: 5, supplied: 4 })
+            Err(IdaError::NotEnoughBlocks {
+                required: 5,
+                supplied: 4
+            })
         ));
     }
 
@@ -356,7 +369,10 @@ mod tests {
         let df1 = d.disperse(FileId(1), &sample(20)).unwrap();
         let df2 = d.disperse(FileId(2), &sample(20)).unwrap();
         let mixed = vec![df1.blocks()[0].clone(), df2.blocks()[1].clone()];
-        assert_eq!(d.reconstruct(&mixed).unwrap_err(), IdaError::InconsistentBlocks);
+        assert_eq!(
+            d.reconstruct(&mixed).unwrap_err(),
+            IdaError::InconsistentBlocks
+        );
     }
 
     #[test]
@@ -376,7 +392,7 @@ mod tests {
         let data = vec![0xAB];
         let df = d.disperse(FileId(1), &data).unwrap();
         for b in df.blocks() {
-            let out = d.reconstruct(&[b.clone()]).unwrap();
+            let out = d.reconstruct(std::slice::from_ref(b)).unwrap();
             assert_eq!(out, data);
         }
     }

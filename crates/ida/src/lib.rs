@@ -102,17 +102,29 @@ impl core::fmt::Display for IdaError {
         match self {
             IdaError::ThresholdTooSmall => write!(f, "reconstruction threshold m must be ≥ 1"),
             IdaError::InvalidBlockCount { m, n } => {
-                write!(f, "invalid dispersal parameters: need m ≤ n ≤ 255, got m={m}, n={n}")
+                write!(
+                    f,
+                    "invalid dispersal parameters: need m ≤ n ≤ 255, got m={m}, n={n}"
+                )
             }
             IdaError::EmptyFile => write!(f, "cannot disperse an empty file"),
             IdaError::NotEnoughBlocks { required, supplied } => {
-                write!(f, "need {required} distinct blocks to reconstruct, got {supplied}")
+                write!(
+                    f,
+                    "need {required} distinct blocks to reconstruct, got {supplied}"
+                )
             }
             IdaError::InconsistentBlocks => {
-                write!(f, "blocks belong to different files or dispersal configurations")
+                write!(
+                    f,
+                    "blocks belong to different files or dispersal configurations"
+                )
             }
             IdaError::CorruptHeader { index, n } => {
-                write!(f, "block index {index} out of range for dispersal width {n}")
+                write!(
+                    f,
+                    "block index {index} out of range for dispersal width {n}"
+                )
             }
             IdaError::InvalidAllocation { requested, m, n } => {
                 write!(f, "allocation {requested} outside valid range [{m}, {n}]")

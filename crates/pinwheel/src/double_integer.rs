@@ -71,16 +71,24 @@ impl DoubleIntegerScheduler {
                 if y <= x || y >= 2 * x {
                     continue;
                 }
-                let Some(spec) =
-                    SpecializedSystem::build(unit, |w| specialize_double(w, x, y))
+                let Some(spec) = SpecializedSystem::build(unit, |w| specialize_double(w, x, y))
                 else {
                     continue;
                 };
                 let density = spec.density();
-                out.push(Candidate { x, y, spec, density });
+                out.push(Candidate {
+                    x,
+                    y,
+                    spec,
+                    density,
+                });
             }
         }
-        out.sort_by(|a, b| a.density.partial_cmp(&b.density).expect("densities are finite"));
+        out.sort_by(|a, b| {
+            a.density
+                .partial_cmp(&b.density)
+                .expect("densities are finite")
+        });
         out
     }
 
@@ -107,9 +115,7 @@ impl DoubleIntegerScheduler {
             .fold(1u128, |acc, &(_, w)| acc.saturating_mul(u128::from(w)));
         if states <= self.exact_state_budget {
             let system = candidate.spec.to_task_system();
-            if let ExactOutcome::Schedulable(s) =
-                ExactSolver::default().decide(&system)
-            {
+            if let ExactOutcome::Schedulable(s) = ExactSolver::default().decide(&system) {
                 return Some(s);
             }
         }
@@ -133,15 +139,13 @@ impl PinwheelScheduler for DoubleIntegerScheduler {
             return Err(ScheduleError::PackingFailed);
         }
         let best_density = candidates[0].density;
-        let mut attempts = 0;
-        for candidate in &candidates {
+        for (attempts, candidate) in candidates.iter().enumerate() {
             if candidate.density > 1.0 + 1e-12 {
                 break;
             }
             if attempts >= self.max_attempts {
                 break;
             }
-            attempts += 1;
             if let Some(schedule) = self.schedule_candidate(candidate) {
                 crate::verify(&schedule, system)?;
                 debug_assert!(candidate.y > candidate.x && candidate.y < 2 * candidate.x);
@@ -179,10 +183,18 @@ mod tests {
     fn schedules_instances_near_the_seven_tenths_bound() {
         let di = DoubleIntegerScheduler::default();
         let instances: Vec<Vec<(u32, u32)>> = vec![
-            vec![(1, 3), (2, 5), (3, 7), (4, 50)],   // ≈ 0.696
+            vec![(1, 3), (2, 5), (3, 7), (4, 50)],          // ≈ 0.696
             vec![(1, 4), (2, 5), (3, 9), (4, 13), (5, 60)], // ≈ 0.65
             vec![(1, 5), (2, 6), (3, 7), (4, 8), (5, 20)],  // = 0.70
-            vec![(1, 10), (2, 11), (3, 12), (4, 13), (5, 14), (6, 15), (7, 16)], // ≈ 0.55
+            vec![
+                (1, 10),
+                (2, 11),
+                (3, 12),
+                (4, 13),
+                (5, 14),
+                (6, 15),
+                (7, 16),
+            ], // ≈ 0.55
         ];
         for windows in instances {
             let system = unit_sys(&windows);

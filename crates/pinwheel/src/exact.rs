@@ -218,8 +218,12 @@ mod tests {
         // {2, 4, 4} (density 1) is schedulable. This is the boundary the
         // Lin & Lin three-task result is about.
         let solver = ExactSolver::default();
-        assert!(solver.decide(&unit_sys(&[(1, 2), (2, 4), (3, 4)])).is_schedulable());
-        assert!(solver.decide(&unit_sys(&[(1, 2), (2, 3), (3, 6)])).is_infeasible());
+        assert!(solver
+            .decide(&unit_sys(&[(1, 2), (2, 4), (3, 4)]))
+            .is_schedulable());
+        assert!(solver
+            .decide(&unit_sys(&[(1, 2), (2, 3), (3, 6)]))
+            .is_infeasible());
     }
 
     #[test]
@@ -277,9 +281,7 @@ mod tests {
             other => panic!("expected schedulable, got {other:?}"),
         }
         // Two tasks that both need every slot: infeasible.
-        assert!(solver
-            .decide(&unit_sys(&[(1, 1), (2, 2)]))
-            .is_infeasible());
+        assert!(solver.decide(&unit_sys(&[(1, 1), (2, 2)])).is_infeasible());
     }
 
     #[test]

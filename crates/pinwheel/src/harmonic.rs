@@ -22,8 +22,8 @@
 //! "uniformly spread" layout the paper's Section 2.3 asks broadcast programs
 //! to have.
 
-use crate::{PinwheelScheduler, Schedule, ScheduleError, TaskSystem};
 use crate::TaskId;
+use crate::{PinwheelScheduler, Schedule, ScheduleError, TaskSystem};
 
 /// Scheduler for harmonic (divisibility-chain) unit-requirement instances.
 ///
@@ -105,7 +105,7 @@ pub(crate) fn schedule_chain(windows: &[(TaskId, u32)]) -> Result<Schedule, Sche
         // First-fit: any free class whose modulus divides this multiplier.
         let slot = free
             .iter()
-            .position(|f| multiplier % f.modulus == 0)
+            .position(|f| multiplier.is_multiple_of(f.modulus))
             .ok_or(ScheduleError::PackingFailed)?;
         let class = free.swap_remove(slot);
         // The task takes frames ≡ class.offset (mod multiplier); the rest of
@@ -155,8 +155,7 @@ impl PinwheelScheduler for HarmonicScheduler {
         }
         // Rule R3: relax multi-unit tasks to unit tasks first.
         let unit = system.to_unit_system();
-        let windows: Vec<(TaskId, u32)> =
-            unit.tasks().iter().map(|t| (t.id, t.window)).collect();
+        let windows: Vec<(TaskId, u32)> = unit.tasks().iter().map(|t| (t.id, t.window)).collect();
         let schedule = schedule_chain(&windows)?;
         crate::verify(&schedule, system)?;
         Ok(schedule)

@@ -60,7 +60,7 @@ pub use harmonic::HarmonicScheduler;
 pub use llf::LlfScheduler;
 pub use sa::SaScheduler;
 pub use schedule::Schedule;
-pub use scheduler::{AutoScheduler, PinwheelScheduler, ScheduleError};
+pub use scheduler::{AutoScheduler, PinwheelScheduler, ScheduleError, SchedulerChoice};
 pub use specialize::{
     specialize_double, specialize_pow2, specialize_single, Specialization, SpecializedSystem,
 };

@@ -68,9 +68,8 @@ impl LlfScheduler {
         seen.insert(elapsed.clone(), 0);
 
         for slot in 0..self.step_limit {
-            let chosen = Self::pick(windows, &elapsed).map_err(|()| {
-                ScheduleError::GreedyConflict { slot }
-            })?;
+            let chosen = Self::pick(windows, &elapsed)
+                .map_err(|()| ScheduleError::GreedyConflict { slot })?;
             emitted.push(Some(windows[chosen].0));
             for (i, e) in elapsed.iter_mut().enumerate() {
                 if i == chosen {

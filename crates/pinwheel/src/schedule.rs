@@ -130,11 +130,7 @@ impl Schedule {
     /// `map(i′, i)` aliases back onto their original file.
     pub fn relabel(&self, f: impl Fn(TaskId) -> Option<TaskId>) -> Schedule {
         Schedule {
-            slots: self
-                .slots
-                .iter()
-                .map(|s| s.and_then(&f))
-                .collect(),
+            slots: self.slots.iter().map(|s| s.and_then(&f)).collect(),
         }
     }
 
@@ -220,7 +216,10 @@ mod tests {
         let s = Schedule::from_tasks(vec![1, 2]);
         let r = s.repeated(3);
         assert_eq!(r.period(), 6);
-        assert_eq!(r.slots(), &[Some(1), Some(2), Some(1), Some(2), Some(1), Some(2)]);
+        assert_eq!(
+            r.slots(),
+            &[Some(1), Some(2), Some(1), Some(2), Some(1), Some(2)]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The scheduler trait, shared error type and the cascading [`AutoScheduler`].
 
 use crate::{
-    DoubleIntegerScheduler, Density, ExactOutcome, ExactSolver, HarmonicScheduler, LlfScheduler,
+    Density, DoubleIntegerScheduler, ExactOutcome, ExactSolver, HarmonicScheduler, LlfScheduler,
     SaScheduler, Schedule, SxScheduler, TaskSystem, TaskSystemError, VerificationError,
 };
 
@@ -55,6 +55,10 @@ pub enum ScheduleError {
         /// Number of states explored before giving up.
         states_explored: usize,
     },
+    /// The exact solver proved the rule-R3 unit *relaxation* of a multi-unit
+    /// system infeasible — which proves nothing about the original system
+    /// (it may still be schedulable by another scheduler).
+    RelaxationInfeasible,
     /// All schedulers in a cascade failed; the payload is the error from the
     /// last one tried.
     Exhausted(Box<ScheduleError>),
@@ -72,7 +76,10 @@ impl core::fmt::Display for ScheduleError {
                 write!(f, "density {d} exceeds one; the system is infeasible")
             }
             ScheduleError::DensityExceedsBound { density, bound } => {
-                write!(f, "density {density:.4} exceeds this scheduler's bound {bound}")
+                write!(
+                    f,
+                    "density {density:.4} exceeds this scheduler's bound {bound}"
+                )
             }
             ScheduleError::NotHarmonic { offending } => write!(
                 f,
@@ -94,8 +101,16 @@ impl core::fmt::Display for ScheduleError {
             ScheduleError::Undecided { states_explored } => {
                 write!(f, "exact search gave up after {states_explored} states")
             }
+            ScheduleError::RelaxationInfeasible => write!(
+                f,
+                "the unit relaxation is infeasible; the original multi-unit system \
+                 remains undecided — try another scheduler"
+            ),
             ScheduleError::Exhausted(inner) => {
-                write!(f, "all schedulers in the cascade failed; last error: {inner}")
+                write!(
+                    f,
+                    "all schedulers in the cascade failed; last error: {inner}"
+                )
             }
             ScheduleError::VerificationFailed(e) => write!(f, "schedule failed verification: {e}"),
             ScheduleError::System(e) => write!(f, "invalid task system: {e}"),
@@ -240,6 +255,77 @@ impl PinwheelScheduler for AutoScheduler {
     }
 }
 
+/// A named choice among the schedulers in this crate — the plug-in point the
+/// `rtbdisk` facade exposes on its broadcast builder.
+///
+/// Every variant uses its scheduler's default configuration; callers needing
+/// tuned sub-schedulers can implement [`PinwheelScheduler`] themselves and
+/// hand the designer a custom instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerChoice {
+    /// [`HarmonicScheduler`]: optimal, but only for divisibility-chain
+    /// windows.
+    Harmonic,
+    /// [`SaScheduler`]: Holte et al.'s powers-of-two specialization
+    /// (guaranteed for density ≤ 1/2).
+    Sa,
+    /// [`SxScheduler`]: single-integer reduction with an exhaustive base
+    /// search.
+    Sx,
+    /// [`DoubleIntegerScheduler`]: two-chain specialization (the Chan & Chin
+    /// regime behind the paper's Equations 1 and 2).
+    DoubleInteger,
+    /// [`LlfScheduler`]: least-laxity-first greedy with cycle detection.
+    Llf,
+    /// [`ExactSolver`]: state-space search; decides small instances.
+    Exact,
+    /// [`AutoScheduler`]: the full cascade (the default).
+    #[default]
+    Auto,
+}
+
+impl PinwheelScheduler for SchedulerChoice {
+    fn name(&self) -> &'static str {
+        match self {
+            SchedulerChoice::Harmonic => "harmonic",
+            SchedulerChoice::Sa => "Sa",
+            SchedulerChoice::Sx => "Sx",
+            SchedulerChoice::DoubleInteger => "double-integer",
+            SchedulerChoice::Llf => "llf",
+            SchedulerChoice::Exact => "exact",
+            SchedulerChoice::Auto => "auto",
+        }
+    }
+
+    fn schedule(&self, system: &TaskSystem) -> Result<Schedule, ScheduleError> {
+        match self {
+            SchedulerChoice::Harmonic => HarmonicScheduler.schedule(system),
+            SchedulerChoice::Sa => SaScheduler.schedule(system),
+            SchedulerChoice::Sx => SxScheduler::default().schedule(system),
+            SchedulerChoice::DoubleInteger => DoubleIntegerScheduler::default().schedule(system),
+            SchedulerChoice::Llf => LlfScheduler::default().schedule(system),
+            SchedulerChoice::Exact => {
+                let unit = system.to_unit_system();
+                match ExactSolver::default().decide(&unit) {
+                    ExactOutcome::Schedulable(s) => {
+                        crate::verify(&s, system)?;
+                        Ok(s)
+                    }
+                    // Infeasibility of the R3 unit relaxation is only a proof
+                    // for unit systems (cf. [`AutoScheduler`]); for multi-unit
+                    // systems the original instance may still be schedulable.
+                    ExactOutcome::Infeasible if system.is_unit() => Err(ScheduleError::Infeasible),
+                    ExactOutcome::Infeasible => Err(ScheduleError::RelaxationInfeasible),
+                    ExactOutcome::Undecided { states_explored } => {
+                        Err(ScheduleError::Undecided { states_explored })
+                    }
+                }
+            }
+            SchedulerChoice::Auto => AutoScheduler::default().schedule(system),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,10 +344,7 @@ mod tests {
     #[test]
     fn auto_schedules_paper_example_1_instances() {
         let auto = AutoScheduler::default();
-        for tasks in [
-            vec![(1, 1, 2), (2, 1, 3)],
-            vec![(1, 2, 5), (2, 1, 3)],
-        ] {
+        for tasks in [vec![(1, 1, 2), (2, 1, 3)], vec![(1, 2, 5), (2, 1, 3)]] {
             let system = sys(&tasks);
             let s = auto.schedule(&system).expect("schedulable instance");
             verify(&s, &system).unwrap();
@@ -324,7 +407,11 @@ mod tests {
     fn error_messages_render() {
         let msgs = [
             ScheduleError::DensityExceedsOne(Density(1.25)).to_string(),
-            ScheduleError::DensityExceedsBound { density: 0.8, bound: 0.5 }.to_string(),
+            ScheduleError::DensityExceedsBound {
+                density: 0.8,
+                bound: 0.5,
+            }
+            .to_string(),
             ScheduleError::NotHarmonic { offending: (4, 6) }.to_string(),
             ScheduleError::SpecializationFailed { best_density: 1.1 }.to_string(),
             ScheduleError::CycleNotFound { steps: 10 }.to_string(),

@@ -182,7 +182,10 @@ mod tests {
         assert_eq!(specialize_single(10, 0), None);
         // Equivalence of a base and its halved version on windows ≥ base.
         for w in 7..200 {
-            assert_eq!(specialize_single(w, 7), specialize_single(w, 14).or(specialize_single(w, 7)));
+            assert_eq!(
+                specialize_single(w, 7),
+                specialize_single(w, 14).or(specialize_single(w, 7))
+            );
         }
     }
 
@@ -213,7 +216,10 @@ mod tests {
         for w in 10u32..20_000 {
             let s = specialize_double(w, x, y).unwrap();
             let inflation = f64::from(w) / f64::from(s);
-            assert!(inflation <= 10.0 / 7.0 + 1e-9, "w = {w}, inflation {inflation}");
+            assert!(
+                inflation <= 10.0 / 7.0 + 1e-9,
+                "w = {w}, inflation {inflation}"
+            );
         }
     }
 

@@ -95,9 +95,7 @@ mod tests {
         // Windows {7, 100}: powers of two give 4 + 64 (density 0.2656…);
         // base 7 gives 7 + 56; base 6 gives 6 + 96 (density 0.177).
         let system = unit_sys(&[(1, 7), (2, 100)]);
-        let (x, spec) = SxScheduler::default()
-            .best_specialization(&system)
-            .unwrap();
+        let (x, spec) = SxScheduler::default().best_specialization(&system).unwrap();
         assert!(spec.density() <= 1.0 / 7.0 + 1.0 / 56.0 + 1e-12);
         assert!((4..=7).contains(&x));
         let s = SxScheduler::default().schedule(&system).unwrap();
@@ -116,7 +114,10 @@ mod tests {
         for windows in instances {
             let system = unit_sys(&windows);
             let d = system.density().value();
-            assert!(d > 0.5 && d <= 0.67 + 1e-9, "instance {windows:?} density {d}");
+            assert!(
+                d > 0.5 && d <= 0.67 + 1e-9,
+                "instance {windows:?} density {d}"
+            );
             let s = SxScheduler::default()
                 .schedule(&system)
                 .unwrap_or_else(|e| panic!("failed on {windows:?}: {e}"));

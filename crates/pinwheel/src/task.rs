@@ -239,7 +239,8 @@ mod tests {
 
     #[test]
     fn density_above_one_is_detectable() {
-        let s = TaskSystem::new(vec![Task::unit(1, 2), Task::unit(2, 2), Task::unit(3, 2)]).unwrap();
+        let s =
+            TaskSystem::new(vec![Task::unit(1, 2), Task::unit(2, 2), Task::unit(3, 2)]).unwrap();
         assert!(!s.density().within(1.0));
         assert!(s.density().within(1.5));
     }

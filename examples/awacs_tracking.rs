@@ -7,42 +7,41 @@
 //! "combat" mode the nearby-aircraft object gets maximum AIDA redundancy,
 //! in "landing" mode it does not (paper Section 2.2).
 //!
+//! The broadcast disk is designed and served through the `rtbdisk` facade;
+//! the worst-case analysis and the AIDA allocation step use the per-crate
+//! APIs directly.
+//!
 //! ```text
 //! cargo run --release --example awacs_tracking
 //! ```
 
-use bcore::{BdiskDesigner, GeneralizedFileSpec};
-use bsim::{extra_delay_table, worst_case_table};
-use ida::{Aida, FileId, ModeProfile, RedundancyPolicy};
+use bsim::{extra_delay_table, worst_case_table, TargetedLoss};
+use ida::{Aida, ModeProfile, RedundancyPolicy};
+use rtbdisk::{Broadcast, FileId, GeneralizedFileSpec};
 
-fn main() {
+fn main() -> Result<(), rtbdisk::Error> {
     // 1. Generalized latency vectors: the aircraft track tolerates one extra
     //    gap when a fault occurs, the tank a lot more; slots are block times.
-    let aircraft = GeneralizedFileSpec::new(FileId(1), 1, vec![8, 10, 12])
-        .unwrap()
-        .with_name("aircraft-track");
-    let tank = GeneralizedFileSpec::new(FileId(2), 1, vec![120, 150])
-        .unwrap()
-        .with_name("tank-track");
-    let threat_board = GeneralizedFileSpec::new(FileId(3), 6, vec![200, 220])
-        .unwrap()
-        .with_name("threat-board");
-    let terrain = GeneralizedFileSpec::new(FileId(4), 24, vec![1200])
-        .unwrap()
-        .with_name("terrain-tile");
-    let specs = vec![aircraft, tank, threat_board, terrain];
-
-    let report = BdiskDesigner::default()
-        .design(&specs)
-        .expect("the AWACS mix is schedulable");
+    let station = Broadcast::builder()
+        .file(GeneralizedFileSpec::new(FileId(1), 1, vec![8, 10, 12])?.with_name("aircraft-track"))
+        .file(GeneralizedFileSpec::new(FileId(2), 1, vec![120, 150])?.with_name("tank-track"))
+        .file(GeneralizedFileSpec::new(FileId(3), 6, vec![200, 220])?.with_name("threat-board"))
+        .file(GeneralizedFileSpec::new(FileId(4), 24, vec![1200])?.with_name("terrain-tile"))
+        .build()?;
 
     println!("== AWACS broadcast disk ==");
-    println!("conjunct density   : {:.3}", report.density);
-    println!("schedule period    : {} slots", report.schedule.period());
-    println!("program data cycle : {} slots", report.program.data_cycle());
-    println!("verified           : {:?}", report.verification.is_ok());
-    for (file, candidate) in &report.conversions {
-        let name = &report.files.get(*file).unwrap().name;
+    println!("conjunct density   : {:.3}", station.density());
+    println!("schedule period    : {} slots", station.schedule().period());
+    println!(
+        "program data cycle : {} slots",
+        station.program().data_cycle()
+    );
+    println!(
+        "verified           : {:?}",
+        station.report().verification.is_ok()
+    );
+    for (file, candidate) in &station.report().conversions {
+        let name = &station.files().get(*file).unwrap().name;
         println!(
             "  {:<15} via {:<11} density {:.4} ({} pinwheel task(s))",
             name,
@@ -56,14 +55,23 @@ fn main() {
     //    retrieval get when the channel clobbers r blocks?
     println!();
     println!("== worst-case extra delay for the aircraft track ==");
-    let table = worst_case_table(&report.program, FileId(1), 1, 3);
-    let extra = extra_delay_table(&report.program, FileId(1), 1, 3);
+    let table = worst_case_table(station.program(), FileId(1), 1, 3);
+    let extra = extra_delay_table(station.program(), FileId(1), 1, 3);
     for (r, analysis) in table.iter().enumerate() {
         println!(
             "  {} error(s): latency ≤ {:>3} slots (extra {:>2})   [exact: {}]",
             r, analysis.latency, extra[r], analysis.exact
         );
     }
+
+    // 2b. Cross-check one fault empirically: subscribe through the facade and
+    //     lose the first aircraft-track block that goes by.
+    let outcome = station.retrieve(FileId(1), 0, &mut TargetedLoss::new(FileId(1), 1))?;
+    println!(
+        "  empirical, 1 targeted loss: latency {} slots (declared d(1) = {:?})",
+        outcome.latency(),
+        station.files().get(FileId(1)).unwrap().latencies.latency(1)
+    );
 
     // 3. Mode-dependent redundancy with AIDA: the same dispersed object is
     //    transmitted with different block counts in different modes.
@@ -86,4 +94,5 @@ fn main() {
             allocation.fault_tolerance()
         );
     }
+    Ok(())
 }

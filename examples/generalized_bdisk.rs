@@ -10,12 +10,15 @@
 //! ```
 
 use bcore::{convert_candidates, Bc, TaskIdAllocator};
-use ida::FileId;
-use pinwheel::{AutoScheduler, PinwheelScheduler};
+use pinwheel::PinwheelScheduler;
+use rtbdisk::{FileId, SchedulerChoice};
 
 fn main() {
     let cases = vec![
-        ("Example 2", Bc::new(FileId(1), 5, vec![100, 105, 110, 115, 120]).unwrap()),
+        (
+            "Example 2",
+            Bc::new(FileId(1), 5, vec![100, 105, 110, 115, 120]).unwrap(),
+        ),
         ("Example 3", Bc::new(FileId(2), 6, vec![105, 110]).unwrap()),
         ("Example 4", Bc::new(FileId(3), 4, vec![8, 9]).unwrap()),
         ("Example 5", Bc::new(FileId(4), 2, vec![5, 6, 6]).unwrap()),
@@ -56,11 +59,9 @@ fn main() {
         // Schedule the winning conjunct and show one period of the resulting
         // slot allocation (tasks are relabelled to the file for readability).
         let system = winner.conjunct.to_task_system().expect("nice conjunct");
-        match AutoScheduler::default().schedule(&system) {
+        match SchedulerChoice::Auto.schedule(&system) {
             Ok(schedule) => {
-                let folded = schedule.relabel(|task| {
-                    winner.conjunct.file_of(task).map(|f| f.0)
-                });
+                let folded = schedule.relabel(|task| winner.conjunct.file_of(task).map(|f| f.0));
                 let rendered = folded.render();
                 let prefix: String = rendered.chars().take(72).collect();
                 println!(

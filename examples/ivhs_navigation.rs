@@ -3,21 +3,21 @@
 //! The paper's introduction motivates broadcast disks with on-board
 //! navigation systems: a server broadcasts incident alerts, link travel
 //! times and map data to thousands of vehicles over a fat downstream channel.
-//! This example sizes the channel with Equations 1/2, builds a
-//! **pinwheel-scheduled** broadcast program at that bandwidth, and measures
-//! retrieval latencies under a bursty (Gilbert–Elliott) radio channel —
-//! contrasting it with a naive demand-agnostic flat program, which misses the
-//! tight deadlines exactly as the paper warns.
+//! This example sizes the channel with Equations 1/2, expresses the
+//! requirements in slots at the constructive bandwidth, designs and serves
+//! the disk through the `rtbdisk` facade, and measures retrieval latencies
+//! under a bursty (Gilbert–Elliott) radio channel — contrasting it with a
+//! naive demand-agnostic flat program, which misses the tight deadlines
+//! exactly as the paper warns.
 //!
 //! ```text
 //! cargo run --release --example ivhs_navigation
 //! ```
 
 use bcore::Planner;
-use bdisk::{BroadcastFile, BroadcastProgram, BroadcastServer, FileSet, FlatOrder};
+use bdisk::{BroadcastProgram, BroadcastServer, FlatOrder};
 use bsim::{ivhs_scenario, GilbertElliott, RetrievalSimulator, SimulationConfig};
-use ida::FileId;
-use std::collections::BTreeMap;
+use rtbdisk::{Broadcast, FileId, GeneralizedFileSpec};
 
 const NAMES: [&str; 5] = [
     "incident-alerts",
@@ -27,74 +27,81 @@ const NAMES: [&str; 5] = [
     "roadworks-schedule",
 ];
 
-fn main() {
-    // 1. Size the channel with Equations 1/2 and get the pinwheel schedule.
+fn main() -> Result<(), rtbdisk::Error> {
+    // 1. Size the channel with Equations 1/2.
     let requirements = ivhs_scenario();
     let planner = Planner::default();
     let plan = planner.plan(&requirements).expect("valid scenario");
-    let (bandwidth, schedule) = planner
+    let (bandwidth, _) = planner
         .minimum_constructive_bandwidth(&requirements)
         .expect("scenario is schedulable");
 
     println!("== IVHS channel sizing ==");
     println!("files                         : {}", requirements.len());
-    println!("information lower bound       : {} blocks/sec", plan.lower_bound);
-    println!("Equation 1/2 sufficient bound : {} blocks/sec", plan.chan_chin_bound);
+    println!(
+        "information lower bound       : {} blocks/sec",
+        plan.lower_bound
+    );
+    println!(
+        "Equation 1/2 sufficient bound : {} blocks/sec",
+        plan.chan_chin_bound
+    );
     println!("constructively scheduled at   : {bandwidth} blocks/sec");
-    println!("analytic overhead             : {:.1}%", plan.overhead * 100.0);
-    println!("pinwheel schedule period      : {} slots", schedule.period());
+    println!(
+        "analytic overhead             : {:.1}%",
+        plan.overhead * 100.0
+    );
 
-    // 2. Turn the schedule into a broadcast program.  Planner task `i + 1`
-    //    corresponds to requirement `i`; each file's dispersal width is its
-    //    occurrence count per schedule period (every visit carries a distinct
-    //    AIDA block).
-    let mut occurrences: BTreeMap<u32, u32> = BTreeMap::new();
-    for slot in 0..schedule.period() {
-        if let Some(task) = schedule.at(slot) {
-            *occurrences.entry(task - 1).or_insert(0) += 1;
-        }
-    }
-    let files: FileSet = requirements
+    // 2. Express the requirements in slots at that bandwidth and let the
+    //    facade design, verify and serve the broadcast program.
+    let specs: Vec<GeneralizedFileSpec> = requirements
         .iter()
         .enumerate()
         .map(|(i, r)| {
-            let per_cycle = occurrences.get(&(i as u32)).copied().unwrap_or(r.size_blocks);
-            BroadcastFile::new(FileId(i as u32), NAMES[i], r.size_blocks, 256)
-                .with_dispersal(per_cycle.max(r.size_blocks))
-                .with_fault_tolerance(
-                    (bandwidth as f64 * r.latency_seconds) as u32,
-                    r.faults as usize,
-                )
+            let window = (bandwidth as f64 * r.latency_seconds) as u32;
+            let latencies: Vec<u32> = (0..=r.faults)
+                .map(|_| window.max(r.size_blocks + r.faults))
+                .collect();
+            GeneralizedFileSpec::new(FileId(i as u32), r.size_blocks, latencies)
+                .expect("windows are wide enough")
+                .with_name(NAMES[i])
+                .with_block_bytes(256)
         })
-        .collect::<Vec<_>>()
-        .into_iter()
         .collect();
-    let pinwheel_program =
-        BroadcastProgram::from_pinwheel_schedule(&schedule, &files, |task| {
-            Some(FileId(task - 1))
-        })
-        .expect("every task maps to a file");
-    let flat_program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).expect("non-empty");
+    let station = Broadcast::builder().files(specs).build()?;
 
     println!();
-    println!("== pinwheel-scheduled broadcast program ==");
-    println!("broadcast period   : {} slots", pinwheel_program.broadcast_period());
-    println!("program data cycle : {} slots", pinwheel_program.data_cycle());
-    for f in files.files() {
+    println!("== pinwheel-scheduled broadcast program (designed by the facade) ==");
+    println!(
+        "broadcast period   : {} slots",
+        station.program().broadcast_period()
+    );
+    println!(
+        "program data cycle : {} slots",
+        station.program().data_cycle()
+    );
+    for f in station.files().files() {
         println!(
             "  {:<20} m={:<3} n={:<3} max gap Δ = {:?} (deadline {} slots)",
             f.name,
             f.size_blocks,
             f.dispersed_blocks,
-            pinwheel_program.max_gap(f.id).unwrap_or(0),
+            station.program().max_gap(f.id).unwrap_or(0),
             f.latencies.base_latency(),
         );
     }
 
-    // 3. Vehicles retrieve files over a bursty channel, from both programs.
-    for (label, program) in [("pinwheel program", &pinwheel_program), ("naive flat program", &flat_program)] {
-        let server = BroadcastServer::with_synthetic_contents(&files, program.clone())
-            .expect("valid contents");
+    // 3. Vehicles retrieve files over a bursty channel, from the designed
+    //    program and from a naive flat layout of the same file set.
+    let flat_program =
+        BroadcastProgram::aida_flat(station.files(), FlatOrder::Spread).expect("non-empty");
+    let flat_server = BroadcastServer::with_synthetic_contents(station.files(), flat_program)
+        .expect("valid contents");
+    let programs: [(&str, &BroadcastServer); 2] = [
+        ("pinwheel program", station.server()),
+        ("naive flat program", &flat_server),
+    ];
+    for (label, server) in programs {
         println!();
         println!("== retrieval latencies under a bursty channel — {label} ==");
         println!(
@@ -111,7 +118,7 @@ fn main() {
                 seed: 0x1915 + i as u64,
             };
             let mut sim =
-                RetrievalSimulator::new(&server, GilbertElliott::typical(9 + i as u64), config);
+                RetrievalSimulator::new(server, GilbertElliott::typical(9 + i as u64), config);
             let report = sim.run_file(file, r.size_blocks as usize);
             println!(
                 "{:<20} {:>8.1} {:>8} {:>8} {:>10} {:>9.2}%",
@@ -130,4 +137,5 @@ fn main() {
          misses most of its deadlines; the pinwheel program spaces its blocks to the\n\
          deadline and absorbs bursts with AIDA redundancy."
     );
+    Ok(())
 }

@@ -1,99 +1,38 @@
 //! Quickstart: design a fault-tolerant real-time broadcast program for a
-//! handful of files, inspect it, and retrieve a file through a lossy channel.
+//! handful of files and retrieve one of them through a lossy channel —
+//! entirely through the `rtbdisk` facade.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use bcore::{BdiskDesigner, GeneralizedFileSpec};
-use bdisk::{BroadcastServer, ClientSession};
-use bsim::{BernoulliErrors, ErrorModel};
-use ida::{Dispersal, FileId};
+use rtbdisk::{BernoulliErrors, Broadcast, FileId, GeneralizedFileSpec};
 
-fn main() {
-    // 1. Specify the files on the broadcast disk.  Latencies are in slots
-    //    (one slot = the time to broadcast one block).  A latency vector
-    //    [d0, d1, ...] says: "with j faults I can tolerate a latency of dj".
-    let specs = vec![
-        GeneralizedFileSpec::new(FileId(1), 2, vec![12, 16, 20])
-            .unwrap()
-            .with_name("sensor-snapshot"),
-        GeneralizedFileSpec::new(FileId(2), 1, vec![6, 9])
-            .unwrap()
-            .with_name("alert-feed"),
-        GeneralizedFileSpec::new(FileId(3), 4, vec![60])
-            .unwrap()
-            .with_name("map-tile"),
-    ];
+fn main() -> Result<(), rtbdisk::Error> {
+    // Latency vectors [d0, d1, ...] say: "with j faults I tolerate dj slots".
+    let station = Broadcast::builder()
+        .file(
+            GeneralizedFileSpec::new(FileId(1), 2, vec![12, 16, 20])?.with_name("sensor-snapshot"),
+        )
+        .file(GeneralizedFileSpec::new(FileId(2), 1, vec![6, 9])?.with_name("alert-feed"))
+        .file(GeneralizedFileSpec::new(FileId(3), 4, vec![60])?.with_name("map-tile"))
+        .build()?;
 
-    // 2. Design the broadcast program: conditions -> nice pinwheel conjunct
-    //    -> schedule -> block layout, verified end to end.
-    let report = BdiskDesigner::default()
-        .design(&specs)
-        .expect("the specification is schedulable");
-
-    println!("== design ==");
-    println!("conjunct density      : {:.3}", report.density);
-    println!("schedule period       : {} slots", report.schedule.period());
-    println!("program data cycle    : {} slots", report.program.data_cycle());
-    println!("idle fraction         : {:.1}%", report.idle_fraction() * 100.0);
-    println!("verification          : {:?}", report.verification);
-    for (file, candidate) in &report.conversions {
-        println!(
-            "  {} converted via {:<11} density {:.3}",
-            file, candidate.kind, candidate.density
-        );
-    }
-    println!();
     println!(
-        "first 40 slots: {}",
-        report
-            .program
-            .render(|id| report
-                .files
-                .get(id)
-                .map(|f| f.name.clone())
-                .unwrap_or_else(|| id.to_string()))
-            .split(' ')
-            .take(40)
-            .collect::<Vec<_>>()
-            .join(" ")
+        "designed: density {:.3}, {}-slot data cycle, {:.1}% idle",
+        station.density(),
+        station.program().data_cycle(),
+        station.report().idle_fraction() * 100.0
     );
 
-    // 3. Serve the program and retrieve the alert feed through a channel that
-    //    drops 10% of the blocks.
-    let server = BroadcastServer::with_synthetic_contents(&report.files, report.program.clone())
-        .expect("contents match the file set");
-    let mut errors = BernoulliErrors::new(0.10, 7);
-    let target = FileId(2);
-    let threshold = report.files.get(target).unwrap().size_blocks as usize;
-    let mut session = ClientSession::new(target, threshold, 0);
-    let mut slot = 0;
-    while !session.is_complete() {
-        let tx = server.transmit(slot);
-        let ok = tx.as_ref().map(|t| !errors.is_lost(t)).unwrap_or(true);
-        session.observe(tx.as_ref(), ok);
-        slot += 1;
-    }
-    let dispersal = Dispersal::new(
-        threshold,
-        report.files.get(target).unwrap().dispersed_blocks as usize,
-    )
-    .unwrap();
-    let outcome = session.finish(&dispersal).expect("enough blocks received");
+    // Retrieve the alert feed through a channel that drops 10% of the blocks.
+    let outcome = station.retrieve(FileId(2), 0, &mut BernoulliErrors::new(0.10, 7))?;
 
-    println!();
-    println!("== retrieval of {} ==", report.files.get(target).unwrap().name);
-    println!("latency               : {} slots", outcome.latency());
-    println!("reception errors seen : {}", outcome.errors_observed);
-    println!("bytes recovered       : {}", outcome.data.len());
     println!(
-        "deadline (0 faults)   : {} slots -> {}",
-        specs[1].latencies[0],
-        if outcome.latency() <= specs[1].latencies[0] as usize {
-            "met"
-        } else {
-            "missed"
-        }
+        "retrieved {} bytes in {} slots ({} reception errors)",
+        outcome.data.len(),
+        outcome.latency(),
+        outcome.errors_observed
     );
+    Ok(())
 }

@@ -1,0 +1,215 @@
+//! The broadcast builder: specifications in, a serving [`Station`] out.
+
+use crate::{Error, Station};
+use bcore::{BdiskDesigner, GeneralizedFileSpec};
+use bdisk::BroadcastServer;
+use ida::FileId;
+use pinwheel::SchedulerChoice;
+use std::collections::BTreeMap;
+
+/// Entry point of the facade.
+///
+/// ```
+/// use rtbdisk::{Broadcast, GeneralizedFileSpec, FileId};
+///
+/// let station = Broadcast::builder()
+///     .file(GeneralizedFileSpec::new(FileId(1), 2, vec![10, 14]).unwrap())
+///     .file(GeneralizedFileSpec::new(FileId(2), 1, vec![7]).unwrap())
+///     .build()
+///     .unwrap();
+/// assert_eq!(station.files().len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Broadcast;
+
+impl Broadcast {
+    /// Starts building a broadcast disk.
+    pub fn builder() -> BroadcastBuilder {
+        BroadcastBuilder::default()
+    }
+}
+
+/// Builder for a [`Station`]: collect file specifications (and optionally
+/// contents, a scheduler choice and a listen cap), then [`build`].
+///
+/// [`build`]: BroadcastBuilder::build
+#[derive(Debug, Clone)]
+pub struct BroadcastBuilder {
+    specs: Vec<GeneralizedFileSpec>,
+    contents: BTreeMap<FileId, Vec<u8>>,
+    scheduler: SchedulerChoice,
+    listen_cap: usize,
+}
+
+impl Default for BroadcastBuilder {
+    fn default() -> Self {
+        BroadcastBuilder {
+            specs: Vec::new(),
+            contents: BTreeMap::new(),
+            scheduler: SchedulerChoice::default(),
+            listen_cap: 100_000,
+        }
+    }
+}
+
+impl BroadcastBuilder {
+    /// Adds one file specification.
+    pub fn file(mut self, spec: GeneralizedFileSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Adds many file specifications.
+    pub fn files(mut self, specs: impl IntoIterator<Item = GeneralizedFileSpec>) -> Self {
+        self.specs.extend(specs);
+        self
+    }
+
+    /// Supplies the contents of one file (must be exactly
+    /// `size_blocks × block_bytes` bytes).  Files without supplied contents
+    /// are served deterministic synthetic payloads — convenient for
+    /// simulations that only care about timing.
+    pub fn content(mut self, file: FileId, bytes: impl Into<Vec<u8>>) -> Self {
+        self.contents.insert(file, bytes.into());
+        self
+    }
+
+    /// Chooses the pinwheel scheduler backing the design step (default: the
+    /// [`SchedulerChoice::Auto`] cascade).
+    pub fn scheduler(mut self, scheduler: SchedulerChoice) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the maximum number of slots a driven retrieval may listen before
+    /// [`Station::run_until_complete`] gives up (default `100_000`).
+    pub fn listen_cap(mut self, slots: usize) -> Self {
+        self.listen_cap = slots.max(1);
+        self
+    }
+
+    /// Runs the full design pipeline and returns a serving [`Station`].
+    ///
+    /// Pipeline: specifications → broadcast conditions → nice pinwheel
+    /// conjunct → schedule → AIDA block layout → verification → dispersal of
+    /// contents.  A program that fails verification against its own
+    /// broadcast conditions is never returned.
+    pub fn build(self) -> Result<Station, Error> {
+        for id in self.contents.keys() {
+            if !self.specs.iter().any(|s| s.id == *id) {
+                return Err(Error::UnknownFile(*id));
+            }
+        }
+        let designer = BdiskDesigner::with_scheduler(self.scheduler);
+        let report = designer.design(&self.specs)?;
+        if let Err(msg) = &report.verification {
+            return Err(Error::Verification(msg.clone()));
+        }
+
+        // Contents: whatever was supplied, synthetic defaults for the rest
+        // (generated only for files actually missing content).
+        let mut contents = self.contents;
+        for f in report.files.files() {
+            contents
+                .entry(f.id)
+                .or_insert_with(|| BroadcastServer::synthetic_content(f));
+        }
+        let server = BroadcastServer::new(&report.files, report.program.clone(), &contents)?;
+        Station::new(self.specs, report, server, self.listen_cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcore::DesignError;
+
+    fn spec(id: u32, size: u32, latencies: &[u32]) -> GeneralizedFileSpec {
+        GeneralizedFileSpec::new(FileId(id), size, latencies.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn build_designs_and_loads_a_station() {
+        let station = Broadcast::builder()
+            .file(spec(1, 2, &[10, 12]))
+            .file(spec(2, 1, &[7]))
+            .build()
+            .unwrap();
+        assert_eq!(station.files().len(), 2);
+        assert!(station.density() <= 1.0);
+        assert!(station.report().verification.is_ok());
+    }
+
+    #[test]
+    fn supplied_contents_are_served() {
+        let s = spec(1, 1, &[6]);
+        let bytes: Vec<u8> = (0..512u32).map(|i| i as u8).collect();
+        let station = Broadcast::builder()
+            .file(s)
+            .content(FileId(1), bytes.clone())
+            .build()
+            .unwrap();
+        let outcome = station.retrieve(FileId(1), 0, &mut bsim::NoErrors).unwrap();
+        assert_eq!(outcome.data, bytes);
+    }
+
+    #[test]
+    fn content_for_unknown_file_is_rejected() {
+        let err = Broadcast::builder()
+            .file(spec(1, 1, &[6]))
+            .content(FileId(9), vec![0u8; 512])
+            .build()
+            .unwrap_err();
+        assert_eq!(err, Error::UnknownFile(FileId(9)));
+    }
+
+    #[test]
+    fn wrong_sized_content_is_rejected_by_the_server() {
+        let err = Broadcast::builder()
+            .file(spec(1, 1, &[6]))
+            .content(FileId(1), vec![0u8; 3])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Server(bdisk::ServerError::ContentSizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn infeasible_specifications_surface_the_design_error() {
+        let err = Broadcast::builder()
+            .files([spec(1, 1, &[2]), spec(2, 1, &[2]), spec(3, 1, &[2])])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Design(DesignError::DensityExceedsOne { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_builder_is_rejected() {
+        assert!(matches!(
+            Broadcast::builder().build().unwrap_err(),
+            Error::Design(DesignError::NoFiles)
+        ));
+    }
+
+    #[test]
+    fn scheduler_choice_is_pluggable() {
+        for choice in [
+            SchedulerChoice::Auto,
+            SchedulerChoice::Sa,
+            SchedulerChoice::DoubleInteger,
+        ] {
+            let station = Broadcast::builder()
+                .file(spec(1, 1, &[8]))
+                .file(spec(2, 1, &[16]))
+                .scheduler(choice)
+                .build()
+                .unwrap_or_else(|e| panic!("{choice:?} failed: {e}"));
+            assert!(station.report().verification.is_ok());
+        }
+    }
+}

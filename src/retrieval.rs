@@ -1,0 +1,191 @@
+//! Client-side retrieval handles.
+//!
+//! A [`Retrieval`] is produced by [`crate::Station::subscribe`] and carries
+//! everything a correct reconstruction needs — the file's reconstruction
+//! threshold `mᵢ`, its [`Dispersal`] configuration `(mᵢ, nᵢ)` and its
+//! declared latency vector — so callers can never mis-derive the paper's
+//! "any m distinct blocks suffice" parameters.
+
+use crate::Error;
+use bdisk::{ClientSession, LatencyVector, RetrievalOutcome, TransmissionRef};
+use ida::{Dispersal, FileId};
+use std::sync::Arc;
+
+/// One in-progress retrieval of a file from a broadcast station.
+///
+/// Feed it slots via [`crate::Station::run_until_complete`] (many concurrent
+/// retrievals in one pass) or [`Retrieval::observe`] (manual slot-driving),
+/// then call [`Retrieval::finish`].
+#[derive(Debug, Clone)]
+pub struct Retrieval {
+    session: ClientSession,
+    file: FileId,
+    request_slot: usize,
+    threshold: usize,
+    dispersal: Arc<Dispersal>,
+    latencies: LatencyVector,
+}
+
+impl Retrieval {
+    pub(crate) fn new(
+        file: FileId,
+        request_slot: usize,
+        threshold: usize,
+        dispersal: Arc<Dispersal>,
+        latencies: LatencyVector,
+    ) -> Self {
+        Retrieval {
+            session: ClientSession::new(file, threshold, request_slot),
+            file,
+            request_slot,
+            threshold,
+            dispersal,
+            latencies,
+        }
+    }
+
+    /// The file being retrieved.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// The slot at which the retrieval was issued.
+    pub fn request_slot(&self) -> usize {
+        self.request_slot
+    }
+
+    /// The reconstruction threshold `mᵢ` (distinct blocks needed).
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// The dispersal width `nᵢ` the station transmits for this file.
+    pub fn dispersal_width(&self) -> usize {
+        self.dispersal.total_blocks()
+    }
+
+    /// The file's declared latency vector `d⃗ᵢ` (slots, indexed by fault
+    /// level).
+    pub fn latencies(&self) -> &LatencyVector {
+        &self.latencies
+    }
+
+    /// The declared worst-case latency with `faults` reception errors, if
+    /// the file's specification covers that fault level.
+    pub fn deadline(&self, faults: usize) -> Option<u32> {
+        self.latencies.latency(faults)
+    }
+
+    /// Number of distinct blocks received so far.
+    pub fn blocks_received(&self) -> usize {
+        self.session.blocks_received()
+    }
+
+    /// Number of failed receptions observed so far.
+    pub fn errors_observed(&self) -> usize {
+        self.session.errors_observed()
+    }
+
+    /// `true` once enough distinct blocks have been received.
+    pub fn is_complete(&self) -> bool {
+        self.session.is_complete()
+    }
+
+    /// Feeds one slot of the broadcast into the retrieval; returns `true`
+    /// if this slot completed it.
+    ///
+    /// Slots before the request slot are ignored (the session enforces
+    /// this), so a fleet of retrievals with different request slots can
+    /// share one slot-driver loop.
+    pub fn observe(
+        &mut self,
+        transmission: Option<TransmissionRef<'_>>,
+        received_ok: bool,
+    ) -> bool {
+        self.session.observe_ref(transmission, received_ok)
+    }
+
+    /// Reconstructs the file from the received blocks.
+    ///
+    /// The dispersal parameters travel inside the handle, so this cannot be
+    /// called with a mismatched `(m, n)` configuration.
+    pub fn finish(&self) -> Result<RetrievalOutcome, Error> {
+        if !self.is_complete() {
+            return Err(Error::RetrievalIncomplete {
+                file: self.file,
+                received: self.blocks_received(),
+                required: self.threshold,
+            });
+        }
+        self.session.finish(&self.dispersal).map_err(Error::Ida)
+    }
+
+    /// Whether `outcome` met the latency declared for the number of faults
+    /// it observed: `Some(met)` when the fault level is covered by the
+    /// file's specification, `None` when more faults occurred than the file
+    /// declared tolerance for (no latency was promised).
+    pub fn within_declared_latency(&self, outcome: &RetrievalOutcome) -> Option<bool> {
+        self.latencies
+            .latency(outcome.errors_observed)
+            .map(|d| outcome.latency() <= d as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(threshold: usize) -> Retrieval {
+        Retrieval::new(
+            FileId(1),
+            10,
+            threshold,
+            Arc::new(Dispersal::new(threshold, threshold + 2).unwrap()),
+            LatencyVector::new(vec![8, 12]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn finishing_early_reports_progress() {
+        let r = handle(3);
+        match r.finish() {
+            Err(Error::RetrievalIncomplete {
+                file,
+                received,
+                required,
+            }) => {
+                assert_eq!(file, FileId(1));
+                assert_eq!(received, 0);
+                assert_eq!(required, 3);
+            }
+            other => panic!("expected RetrievalIncomplete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlines_come_from_the_latency_vector() {
+        let r = handle(2);
+        assert_eq!(r.deadline(0), Some(8));
+        assert_eq!(r.deadline(1), Some(12));
+        assert_eq!(r.deadline(2), None);
+    }
+
+    #[test]
+    fn within_declared_latency_checks_the_observed_fault_level() {
+        let r = handle(2);
+        let outcome = RetrievalOutcome {
+            file: FileId(1),
+            request_slot: 10,
+            completion_slot: 18,
+            errors_observed: 1,
+            data: vec![],
+        };
+        // Latency 9 against d(1) = 12.
+        assert_eq!(r.within_declared_latency(&outcome), Some(true));
+        let too_many_faults = RetrievalOutcome {
+            errors_observed: 5,
+            ..outcome
+        };
+        assert_eq!(r.within_declared_latency(&too_many_faults), None);
+    }
+}

@@ -1,0 +1,237 @@
+//! The broadcast station: one owned, ready-to-serve broadcast disk.
+
+use crate::{Error, Retrieval};
+use bcore::{DesignReport, GeneralizedFileSpec};
+use bdisk::{BroadcastProgram, BroadcastServer, FileSet, TransmissionRef};
+use bsim::ErrorModel;
+use ida::{Dispersal, FileId};
+use pinwheel::Schedule;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A designed, verified and content-loaded broadcast disk, ready to serve.
+///
+/// Built by [`crate::Broadcast::builder`]; owns the file set, the verified
+/// broadcast program, the dispersed contents, and the per-file [`Dispersal`]
+/// configurations — so a [`Retrieval`] obtained from
+/// [`Station::subscribe`] always reconstructs with the correct `(mᵢ, nᵢ)`
+/// parameters.
+#[derive(Debug, Clone)]
+pub struct Station {
+    specs: Vec<GeneralizedFileSpec>,
+    report: DesignReport,
+    server: BroadcastServer,
+    dispersals: BTreeMap<FileId, Arc<Dispersal>>,
+    listen_cap: usize,
+}
+
+impl Station {
+    pub(crate) fn new(
+        specs: Vec<GeneralizedFileSpec>,
+        report: DesignReport,
+        server: BroadcastServer,
+        listen_cap: usize,
+    ) -> Result<Self, Error> {
+        let mut dispersals = BTreeMap::new();
+        for f in report.files.files() {
+            let dispersal = Dispersal::new(f.size_blocks as usize, f.dispersed_blocks as usize)?;
+            dispersals.insert(f.id, Arc::new(dispersal));
+        }
+        Ok(Station {
+            specs,
+            report,
+            server,
+            dispersals,
+            listen_cap,
+        })
+    }
+
+    /// The specifications this station was designed from.
+    pub fn specs(&self) -> &[GeneralizedFileSpec] {
+        &self.specs
+    }
+
+    /// The specification of one file.
+    pub fn spec(&self, file: FileId) -> Option<&GeneralizedFileSpec> {
+        self.specs.iter().find(|s| s.id == file)
+    }
+
+    /// The broadcast file set (sizes, dispersal widths, latency vectors).
+    pub fn files(&self) -> &FileSet {
+        &self.report.files
+    }
+
+    /// The verified broadcast program driving the server.
+    pub fn program(&self) -> &BroadcastProgram {
+        self.server.program()
+    }
+
+    /// The pinwheel schedule the program was derived from.
+    pub fn schedule(&self) -> &Schedule {
+        &self.report.schedule
+    }
+
+    /// The density of the scheduled nice conjunct (compared against 7/10 by
+    /// the paper's Equations 1 and 2).
+    pub fn density(&self) -> f64 {
+        self.report.density
+    }
+
+    /// The full design report (conversions, conjunct, verification).
+    pub fn report(&self) -> &DesignReport {
+        &self.report
+    }
+
+    /// The underlying broadcast server, for power users and the simulator.
+    pub fn server(&self) -> &BroadcastServer {
+        &self.server
+    }
+
+    /// The maximum number of slots a driven retrieval may listen before
+    /// [`Station::run_until_complete`] reports it stalled.
+    pub fn listen_cap(&self) -> usize {
+        self.listen_cap
+    }
+
+    /// What the station transmits in `slot` (borrowed; no copy).
+    pub fn transmit(&self, slot: usize) -> Option<TransmissionRef<'_>> {
+        self.server.transmit_ref(slot)
+    }
+
+    /// Subscribes a client to `file` starting at `at_slot`.
+    ///
+    /// The returned [`Retrieval`] internally carries the file's
+    /// reconstruction threshold and dispersal configuration — there is no
+    /// caller-side `Dispersal::new` to get wrong.
+    pub fn subscribe(&self, file: FileId, at_slot: usize) -> Result<Retrieval, Error> {
+        let f = self
+            .report
+            .files
+            .get(file)
+            .ok_or(Error::UnknownFile(file))?;
+        let dispersal = self.dispersals[&file].clone();
+        Ok(Retrieval::new(
+            file,
+            at_slot,
+            f.size_blocks as usize,
+            dispersal,
+            f.latencies.clone(),
+        ))
+    }
+
+    /// An infinite slot-by-slot view of the broadcast, starting at `start`:
+    /// yields `(slot, transmission)` pairs, `None` for idle slots.
+    pub fn stream(&self, start: usize) -> Stream<'_> {
+        Stream {
+            server: &self.server,
+            slot: start,
+        }
+    }
+
+    /// Drives every retrieval in `retrievals` to completion in one pass over
+    /// the broadcast and returns their outcomes (in input order).
+    ///
+    /// The slot cursor starts at the earliest request slot among the
+    /// incomplete retrievals; every slot with at least one listening
+    /// retrieval is passed through `errors` exactly once (and slots nobody
+    /// listens to not at all), so the model represents *channel-level* loss
+    /// common to every listener (for independent per-client error
+    /// processes, drive clients in separate calls).  Already-complete
+    /// retrievals are left untouched and simply contribute their outcome.
+    ///
+    /// Returns [`Error::RetrievalStalled`] if any retrieval listens for more
+    /// than the station's listen cap (counted from its own request slot)
+    /// without completing, so pathological loss rates terminate instead of
+    /// spinning forever.
+    pub fn run_until_complete(
+        &self,
+        retrievals: &mut [Retrieval],
+        errors: &mut impl ErrorModel,
+    ) -> Result<Vec<bdisk::RetrievalOutcome>, Error> {
+        let mut remaining = retrievals.iter().filter(|r| !r.is_complete()).count();
+        if remaining > 0 {
+            let mut slot = retrievals
+                .iter()
+                .filter(|r| !r.is_complete())
+                .map(Retrieval::request_slot)
+                .min()
+                .expect("remaining > 0 guarantees an incomplete retrieval");
+            while remaining > 0 {
+                let tx = self.server.transmit_ref(slot);
+                // One pass over the fleet per slot: observe the listening
+                // retrievals, enforce the per-retrieval listen cap (measured
+                // from each one's own request slot — a late subscriber gets
+                // the full cap), and track the next future request slot so
+                // dead regions are skipped, not scanned.  The error model is
+                // sampled lazily, on the first listening retrieval, so gap
+                // slots nobody hears never consume a sample.
+                let mut ok = None;
+                let mut next_active = usize::MAX;
+                for r in retrievals.iter_mut() {
+                    if r.is_complete() {
+                        continue;
+                    }
+                    if r.request_slot() > slot {
+                        next_active = next_active.min(r.request_slot());
+                        continue;
+                    }
+                    if slot - r.request_slot() >= self.listen_cap {
+                        return Err(Error::RetrievalStalled {
+                            file: r.file(),
+                            listened: slot - r.request_slot(),
+                        });
+                    }
+                    let ok = *ok.get_or_insert_with(|| match tx {
+                        Some(t) => !errors.is_lost(t),
+                        None => true,
+                    });
+                    if r.observe(tx, ok) {
+                        remaining -= 1;
+                    }
+                }
+                slot = if ok.is_some() || next_active == usize::MAX {
+                    slot + 1
+                } else {
+                    next_active
+                };
+            }
+        }
+        retrievals.iter().map(Retrieval::finish).collect()
+    }
+
+    /// Convenience single-client wrapper: subscribe, drive to completion,
+    /// reconstruct.
+    pub fn retrieve(
+        &self,
+        file: FileId,
+        at_slot: usize,
+        errors: &mut impl ErrorModel,
+    ) -> Result<bdisk::RetrievalOutcome, Error> {
+        let mut retrieval = self.subscribe(file, at_slot)?;
+        let mut outcomes = self.run_until_complete(std::slice::from_mut(&mut retrieval), errors)?;
+        Ok(outcomes.pop().expect("one retrieval yields one outcome"))
+    }
+}
+
+impl AsRef<BroadcastServer> for Station {
+    fn as_ref(&self) -> &BroadcastServer {
+        &self.server
+    }
+}
+
+/// The iterator returned by [`Station::stream`].
+#[derive(Debug, Clone)]
+pub struct Stream<'a> {
+    server: &'a BroadcastServer,
+    slot: usize,
+}
+
+impl<'a> Iterator for Stream<'a> {
+    type Item = (usize, Option<TransmissionRef<'a>>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let slot = self.slot;
+        self.slot += 1;
+        Some((slot, self.server.transmit_ref(slot)))
+    }
+}

@@ -1,85 +1,50 @@
-//! End-to-end integration tests: specifications → design → broadcast server →
-//! lossy channel → client reconstruction, across all crates.
+//! End-to-end integration tests through the `rtbdisk` facade: specifications
+//! → `Broadcast::builder` → `Station` → lossy channel → `Retrieval`
+//! reconstruction, across all crates.
 
-use bcore::{BdiskDesigner, GeneralizedFileSpec};
-use bdisk::{BroadcastServer, ClientSession};
-use bsim::{BernoulliErrors, ErrorModel, NoErrors, TargetedLoss};
-use ida::{Dispersal, FileId};
-use std::collections::BTreeMap;
+use rtbdisk::{
+    BernoulliErrors, Broadcast, FileId, GeneralizedFileSpec, NoErrors, Retrieval, Station,
+    TargetedLoss,
+};
 
-fn design(specs: &[GeneralizedFileSpec]) -> bcore::DesignReport {
-    BdiskDesigner::default()
-        .design(specs)
-        .expect("specification set is schedulable")
-}
-
-/// Retrieves `file` from `server` starting at `start`, with a given error
-/// model; returns (latency, observed errors, reconstructed bytes).
-fn retrieve(
-    server: &BroadcastServer,
-    file: FileId,
-    threshold: usize,
-    dispersal_width: usize,
-    start: usize,
-    errors: &mut dyn ErrorModel,
-) -> (usize, usize, Vec<u8>) {
-    let mut session = ClientSession::new(file, threshold, start);
-    let mut slot = start;
-    while !session.is_complete() {
-        let tx = server.transmit(slot);
-        let ok = tx.as_ref().map(|t| !errors.is_lost(t)).unwrap_or(true);
-        session.observe(tx.as_ref(), ok);
-        slot += 1;
-        assert!(
-            slot - start < 100_000,
-            "retrieval of {file} did not complete"
-        );
-    }
-    let dispersal = Dispersal::new(threshold, dispersal_width).unwrap();
-    let outcome = session.finish(&dispersal).expect("enough blocks collected");
-    (outcome.latency(), outcome.errors_observed, outcome.data)
+fn spec(id: u32, size: u32, latencies: &[u32]) -> GeneralizedFileSpec {
+    GeneralizedFileSpec::new(FileId(id), size, latencies.to_vec()).unwrap()
 }
 
 #[test]
 fn designed_program_delivers_correct_bytes_for_every_file() {
-    let specs = vec![
-        GeneralizedFileSpec::new(FileId(1), 2, vec![10, 14]).unwrap(),
-        GeneralizedFileSpec::new(FileId(2), 1, vec![6, 8]).unwrap(),
-        GeneralizedFileSpec::new(FileId(3), 3, vec![40]).unwrap(),
-    ];
-    let report = design(&specs);
-    assert!(report.verification.is_ok());
-
     // Real (deterministic) contents, not synthetic ones.
-    let contents: BTreeMap<FileId, Vec<u8>> = report
-        .files
-        .files()
+    let specs = vec![
+        spec(1, 2, &[10, 14]),
+        spec(2, 1, &[6, 8]),
+        spec(3, 3, &[40]),
+    ];
+    let contents: Vec<(FileId, Vec<u8>)> = specs
         .iter()
-        .map(|f| {
-            let bytes: Vec<u8> = (0..f.total_bytes())
-                .map(|i| (i as u8).wrapping_mul(31).wrapping_add(f.id.0 as u8))
+        .map(|s| {
+            let bytes: Vec<u8> = (0..(s.size_blocks * s.block_bytes) as usize)
+                .map(|i| (i as u8).wrapping_mul(31).wrapping_add(s.id.0 as u8))
                 .collect();
-            (f.id, bytes)
+            (s.id, bytes)
         })
         .collect();
-    let server = BroadcastServer::new(&report.files, report.program.clone(), &contents).unwrap();
+    let mut builder = Broadcast::builder().files(specs.clone());
+    for (id, bytes) in &contents {
+        builder = builder.content(*id, bytes.clone());
+    }
+    let station = builder.build().unwrap();
+    assert!(station.report().verification.is_ok());
 
-    for f in report.files.files() {
-        let (latency, observed_errors, data) = retrieve(
-            &server,
-            f.id,
-            f.size_blocks as usize,
-            f.dispersed_blocks as usize,
-            0,
-            &mut NoErrors,
-        );
-        assert_eq!(data, contents[&f.id], "bytes for {} differ", f.id);
-        assert_eq!(observed_errors, 0);
+    for (id, bytes) in &contents {
+        let outcome = station.retrieve(*id, 0, &mut NoErrors).unwrap();
+        assert_eq!(&outcome.data, bytes, "bytes for {id} differ");
+        assert_eq!(outcome.errors_observed, 0);
         // Fault-free retrieval meets the fault-free deadline.
+        let f = station.files().get(*id).unwrap();
         assert!(
-            latency <= f.latencies.base_latency() as usize,
-            "file {} latency {latency} exceeds deadline {}",
-            f.id,
+            outcome.latency() <= f.latencies.base_latency() as usize,
+            "file {id} latency {} exceeds deadline {}",
+            outcome.latency(),
             f.latencies.base_latency()
         );
     }
@@ -89,47 +54,36 @@ fn designed_program_delivers_correct_bytes_for_every_file() {
 fn deadlines_hold_for_every_request_slot_and_fault_level() {
     // The paper's guarantee is per-window, not just from slot 0: check the
     // fault-free and single-fault deadlines from every possible request slot.
-    let specs = vec![
-        GeneralizedFileSpec::new(FileId(1), 1, vec![5, 8]).unwrap(),
-        GeneralizedFileSpec::new(FileId(2), 2, vec![12, 15]).unwrap(),
-    ];
-    let report = design(&specs);
-    let server =
-        BroadcastServer::with_synthetic_contents(&report.files, report.program.clone()).unwrap();
-    let cycle = report.program.data_cycle();
-    for f in report.files.files() {
+    let station = Broadcast::builder()
+        .file(spec(1, 1, &[5, 8]))
+        .file(spec(2, 2, &[12, 15]))
+        .build()
+        .unwrap();
+    let cycle = station.program().data_cycle();
+    for f in station.files().files() {
         for start in 0..cycle {
             // Fault level 0.
-            let (latency, _, _) = retrieve(
-                &server,
-                f.id,
-                f.size_blocks as usize,
-                f.dispersed_blocks as usize,
-                start,
-                &mut NoErrors,
-            );
+            let retrieval = station.subscribe(f.id, start).unwrap();
+            let outcome = station.retrieve(f.id, start, &mut NoErrors).unwrap();
+            assert_eq!(retrieval.deadline(0), Some(f.latencies.base_latency()));
             assert!(
-                latency <= f.latencies.base_latency() as usize,
-                "file {} from slot {start}: {latency} > {}",
+                outcome.latency() <= f.latencies.base_latency() as usize,
+                "file {} from slot {start}: {} > {}",
                 f.id,
+                outcome.latency(),
                 f.latencies.base_latency()
             );
             // Fault level 1: lose the first block of this file that goes by.
             if let Some(d1) = f.latencies.latency(1) {
-                let mut one_loss = TargetedLoss::new(f.id, 1);
-                let (latency, observed, _) = retrieve(
-                    &server,
-                    f.id,
-                    f.size_blocks as usize,
-                    f.dispersed_blocks as usize,
-                    start,
-                    &mut one_loss,
-                );
-                assert!(observed <= 1);
+                let outcome = station
+                    .retrieve(f.id, start, &mut TargetedLoss::new(f.id, 1))
+                    .unwrap();
+                assert!(outcome.errors_observed <= 1);
                 assert!(
-                    latency <= d1 as usize,
-                    "file {} from slot {start} with 1 fault: {latency} > {d1}",
-                    f.id
+                    outcome.latency() <= d1 as usize,
+                    "file {} from slot {start} with 1 fault: {} > {d1}",
+                    f.id,
+                    outcome.latency()
                 );
             }
         }
@@ -138,33 +92,50 @@ fn deadlines_hold_for_every_request_slot_and_fault_level() {
 
 #[test]
 fn lossy_channel_retrievals_still_reconstruct_exact_contents() {
-    let specs = vec![
-        GeneralizedFileSpec::new(FileId(1), 4, vec![30, 36, 40]).unwrap(),
-        GeneralizedFileSpec::new(FileId(2), 2, vec![16, 20]).unwrap(),
-    ];
-    let report = design(&specs);
-    let server =
-        BroadcastServer::with_synthetic_contents(&report.files, report.program.clone()).unwrap();
+    let station = Broadcast::builder()
+        .file(spec(1, 4, &[30, 36, 40]))
+        .file(spec(2, 2, &[16, 20]))
+        .build()
+        .unwrap();
     let mut errors = BernoulliErrors::new(0.15, 99);
-    for f in report.files.files() {
-        let reference = {
-            let df = server.dispersed(f.id).unwrap();
-            Dispersal::new(f.size_blocks as usize, f.dispersed_blocks as usize)
-                .unwrap()
-                .reconstruct(df.blocks())
-                .unwrap()
-        };
+    for f in station.files().files() {
+        let reference = station.retrieve(f.id, 0, &mut NoErrors).unwrap().data;
         for start in [0usize, 3, 11, 29] {
-            let (_, _, data) = retrieve(
-                &server,
-                f.id,
-                f.size_blocks as usize,
-                f.dispersed_blocks as usize,
-                start,
-                &mut errors,
-            );
-            assert_eq!(data, reference, "file {} from slot {start}", f.id);
+            let outcome = station.retrieve(f.id, start, &mut errors).unwrap();
+            assert_eq!(outcome.data, reference, "file {} from slot {start}", f.id);
         }
+    }
+}
+
+#[test]
+fn a_fleet_of_concurrent_clients_is_driven_in_one_pass() {
+    let station = Broadcast::builder()
+        .file(spec(1, 2, &[10, 14]))
+        .file(spec(2, 1, &[6, 8]))
+        .file(spec(3, 3, &[40]))
+        .build()
+        .unwrap();
+    let cycle = station.program().data_cycle();
+    // Forty clients across all files with staggered request slots.
+    let mut fleet: Vec<Retrieval> = (0..40)
+        .map(|i| {
+            let file = FileId(1 + (i % 3) as u32);
+            station.subscribe(file, (i * 7) % (2 * cycle)).unwrap()
+        })
+        .collect();
+    let outcomes = station
+        .run_until_complete(&mut fleet, &mut BernoulliErrors::new(0.05, 17))
+        .unwrap();
+    assert_eq!(outcomes.len(), fleet.len());
+    for (retrieval, outcome) in fleet.iter().zip(&outcomes) {
+        assert_eq!(outcome.file, retrieval.file());
+        assert_eq!(outcome.request_slot, retrieval.request_slot());
+        // Reconstruction must match a clean retrieval of the same file.
+        let reference = station
+            .retrieve(retrieval.file(), 0, &mut NoErrors)
+            .unwrap()
+            .data;
+        assert_eq!(outcome.data, reference);
     }
 }
 
@@ -172,7 +143,7 @@ fn lossy_channel_retrievals_still_reconstruct_exact_contents() {
 fn designer_and_planner_agree_on_an_awacs_style_disk() {
     // Plan the bandwidth with Equations 1/2 (seconds), then express the same
     // requirements in slots at the constructive bandwidth and design the
-    // program; the design must be feasible and verified.
+    // program through the facade; the design must be feasible and verified.
     let requirements = bsim::awacs_scenario();
     let planner = bcore::Planner::default();
     let (bandwidth, _) = planner
@@ -183,11 +154,13 @@ fn designer_and_planner_agree_on_an_awacs_style_disk() {
         .enumerate()
         .map(|(i, r)| {
             let window = (bandwidth as f64 * r.latency_seconds).floor() as u32;
-            let latencies: Vec<u32> = (0..=r.faults).map(|_| window.max(r.size_blocks + r.faults)).collect();
+            let latencies: Vec<u32> = (0..=r.faults)
+                .map(|_| window.max(r.size_blocks + r.faults))
+                .collect();
             GeneralizedFileSpec::new(FileId(i as u32 + 1), r.size_blocks, latencies).unwrap()
         })
         .collect();
-    let report = design(&specs);
-    assert!(report.verification.is_ok(), "{:?}", report.verification);
-    assert!(report.density <= 1.0);
+    let station: Station = Broadcast::builder().files(specs).build().unwrap();
+    assert!(station.report().verification.is_ok());
+    assert!(station.density() <= 1.0);
 }

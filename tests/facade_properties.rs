@@ -1,0 +1,130 @@
+//! End-to-end property test of Lemma 3 through the public facade API.
+//!
+//! For every designed program, a retrieval that suffers `j ≤ r` reception
+//! faults completes within its declared latency `d⁽ʲ⁾`: the designer emits
+//! programs satisfying `bc(i, mᵢ + j, d⁽ʲ⁾)` (at least `mᵢ + j` blocks of
+//! the file in every `d⁽ʲ⁾`-slot window) with dispersal width `nᵢ ≥ mᵢ + rᵢ`,
+//! so *any* `j` losses still leave `mᵢ` distinct blocks inside the window.
+//! This exercises the guarantee through `Broadcast::builder` → `Station` →
+//! `Retrieval` only — no internal APIs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtbdisk::{
+    Broadcast, ErrorModel, FileId, GeneralizedFileSpec, Retrieval, Station, TransmissionRef,
+};
+use std::collections::BTreeSet;
+
+/// Loses the receptions of `file` whose *reception index* (0-based count of
+/// that file's transmissions seen by this client) is in `indices` — an
+/// adversary that can pick any fault pattern of a fixed size.
+struct LoseReceptions {
+    file: FileId,
+    indices: BTreeSet<usize>,
+    seen: usize,
+}
+
+impl LoseReceptions {
+    fn new(file: FileId, indices: BTreeSet<usize>) -> Self {
+        LoseReceptions {
+            file,
+            indices,
+            seen: 0,
+        }
+    }
+}
+
+impl ErrorModel for LoseReceptions {
+    fn is_lost(&mut self, tx: TransmissionRef<'_>) -> bool {
+        if tx.block.file() != self.file {
+            return false;
+        }
+        let lost = self.indices.contains(&self.seen);
+        self.seen += 1;
+        lost
+    }
+}
+
+/// A random schedulable specification set: 1–3 files, sizes 1–3, fault
+/// tolerance up to 2, latency vectors loose enough to stay below the
+/// cascade's comfortable density.
+fn random_station(rng: &mut StdRng) -> Station {
+    loop {
+        let n_files = rng.gen_range(1usize..=3);
+        let mut density = 0.0f64;
+        let mut specs = Vec::new();
+        for i in 0..n_files {
+            let m = rng.gen_range(1u32..=3);
+            let r = rng.gen_range(0usize..=2);
+            // Base window comfortably above the minimum m + r, then
+            // non-decreasing increments per fault level.
+            let d0 = (m + r as u32) * rng.gen_range(3u32..=6) + rng.gen_range(0u32..=4);
+            let mut latencies = vec![d0];
+            for _ in 0..r {
+                let prev = *latencies.last().unwrap();
+                latencies.push(prev + rng.gen_range(1u32..=4));
+            }
+            density += f64::from(m) / f64::from(d0);
+            specs.push(GeneralizedFileSpec::new(FileId(i as u32 + 1), m, latencies).unwrap());
+        }
+        if density > 0.65 {
+            continue;
+        }
+        match Broadcast::builder().files(specs).build() {
+            Ok(station) => return station,
+            // The cascade may decline a heuristically hard instance; draw
+            // another. (Verification failures would also land here, but the
+            // builder never returns an unverified station.)
+            Err(_) => continue,
+        }
+    }
+}
+
+#[test]
+fn lemma_3_j_faults_complete_within_their_declared_latency() {
+    let mut rng = StdRng::seed_from_u64(0x1E443);
+    for _case in 0..20 {
+        let station = random_station(&mut rng);
+        let cycle = station.program().data_cycle();
+        // Sample request slots across one data cycle (all of them when the
+        // cycle is small).
+        let starts: Vec<usize> = if cycle <= 24 {
+            (0..cycle).collect()
+        } else {
+            (0..24).map(|_| rng.gen_range(0..cycle)).collect()
+        };
+        for f in station.files().files() {
+            let max_faults = f.latencies.max_faults();
+            for j in 0..=max_faults {
+                for &start in &starts {
+                    // Adversarial-ish fault pattern: j losses placed anywhere
+                    // among the first m + j receptions (the only receptions
+                    // that can matter before completion).
+                    let m = f.size_blocks as usize;
+                    let mut indices = BTreeSet::new();
+                    while indices.len() < j {
+                        indices.insert(rng.gen_range(0..m + j));
+                    }
+                    let mut errors = LoseReceptions::new(f.id, indices.clone());
+                    let mut retrieval: Retrieval = station.subscribe(f.id, start).unwrap();
+                    let outcomes = station
+                        .run_until_complete(std::slice::from_mut(&mut retrieval), &mut errors)
+                        .unwrap();
+                    let outcome = &outcomes[0];
+                    // A loss scheduled after the completing reception never
+                    // reaches the client, so at most `j` faults are observed.
+                    assert!(outcome.errors_observed <= j, "more faults than injected");
+                    let deadline = retrieval.deadline(j).unwrap();
+                    assert!(
+                        outcome.latency() <= deadline as usize,
+                        "file {} (m={m}) from slot {start} with {j} faults at {indices:?}: \
+                         latency {} > d({j}) = {deadline}",
+                        f.id,
+                        outcome.latency()
+                    );
+                    assert_eq!(retrieval.within_declared_latency(outcome), Some(true));
+                }
+            }
+        }
+    }
+}

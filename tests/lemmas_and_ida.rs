@@ -1,15 +1,23 @@
-//! Property-based tests of the paper's delay lemmas and of the IDA/AIDA
+//! Randomized property tests of the paper's delay lemmas and of the IDA/AIDA
 //! substrate, across crates.
+//!
+//! Cases are generated from a seeded RNG (the workspace vendors a
+//! deterministic `rand`), so every run checks the same property sample and
+//! failures are reproducible.
 
 use bdisk::{BroadcastProgram, FlatOrder};
 use bsim::worst_case_latency;
 use ida::{Dispersal, FileId};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a small broadcast file-set description as (blocks, redundancy)
-/// pairs, between 2 and 5 files.
-fn file_mix() -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((1u32..8, 0u32..8), 2..5)
+/// A small broadcast file-set description as (blocks, redundancy) pairs,
+/// between 2 and 5 files.
+fn file_mix(rng: &mut StdRng) -> Vec<(u32, u32)> {
+    let n = rng.gen_range(2usize..5);
+    (0..n)
+        .map(|_| (rng.gen_range(1u32..8), rng.gen_range(0u32..8)))
+        .collect()
 }
 
 fn build_set(mix: &[(u32, u32)]) -> bdisk::FileSet {
@@ -24,14 +32,14 @@ fn build_set(mix: &[(u32, u32)]) -> bdisk::FileSet {
         .collect::<bdisk::FileSet>()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Lemma 1: in a flat (undispersed) broadcast program with period τ, `r`
-    /// errors delay a retrieval by at most r·τ beyond the fault-free worst
-    /// case.
-    #[test]
-    fn lemma_1_holds_for_random_flat_programs(mix in file_mix(), r in 0usize..3) {
+/// Lemma 1: in a flat (undispersed) broadcast program with period τ, `r`
+/// errors delay a retrieval by at most r·τ beyond the fault-free worst case.
+#[test]
+fn lemma_1_holds_for_random_flat_programs() {
+    let mut rng = StdRng::seed_from_u64(0x11A5);
+    for _ in 0..48 {
+        let mix = file_mix(&mut rng);
+        let r = rng.gen_range(0usize..3);
         let undispersed: Vec<(u32, u32)> = mix.iter().map(|&(m, _)| (m, 0)).collect();
         let files = build_set(&undispersed);
         let program = BroadcastProgram::flat(&files, FlatOrder::Spread).unwrap();
@@ -39,76 +47,93 @@ proptest! {
         let target = FileId(0);
         let threshold = files.get(target).unwrap().size_blocks as usize;
         let analysis = worst_case_latency(&program, target, threshold, r);
-        prop_assert!(
+        assert!(
             analysis.extra_delay <= r * tau,
-            "extra {} > r·τ = {}",
+            "mix {mix:?}, r {r}: extra {} > r·τ = {}",
             analysis.extra_delay,
             r * tau
         );
     }
+}
 
-    /// Lemma 2: in an AIDA-based flat program, while the error count stays
-    /// within the file's redundancy, `r` errors cost at most r·Δ extra slots.
-    #[test]
-    fn lemma_2_holds_within_the_redundancy_budget(mix in file_mix(), r in 0usize..4) {
+/// Lemma 2: in an AIDA-based flat program, while the error count stays
+/// within the file's redundancy, `r` errors cost at most r·Δ extra slots.
+#[test]
+fn lemma_2_holds_within_the_redundancy_budget() {
+    let mut rng = StdRng::seed_from_u64(0x11A6);
+    let mut checked = 0usize;
+    while checked < 48 {
+        let mix = file_mix(&mut rng);
+        let r = rng.gen_range(0usize..4);
         let files = build_set(&mix);
-        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
-        let target = FileId(0);
-        let file = files.get(target).unwrap();
+        let file = files.get(FileId(0)).unwrap();
         let redundancy = (file.dispersed_blocks - file.size_blocks) as usize;
-        prop_assume!(r <= redundancy);
-        let delta = program.max_gap(target).unwrap();
+        if r > redundancy {
+            continue;
+        }
         let threshold = file.size_blocks as usize;
-        let analysis = worst_case_latency(&program, target, threshold, r);
-        prop_assert!(
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        let delta = program.max_gap(FileId(0)).unwrap();
+        let analysis = worst_case_latency(&program, FileId(0), threshold, r);
+        assert!(
             analysis.extra_delay <= r * delta,
-            "extra {} > r·Δ = {} (Δ = {delta})",
+            "mix {mix:?}, r {r}: extra {} > r·Δ = {} (Δ = {delta})",
             analysis.extra_delay,
             r * delta
         );
-    }
-
-    /// AIDA dominance: for the same file mix and error budget within the
-    /// redundancy, the dispersed program's worst case never exceeds the
-    /// undispersed one's.
-    #[test]
-    fn aida_never_hurts_worst_case_delay(mix in file_mix(), r in 0usize..3) {
-        let undispersed: Vec<(u32, u32)> = mix.iter().map(|&(m, _)| (m, 0)).collect();
-        let plain = BroadcastProgram::flat(&build_set(&undispersed), FlatOrder::Spread).unwrap();
-        let files = build_set(&mix);
-        let dispersed = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
-        let target = FileId(0);
-        let file = files.get(target).unwrap();
-        prop_assume!(r <= (file.dispersed_blocks - file.size_blocks) as usize);
-        let threshold = file.size_blocks as usize;
-        let with = worst_case_latency(&dispersed, target, threshold, r);
-        let without = worst_case_latency(&plain, target, threshold, r);
-        prop_assert!(with.latency <= without.latency + file.dispersed_blocks as usize - file.size_blocks as usize,
-            "dispersed {} much worse than plain {}", with.latency, without.latency);
+        checked += 1;
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// AIDA dominance: for the same file mix and error budget within the
+/// redundancy, the dispersed program's worst case never exceeds the
+/// undispersed one's by more than the extra blocks it carries.
+#[test]
+fn aida_never_hurts_worst_case_delay() {
+    let mut rng = StdRng::seed_from_u64(0x11A7);
+    let mut checked = 0usize;
+    while checked < 48 {
+        let mix = file_mix(&mut rng);
+        let r = rng.gen_range(0usize..3);
+        let files = build_set(&mix);
+        let file = files.get(FileId(0)).unwrap();
+        if r > (file.dispersed_blocks - file.size_blocks) as usize {
+            continue;
+        }
+        let undispersed: Vec<(u32, u32)> = mix.iter().map(|&(m, _)| (m, 0)).collect();
+        let plain = BroadcastProgram::flat(&build_set(&undispersed), FlatOrder::Spread).unwrap();
+        let dispersed = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        let threshold = file.size_blocks as usize;
+        let with = worst_case_latency(&dispersed, FileId(0), threshold, r);
+        let without = worst_case_latency(&plain, FileId(0), threshold, r);
+        assert!(
+            with.latency
+                <= without.latency + file.dispersed_blocks as usize - file.size_blocks as usize,
+            "mix {mix:?}, r {r}: dispersed {} much worse than plain {}",
+            with.latency,
+            without.latency
+        );
+        checked += 1;
+    }
+}
 
-    /// IDA round-trip: any m of the n dispersed blocks reconstruct the file
-    /// byte-for-byte, for arbitrary payloads and parameters.
-    #[test]
-    fn ida_reconstructs_from_any_m_blocks(
-        payload in prop::collection::vec(any::<u8>(), 1..600),
-        m in 1usize..8,
-        extra in 0usize..8,
-        selector in any::<u64>(),
-    ) {
-        let n = m + extra;
+/// IDA round-trip: any m of the n dispersed blocks reconstruct the file
+/// byte-for-byte, for arbitrary payloads and parameters.
+#[test]
+fn ida_reconstructs_from_any_m_blocks() {
+    let mut rng = StdRng::seed_from_u64(0x1DA0);
+    for _ in 0..32 {
+        let m = rng.gen_range(1usize..8);
+        let n = m + rng.gen_range(0usize..8);
+        let payload: Vec<u8> = (0..rng.gen_range(1usize..600))
+            .map(|_| rng.gen_range(0u32..=255) as u8)
+            .collect();
         let dispersal = Dispersal::new(m, n).unwrap();
         let dispersed = dispersal.disperse(FileId(1), &payload).unwrap();
-        // Pick a pseudo-random m-subset of the n blocks.
+        // Pick a pseudo-random m-subset of the n blocks (Fisher–Yates).
         let mut indices: Vec<usize> = (0..n).collect();
-        let mut state = selector | 1;
         for i in (1..indices.len()).rev() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let j = (state >> 33) as usize % (i + 1);
+            let j = rng.gen_range(0usize..=i);
             indices.swap(i, j);
         }
         let subset: Vec<_> = indices[..m]
@@ -116,20 +141,28 @@ proptest! {
             .map(|&i| dispersed.blocks()[i].clone())
             .collect();
         let recovered = dispersal.reconstruct(&subset).unwrap();
-        prop_assert_eq!(recovered, payload);
+        assert_eq!(
+            recovered,
+            payload,
+            "m {m}, n {n}, subset {:?}",
+            &indices[..m]
+        );
     }
+}
 
-    /// Fewer than m distinct blocks must never reconstruct.
-    #[test]
-    fn ida_refuses_to_reconstruct_below_threshold(
-        payload in prop::collection::vec(any::<u8>(), 1..200),
-        m in 2usize..8,
-        extra in 0usize..6,
-    ) {
-        let n = m + extra;
+/// Fewer than m distinct blocks must never reconstruct.
+#[test]
+fn ida_refuses_to_reconstruct_below_threshold() {
+    let mut rng = StdRng::seed_from_u64(0x1DA1);
+    for _ in 0..32 {
+        let m = rng.gen_range(2usize..8);
+        let n = m + rng.gen_range(0usize..6);
+        let payload: Vec<u8> = (0..rng.gen_range(1usize..200))
+            .map(|_| rng.gen_range(0u32..=255) as u8)
+            .collect();
         let dispersal = Dispersal::new(m, n).unwrap();
         let dispersed = dispersal.disperse(FileId(1), &payload).unwrap();
         let subset: Vec<_> = dispersed.blocks()[..m - 1].to_vec();
-        prop_assert!(dispersal.reconstruct(&subset).is_err());
+        assert!(dispersal.reconstruct(&subset).is_err(), "m {m}, n {n}");
     }
 }

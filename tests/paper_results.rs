@@ -43,7 +43,10 @@ fn example_1_schedulability_verdicts() {
     let e = bounds::example_1();
     assert!(e.first_schedulable);
     assert!(e.second_schedulable);
-    assert!(e.third_infeasible_for.iter().all(|&(_, infeasible)| infeasible));
+    assert!(e
+        .third_infeasible_for
+        .iter()
+        .all(|&(_, infeasible)| infeasible));
 }
 
 #[test]

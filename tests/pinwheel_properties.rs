@@ -1,70 +1,80 @@
-//! Property-based tests of the pinwheel scheduling substrate: every
+//! Randomized property tests of the pinwheel scheduling substrate: every
 //! guarantee the broadcast-disk planner relies on, exercised on random
-//! instances.
+//! instances from a seeded RNG (deterministic, reproducible runs).
 
 use pinwheel::{
     verify, AutoScheduler, DoubleIntegerScheduler, ExactOutcome, ExactSolver, LlfScheduler,
     PinwheelScheduler, SaScheduler, SxScheduler, Task, TaskSystem,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a unit-task system with density at most `max_density`.
-fn unit_system(max_tasks: usize, max_density: f64) -> impl Strategy<Value = TaskSystem> {
-    prop::collection::vec(2u32..200, 1..=max_tasks).prop_filter_map(
-        "density within bound",
-        move |windows| {
-            let density: f64 = windows.iter().map(|&w| 1.0 / f64::from(w)).sum();
-            if density > max_density {
-                return None;
-            }
-            let tasks: Vec<Task> = windows
-                .iter()
-                .enumerate()
-                .map(|(i, &w)| Task::unit(i as u32 + 1, w))
-                .collect();
-            TaskSystem::new(tasks).ok()
-        },
-    )
-}
-
-/// Strategy: a multi-unit task system (requirements up to 4) with bounded
-/// density.
-fn multi_unit_system(max_tasks: usize, max_density: f64) -> impl Strategy<Value = TaskSystem> {
-    prop::collection::vec((1u32..=4, 4u32..300), 1..=max_tasks).prop_filter_map(
-        "density within bound and valid",
-        move |pairs| {
-            let density: f64 = pairs
-                .iter()
-                .map(|&(a, b)| f64::from(a) / f64::from(b))
-                .sum();
-            if density > max_density {
-                return None;
-            }
-            let tasks: Vec<Task> = pairs
-                .iter()
-                .enumerate()
-                .map(|(i, &(a, b))| Task::new(i as u32 + 1, a, b.max(a)))
-                .collect();
-            TaskSystem::new(tasks).ok()
-        },
-    )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Holte et al.'s guarantee: density ≤ 1/2 ⇒ Sa schedules it, and the
-    /// schedule verifies.
-    #[test]
-    fn sa_schedules_everything_below_density_half(system in unit_system(8, 0.5)) {
-        let schedule = SaScheduler.schedule(&system)
-            .expect("Sa is guaranteed below density 1/2");
-        prop_assert!(verify(&schedule, &system).is_ok());
+/// A unit-task system with density at most `max_density` (rejection
+/// sampling).
+fn unit_system(rng: &mut StdRng, max_tasks: usize, max_density: f64) -> TaskSystem {
+    loop {
+        let n = rng.gen_range(1usize..=max_tasks);
+        let windows: Vec<u32> = (0..n).map(|_| rng.gen_range(2u32..200)).collect();
+        let density: f64 = windows.iter().map(|&w| 1.0 / f64::from(w)).sum();
+        if density > max_density {
+            continue;
+        }
+        let tasks: Vec<Task> = windows
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Task::unit(i as u32 + 1, w))
+            .collect();
+        if let Ok(system) = TaskSystem::new(tasks) {
+            return system;
+        }
     }
+}
 
-    /// Every scheduler only ever returns verified schedules, at any density.
-    #[test]
-    fn schedulers_never_return_invalid_schedules(system in unit_system(8, 1.0)) {
+/// A multi-unit task system (requirements up to 4) with bounded density.
+fn multi_unit_system(rng: &mut StdRng, max_tasks: usize, max_density: f64) -> TaskSystem {
+    loop {
+        let n = rng.gen_range(1usize..=max_tasks);
+        let pairs: Vec<(u32, u32)> = (0..n)
+            .map(|_| (rng.gen_range(1u32..=4), rng.gen_range(4u32..300)))
+            .collect();
+        let density: f64 = pairs
+            .iter()
+            .map(|&(a, b)| f64::from(a) / f64::from(b))
+            .sum();
+        if density > max_density {
+            continue;
+        }
+        let tasks: Vec<Task> = pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| Task::new(i as u32 + 1, a, b.max(a)))
+            .collect();
+        if let Ok(system) = TaskSystem::new(tasks) {
+            return system;
+        }
+    }
+}
+
+/// Holte et al.'s guarantee: density ≤ 1/2 ⇒ Sa schedules it, and the
+/// schedule verifies.
+#[test]
+fn sa_schedules_everything_below_density_half() {
+    let mut rng = StdRng::seed_from_u64(0x5A00);
+    for _ in 0..64 {
+        let system = unit_system(&mut rng, 8, 0.5);
+        let schedule = SaScheduler
+            .schedule(&system)
+            .expect("Sa is guaranteed below density 1/2");
+        assert!(verify(&schedule, &system).is_ok());
+    }
+}
+
+/// Every scheduler only ever returns verified schedules, at any density.
+#[test]
+fn schedulers_never_return_invalid_schedules() {
+    let mut rng = StdRng::seed_from_u64(0x5A01);
+    for _ in 0..64 {
+        let system = unit_system(&mut rng, 8, 1.0);
         let schedulers: Vec<Box<dyn PinwheelScheduler>> = vec![
             Box::new(SaScheduler),
             Box::new(SxScheduler::default()),
@@ -74,88 +84,125 @@ proptest! {
         ];
         for s in schedulers {
             if let Ok(schedule) = s.schedule(&system) {
-                prop_assert!(verify(&schedule, &system).is_ok(), "{} returned a bad schedule", s.name());
+                assert!(
+                    verify(&schedule, &system).is_ok(),
+                    "{} returned a bad schedule",
+                    s.name()
+                );
             }
         }
     }
+}
 
-    /// The Chan & Chin regime the paper's Equations 1/2 rely on: the cascade
-    /// schedules every instance with density ≤ 7/10 (every such instance is
-    /// feasible, so a failure here is a genuine gap in the cascade).
-    #[test]
-    fn auto_scheduler_covers_the_seven_tenths_regime(system in unit_system(5, 0.70)) {
-        let schedule = AutoScheduler::default().schedule(&system)
+/// The Chan & Chin regime the paper's Equations 1/2 rely on: the cascade
+/// schedules every instance with density ≤ 7/10 (every such instance is
+/// feasible, so a failure here is a genuine gap in the cascade).
+#[test]
+fn auto_scheduler_covers_the_seven_tenths_regime() {
+    let mut rng = StdRng::seed_from_u64(0x5A02);
+    for _ in 0..64 {
+        let system = unit_system(&mut rng, 5, 0.70);
+        let schedule = AutoScheduler::default()
+            .schedule(&system)
             .expect("cascade must cover density ≤ 0.7");
-        prop_assert!(verify(&schedule, &system).is_ok());
+        assert!(verify(&schedule, &system).is_ok());
     }
+}
 
-    /// Multi-unit tasks (the `pc(i, m, d)` conditions of the paper) are
-    /// handled through rule R3; schedules remain valid against the original
-    /// multi-unit conditions.
-    #[test]
-    fn multi_unit_conditions_verify_against_originals(system in multi_unit_system(5, 0.55)) {
+/// Multi-unit tasks (the `pc(i, m, d)` conditions of the paper) are handled
+/// through rule R3; schedules remain valid against the original multi-unit
+/// conditions.
+#[test]
+fn multi_unit_conditions_verify_against_originals() {
+    let mut rng = StdRng::seed_from_u64(0x5A03);
+    for _ in 0..64 {
+        let system = multi_unit_system(&mut rng, 5, 0.55);
         if let Ok(schedule) = AutoScheduler::default().schedule(&system) {
-            prop_assert!(verify(&schedule, &system).is_ok());
+            assert!(verify(&schedule, &system).is_ok());
         }
     }
+}
 
-    /// Exact solver soundness: when it says "schedulable" the witness
-    /// verifies; when a heuristic finds a schedule the exact solver never
-    /// says "infeasible".
-    #[test]
-    fn exact_solver_agrees_with_constructive_schedulers(system in unit_system(4, 0.9)) {
+/// Exact solver soundness: when it says "schedulable" the witness verifies;
+/// when it proves infeasibility no heuristic may find a schedule.
+#[test]
+fn exact_solver_agrees_with_constructive_schedulers() {
+    let mut rng = StdRng::seed_from_u64(0x5A04);
+    let mut checked = 0usize;
+    while checked < 64 {
+        let system = unit_system(&mut rng, 4, 0.9);
         // Keep the state space small enough for the exact solver.
         let states: u128 = system
             .tasks()
             .iter()
             .fold(1u128, |acc, t| acc.saturating_mul(u128::from(t.window)));
-        prop_assume!(states <= 200_000);
-        let exact = ExactSolver::default().decide(&system);
-        match &exact {
-            ExactOutcome::Schedulable(s) => prop_assert!(verify(s, &system).is_ok()),
+        if states > 200_000 {
+            continue;
+        }
+        checked += 1;
+        match ExactSolver::default().decide(&system) {
+            ExactOutcome::Schedulable(s) => assert!(verify(&s, &system).is_ok()),
             ExactOutcome::Infeasible => {
                 for s in [
                     SaScheduler.schedule(&system),
                     SxScheduler::default().schedule(&system),
                     LlfScheduler::default().schedule(&system),
                 ] {
-                    prop_assert!(s.is_err(), "heuristic scheduled an infeasible instance");
+                    assert!(s.is_err(), "heuristic scheduled an infeasible instance");
                 }
             }
             ExactOutcome::Undecided { .. } => {}
         }
     }
+}
 
-    /// Density above one is always rejected, never mis-scheduled.
-    #[test]
-    fn density_above_one_is_always_rejected(
-        windows in prop::collection::vec(2u32..6, 3..6)
-    ) {
+/// Density above one is always rejected, never mis-scheduled.
+#[test]
+fn density_above_one_is_always_rejected() {
+    let mut rng = StdRng::seed_from_u64(0x5A05);
+    let mut checked = 0usize;
+    while checked < 64 {
+        let n = rng.gen_range(3usize..6);
+        let windows: Vec<u32> = (0..n).map(|_| rng.gen_range(2u32..6)).collect();
         let density: f64 = windows.iter().map(|&w| 1.0 / f64::from(w)).sum();
-        prop_assume!(density > 1.0 + 1e-9);
+        if density <= 1.0 + 1e-9 {
+            continue;
+        }
+        checked += 1;
         let tasks: Vec<Task> = windows
             .iter()
             .enumerate()
             .map(|(i, &w)| Task::unit(i as u32 + 1, w))
             .collect();
         let system = TaskSystem::new(tasks).unwrap();
-        prop_assert!(AutoScheduler::default().schedule(&system).is_err());
-        prop_assert!(ExactSolver::default().decide(&system).is_infeasible());
+        assert!(AutoScheduler::default().schedule(&system).is_err());
+        assert!(ExactSolver::default().decide(&system).is_infeasible());
     }
 }
 
-// The verifier itself, cross-checked against a brute-force window count on
-// random schedules.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn verifier_matches_brute_force(
-        slots in prop::collection::vec(prop::option::of(1u32..4), 1..40),
-        requirement in 1u32..4,
-        window in 1u32..30,
-    ) {
-        prop_assume!(requirement <= window);
+/// The verifier itself, cross-checked against a brute-force window count on
+/// random schedules.
+#[test]
+fn verifier_matches_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x5A06);
+    let mut checked = 0usize;
+    while checked < 64 {
+        let len = rng.gen_range(1usize..40);
+        let slots: Vec<Option<u32>> = (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(1u32..4))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let requirement = rng.gen_range(1u32..4);
+        let window = rng.gen_range(1u32..30);
+        if requirement > window {
+            continue;
+        }
+        checked += 1;
         let schedule = pinwheel::Schedule::new(slots.clone());
         let task = Task::new(1, requirement, window);
         let system = TaskSystem::new(vec![task]).unwrap();
@@ -169,6 +216,9 @@ proptest! {
                 .count();
             count >= requirement as usize
         });
-        prop_assert_eq!(verified, brute);
+        assert_eq!(
+            verified, brute,
+            "slots {slots:?}, a {requirement}, b {window}"
+        );
     }
 }

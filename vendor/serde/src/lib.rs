@@ -1,0 +1,394 @@
+//! Minimal vendored subset of `serde`: a self-describing [`Value`] data
+//! model with [`Serialize`]/[`Deserialize`] traits and derive macros.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! crate cannot be fetched.  Unlike real serde there is no serializer /
+//! deserializer abstraction: serializing produces a [`Value`] tree and the
+//! companion `serde_json` crate renders or parses it.  The derive macros in
+//! `serde_derive` (vendored next door) target exactly this trait pair.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing value tree (the JSON data model plus unsigned
+/// integers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed (negative) integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key-value map (insertion-ordered).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// An error raised during deserialization.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be turned into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a value.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+/// Looks a field up in a struct map and deserializes it; missing fields
+/// deserialize from `Null` (so `Option` fields tolerate absence).
+pub fn from_field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize(v),
+        None => {
+            T::deserialize(&Value::Null).map_err(|_| Error::new(format!("missing field `{name}`")))
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| Error::new("unsigned integer out of range")),
+                    Value::Int(i) => u64::try_from(*i)
+                        .ok()
+                        .and_then(|u| <$t>::try_from(u).ok())
+                        .ok_or_else(|| Error::new("integer out of range")),
+                    _ => Err(Error::new("expected unsigned integer")),
+                }
+            }
+        }
+    )*};
+}
+
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::UInt(i as u64)
+                } else {
+                    Value::Int(i)
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::UInt(u) => i64::try_from(*u)
+                        .ok()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::new("integer out of range")),
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| Error::new("integer out of range")),
+                    _ => Err(Error::new("expected integer")),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            _ => Err(Error::new("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        T::serialize(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::new("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(t) => t.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$n.serialize()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::new("expected sequence for tuple"))?;
+                Ok(($($t::deserialize(
+                    s.get($n).ok_or_else(|| Error::new("tuple too short"))?
+                )?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impls!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+);
+
+/// Renders a serialized key for use in a JSON map (strings stay bare,
+/// everything else uses its JSON rendering).
+fn key_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::UInt(u) => u.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Float(f) => f.to_string(),
+        _ => panic!("unsupported map key type"),
+    }
+}
+
+/// Rebuilds a key from its string form: tries an unsigned integer, then a
+/// signed one, then falls back to a plain string.
+fn key_value(s: &str) -> Value {
+    if let Ok(u) = s.parse::<u64>() {
+        Value::UInt(u)
+    } else if let Ok(i) = s.parse::<i64>() {
+        Value::Int(i)
+    } else {
+        Value::Str(s.to_string())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_string(&k.serialize()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map().ok_or_else(|| Error::new("expected map"))?;
+        m.iter()
+            .map(|(k, v)| Ok((K::deserialize(&key_value(k))?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_string(&k.serialize()), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: Deserialize + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let m = v.as_map().ok_or_else(|| Error::new("expected map"))?;
+        m.iter()
+            .map(|(k, v)| Ok((K::deserialize(&key_value(k))?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-3i64).serialize()).unwrap(), -3);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2, 3].serialize()).unwrap(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn map_round_trips_with_integer_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "three".to_string());
+        m.insert(7u32, "seven".to_string());
+        let back = BTreeMap::<u32, String>::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,397 @@
+//! Derive macros for the vendored `serde` subset.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) cannot be fetched.
+//! This implementation parses the deriving item with a small hand-rolled
+//! token walker instead.  It supports exactly the shapes this workspace
+//! uses: non-generic named structs, tuple structs, and enums with unit,
+//! named-field and tuple variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Splits a token slice on top-level commas, treating `<`/`>` as nesting so
+/// commas inside generic argument lists (e.g. `BTreeMap<K, V>`) don't split.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth: i32 = 0;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if !current.is_empty() {
+                        out.push(std::mem::take(&mut current));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]`, covering doc comments) and
+/// visibility (`pub`, `pub(...)`) from a token chunk.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> Vec<TokenTree> {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    tokens[i..].to_vec()
+}
+
+fn named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(group_tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            match chunk.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(group_tokens: &[TokenTree]) -> Vec<Variant> {
+    split_top_level_commas(group_tokens)
+        .iter()
+        .filter_map(|chunk| {
+            let chunk = strip_attrs_and_vis(chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            let fields = match chunk.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(named_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantFields::Tuple(split_top_level_commas(&toks).len())
+                }
+                _ => VariantFields::Unit,
+            };
+            Some(Variant { name, fields })
+        })
+        .collect()
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = strip_attrs_and_vis(&tokens);
+    let mut iter = tokens.iter();
+    loop {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("expected struct name, found {other:?}"),
+                };
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                        return Shape::NamedStruct {
+                            name,
+                            fields: named_fields(&toks),
+                        };
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                        return Shape::TupleStruct {
+                            name,
+                            arity: split_top_level_commas(&toks).len(),
+                        };
+                    }
+                    other => panic!(
+                        "serde_derive (vendored) supports only non-generic structs; found {other:?} after `struct {name}`"
+                    ),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("expected enum name, found {other:?}"),
+                };
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+                        return Shape::Enum {
+                            name,
+                            variants: parse_variants(&toks),
+                        };
+                    }
+                    other => panic!(
+                        "serde_derive (vendored) supports only non-generic enums; found {other:?} after `enum {name}`"
+                    ),
+                }
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive (vendored): no struct or enum found in input"),
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.push((\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Seq(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let pushes: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "fields.push((\"{f}\".to_string(), ::serde::Serialize::serialize({f})));\n"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => {{\n\
+                                     let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                                     {pushes}\
+                                     ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(fields))])\n\
+                                 }}\n"
+                            )
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vname}(x0) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::serialize(x0))]),\n"
+                        ),
+                        VariantFields::Tuple(arity) => {
+                            let binds: Vec<String> = (0..*arity).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let code = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::from_field(m, \"{f}\")?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let m = v.as_map().ok_or_else(|| ::serde::Error::new(\"expected map for {name}\"))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                     Ok({name}(::serde::Deserialize::deserialize(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let s = v.as_seq().ok_or_else(|| ::serde::Error::new(\"expected sequence for {name}\"))?;\n\
+                         if s.len() != {arity} {{\n\
+                             return Err(::serde::Error::new(\"wrong tuple arity for {name}\"));\n\
+                         }}\n\
+                         Ok({name}({}))\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),\n", v.name))
+                .collect();
+            let payload_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Named(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::from_field(m, \"{f}\")?,\n"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let m = inner.as_map().ok_or_else(|| ::serde::Error::new(\"expected map for {name}::{vname}\"))?;\n\
+                                     Ok({name}::{vname} {{\n{inits}}})\n\
+                                 }}\n"
+                            ))
+                        }
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::deserialize(inner)?)),\n"
+                        )),
+                        VariantFields::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let s = inner.as_seq().ok_or_else(|| ::serde::Error::new(\"expected sequence for {name}::{vname}\"))?;\n\
+                                     if s.len() != {arity} {{\n\
+                                         return Err(::serde::Error::new(\"wrong arity for {name}::{vname}\"));\n\
+                                     }}\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}\n",
+                                items.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(::serde::Error::new(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (key, inner) = &entries[0];\n\
+                                 match key.as_str() {{\n\
+                                     {payload_arms}\
+                                     other => Err(::serde::Error::new(format!(\"unknown variant {{other}} of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::new(\"expected string or single-key map for {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
