@@ -15,6 +15,8 @@
 //!   programs derived from pinwheel schedules (Sections 3–4);
 //! * [`BroadcastServer`] — turns a program plus dispersed file contents into
 //!   a stream of block transmissions;
+//! * [`MultiChannelServer`] — a bank of slot-synchronized broadcast channels
+//!   with a file → channel routing table (the serving side of sharding);
 //! * [`ClientSession`] — a client retrieving one file from the broadcast,
 //!   tolerant of lost blocks thanks to IDA redundancy.
 //!
@@ -39,11 +41,13 @@
 
 mod client;
 mod file;
+mod multi;
 mod program;
 mod server;
 
 pub use client::{ClientSession, RetrievalOutcome};
 pub use file::{BroadcastFile, FileSet, LatencyVector};
 pub use ida::FileId;
+pub use multi::MultiChannelServer;
 pub use program::{BroadcastProgram, FlatOrder, ProgramEntry, ProgramError};
 pub use server::{BroadcastServer, ServerError, Transmission, TransmissionRef};

@@ -1,0 +1,167 @@
+//! Multi-channel broadcast serving.
+//!
+//! The paper's model is a single broadcast channel; it generalizes naturally
+//! to `k` parallel channels, each running its own program under its own
+//! density budget.  A [`MultiChannelServer`] owns one [`BroadcastServer`] per
+//! channel and keeps a file → channel routing table, so a slot-synchronized
+//! driver can ask "what does every channel transmit in slot `t`?"
+//! ([`MultiChannelServer::transmit_all`]) and a client can be tuned to the
+//! one channel that carries its file ([`MultiChannelServer::channel_of`]).
+//!
+//! Partitioning the file set across channels is the job of the `bcore`
+//! crate's shard planner; this type only *serves* an already-partitioned
+//! design, and rejects layouts where one file would be carried by two
+//! channels (routing would be ambiguous).
+
+use crate::server::{BroadcastServer, ServerError, TransmissionRef};
+use ida::FileId;
+use std::collections::BTreeMap;
+
+/// A bank of slot-synchronized broadcast channels.
+///
+/// All channels share one slot clock: slot `t` of the bank is slot `t` of
+/// every per-channel program.  Channels are indexed `0..channel_count()` and
+/// every file is carried by exactly one channel.
+#[derive(Debug, Clone)]
+pub struct MultiChannelServer {
+    channels: Vec<BroadcastServer>,
+    routing: BTreeMap<FileId, usize>,
+}
+
+impl MultiChannelServer {
+    /// Builds a bank from one server per channel.
+    ///
+    /// Fails with [`ServerError::NoChannels`] on an empty bank and with
+    /// [`ServerError::DuplicateFile`] when two channels carry the same file
+    /// (the routing table would be ambiguous).
+    pub fn new(channels: Vec<BroadcastServer>) -> Result<Self, ServerError> {
+        if channels.is_empty() {
+            return Err(ServerError::NoChannels);
+        }
+        let mut routing = BTreeMap::new();
+        for (index, channel) in channels.iter().enumerate() {
+            for file in channel.file_ids() {
+                if routing.insert(file, index).is_some() {
+                    return Err(ServerError::DuplicateFile(file));
+                }
+            }
+        }
+        Ok(MultiChannelServer { channels, routing })
+    }
+
+    /// A single-channel bank — the degenerate case every pre-sharding API
+    /// maps onto.
+    pub fn single(server: BroadcastServer) -> Self {
+        Self::new(vec![server]).expect("one channel is never empty or ambiguous")
+    }
+
+    /// Number of channels in the bank.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// The server of one channel.
+    pub fn channel(&self, index: usize) -> Option<&BroadcastServer> {
+        self.channels.get(index)
+    }
+
+    /// All per-channel servers, in channel order.
+    pub fn channels(&self) -> &[BroadcastServer] {
+        &self.channels
+    }
+
+    /// The channel carrying `file`, if any.
+    pub fn channel_of(&self, file: FileId) -> Option<usize> {
+        self.routing.get(&file).copied()
+    }
+
+    /// The file → channel routing table.
+    pub fn routing(&self) -> &BTreeMap<FileId, usize> {
+        &self.routing
+    }
+
+    /// What one channel transmits in `slot` (borrowed; no copy).
+    pub fn transmit_on(&self, channel: usize, slot: usize) -> Option<TransmissionRef<'_>> {
+        self.channels.get(channel)?.transmit_ref(slot)
+    }
+
+    /// What every channel transmits in `slot`, in channel order — the
+    /// slot-synchronized view a multi-channel driver consumes.
+    pub fn transmit_all(&self, slot: usize) -> Vec<Option<TransmissionRef<'_>>> {
+        self.channels.iter().map(|c| c.transmit_ref(slot)).collect()
+    }
+}
+
+impl AsRef<BroadcastServer> for MultiChannelServer {
+    /// The first channel — so single-channel consumers (e.g. the Monte-Carlo
+    /// simulator) keep working against a bank.
+    fn as_ref(&self) -> &BroadcastServer {
+        &self.channels[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BroadcastFile, BroadcastProgram, FileSet, FlatOrder};
+
+    fn server_for(ids: &[u32]) -> BroadcastServer {
+        let files = FileSet::new(
+            ids.iter()
+                .map(|&i| BroadcastFile::new(FileId(i), format!("F{i}"), 2, 8).with_dispersal(4))
+                .collect(),
+        )
+        .unwrap();
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        BroadcastServer::with_synthetic_contents(&files, program).unwrap()
+    }
+
+    #[test]
+    fn routing_maps_every_file_to_its_channel() {
+        let bank = MultiChannelServer::new(vec![server_for(&[1, 2]), server_for(&[3])]).unwrap();
+        assert_eq!(bank.channel_count(), 2);
+        assert_eq!(bank.channel_of(FileId(1)), Some(0));
+        assert_eq!(bank.channel_of(FileId(2)), Some(0));
+        assert_eq!(bank.channel_of(FileId(3)), Some(1));
+        assert_eq!(bank.channel_of(FileId(9)), None);
+    }
+
+    #[test]
+    fn transmit_all_is_slot_synchronized() {
+        let bank = MultiChannelServer::new(vec![server_for(&[1]), server_for(&[2])]).unwrap();
+        for slot in 0..16 {
+            let all = bank.transmit_all(slot);
+            assert_eq!(all.len(), 2);
+            for (channel, tx) in all.iter().enumerate() {
+                let direct = bank.channel(channel).unwrap().transmit_ref(slot);
+                assert_eq!(tx.is_some(), direct.is_some());
+                if let (Some(a), Some(b)) = (tx, direct) {
+                    assert_eq!(a.slot, slot);
+                    assert_eq!(a.block.file(), b.block.file());
+                    assert_eq!(a.block.index(), b.block.index());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_banks_and_ambiguous_routing_are_rejected() {
+        assert_eq!(
+            MultiChannelServer::new(vec![]).unwrap_err(),
+            ServerError::NoChannels
+        );
+        let err = MultiChannelServer::new(vec![server_for(&[1, 2]), server_for(&[2])]).unwrap_err();
+        assert_eq!(err, ServerError::DuplicateFile(FileId(2)));
+    }
+
+    #[test]
+    fn single_wraps_one_channel() {
+        let bank = MultiChannelServer::single(server_for(&[7]));
+        assert_eq!(bank.channel_count(), 1);
+        assert_eq!(bank.channel_of(FileId(7)), Some(0));
+        assert_eq!(
+            bank.as_ref().file_ids().collect::<Vec<_>>(),
+            vec![FileId(7)]
+        );
+    }
+}

@@ -52,6 +52,11 @@ impl TransmissionRef<'_> {
 pub enum ServerError {
     /// Content was supplied for a file id that is not in the file set.
     UnknownFile(FileId),
+    /// A multi-channel bank was assembled with no channels.
+    NoChannels,
+    /// Two channels of a multi-channel bank carry the same file, so the
+    /// file → channel routing table would be ambiguous.
+    DuplicateFile(FileId),
     /// No content was supplied for a file that the program transmits.
     MissingContent(FileId),
     /// The supplied content length does not match the file's declared size.
@@ -71,6 +76,10 @@ impl core::fmt::Display for ServerError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ServerError::UnknownFile(id) => write!(f, "content supplied for unknown file {id}"),
+            ServerError::NoChannels => write!(f, "a channel bank needs at least one channel"),
+            ServerError::DuplicateFile(id) => {
+                write!(f, "file {id} is carried by more than one channel")
+            }
             ServerError::MissingContent(id) => write!(f, "no content supplied for file {id}"),
             ServerError::ContentSizeMismatch {
                 file,
@@ -176,6 +185,11 @@ impl BroadcastServer {
     /// expected reconstruction).
     pub fn dispersed(&self, file: FileId) -> Option<&DispersedFile> {
         self.dispersed.get(&file)
+    }
+
+    /// The ids of the files this server carries, in ascending order.
+    pub fn file_ids(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.dispersed.keys().copied()
     }
 
     /// What the server transmits in slot `slot`: `None` for an idle slot.

@@ -8,9 +8,9 @@
 //!
 //! Available experiment ids: `fig5`, `fig6`, `fig7`, `lemma1`, `lemma2`,
 //! `example1`, `eq1`, `eq2`, `examples`, `speedup`, `ablation-schedulers`,
-//! `ablation-redundancy`, `ablation-blocksize`, `all`.
+//! `ablation-redundancy`, `ablation-blocksize`, `sharding`, `all`.
 
-use bench::{ablations, bounds, figures};
+use bench::{ablations, bounds, figures, sharding};
 
 fn print_experiment<T: core::fmt::Display + serde::Serialize>(value: &T, json: bool) {
     if json {
@@ -43,6 +43,7 @@ fn run(id: &str, json: bool) -> bool {
         "ablation-schedulers" => print_experiment(&ablations::scheduler_ablation(40, 2024), json),
         "ablation-redundancy" => print_experiment(&ablations::redundancy_ablation(300, 7), json),
         "ablation-blocksize" => print_experiment(&ablations::blocksize_ablation(), json),
+        "sharding" => print_experiment(&sharding::sharding_figure(100, 0x5A4D), json),
         _ => return false,
     }
     true
@@ -69,6 +70,7 @@ fn main() {
         "ablation-schedulers",
         "ablation-redundancy",
         "ablation-blocksize",
+        "sharding",
     ];
     let selected: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
         all.to_vec()

@@ -20,12 +20,14 @@
 //! | `ablation-schedulers` | scheduler success-rate vs. density | [`ablations::scheduler_ablation`] |
 //! | `ablation-redundancy` | AIDA redundancy vs. miss rate | [`ablations::redundancy_ablation`] |
 //! | `ablation-blocksize` | dispersal level vs. recovery delay and cost | [`ablations::blocksize_ablation`] |
+//! | `sharding` | 1/2/4-channel density, latency and miss ratio | [`sharding::sharding_figure`] |
 
 #![forbid(unsafe_code)]
 
 pub mod ablations;
 pub mod bounds;
 pub mod figures;
+pub mod sharding;
 
 /// Renders a simple aligned text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

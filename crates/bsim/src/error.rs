@@ -23,6 +23,164 @@ pub trait ErrorModel {
     fn is_lost(&mut self, transmission: TransmissionRef<'_>) -> bool;
 }
 
+/// A loss process over a *bank* of broadcast channels: the model is told
+/// which channel a transmission travelled on, so per-channel and
+/// cross-channel-correlated loss become expressible.
+///
+/// Every plain [`ErrorModel`] is a [`ChannelErrorModel`] that ignores the
+/// channel index (one shared loss process across all channels) — so
+/// single-channel code and models keep working unchanged against
+/// multi-channel drivers.
+pub trait ChannelErrorModel {
+    /// Returns `true` when the reception of `transmission` on `channel` is
+    /// lost.
+    fn is_lost_on(&mut self, channel: usize, transmission: TransmissionRef<'_>) -> bool;
+}
+
+impl<E: ErrorModel + ?Sized> ChannelErrorModel for E {
+    fn is_lost_on(&mut self, _channel: usize, transmission: TransmissionRef<'_>) -> bool {
+        self.is_lost(transmission)
+    }
+}
+
+/// Independent per-channel loss: channel `c` is governed by the `c`-th model,
+/// with no coupling between channels.  Channels beyond the configured list
+/// are lossless.
+pub struct IndependentChannels {
+    models: Vec<Box<dyn ErrorModel>>,
+}
+
+impl IndependentChannels {
+    /// One model per channel, in channel order.
+    pub fn new(models: Vec<Box<dyn ErrorModel>>) -> Self {
+        IndependentChannels { models }
+    }
+
+    /// `k` channels built by a per-channel constructor (e.g. the same model
+    /// family with per-channel seeds).
+    pub fn build(k: usize, mut make: impl FnMut(usize) -> Box<dyn ErrorModel>) -> Self {
+        IndependentChannels {
+            models: (0..k).map(&mut make).collect(),
+        }
+    }
+
+    /// Number of configured channels.
+    pub fn channel_count(&self) -> usize {
+        self.models.len()
+    }
+}
+
+impl core::fmt::Debug for IndependentChannels {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("IndependentChannels")
+            .field("channels", &self.models.len())
+            .finish()
+    }
+}
+
+impl ChannelErrorModel for IndependentChannels {
+    fn is_lost_on(&mut self, channel: usize, transmission: TransmissionRef<'_>) -> bool {
+        match self.models.get_mut(channel) {
+            Some(model) => model.is_lost(transmission),
+            None => false,
+        }
+    }
+}
+
+/// Correlated cross-channel loss: one *common* loss process (sampled once per
+/// slot, shared by every channel — e.g. a wide-band interference burst that
+/// takes out all carriers at once) on top of independent per-channel models.
+///
+/// A reception is lost when the common process fires for its slot *or* its
+/// channel's own model loses it.
+pub struct CorrelatedChannels {
+    common: Box<dyn ErrorModel>,
+    per_channel: Vec<Box<dyn ErrorModel>>,
+    sampled_slot: Option<usize>,
+    common_lost: bool,
+}
+
+impl CorrelatedChannels {
+    /// Combines a shared per-slot process with independent per-channel
+    /// models.
+    ///
+    /// The common process is sampled on the first reception of each slot
+    /// (whatever channel that is) and the sample is reused for the slot's
+    /// remaining channels — slot-synchronized channels see the same ambient
+    /// event.
+    pub fn new(common: Box<dyn ErrorModel>, per_channel: Vec<Box<dyn ErrorModel>>) -> Self {
+        CorrelatedChannels {
+            common,
+            per_channel,
+            sampled_slot: None,
+            common_lost: false,
+        }
+    }
+
+    /// A fully correlated bank: only the shared process, no per-channel loss.
+    pub fn fully_correlated(common: Box<dyn ErrorModel>) -> Self {
+        Self::new(common, Vec::new())
+    }
+}
+
+impl core::fmt::Debug for CorrelatedChannels {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CorrelatedChannels")
+            .field("channels", &self.per_channel.len())
+            .field("sampled_slot", &self.sampled_slot)
+            .finish()
+    }
+}
+
+impl ChannelErrorModel for CorrelatedChannels {
+    fn is_lost_on(&mut self, channel: usize, transmission: TransmissionRef<'_>) -> bool {
+        if self.sampled_slot != Some(transmission.slot) {
+            self.sampled_slot = Some(transmission.slot);
+            self.common_lost = self.common.is_lost(transmission);
+        }
+        let channel_lost = match self.per_channel.get_mut(channel) {
+            Some(model) => model.is_lost(transmission),
+            None => false,
+        };
+        self.common_lost || channel_lost
+    }
+}
+
+/// Confines an [`ErrorModel`] to a single channel: every other channel is
+/// lossless.  The adversarial building block for "a burst on channel `c`
+/// must not affect channel `c'`" experiments.
+pub struct OnChannel<E> {
+    channel: usize,
+    inner: E,
+}
+
+impl<E: ErrorModel> OnChannel<E> {
+    /// Applies `inner` to receptions on `channel` only.
+    pub fn new(channel: usize, inner: E) -> Self {
+        OnChannel { channel, inner }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: core::fmt::Debug> core::fmt::Debug for OnChannel<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("OnChannel")
+            .field("channel", &self.channel)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+impl<E: ErrorModel> ChannelErrorModel for OnChannel<E> {
+    fn is_lost_on(&mut self, channel: usize, transmission: TransmissionRef<'_>) -> bool {
+        channel == self.channel && self.inner.is_lost(transmission)
+    }
+}
+
 /// A lossless channel.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoErrors;
@@ -226,6 +384,63 @@ mod tests {
             conditional > marginal * 2.0,
             "conditional {conditional} vs marginal {marginal}"
         );
+    }
+
+    #[test]
+    fn plain_models_ignore_the_channel_index() {
+        let tx = a_transmission();
+        let mut model = BernoulliErrors::new(0.5, 7);
+        let mut reference = BernoulliErrors::new(0.5, 7);
+        for channel in 0..8 {
+            assert_eq!(
+                model.is_lost_on(channel, tx.as_ref()),
+                reference.is_lost(tx.as_ref())
+            );
+        }
+    }
+
+    #[test]
+    fn independent_channels_keep_separate_processes() {
+        let tx = a_transmission();
+        let mut bank = IndependentChannels::new(vec![
+            Box::new(NoErrors),
+            Box::new(TargetedLoss::new(FileId(0), 1)),
+        ]);
+        assert_eq!(bank.channel_count(), 2);
+        // Channel 0 is lossless; channel 1 loses exactly one reception.
+        assert!(!bank.is_lost_on(0, tx.as_ref()));
+        assert!(bank.is_lost_on(1, tx.as_ref()));
+        assert!(!bank.is_lost_on(1, tx.as_ref()));
+        // Channels beyond the configured list are lossless.
+        assert!(!bank.is_lost_on(9, tx.as_ref()));
+    }
+
+    #[test]
+    fn correlated_channels_share_one_per_slot_event() {
+        let tx = a_transmission();
+        // The common process loses exactly the first slot it samples.
+        let mut bank = CorrelatedChannels::new(
+            Box::new(TargetedLoss::new(FileId(0), 1)),
+            vec![Box::new(NoErrors), Box::new(NoErrors)],
+        );
+        // Same slot: the common event is sampled once and hits every channel.
+        assert!(bank.is_lost_on(0, tx.as_ref()));
+        assert!(bank.is_lost_on(1, tx.as_ref()));
+        // A later slot re-samples the (now exhausted) common process.
+        let mut later = tx.clone();
+        later.slot += 1;
+        assert!(!bank.is_lost_on(0, later.as_ref()));
+        assert!(!bank.is_lost_on(1, later.as_ref()));
+    }
+
+    #[test]
+    fn on_channel_confines_losses_to_one_channel() {
+        let tx = a_transmission();
+        let mut burst = OnChannel::new(1, TargetedLoss::new(FileId(0), 100));
+        assert!(!burst.is_lost_on(0, tx.as_ref()));
+        assert!(burst.is_lost_on(1, tx.as_ref()));
+        assert!(!burst.is_lost_on(2, tx.as_ref()));
+        assert_eq!(burst.inner().remaining(), 99);
     }
 
     #[test]

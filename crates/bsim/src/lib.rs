@@ -6,7 +6,9 @@
 //! them and stresses the implementation beyond the worked examples:
 //!
 //! * [`error`] — channel error models: lossless, Bernoulli (independent
-//!   block-loss), Gilbert–Elliott bursts, and targeted deterministic loss;
+//!   block-loss), Gilbert–Elliott bursts, targeted deterministic loss, and
+//!   multi-channel banks ([`ChannelErrorModel`]): independent per-channel
+//!   processes, cross-channel-correlated loss, and single-channel bursts;
 //! * [`worst_case`] — an exact adversarial analysis of retrieval delay under
 //!   a bounded number of reception failures (the generator of Figure 7 and
 //!   the empirical check of Lemmas 1 and 2);
@@ -26,7 +28,10 @@ pub mod stats;
 pub mod workload;
 pub mod worst_case;
 
-pub use error::{BernoulliErrors, ErrorModel, GilbertElliott, NoErrors, TargetedLoss};
+pub use error::{
+    BernoulliErrors, ChannelErrorModel, CorrelatedChannels, ErrorModel, GilbertElliott,
+    IndependentChannels, NoErrors, OnChannel, TargetedLoss,
+};
 pub use sim::{RetrievalSimulator, SimulationConfig, SimulationReport};
 pub use stats::{LatencySummary, MissReport};
 pub use workload::{awacs_scenario, ivhs_scenario, RequirementGenerator, WorkloadConfig};

@@ -96,6 +96,17 @@ pub enum DesignError {
         /// The combined density.
         density: f64,
     },
+    /// Greedy density balancing could not fit the file set onto a fixed
+    /// number of channels (each under a density ≤ 1 budget).  The total
+    /// density may still be below the aggregate budget: greedy balancing is
+    /// not an optimal bin-packer, so a lumpy set can miss a fit that
+    /// exists — more channels (or auto mode) will absorb it.
+    ChannelOverload {
+        /// The requested channel count.
+        channels: usize,
+        /// The file set's total nice-conjunct density.
+        total_density: f64,
+    },
     /// The pinwheel scheduler cascade could not construct a schedule.
     Scheduling(ScheduleError),
     /// Program construction failed (should not happen once a schedule
@@ -112,6 +123,14 @@ impl core::fmt::Display for DesignError {
             DesignError::DensityExceedsOne { density } => {
                 write!(f, "combined condition density {density:.3} exceeds one")
             }
+            DesignError::ChannelOverload {
+                channels,
+                total_density,
+            } => write!(
+                f,
+                "could not balance the file set (total density {total_density:.3}) onto \
+                 {channels} channels under a density <= 1 budget each"
+            ),
             DesignError::Scheduling(e) => write!(f, "scheduling failed: {e}"),
             DesignError::Program(e) => write!(f, "program construction failed: {e}"),
         }

@@ -21,6 +21,10 @@
 //! * **The program designer** ([`designer`]) — the end-to-end pipeline from
 //!   generalized file specifications to a verified broadcast program:
 //!   conditions → nice conjunct → pinwheel schedule → block layout.
+//! * **Sharded design** ([`ShardPlanner`], [`MultiChannelDesigner`]) — the
+//!   multi-channel generalization: partition the file set across `k`
+//!   channels by greedy density balancing (each channel under its own
+//!   density ≤ 1 budget) and run the single-channel designer per shard.
 //!
 //! ## Quick example
 //!
@@ -47,6 +51,7 @@ pub mod algebra;
 mod condition;
 mod designer;
 mod planner;
+mod sharding;
 mod transform;
 
 pub use condition::{Bc, ConditionError, NiceConjunct, Pc};
@@ -55,6 +60,9 @@ pub use designer::{
     GeneralizedFileSpec,
 };
 pub use planner::{BandwidthPlan, FileRequirement, Planner, PlannerError};
+pub use sharding::{
+    ChannelBudget, MultiChannelDesigner, MultiChannelReport, ShardPlan, ShardPlanner,
+};
 pub use transform::{
     convert_candidates, convert_to_nice, Candidate, CandidateKind, TaskIdAllocator,
 };

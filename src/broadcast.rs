@@ -1,8 +1,10 @@
 //! The broadcast builder: specifications in, a serving [`Station`] out.
 
 use crate::{Error, Station};
-use bcore::{BdiskDesigner, GeneralizedFileSpec};
-use bdisk::BroadcastServer;
+use bcore::{
+    BdiskDesigner, ChannelBudget, GeneralizedFileSpec, MultiChannelDesigner, ShardPlanner,
+};
+use bdisk::{BroadcastServer, MultiChannelServer};
 use ida::FileId;
 use pinwheel::SchedulerChoice;
 use std::collections::BTreeMap;
@@ -38,6 +40,7 @@ pub struct BroadcastBuilder {
     specs: Vec<GeneralizedFileSpec>,
     contents: BTreeMap<FileId, Vec<u8>>,
     scheduler: SchedulerChoice,
+    channels: ChannelBudget,
     listen_cap: usize,
 }
 
@@ -47,6 +50,7 @@ impl Default for BroadcastBuilder {
             specs: Vec::new(),
             contents: BTreeMap::new(),
             scheduler: SchedulerChoice::default(),
+            channels: ChannelBudget::Fixed(1),
             listen_cap: 100_000,
         }
     }
@@ -81,6 +85,22 @@ impl BroadcastBuilder {
         self
     }
 
+    /// Shards the file set across exactly `k` parallel broadcast channels
+    /// (`k` is clamped to at least 1; default 1 — the paper's single-channel
+    /// model).  Files are partitioned by greedy density balancing, each
+    /// channel under its own density ≤ 1 budget; see [`bcore::ShardPlanner`].
+    pub fn channels(mut self, k: usize) -> Self {
+        self.channels = ChannelBudget::Fixed(k.max(1));
+        self
+    }
+
+    /// Shards the file set across as few channels as the density packing
+    /// needs — a set infeasible on one channel splits instead of failing.
+    pub fn auto_channels(mut self) -> Self {
+        self.channels = ChannelBudget::Auto;
+        self
+    }
+
     /// Sets the maximum number of slots a driven retrieval may listen before
     /// [`Station::run_until_complete`] gives up (default `100_000`).
     pub fn listen_cap(mut self, slots: usize) -> Self {
@@ -90,32 +110,54 @@ impl BroadcastBuilder {
 
     /// Runs the full design pipeline and returns a serving [`Station`].
     ///
-    /// Pipeline: specifications → broadcast conditions → nice pinwheel
-    /// conjunct → schedule → AIDA block layout → verification → dispersal of
-    /// contents.  A program that fails verification against its own
-    /// broadcast conditions is never returned.
+    /// Pipeline: specifications → shard plan (one shard per channel) →
+    /// per-channel broadcast conditions → nice pinwheel conjunct → schedule →
+    /// AIDA block layout → verification → dispersal of contents.  A program
+    /// that fails verification against its own broadcast conditions is never
+    /// returned, on any channel.
     pub fn build(self) -> Result<Station, Error> {
         for id in self.contents.keys() {
             if !self.specs.iter().any(|s| s.id == *id) {
                 return Err(Error::UnknownFile(*id));
             }
         }
-        let designer = BdiskDesigner::with_scheduler(self.scheduler);
-        let report = designer.design(&self.specs)?;
-        if let Err(msg) = &report.verification {
-            return Err(Error::Verification(msg.clone()));
+        let planner = match self.channels {
+            ChannelBudget::Fixed(k) => ShardPlanner::fixed(k),
+            ChannelBudget::Auto => ShardPlanner::auto(),
+        };
+        let designer =
+            MultiChannelDesigner::new(planner, BdiskDesigner::with_scheduler(self.scheduler));
+        let design = designer.design(&self.specs)?;
+        for report in &design.reports {
+            if let Err(msg) = &report.verification {
+                return Err(Error::Verification(msg.clone()));
+            }
         }
 
         // Contents: whatever was supplied, synthetic defaults for the rest
-        // (generated only for files actually missing content).
+        // (generated only for files actually missing content).  Payload bytes
+        // are independent of the channel layout, so a file reconstructs to
+        // identical bytes whether the station is sharded or not.  Every file
+        // lands on exactly one channel, so supplied payloads are *moved* into
+        // their channel's map, never copied.
         let mut contents = self.contents;
-        for f in report.files.files() {
-            contents
-                .entry(f.id)
-                .or_insert_with(|| BroadcastServer::synthetic_content(f));
+        let mut servers = Vec::with_capacity(design.reports.len());
+        for report in &design.reports {
+            let mut channel_contents = BTreeMap::new();
+            for f in report.files.files() {
+                let bytes = contents
+                    .remove(&f.id)
+                    .unwrap_or_else(|| BroadcastServer::synthetic_content(f));
+                channel_contents.insert(f.id, bytes);
+            }
+            servers.push(BroadcastServer::new(
+                &report.files,
+                report.program.clone(),
+                &channel_contents,
+            )?);
         }
-        let server = BroadcastServer::new(&report.files, report.program.clone(), &contents)?;
-        Station::new(self.specs, report, server, self.listen_cap)
+        let server = MultiChannelServer::new(servers)?;
+        Station::new(self.specs, design, server, self.listen_cap)
     }
 }
 
@@ -194,6 +236,54 @@ mod tests {
             Broadcast::builder().build().unwrap_err(),
             Error::Design(DesignError::NoFiles)
         ));
+    }
+
+    #[test]
+    fn channels_shard_the_file_set() {
+        let station = Broadcast::builder()
+            .files((1..=4).map(|i| spec(i, 1, &[6 + 2 * i])))
+            .channels(2)
+            .build()
+            .unwrap();
+        assert_eq!(station.channel_count(), 2);
+        assert_eq!(station.files().len(), 4);
+        for i in 1..=4 {
+            let channel = station.channel_of(FileId(i)).unwrap();
+            assert!(channel < 2);
+            assert!(station.program_of(channel).unwrap().occurrences(FileId(i)) > 0);
+        }
+        for c in 0..station.channel_count() {
+            assert!(station.density_of(c).unwrap() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn auto_channels_split_an_infeasible_set() {
+        // Three half-channel files: infeasible on one channel (see
+        // `infeasible_specifications_surface_the_design_error`), feasible on
+        // two.
+        let station = Broadcast::builder()
+            .files([spec(1, 1, &[2]), spec(2, 1, &[2]), spec(3, 1, &[2])])
+            .auto_channels()
+            .build()
+            .unwrap();
+        assert_eq!(station.channel_count(), 2);
+        let outcome = station.retrieve(FileId(3), 1, &mut bsim::NoErrors).unwrap();
+        assert!(!outcome.data.is_empty());
+    }
+
+    #[test]
+    fn one_channel_stations_match_the_plain_designer() {
+        let specs = vec![spec(1, 2, &[10, 12]), spec(2, 1, &[7])];
+        let station = Broadcast::builder()
+            .files(specs.clone())
+            .channels(1)
+            .build()
+            .unwrap();
+        let plain = BdiskDesigner::default().design(&specs).unwrap();
+        assert_eq!(station.channel_count(), 1);
+        assert_eq!(station.program().entries(), plain.program.entries());
+        assert_eq!(station.density(), plain.density);
     }
 
     #[test]

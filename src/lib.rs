@@ -18,6 +18,12 @@
 //!   `?`-able.
 //! * [`SchedulerChoice`] plugs any of the pinwheel schedulers (harmonic /
 //!   Sa / Sx / double-integer / exact / the auto cascade) into the designer.
+//! * `Broadcast::builder().channels(k)` (or `.auto_channels()`) shards the
+//!   file set across `k` slot-synchronized broadcast channels, each with its
+//!   own pinwheel schedule under its own density ≤ 1 budget;
+//!   [`Station::subscribe`] transparently tunes each [`Retrieval`] to the
+//!   channel carrying its file, and per-channel loss is expressible with
+//!   [`IndependentChannels`] / [`CorrelatedChannels`] / [`OnChannel`].
 //!
 //! ## Quickstart
 //!
@@ -62,9 +68,12 @@ pub use retrieval::Retrieval;
 pub use station::{Station, Stream};
 
 // The handful of cross-crate types every facade user touches.
-pub use bcore::GeneralizedFileSpec;
-pub use bdisk::{LatencyVector, RetrievalOutcome, TransmissionRef};
-pub use bsim::{BernoulliErrors, ErrorModel, GilbertElliott, NoErrors, TargetedLoss};
+pub use bcore::{ChannelBudget, GeneralizedFileSpec, ShardPlan, ShardPlanner};
+pub use bdisk::{LatencyVector, MultiChannelServer, RetrievalOutcome, TransmissionRef};
+pub use bsim::{
+    BernoulliErrors, ChannelErrorModel, CorrelatedChannels, ErrorModel, GilbertElliott,
+    IndependentChannels, NoErrors, OnChannel, TargetedLoss,
+};
 pub use ida::FileId;
 pub use pinwheel::SchedulerChoice;
 

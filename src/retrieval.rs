@@ -20,6 +20,7 @@ use std::sync::Arc;
 pub struct Retrieval {
     session: ClientSession,
     file: FileId,
+    channel: usize,
     request_slot: usize,
     threshold: usize,
     dispersal: Arc<Dispersal>,
@@ -29,6 +30,7 @@ pub struct Retrieval {
 impl Retrieval {
     pub(crate) fn new(
         file: FileId,
+        channel: usize,
         request_slot: usize,
         threshold: usize,
         dispersal: Arc<Dispersal>,
@@ -37,6 +39,7 @@ impl Retrieval {
         Retrieval {
             session: ClientSession::new(file, threshold, request_slot),
             file,
+            channel,
             request_slot,
             threshold,
             dispersal,
@@ -47,6 +50,12 @@ impl Retrieval {
     /// The file being retrieved.
     pub fn file(&self) -> FileId {
         self.file
+    }
+
+    /// The broadcast channel the station routed this retrieval to (always 0
+    /// on an unsharded station).
+    pub fn channel(&self) -> usize {
+        self.channel
     }
 
     /// The slot at which the retrieval was issued.
@@ -138,6 +147,7 @@ mod tests {
     fn handle(threshold: usize) -> Retrieval {
         Retrieval::new(
             FileId(1),
+            0,
             10,
             threshold,
             Arc::new(Dispersal::new(threshold, threshold + 2).unwrap()),

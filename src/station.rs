@@ -1,9 +1,10 @@
-//! The broadcast station: one owned, ready-to-serve broadcast disk.
+//! The broadcast station: one owned, ready-to-serve broadcast disk — or a
+//! bank of several, when the file set is sharded across parallel channels.
 
 use crate::{Error, Retrieval};
-use bcore::{DesignReport, GeneralizedFileSpec};
-use bdisk::{BroadcastProgram, BroadcastServer, FileSet, TransmissionRef};
-use bsim::ErrorModel;
+use bcore::{DesignReport, GeneralizedFileSpec, MultiChannelReport};
+use bdisk::{BroadcastProgram, BroadcastServer, FileSet, MultiChannelServer, TransmissionRef};
+use bsim::ChannelErrorModel;
 use ida::{Dispersal, FileId};
 use pinwheel::Schedule;
 use std::collections::BTreeMap;
@@ -11,16 +12,22 @@ use std::sync::Arc;
 
 /// A designed, verified and content-loaded broadcast disk, ready to serve.
 ///
-/// Built by [`crate::Broadcast::builder`]; owns the file set, the verified
-/// broadcast program, the dispersed contents, and the per-file [`Dispersal`]
-/// configurations — so a [`Retrieval`] obtained from
-/// [`Station::subscribe`] always reconstructs with the correct `(mᵢ, nᵢ)`
-/// parameters.
+/// Built by [`crate::Broadcast::builder`]; owns the file set, one verified
+/// broadcast program *per channel*, the dispersed contents, the file →
+/// channel routing table, and the per-file [`Dispersal`] configurations — so
+/// a [`Retrieval`] obtained from [`Station::subscribe`] is always tuned to
+/// the channel that carries its file and always reconstructs with the
+/// correct `(mᵢ, nᵢ)` parameters.
+///
+/// With the default single channel the station behaves exactly like the
+/// paper's model; `Broadcast::builder().channels(k)` shards the file set
+/// across `k` slot-synchronized channels (see [`bcore::ShardPlanner`]).
 #[derive(Debug, Clone)]
 pub struct Station {
     specs: Vec<GeneralizedFileSpec>,
-    report: DesignReport,
-    server: BroadcastServer,
+    reports: Vec<DesignReport>,
+    server: MultiChannelServer,
+    files: FileSet,
     dispersals: BTreeMap<FileId, Arc<Dispersal>>,
     listen_cap: usize,
 }
@@ -28,19 +35,34 @@ pub struct Station {
 impl Station {
     pub(crate) fn new(
         specs: Vec<GeneralizedFileSpec>,
-        report: DesignReport,
-        server: BroadcastServer,
+        design: MultiChannelReport,
+        server: MultiChannelServer,
         listen_cap: usize,
     ) -> Result<Self, Error> {
+        // Merge the per-channel file sets back into one, in specification
+        // order, so `files()` keeps its pre-sharding shape.
+        let mut merged = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            let channel = design
+                .channel_of(spec.id)
+                .ok_or(Error::UnknownFile(spec.id))?;
+            let file = design.reports[channel]
+                .files
+                .get(spec.id)
+                .ok_or(Error::UnknownFile(spec.id))?;
+            merged.push(file.clone());
+        }
+        let files = FileSet::new(merged).ok_or(Error::UnknownFile(specs[0].id))?;
         let mut dispersals = BTreeMap::new();
-        for f in report.files.files() {
+        for f in files.files() {
             let dispersal = Dispersal::new(f.size_blocks as usize, f.dispersed_blocks as usize)?;
             dispersals.insert(f.id, Arc::new(dispersal));
         }
         Ok(Station {
             specs,
-            report,
+            reports: design.reports,
             server,
+            files,
             dispersals,
             listen_cap,
         })
@@ -56,34 +78,70 @@ impl Station {
         self.specs.iter().find(|s| s.id == file)
     }
 
-    /// The broadcast file set (sizes, dispersal widths, latency vectors).
+    /// The broadcast file set (sizes, dispersal widths, latency vectors),
+    /// merged across channels in specification order.
     pub fn files(&self) -> &FileSet {
-        &self.report.files
+        &self.files
     }
 
-    /// The verified broadcast program driving the server.
+    /// Number of broadcast channels.
+    pub fn channel_count(&self) -> usize {
+        self.server.channel_count()
+    }
+
+    /// The channel carrying `file`, if the station carries it at all.
+    pub fn channel_of(&self, file: FileId) -> Option<usize> {
+        self.server.channel_of(file)
+    }
+
+    /// The verified broadcast program of the first channel (the *only*
+    /// channel of an unsharded station); see [`Station::program_of`] for the
+    /// others.
     pub fn program(&self) -> &BroadcastProgram {
-        self.server.program()
+        self.server.as_ref().program()
     }
 
-    /// The pinwheel schedule the program was derived from.
+    /// The verified broadcast program of one channel.
+    pub fn program_of(&self, channel: usize) -> Option<&BroadcastProgram> {
+        self.server.channel(channel).map(BroadcastServer::program)
+    }
+
+    /// The pinwheel schedule the first channel's program was derived from.
     pub fn schedule(&self) -> &Schedule {
-        &self.report.schedule
+        &self.reports[0].schedule
     }
 
-    /// The density of the scheduled nice conjunct (compared against 7/10 by
-    /// the paper's Equations 1 and 2).
+    /// The heaviest per-channel density of the scheduled nice conjuncts
+    /// (each channel's density is the quantity compared against 7/10 by the
+    /// paper's Equations 1 and 2; every channel stays ≤ 1).
     pub fn density(&self) -> f64 {
-        self.report.density
+        self.reports.iter().map(|r| r.density).fold(0.0, f64::max)
     }
 
-    /// The full design report (conversions, conjunct, verification).
+    /// The density of one channel's scheduled nice conjunct.
+    pub fn density_of(&self, channel: usize) -> Option<f64> {
+        self.reports.get(channel).map(|r| r.density)
+    }
+
+    /// The design report of the first channel (the *only* channel of an
+    /// unsharded station); see [`Station::reports`] for all of them.
     pub fn report(&self) -> &DesignReport {
-        &self.report
+        &self.reports[0]
     }
 
-    /// The underlying broadcast server, for power users and the simulator.
+    /// The per-channel design reports (conversions, conjunct, verification).
+    pub fn reports(&self) -> &[DesignReport] {
+        &self.reports
+    }
+
+    /// The underlying broadcast server of the first channel, for power users
+    /// and the simulator; see [`Station::multi_server`] for the full bank.
     pub fn server(&self) -> &BroadcastServer {
+        self.server.as_ref()
+    }
+
+    /// The full slot-synchronized channel bank.
+    pub fn multi_server(&self) -> &MultiChannelServer {
         &self.server
     }
 
@@ -93,25 +151,34 @@ impl Station {
         self.listen_cap
     }
 
-    /// What the station transmits in `slot` (borrowed; no copy).
+    /// What the first channel transmits in `slot` (borrowed; no copy).
     pub fn transmit(&self, slot: usize) -> Option<TransmissionRef<'_>> {
-        self.server.transmit_ref(slot)
+        self.server.as_ref().transmit_ref(slot)
+    }
+
+    /// What every channel transmits in `slot`, in channel order.
+    pub fn transmit_all(&self, slot: usize) -> Vec<Option<TransmissionRef<'_>>> {
+        self.server.transmit_all(slot)
     }
 
     /// Subscribes a client to `file` starting at `at_slot`.
     ///
-    /// The returned [`Retrieval`] internally carries the file's
-    /// reconstruction threshold and dispersal configuration — there is no
-    /// caller-side `Dispersal::new` to get wrong.
+    /// The returned [`Retrieval`] is tuned to the channel carrying the file
+    /// and internally carries the file's reconstruction threshold and
+    /// dispersal configuration — there is no caller-side routing or
+    /// `Dispersal::new` to get wrong.  Unknown files yield
+    /// [`Error::UnknownFile`], never a panic.
     pub fn subscribe(&self, file: FileId, at_slot: usize) -> Result<Retrieval, Error> {
-        let f = self
-            .report
-            .files
-            .get(file)
-            .ok_or(Error::UnknownFile(file))?;
-        let dispersal = self.dispersals[&file].clone();
+        let channel = self.channel_of(file).ok_or(Error::UnknownFile(file))?;
+        let f = self.files.get(file).ok_or(Error::UnknownFile(file))?;
+        let dispersal = self
+            .dispersals
+            .get(&file)
+            .ok_or(Error::UnknownFile(file))?
+            .clone();
         Ok(Retrieval::new(
             file,
+            channel,
             at_slot,
             f.size_blocks as usize,
             dispersal,
@@ -119,25 +186,38 @@ impl Station {
         ))
     }
 
-    /// An infinite slot-by-slot view of the broadcast, starting at `start`:
-    /// yields `(slot, transmission)` pairs, `None` for idle slots.
+    /// An infinite slot-by-slot view of the first channel, starting at
+    /// `start`: yields `(slot, transmission)` pairs, `None` for idle slots.
     pub fn stream(&self, start: usize) -> Stream<'_> {
         Stream {
-            server: &self.server,
+            server: self.server.as_ref(),
             slot: start,
         }
     }
 
+    /// The slot-by-slot view of one channel.
+    pub fn stream_channel(&self, channel: usize, start: usize) -> Option<Stream<'_>> {
+        Some(Stream {
+            server: self.server.channel(channel)?,
+            slot: start,
+        })
+    }
+
     /// Drives every retrieval in `retrievals` to completion in one pass over
-    /// the broadcast and returns their outcomes (in input order).
+    /// the broadcast — across *all* channels at once — and returns their
+    /// outcomes (in input order).
     ///
     /// The slot cursor starts at the earliest request slot among the
-    /// incomplete retrievals; every slot with at least one listening
-    /// retrieval is passed through `errors` exactly once (and slots nobody
-    /// listens to not at all), so the model represents *channel-level* loss
-    /// common to every listener (for independent per-client error
-    /// processes, drive clients in separate calls).  Already-complete
-    /// retrievals are left untouched and simply contribute their outcome.
+    /// incomplete retrievals; for every slot, each channel with at least one
+    /// listening retrieval is passed through `errors` exactly once (and
+    /// channels or slots nobody listens to not at all), so the model
+    /// represents *channel-level* loss common to every listener of that
+    /// channel (for independent per-client error processes, drive clients in
+    /// separate calls).  Any [`bsim::ErrorModel`] works here (one loss
+    /// process shared across channels); [`bsim::IndependentChannels`],
+    /// [`bsim::CorrelatedChannels`] and [`bsim::OnChannel`] express
+    /// per-channel scenarios.  Already-complete retrievals are left untouched
+    /// and simply contribute their outcome.
     ///
     /// Returns [`Error::RetrievalStalled`] if any retrieval listens for more
     /// than the station's listen cap (counted from its own request slot)
@@ -146,7 +226,7 @@ impl Station {
     pub fn run_until_complete(
         &self,
         retrievals: &mut [Retrieval],
-        errors: &mut impl ErrorModel,
+        errors: &mut impl ChannelErrorModel,
     ) -> Result<Vec<bdisk::RetrievalOutcome>, Error> {
         let mut remaining = retrievals.iter().filter(|r| !r.is_complete()).count();
         if remaining > 0 {
@@ -156,16 +236,13 @@ impl Station {
                 .map(Retrieval::request_slot)
                 .min()
                 .expect("remaining > 0 guarantees an incomplete retrieval");
+            // Per-slot, per-channel reception outcome, sampled lazily on the
+            // first listening retrieval of that channel so gap slots (and
+            // channels nobody hears) never consume an error-model sample.
+            let mut channel_ok: Vec<Option<bool>> = vec![None; self.server.channel_count()];
             while remaining > 0 {
-                let tx = self.server.transmit_ref(slot);
-                // One pass over the fleet per slot: observe the listening
-                // retrievals, enforce the per-retrieval listen cap (measured
-                // from each one's own request slot — a late subscriber gets
-                // the full cap), and track the next future request slot so
-                // dead regions are skipped, not scanned.  The error model is
-                // sampled lazily, on the first listening retrieval, so gap
-                // slots nobody hears never consume a sample.
-                let mut ok = None;
+                channel_ok.fill(None);
+                let mut any_listening = false;
                 let mut next_active = usize::MAX;
                 for r in retrievals.iter_mut() {
                     if r.is_complete() {
@@ -181,15 +258,25 @@ impl Station {
                             listened: slot - r.request_slot(),
                         });
                     }
-                    let ok = *ok.get_or_insert_with(|| match tx {
-                        Some(t) => !errors.is_lost(t),
+                    // A retrieval from a *different* (wider) station may name
+                    // a channel this bank does not have: surface the routing
+                    // miss instead of panicking.
+                    let channel = r.channel();
+                    let server = self
+                        .server
+                        .channel(channel)
+                        .ok_or(Error::UnknownFile(r.file()))?;
+                    let tx = server.transmit_ref(slot);
+                    let ok = *channel_ok[channel].get_or_insert_with(|| match tx {
+                        Some(t) => !errors.is_lost_on(channel, t),
                         None => true,
                     });
+                    any_listening = true;
                     if r.observe(tx, ok) {
                         remaining -= 1;
                     }
                 }
-                slot = if ok.is_some() || next_active == usize::MAX {
+                slot = if any_listening || next_active == usize::MAX {
                     slot + 1
                 } else {
                     next_active
@@ -205,7 +292,7 @@ impl Station {
         &self,
         file: FileId,
         at_slot: usize,
-        errors: &mut impl ErrorModel,
+        errors: &mut impl ChannelErrorModel,
     ) -> Result<bdisk::RetrievalOutcome, Error> {
         let mut retrieval = self.subscribe(file, at_slot)?;
         let mut outcomes = self.run_until_complete(std::slice::from_mut(&mut retrieval), errors)?;
@@ -214,12 +301,15 @@ impl Station {
 }
 
 impl AsRef<BroadcastServer> for Station {
+    /// The first channel's server — so single-channel consumers (e.g. the
+    /// Monte-Carlo simulator) keep working against a sharded station.
     fn as_ref(&self) -> &BroadcastServer {
-        &self.server
+        self.server.as_ref()
     }
 }
 
-/// The iterator returned by [`Station::stream`].
+/// The iterator returned by [`Station::stream`] and
+/// [`Station::stream_channel`].
 #[derive(Debug, Clone)]
 pub struct Stream<'a> {
     server: &'a BroadcastServer,

@@ -11,9 +11,20 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtbdisk::{
-    Broadcast, ErrorModel, FileId, GeneralizedFileSpec, Retrieval, Station, TransmissionRef,
+    Broadcast, ErrorModel, FileId, GeneralizedFileSpec, OnChannel, Retrieval, Station,
+    TransmissionRef,
 };
 use std::collections::BTreeSet;
+
+/// Property-test depth: `RTBDISK_PROP_CASES` (default 64), scaled down by
+/// each test to keep its runtime proportionate.
+fn prop_cases() -> usize {
+    std::env::var("RTBDISK_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+        .max(1)
+}
 
 /// Loses the receptions of `file` whose *reception index* (0-based count of
 /// that file's transmissions seen by this client) is in `indices` — an
@@ -83,7 +94,7 @@ fn random_station(rng: &mut StdRng) -> Station {
 #[test]
 fn lemma_3_j_faults_complete_within_their_declared_latency() {
     let mut rng = StdRng::seed_from_u64(0x1E443);
-    for _case in 0..20 {
+    for _case in 0..prop_cases().div_ceil(3) {
         let station = random_station(&mut rng);
         let cycle = station.program().data_cycle();
         // Sample request slots across one data cycle (all of them when the
@@ -126,5 +137,81 @@ fn lemma_3_j_faults_complete_within_their_declared_latency() {
                 }
             }
         }
+    }
+}
+
+/// A channel that loses every reception — the worst burst there is.
+struct AllLost;
+
+impl ErrorModel for AllLost {
+    fn is_lost(&mut self, _tx: TransmissionRef<'_>) -> bool {
+        true
+    }
+}
+
+/// Adversarial cross-channel isolation: a worst-case error burst confined to
+/// one channel of a sharded station must not affect retrievals on the other
+/// channels *at all* — they observe zero errors and still meet their
+/// fault-free deadline `d⁽⁰⁾`.
+#[test]
+fn bursts_confined_to_one_channel_leave_the_others_untouched() {
+    let mut rng = StdRng::seed_from_u64(0xC4A55);
+    let mut cross_channel_cases = 0usize;
+    let target_cases = prop_cases().div_ceil(4);
+    while cross_channel_cases < target_cases {
+        // A sharded station: 4–6 files over 2 or 4 channels.
+        let k = if rng.gen_range(0u32..2) == 0 { 2 } else { 4 };
+        let n_files = rng.gen_range(4usize..=6);
+        let mut specs = Vec::new();
+        let mut density = 0.0f64;
+        for i in 0..n_files {
+            let m = rng.gen_range(1u32..=2);
+            let d0 = m * rng.gen_range(4u32..=8);
+            density += f64::from(m) / f64::from(d0);
+            specs.push(GeneralizedFileSpec::new(FileId(i as u32 + 1), m, vec![d0]).unwrap());
+        }
+        if density > 0.55 * k as f64 {
+            continue;
+        }
+        let station = match Broadcast::builder().files(specs).channels(k).build() {
+            Ok(station) => station,
+            Err(_) => continue,
+        };
+        if station.channel_count() < 2 {
+            continue;
+        }
+        // Blackhole the channel of a random file; every file on the other
+        // channels must retrieve as if nothing happened.
+        let victim_file = station.specs()[rng.gen_range(0..station.specs().len())].id;
+        let victim_channel = station.channel_of(victim_file).unwrap();
+        let mut burst = OnChannel::new(victim_channel, AllLost);
+        let bystanders: Vec<FileId> = station
+            .specs()
+            .iter()
+            .map(|s| s.id)
+            .filter(|&id| station.channel_of(id) != Some(victim_channel))
+            .collect();
+        assert!(!bystanders.is_empty(), "k >= 2 channels carry >= 2 shards");
+        let mut fleet: Vec<Retrieval> = bystanders
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| station.subscribe(id, i * 2).unwrap())
+            .collect();
+        let outcomes = station.run_until_complete(&mut fleet, &mut burst).unwrap();
+        for (retrieval, outcome) in fleet.iter().zip(&outcomes) {
+            assert_eq!(
+                outcome.errors_observed,
+                0,
+                "burst on channel {victim_channel} leaked onto channel {}",
+                retrieval.channel()
+            );
+            assert_eq!(
+                retrieval.within_declared_latency(outcome),
+                Some(true),
+                "bystander {} missed its fault-free deadline under a foreign burst",
+                retrieval.file()
+            );
+        }
+        cross_channel_cases += 1;
     }
 }

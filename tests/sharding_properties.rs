@@ -1,0 +1,330 @@
+//! Property tests for the sharded (multi-channel) broadcast subsystem.
+//!
+//! Seeded-RNG properties locking in the paper's guarantees per channel:
+//!
+//! * **partition** — every file lands on exactly one channel;
+//! * **budget** — each channel's realized (scheduled) density stays ≤ 1;
+//! * **Lemma 3 per channel** — a retrieval suffering `j ≤ r` reception
+//!   faults completes within its declared latency `d⁽ʲ⁾`, whatever channel
+//!   its file was routed to;
+//! * **byte identity** — a `Retrieval` routed by the facade reconstructs
+//!   exactly the bytes the single-channel pipeline produces.
+//!
+//! Case counts are tunable without code edits via the `RTBDISK_PROP_CASES`
+//! environment variable (default 64; CI runs 256).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtbdisk::{
+    bcore::BdiskDesigner, Broadcast, Error, ErrorModel, FileId, GeneralizedFileSpec, NoErrors,
+    ShardPlanner, Station, TransmissionRef,
+};
+use std::collections::BTreeSet;
+
+/// Property-test depth: `RTBDISK_PROP_CASES` (default 64).
+fn prop_cases() -> usize {
+    std::env::var("RTBDISK_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+        .max(1)
+}
+
+/// A random specification set of `n_files` files whose *total* density stays
+/// below `density_cap` — loose enough for the scheduler cascade to accept
+/// (cap ≤ 0.65 per channel mirrors `facade_properties`).
+fn random_specs(rng: &mut StdRng, n_files: usize, density_cap: f64) -> Vec<GeneralizedFileSpec> {
+    loop {
+        let mut density = 0.0f64;
+        let mut specs = Vec::new();
+        for i in 0..n_files {
+            let m = rng.gen_range(1u32..=3);
+            let r = rng.gen_range(0usize..=2);
+            let d0 = (m + r as u32) * rng.gen_range(3u32..=6) + rng.gen_range(0u32..=4);
+            let mut latencies = vec![d0];
+            for _ in 0..r {
+                let prev = *latencies.last().unwrap();
+                latencies.push(prev + rng.gen_range(1u32..=4));
+            }
+            density += f64::from(m) / f64::from(d0);
+            specs.push(GeneralizedFileSpec::new(FileId(i as u32 + 1), m, latencies).unwrap());
+        }
+        if density <= density_cap {
+            return specs;
+        }
+    }
+}
+
+/// Builds a `k`-channel station over a random spec set, re-drawing instances
+/// the scheduler cascade declines.
+fn random_sharded_station(rng: &mut StdRng, k: usize) -> Station {
+    loop {
+        let n_files = rng.gen_range(k.max(2)..=k.max(2) + 3);
+        // Cap the *total* density so that greedy balancing comfortably fits
+        // k channels (and k = 1 stays designable).
+        let specs = random_specs(rng, n_files, 0.6);
+        match Broadcast::builder().files(specs).channels(k).build() {
+            Ok(station) => return station,
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Loses the receptions of `file` whose reception index (0-based count of
+/// that file's transmissions seen by this client) is in `indices` — the
+/// adversary of `facade_properties`, reused per channel.
+struct LoseReceptions {
+    file: FileId,
+    indices: BTreeSet<usize>,
+    seen: usize,
+}
+
+impl ErrorModel for LoseReceptions {
+    fn is_lost(&mut self, tx: TransmissionRef<'_>) -> bool {
+        if tx.block.file() != self.file {
+            return false;
+        }
+        let lost = self.indices.contains(&self.seen);
+        self.seen += 1;
+        lost
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (a) partition: every file lands on exactly one channel.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_file_lands_on_exactly_one_channel() {
+    let mut rng = StdRng::seed_from_u64(0x5AA3D1);
+    for _case in 0..prop_cases() {
+        let n_files = rng.gen_range(2usize..=8);
+        let candidates: Vec<usize> = [1, 2, 4].into_iter().filter(|&k| k <= n_files).collect();
+        let k = candidates[rng.gen_range(0..candidates.len())];
+        // Plans (unlike designs) need no scheduler, so the density cap can be
+        // generous: k channels of budget 1 each.
+        let specs = random_specs(&mut rng, n_files, 0.9 * k as f64);
+        let plan = match ShardPlanner::fixed(k).plan(&specs) {
+            Ok(plan) => plan,
+            // Greedy packing may decline a lumpy instance; that is a budget
+            // question, not a partition one.
+            Err(_) => continue,
+        };
+        // Union of the shards is exactly the input set, with no overlap.
+        let mut seen = BTreeSet::new();
+        for (channel, shard) in plan.shards.iter().enumerate() {
+            for spec in shard {
+                assert!(seen.insert(spec.id), "file {} on two channels", spec.id);
+                assert_eq!(plan.channel_of(spec.id), Some(channel));
+            }
+        }
+        assert_eq!(seen.len(), specs.len());
+        for spec in &specs {
+            assert!(seen.contains(&spec.id), "file {} unrouted", spec.id);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (b) budget: each channel's realized density is ≤ 1.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn each_channels_realized_density_is_within_budget() {
+    let mut rng = StdRng::seed_from_u64(0x5AA3D2);
+    let cases = prop_cases().div_ceil(2);
+    for _case in 0..cases {
+        let k = [1usize, 2, 4][rng.gen_range(0usize..3)];
+        let station = random_sharded_station(&mut rng, k);
+        assert!(station.channel_count() >= 1);
+        assert!(station.channel_count() <= k);
+        for c in 0..station.channel_count() {
+            let density = station.density_of(c).unwrap();
+            assert!(
+                density <= 1.0 + 1e-12,
+                "channel {c} density {density} exceeds the budget"
+            );
+            // The station-level density is the per-channel maximum.
+            assert!(station.density() >= density);
+            // And every channel's program passed verification.
+            assert!(station.reports()[c].verification.is_ok());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (c) Lemma 3 per channel: j ≤ r faults still meet d⁽ʲ⁾.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lemma_3_latency_bound_holds_on_every_channel() {
+    let mut rng = StdRng::seed_from_u64(0x5AA3D3);
+    let cases = prop_cases().div_ceil(2);
+    for _case in 0..cases {
+        let k = [1usize, 2, 4][rng.gen_range(0usize..3)];
+        let station = random_sharded_station(&mut rng, k);
+        // One random file and fault level per case keeps the suite fast at
+        // depth 64 while covering the space as cases accumulate.
+        let files = station.files().files();
+        let f = &files[rng.gen_range(0..files.len())];
+        let channel = station.channel_of(f.id).unwrap();
+        let cycle = station.program_of(channel).unwrap().data_cycle();
+        let m = f.size_blocks as usize;
+        let j = rng.gen_range(0..=f.latencies.max_faults());
+        for _ in 0..3 {
+            let start = rng.gen_range(0..cycle);
+            let mut indices = BTreeSet::new();
+            while indices.len() < j {
+                indices.insert(rng.gen_range(0..m + j));
+            }
+            let mut errors = LoseReceptions {
+                file: f.id,
+                indices: indices.clone(),
+                seen: 0,
+            };
+            let mut retrieval = station.subscribe(f.id, start).unwrap();
+            assert_eq!(retrieval.channel(), channel);
+            let outcomes = station
+                .run_until_complete(std::slice::from_mut(&mut retrieval), &mut errors)
+                .unwrap();
+            let outcome = &outcomes[0];
+            assert!(outcome.errors_observed <= j);
+            let deadline = retrieval.deadline(j).unwrap();
+            assert!(
+                outcome.latency() <= deadline as usize,
+                "file {} on channel {channel} of {} (m={m}) from slot {start} with {j} \
+                 faults at {indices:?}: latency {} > d({j}) = {deadline}",
+                f.id,
+                station.channel_count(),
+                outcome.latency()
+            );
+            assert_eq!(retrieval.within_declared_latency(outcome), Some(true));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (d) byte identity: sharded retrievals reconstruct single-channel bytes.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_retrievals_reconstruct_identical_bytes_to_single_channel() {
+    let mut rng = StdRng::seed_from_u64(0x5AA3D4);
+    let cases = prop_cases().div_ceil(4);
+    for _case in 0..cases {
+        let n_files = rng.gen_range(4usize..=6);
+        let specs = random_specs(&mut rng, n_files, 0.6);
+        let contents: Vec<(FileId, Vec<u8>)> = specs
+            .iter()
+            .map(|s| {
+                let bytes: Vec<u8> = (0..(s.size_blocks * s.block_bytes) as usize)
+                    .map(|_| rng.gen::<u32>() as u8)
+                    .collect();
+                (s.id, bytes)
+            })
+            .collect();
+        let build = |k: usize| {
+            let mut b = Broadcast::builder().files(specs.clone()).channels(k);
+            for (id, bytes) in &contents {
+                b = b.content(*id, bytes.clone());
+            }
+            b.build()
+        };
+        let single = match build(1) {
+            Ok(station) => station,
+            Err(_) => continue, // cascade declined; draw another instance
+        };
+        for k in [2usize, 4] {
+            let sharded = match build(k) {
+                Ok(station) => station,
+                Err(_) => continue,
+            };
+            for (id, bytes) in &contents {
+                let a = single.retrieve(*id, 3, &mut NoErrors).unwrap();
+                let b = sharded.retrieve(*id, 3, &mut NoErrors).unwrap();
+                assert_eq!(&a.data, bytes, "single-channel bytes diverge from source");
+                assert_eq!(
+                    a.data, b.data,
+                    "file {id} differs between 1 and {k} channels"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// k = 1 is byte-identical to the pre-sharding pipeline.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn one_channel_station_reproduces_the_plain_designer_program() {
+    let mut rng = StdRng::seed_from_u64(0x5AA3D5);
+    let cases = prop_cases().div_ceil(4);
+    for _case in 0..cases {
+        let n_files = rng.gen_range(1usize..=4);
+        let specs = random_specs(&mut rng, n_files, 0.6);
+        let plain = match BdiskDesigner::default().design(&specs) {
+            Ok(report) => report,
+            Err(_) => continue,
+        };
+        if plain.verification.is_err() {
+            continue;
+        }
+        let station = Broadcast::builder()
+            .files(specs.clone())
+            .channels(1)
+            .build()
+            .unwrap();
+        assert_eq!(station.channel_count(), 1);
+        assert_eq!(station.program().entries(), plain.program.entries());
+        assert_eq!(station.density(), plain.density);
+        assert_eq!(station.schedule().period(), plain.schedule.period());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing misses are errors, not index panics (regression).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unknown_files_error_instead_of_panicking_in_subscribe_and_run() {
+    let station = Broadcast::builder()
+        .files((1..=4).map(|i| GeneralizedFileSpec::new(FileId(i), 1, vec![8 + 2 * i]).unwrap()))
+        .channels(2)
+        .build()
+        .unwrap();
+    // subscribe: absent from the routing table → UnknownFile, not a panic.
+    assert!(matches!(
+        station.subscribe(FileId(99), 0),
+        Err(Error::UnknownFile(FileId(99)))
+    ));
+    assert!(matches!(
+        station.retrieve(FileId(99), 0, &mut NoErrors),
+        Err(Error::UnknownFile(FileId(99)))
+    ));
+
+    // run_until_complete: a retrieval subscribed on a *wider* station names a
+    // channel this station does not have — surfaced as UnknownFile, not an
+    // index panic.
+    let wide = Broadcast::builder()
+        .files((1..=4).map(|i| GeneralizedFileSpec::new(FileId(i), 1, vec![8 + 2 * i]).unwrap()))
+        .channels(4)
+        .build()
+        .unwrap();
+    let narrow = Broadcast::builder()
+        .file(GeneralizedFileSpec::new(FileId(1), 1, vec![10]).unwrap())
+        .build()
+        .unwrap();
+    assert_eq!(narrow.channel_count(), 1);
+    let foreign = wide
+        .files()
+        .files()
+        .iter()
+        .map(|f| wide.subscribe(f.id, 0).unwrap())
+        .find(|r| r.channel() >= narrow.channel_count());
+    let mut foreign = foreign.expect("a 4-channel station uses channels beyond 0");
+    let err = narrow
+        .run_until_complete(std::slice::from_mut(&mut foreign), &mut NoErrors)
+        .unwrap_err();
+    assert!(matches!(err, Error::UnknownFile(_)));
+}
