@@ -1,0 +1,411 @@
+//! The epoch/swap primitive: a bank of broadcast channels whose programs can
+//! be hot-swapped at a slot boundary.
+//!
+//! The paper's operating modes (combat/landing, rush-hour/off-peak) imply the
+//! broadcast program *changes* while clients are listening.  An [`EpochBank`]
+//! makes that change well-defined: each channel carries a timeline of
+//! *segments* — half-open slot ranges `[from_slot, next_from_slot)` each
+//! served by one immutable [`BroadcastServer`] under one *epoch* number — so
+//! every transmitted slot decodes under exactly one epoch's program, never a
+//! blend.  A [`EpochBank::swap`] installs the next mode's servers at a single
+//! flip slot:
+//!
+//! * channels whose server handle is unchanged (same [`Arc`]) keep their
+//!   current segment — they broadcast byte-identically across the swap and
+//!   their epoch does not bump;
+//! * changed channels start a new segment at the flip slot under the bumped
+//!   epoch;
+//! * channels beyond the new mode's channel count go *dark* (idle slots);
+//!   channels beyond the old count light up at the flip slot.
+//!
+//! The file → channel routing table is versioned the same way, so a
+//! subscription can be routed against the mode in force at any slot.
+
+use crate::server::{BroadcastServer, ServerError, TransmissionRef};
+use ida::FileId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One half-open program segment of a channel's timeline.
+#[derive(Debug, Clone)]
+struct Segment {
+    /// Epoch this segment belongs to (bumped per swap that touches the
+    /// channel).
+    epoch: u64,
+    /// First slot served by this segment.
+    from_slot: usize,
+    /// The serving program, or `None` while the channel is dark.
+    server: Option<Arc<BroadcastServer>>,
+}
+
+/// The segment timeline of one channel (ascending `from_slot`).
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    segments: Vec<Segment>,
+}
+
+impl Lane {
+    /// The segment covering `slot`, if the lane has lit up by then.
+    fn at(&self, slot: usize) -> Option<&Segment> {
+        self.segments.iter().rev().find(|s| s.from_slot <= slot)
+    }
+
+    fn latest(&self) -> Option<&Segment> {
+        self.segments.last()
+    }
+}
+
+/// One versioned routing table: in force from `from_slot` on.
+#[derive(Debug, Clone)]
+struct RoutingEpoch {
+    from_slot: usize,
+    routing: BTreeMap<FileId, usize>,
+}
+
+/// What a [`EpochBank::swap`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapApplied {
+    /// The epoch number the flipped channels now serve under.
+    pub epoch: u64,
+    /// The slot at which the flipped channels switch programs.
+    pub flip_slot: usize,
+    /// Indices of the channels that actually changed (new segment installed);
+    /// channels absent from this list broadcast byte-identically across the
+    /// swap.
+    pub flipped: Vec<usize>,
+}
+
+/// A bank of slot-synchronized broadcast channels with atomic per-channel
+/// program hot-swap.
+///
+/// Construction wraps an initial set of per-channel servers (epoch 0); each
+/// [`EpochBank::swap`] installs the next program generation at a flip slot.
+/// All reads are positional in slot time, so drivers replaying any slot —
+/// before or after a flip — see exactly the program that was (or will be) on
+/// the air in that slot.
+#[derive(Debug, Clone)]
+pub struct EpochBank {
+    lanes: Vec<Lane>,
+    routings: Vec<RoutingEpoch>,
+    epoch: u64,
+    /// Channel count of the latest mode (lanes beyond it are dark).
+    current_channels: usize,
+    /// No swap may flip earlier than this slot (monotonic slot time).
+    frontier: usize,
+}
+
+impl EpochBank {
+    /// Builds a bank serving `servers` from slot 0 under epoch 0.
+    ///
+    /// Fails with [`ServerError::NoChannels`] on an empty bank and with
+    /// [`ServerError::DuplicateFile`] when two channels carry the same file.
+    pub fn new(servers: Vec<Arc<BroadcastServer>>) -> Result<Self, ServerError> {
+        if servers.is_empty() {
+            return Err(ServerError::NoChannels);
+        }
+        let routing = routing_of(&servers)?;
+        let current_channels = servers.len();
+        let lanes = servers
+            .into_iter()
+            .map(|server| Lane {
+                segments: vec![Segment {
+                    epoch: 0,
+                    from_slot: 0,
+                    server: Some(server),
+                }],
+            })
+            .collect();
+        Ok(EpochBank {
+            lanes,
+            routings: vec![RoutingEpoch {
+                from_slot: 0,
+                routing,
+            }],
+            epoch: 0,
+            current_channels,
+            frontier: 0,
+        })
+    }
+
+    /// The latest epoch number (0 until the first swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The earliest slot a future swap may flip at (the latest flip so far).
+    pub fn frontier(&self) -> usize {
+        self.frontier
+    }
+
+    /// Number of channels in the latest mode.
+    pub fn channel_count(&self) -> usize {
+        self.current_channels
+    }
+
+    /// Number of lanes ever used (the widest mode so far); lanes beyond
+    /// [`EpochBank::channel_count`] are dark in the latest mode.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The epoch under which `channel` serves `slot` (`None` when the
+    /// channel index was never used, or the lane has not lit up by `slot`).
+    pub fn epoch_at(&self, channel: usize, slot: usize) -> Option<u64> {
+        Some(self.lanes.get(channel)?.at(slot)?.epoch)
+    }
+
+    /// The epoch `channel` serves under in the latest mode (`None` for
+    /// never-used channel indices).
+    pub fn current_epoch_of(&self, channel: usize) -> Option<u64> {
+        Some(self.lanes.get(channel)?.latest()?.epoch)
+    }
+
+    /// The server on the air on `channel` in `slot` (`None` for dark or
+    /// unknown channels).
+    pub fn server_at(&self, channel: usize, slot: usize) -> Option<&BroadcastServer> {
+        self.lanes.get(channel)?.at(slot)?.server.as_deref()
+    }
+
+    /// The latest mode's server of `channel`.
+    pub fn current(&self, channel: usize) -> Option<&BroadcastServer> {
+        self.lanes.get(channel)?.latest()?.server.as_deref()
+    }
+
+    /// A shared handle to the latest mode's server of `channel` (what a swap
+    /// passes back in to keep a channel byte-identical).
+    pub fn current_arc(&self, channel: usize) -> Option<Arc<BroadcastServer>> {
+        self.lanes.get(channel)?.latest()?.server.clone()
+    }
+
+    /// What `channel` transmits in `slot` (borrowed; dark and idle slots are
+    /// both `None`).
+    pub fn transmit_ref(&self, channel: usize, slot: usize) -> Option<TransmissionRef<'_>> {
+        self.server_at(channel, slot)?.transmit_ref(slot)
+    }
+
+    /// What every lane transmits in `slot`, in channel order.
+    pub fn transmit_all(&self, slot: usize) -> Vec<Option<TransmissionRef<'_>>> {
+        (0..self.lanes.len())
+            .map(|c| self.transmit_ref(c, slot))
+            .collect()
+    }
+
+    /// The channel carrying `file` in the latest mode.
+    pub fn channel_of(&self, file: FileId) -> Option<usize> {
+        self.routing_now().get(&file).copied()
+    }
+
+    /// The channel carrying `file` in the mode in force at `slot`.
+    pub fn channel_of_at(&self, file: FileId, slot: usize) -> Option<usize> {
+        self.routings
+            .iter()
+            .rev()
+            .find(|r| r.from_slot <= slot)?
+            .routing
+            .get(&file)
+            .copied()
+    }
+
+    /// The latest mode's file → channel routing table.
+    pub fn routing_now(&self) -> &BTreeMap<FileId, usize> {
+        &self
+            .routings
+            .last()
+            .expect("a bank always has at least the epoch-0 routing")
+            .routing
+    }
+
+    /// Atomically installs the next mode's servers, flipping at `flip_slot`.
+    ///
+    /// Channels whose entry in `servers` is the *same handle* currently on
+    /// the air ([`Arc::ptr_eq`]) keep their segment — no epoch bump, no
+    /// change on the wire.  Every other channel (including lanes going dark
+    /// or lighting up) starts a new segment under the bumped epoch.
+    ///
+    /// Fails with [`ServerError::SwapInPast`] when `flip_slot` precedes the
+    /// previous flip (slot time is monotonic), [`ServerError::NoChannels`]
+    /// for an empty next mode and [`ServerError::DuplicateFile`] for an
+    /// ambiguous next routing.
+    pub fn swap(
+        &mut self,
+        flip_slot: usize,
+        servers: Vec<Arc<BroadcastServer>>,
+    ) -> Result<SwapApplied, ServerError> {
+        if servers.is_empty() {
+            return Err(ServerError::NoChannels);
+        }
+        if flip_slot < self.frontier {
+            return Err(ServerError::SwapInPast {
+                flip_slot,
+                frontier: self.frontier,
+            });
+        }
+        let routing = routing_of(&servers)?;
+        let epoch = self.epoch + 1;
+        let lanes_needed = self.lanes.len().max(servers.len());
+        let mut flipped = Vec::new();
+        for channel in 0..lanes_needed {
+            if channel >= self.lanes.len() {
+                self.lanes.push(Lane::default());
+            }
+            let next = servers.get(channel);
+            let unchanged = match (
+                self.lanes[channel].latest().and_then(|s| s.server.as_ref()),
+                next,
+            ) {
+                (Some(old), Some(new)) => Arc::ptr_eq(old, new),
+                (None, None) => true,
+                _ => false,
+            };
+            if unchanged {
+                continue;
+            }
+            self.lanes[channel].segments.push(Segment {
+                epoch,
+                from_slot: flip_slot,
+                server: next.cloned(),
+            });
+            flipped.push(channel);
+        }
+        self.epoch = epoch;
+        self.frontier = flip_slot;
+        self.current_channels = servers.len();
+        self.routings.push(RoutingEpoch {
+            from_slot: flip_slot,
+            routing,
+        });
+        Ok(SwapApplied {
+            epoch,
+            flip_slot,
+            flipped,
+        })
+    }
+}
+
+/// The file → channel routing table of a server list; fails on duplicates.
+fn routing_of(servers: &[Arc<BroadcastServer>]) -> Result<BTreeMap<FileId, usize>, ServerError> {
+    let mut routing = BTreeMap::new();
+    for (index, server) in servers.iter().enumerate() {
+        for file in server.file_ids() {
+            if routing.insert(file, index).is_some() {
+                return Err(ServerError::DuplicateFile(file));
+            }
+        }
+    }
+    Ok(routing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BroadcastFile, BroadcastProgram, FileSet, FlatOrder};
+
+    fn server_for(ids: &[u32]) -> Arc<BroadcastServer> {
+        let files = FileSet::new(
+            ids.iter()
+                .map(|&i| BroadcastFile::new(FileId(i), format!("F{i}"), 2, 8).with_dispersal(4))
+                .collect(),
+        )
+        .unwrap();
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        Arc::new(BroadcastServer::with_synthetic_contents(&files, program).unwrap())
+    }
+
+    #[test]
+    fn every_slot_decodes_under_exactly_one_epoch() {
+        let a = server_for(&[1]);
+        let b = server_for(&[2]);
+        let mut bank = EpochBank::new(vec![a.clone()]).unwrap();
+        let applied = bank.swap(10, vec![b.clone()]).unwrap();
+        assert_eq!(applied.epoch, 1);
+        assert_eq!(applied.flipped, vec![0]);
+        for slot in 0..30 {
+            let expected_epoch = if slot < 10 { 0 } else { 1 };
+            assert_eq!(bank.epoch_at(0, slot), Some(expected_epoch));
+            let expect = if slot < 10 {
+                a.transmit_ref(slot)
+            } else {
+                b.transmit_ref(slot)
+            };
+            let got = bank.transmit_ref(0, slot);
+            assert_eq!(got.is_some(), expect.is_some());
+            if let (Some(g), Some(e)) = (got, expect) {
+                assert_eq!(g.block.file(), e.block.file());
+                assert_eq!(g.block.index(), e.block.index());
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_channels_keep_their_segment_and_epoch() {
+        let a = server_for(&[1]);
+        let b = server_for(&[2]);
+        let b2 = server_for(&[2, 3]);
+        let mut bank = EpochBank::new(vec![a.clone(), b]).unwrap();
+        let applied = bank.swap(16, vec![a.clone(), b2]).unwrap();
+        assert_eq!(applied.flipped, vec![1]);
+        // Channel 0 never bumps and stays byte-identical.
+        assert_eq!(bank.epoch_at(0, 0), Some(0));
+        assert_eq!(bank.epoch_at(0, 100), Some(0));
+        assert_eq!(bank.current_epoch_of(0), Some(0));
+        // Channel 1 serves epoch 1 from the flip slot.
+        assert_eq!(bank.epoch_at(1, 15), Some(0));
+        assert_eq!(bank.epoch_at(1, 16), Some(1));
+        // Routing is versioned: file 3 exists only from the flip on.
+        assert_eq!(bank.channel_of_at(FileId(3), 15), None);
+        assert_eq!(bank.channel_of_at(FileId(3), 16), Some(1));
+        assert_eq!(bank.channel_of(FileId(3)), Some(1));
+    }
+
+    #[test]
+    fn lanes_go_dark_and_light_up_across_channel_count_changes() {
+        let a = server_for(&[1]);
+        let b = server_for(&[2]);
+        let c = server_for(&[3]);
+        let mut bank = EpochBank::new(vec![a.clone(), b]).unwrap();
+        // Narrow to one channel: lane 1 goes dark at 8.
+        bank.swap(8, vec![a.clone()]).unwrap();
+        assert_eq!(bank.channel_count(), 1);
+        assert_eq!(bank.lane_count(), 2);
+        assert!(bank.transmit_ref(1, 7).is_some());
+        assert!(bank.transmit_ref(1, 8).is_none());
+        assert!(bank.server_at(1, 8).is_none());
+        // Widen to three: lane 2 lights up at 20 (and transmits nothing
+        // before).
+        bank.swap(20, vec![a.clone(), c.clone(), server_for(&[4])])
+            .unwrap();
+        assert_eq!(bank.channel_count(), 3);
+        assert_eq!(bank.epoch_at(2, 19), None);
+        assert!(bank.transmit_ref(2, 19).is_none());
+        assert!(bank.transmit_ref(2, 20).is_some());
+    }
+
+    #[test]
+    fn swaps_cannot_flip_before_the_frontier() {
+        let a = server_for(&[1]);
+        let b = server_for(&[2]);
+        let mut bank = EpochBank::new(vec![a.clone()]).unwrap();
+        bank.swap(10, vec![b.clone()]).unwrap();
+        assert_eq!(
+            bank.swap(9, vec![a.clone()]).unwrap_err(),
+            ServerError::SwapInPast {
+                flip_slot: 9,
+                frontier: 10
+            }
+        );
+        // Flipping exactly at the frontier is allowed (the later swap wins).
+        assert!(bank.swap(10, vec![a]).is_ok());
+    }
+
+    #[test]
+    fn empty_and_ambiguous_next_modes_are_rejected() {
+        let mut bank = EpochBank::new(vec![server_for(&[1])]).unwrap();
+        assert_eq!(bank.swap(5, vec![]).unwrap_err(), ServerError::NoChannels);
+        assert_eq!(
+            bank.swap(5, vec![server_for(&[2, 3]), server_for(&[3])])
+                .unwrap_err(),
+            ServerError::DuplicateFile(FileId(3))
+        );
+        assert_eq!(EpochBank::new(vec![]).unwrap_err(), ServerError::NoChannels);
+    }
+}

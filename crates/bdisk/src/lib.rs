@@ -17,6 +17,10 @@
 //!   a stream of block transmissions;
 //! * [`MultiChannelServer`] — a bank of slot-synchronized broadcast channels
 //!   with a file → channel routing table (the serving side of sharding);
+//! * [`EpochBank`] — the mode-transition primitive: per-channel *segment
+//!   timelines* under epoch numbers, so broadcast programs hot-swap
+//!   atomically at a slot boundary while unchanged channels stay
+//!   byte-identical;
 //! * [`ClientSession`] — a client retrieving one file from the broadcast,
 //!   tolerant of lost blocks thanks to IDA redundancy.
 //!
@@ -40,12 +44,14 @@
 #![warn(missing_docs)]
 
 mod client;
+mod epoch;
 mod file;
 mod multi;
 mod program;
 mod server;
 
 pub use client::{ClientSession, RetrievalOutcome};
+pub use epoch::{EpochBank, SwapApplied};
 pub use file::{BroadcastFile, FileSet, LatencyVector};
 pub use ida::FileId;
 pub use multi::MultiChannelServer;

@@ -70,6 +70,14 @@ pub enum ServerError {
     },
     /// Dispersal of a file's content failed.
     Ida(IdaError),
+    /// A program swap was requested with a flip slot earlier than a flip
+    /// already installed (slot time is monotonic).
+    SwapInPast {
+        /// The requested flip slot.
+        flip_slot: usize,
+        /// The earliest admissible flip slot.
+        frontier: usize,
+    },
 }
 
 impl core::fmt::Display for ServerError {
@@ -90,6 +98,13 @@ impl core::fmt::Display for ServerError {
                 "file {file} declared {expected} bytes but {actual} were supplied"
             ),
             ServerError::Ida(e) => write!(f, "dispersal failed: {e}"),
+            ServerError::SwapInPast {
+                flip_slot,
+                frontier,
+            } => write!(
+                f,
+                "swap flip slot {flip_slot} precedes the installed flip frontier {frontier}"
+            ),
         }
     }
 }

@@ -1,0 +1,86 @@
+//! Micro-benchmark of the reconstruction inverse cache: repeated
+//! reconstructions from the *same* loss pattern (the broadcast case — the
+//! same blocks go missing cycle after cycle) skip the O(m³) Gauss–Jordan
+//! inversion, while a stream of all-new patterns pays it every time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ida::{Dispersal, FileId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn payload(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i * 131 + 17) as u8).collect()
+}
+
+/// `count` random m-subsets of `0..n` (distinct within each subset), cycled
+/// through to defeat (or, with `count == 1`, to saturate) the bounded
+/// inverse cache.
+fn loss_patterns(m: usize, n: usize, count: usize) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(0x1DA);
+    (0..count)
+        .map(|_| {
+            let mut pool: Vec<usize> = (0..n).collect();
+            (0..m)
+                .map(|_| pool.swap_remove(rng.gen_range(0..pool.len())))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_inverse_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ida_inverse_cache");
+    group
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+        .sample_size(20);
+    for &(m, n) in &[(8usize, 16usize), (16, 24), (24, 36)] {
+        // Paper-sized blocks (512 bytes each): the decode multiply stays
+        // small, so the per-pattern O(m³) inversion is the visible cost.
+        let data = payload(512 * m);
+        let dispersal = Dispersal::new(m, n).unwrap();
+        let dispersed = dispersal.disperse(FileId(1), &data).unwrap();
+        group.throughput(Throughput::Bytes(data.len() as u64));
+
+        // Hot: one loss pattern, repeated — after the first call every
+        // reconstruction hits the cached inverse.
+        let hot = loss_patterns(m, n, 1);
+        let hot_blocks: Vec<_> = hot[0]
+            .iter()
+            .map(|&i| dispersed.blocks()[i].clone())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("hot_pattern", format!("{m}of{n}")),
+            &hot_blocks,
+            |b, blocks| b.iter(|| dispersal.reconstruct(blocks).unwrap()),
+        );
+
+        // Cold: more distinct patterns than the cache holds, visited round
+        // robin — every reconstruction re-inverts.
+        let cold = loss_patterns(m, n, 512);
+        let cold_blocks: Vec<Vec<_>> = cold
+            .iter()
+            .map(|rows| {
+                rows.iter()
+                    .map(|&i| dispersed.blocks()[i].clone())
+                    .collect()
+            })
+            .collect();
+        let mut next = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("cold_patterns", format!("{m}of{n}")),
+            &cold_blocks,
+            |b, patterns| {
+                b.iter(|| {
+                    let blocks = &patterns[next % patterns.len()];
+                    next += 1;
+                    dispersal.reconstruct(blocks).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inverse_cache);
+criterion_main!(benches);

@@ -8,9 +8,9 @@
 //!
 //! Available experiment ids: `fig5`, `fig6`, `fig7`, `lemma1`, `lemma2`,
 //! `example1`, `eq1`, `eq2`, `examples`, `speedup`, `ablation-schedulers`,
-//! `ablation-redundancy`, `ablation-blocksize`, `sharding`, `all`.
+//! `ablation-redundancy`, `ablation-blocksize`, `sharding`, `modes`, `all`.
 
-use bench::{ablations, bounds, figures, sharding};
+use bench::{ablations, bounds, figures, modes, sharding};
 
 fn print_experiment<T: core::fmt::Display + serde::Serialize>(value: &T, json: bool) {
     if json {
@@ -44,6 +44,7 @@ fn run(id: &str, json: bool) -> bool {
         "ablation-redundancy" => print_experiment(&ablations::redundancy_ablation(300, 7), json),
         "ablation-blocksize" => print_experiment(&ablations::blocksize_ablation(), json),
         "sharding" => print_experiment(&sharding::sharding_figure(100, 0x5A4D), json),
+        "modes" => print_experiment(&modes::modes_figure(25, 0x0D35), json),
         _ => return false,
     }
     true
@@ -71,6 +72,7 @@ fn main() {
         "ablation-redundancy",
         "ablation-blocksize",
         "sharding",
+        "modes",
     ];
     let selected: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
         all.to_vec()

@@ -14,6 +14,9 @@
 //!   the empirical check of Lemmas 1 and 2);
 //! * [`workload`] — file-set and requirement generators: uniform and Zipf
 //!   synthetic mixes plus the paper's AWACS / IVHS motivating scenarios;
+//! * [`mode_schedule`] — timed mode-change events ([`ModeSchedule`]) and the
+//!   per-swap disruption accounting ([`TransitionMetrics`]) behind the
+//!   `modes` figure;
 //! * [`stats`] — latency summaries (mean, max, percentiles) and deadline-miss
 //!   accounting;
 //! * [`sim`] — a Monte-Carlo retrieval simulator driving a
@@ -23,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod mode_schedule;
 pub mod sim;
 pub mod stats;
 pub mod workload;
@@ -32,6 +36,7 @@ pub use error::{
     BernoulliErrors, ChannelErrorModel, CorrelatedChannels, ErrorModel, GilbertElliott,
     IndependentChannels, NoErrors, OnChannel, TargetedLoss,
 };
+pub use mode_schedule::{ModeEvent, ModeSchedule, TransitionMetrics};
 pub use sim::{RetrievalSimulator, SimulationConfig, SimulationReport};
 pub use stats::{LatencySummary, MissReport};
 pub use workload::{awacs_scenario, ivhs_scenario, RequirementGenerator, WorkloadConfig};

@@ -1,0 +1,149 @@
+//! Mode-change workloads: timed mode-transition events injected into a
+//! simulation, plus the accounting for what each swap did to the in-flight
+//! retrievals.
+//!
+//! A [`ModeSchedule`] is pure data — a slot-ordered list of
+//! [`ModeEvent`]s — so any driver (the `rtbdisk` facade's station, the
+//! experiment harness, a test) can play it against its own client fleet.
+//! [`TransitionMetrics`] accumulates the per-swap disruption counts the
+//! `modes` bench figure reports: how long the swap took to flip, how many
+//! in-flight retrievals survived untouched, transparently re-subscribed, or
+//! were cancelled with `ModeChanged`.
+
+use bmode::{ModeSpec, SwapPolicy};
+use serde::{Deserialize, Serialize};
+
+/// One timed mode-change event: at `at_slot`, swap to `mode` under `policy`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModeEvent {
+    /// The slot at which the swap is requested.
+    pub at_slot: usize,
+    /// The target mode.
+    pub mode: ModeSpec,
+    /// How in-flight retrievals of affected files are treated.
+    pub policy: SwapPolicy,
+}
+
+/// A slot-ordered schedule of mode-change events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModeSchedule {
+    events: Vec<ModeEvent>,
+}
+
+impl ModeSchedule {
+    /// An empty schedule (no mode ever changes).
+    pub fn new() -> Self {
+        ModeSchedule::default()
+    }
+
+    /// Adds a mode-change event; events are kept sorted by slot (stable for
+    /// equal slots, so a later-added event at the same slot runs last).
+    pub fn at(mut self, at_slot: usize, mode: ModeSpec, policy: SwapPolicy) -> Self {
+        let index = self
+            .events
+            .iter()
+            .position(|e| e.at_slot > at_slot)
+            .unwrap_or(self.events.len());
+        self.events.insert(
+            index,
+            ModeEvent {
+                at_slot,
+                mode,
+                policy,
+            },
+        );
+        self
+    }
+
+    /// The events, in slot order.
+    pub fn events(&self) -> &[ModeEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled mode changes.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no mode change is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The first event at or after `slot`, if any.
+    pub fn next_at_or_after(&self, slot: usize) -> Option<&ModeEvent> {
+        self.events.iter().find(|e| e.at_slot >= slot)
+    }
+}
+
+/// Disruption accounting for one executed swap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransitionMetrics {
+    /// Slot the swap was requested at.
+    pub requested_slot: usize,
+    /// Slot the changed channels flipped at.
+    pub flip_slot: usize,
+    /// In-flight retrievals at request time whose channel the swap never
+    /// touched.
+    pub untouched: usize,
+    /// In-flight retrievals that completed before the flip (the drain
+    /// policy's goal).
+    pub completed_before_flip: usize,
+    /// In-flight retrievals that transparently re-subscribed and completed
+    /// under the new program.
+    pub resubscribed: usize,
+    /// In-flight retrievals cancelled with `ModeChanged`.
+    pub disrupted: usize,
+}
+
+impl TransitionMetrics {
+    /// Slots between request and flip (the swap latency the policy paid).
+    pub fn swap_latency(&self) -> usize {
+        self.flip_slot - self.requested_slot
+    }
+
+    /// Total in-flight retrievals the swap found.
+    pub fn in_flight(&self) -> usize {
+        self.untouched + self.completed_before_flip + self.resubscribed + self.disrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcore::GeneralizedFileSpec;
+    use ida::FileId;
+
+    fn mode(name: &str) -> ModeSpec {
+        ModeSpec::new(name).file(GeneralizedFileSpec::new(FileId(1), 1, vec![8]).unwrap())
+    }
+
+    #[test]
+    fn events_are_kept_in_slot_order() {
+        let schedule = ModeSchedule::new()
+            .at(300, mode("c"), SwapPolicy::Drain)
+            .at(100, mode("a"), SwapPolicy::Immediate)
+            .at(200, mode("b"), SwapPolicy::Immediate);
+        let slots: Vec<usize> = schedule.events().iter().map(|e| e.at_slot).collect();
+        assert_eq!(slots, vec![100, 200, 300]);
+        assert_eq!(schedule.len(), 3);
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.next_at_or_after(150).unwrap().at_slot, 200);
+        assert_eq!(schedule.next_at_or_after(200).unwrap().at_slot, 200);
+        assert!(schedule.next_at_or_after(301).is_none());
+    }
+
+    #[test]
+    fn metrics_account_for_every_in_flight_retrieval() {
+        let m = TransitionMetrics {
+            requested_slot: 40,
+            flip_slot: 64,
+            untouched: 3,
+            completed_before_flip: 2,
+            resubscribed: 1,
+            disrupted: 4,
+        };
+        assert_eq!(m.swap_latency(), 24);
+        assert_eq!(m.in_flight(), 10);
+    }
+}

@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 /// A generalized fault-tolerant real-time broadcast file specification
 /// (paper Section 4.1): `mᵢ` blocks, and for every fault level `j` a
 /// worst-case latency `d⁽ʲ⁾ᵢ` in slots.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct GeneralizedFileSpec {
     /// The file identifier.
     pub id: FileId,
@@ -40,6 +40,36 @@ pub struct GeneralizedFileSpec {
     /// Size of one block in bytes (defaults to 512; only matters when the
     /// program is actually served).
     pub block_bytes: u32,
+    /// A floor on the dispersal width `nᵢ` the designer chooses (default 0 —
+    /// no floor beyond the designer's own `mᵢ + rᵢ` minimum).  Mode profiles
+    /// use this to demand extra AIDA redundancy for a file without touching
+    /// its latency vector: the designer transmits at least this many distinct
+    /// dispersed blocks per data cycle.
+    pub min_dispersal: u32,
+}
+
+/// Hand-rolled so that `min_dispersal` (added after the struct was first
+/// serialized) defaults to 0 when absent — spec JSON written before the
+/// field existed keeps deserializing.
+impl Deserialize for GeneralizedFileSpec {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::new("expected map for GeneralizedFileSpec"))?;
+        let min_dispersal = if m.iter().any(|(k, _)| k == "min_dispersal") {
+            serde::from_field(m, "min_dispersal")?
+        } else {
+            0
+        };
+        Ok(GeneralizedFileSpec {
+            id: serde::from_field(m, "id")?,
+            name: serde::from_field(m, "name")?,
+            size_blocks: serde::from_field(m, "size_blocks")?,
+            latencies: serde::from_field(m, "latencies")?,
+            block_bytes: serde::from_field(m, "block_bytes")?,
+            min_dispersal,
+        })
+    }
 }
 
 impl GeneralizedFileSpec {
@@ -54,6 +84,7 @@ impl GeneralizedFileSpec {
             size_blocks,
             latencies,
             block_bytes: 512,
+            min_dispersal: 0,
         })
     }
 
@@ -66,6 +97,15 @@ impl GeneralizedFileSpec {
     /// Sets the block size in bytes.
     pub fn with_block_bytes(mut self, block_bytes: u32) -> Self {
         self.block_bytes = block_bytes;
+        self
+    }
+
+    /// Sets a floor on the dispersal width the designer chooses for this
+    /// file (clamped to the GF(2⁸) maximum of 255 dispersed blocks).  The
+    /// designer still widens beyond the floor when the schedule gives the
+    /// file more per-cycle occurrences.
+    pub fn with_min_dispersal(mut self, width: u32) -> Self {
+        self.min_dispersal = width.min(255);
         self
     }
 
@@ -266,7 +306,7 @@ impl<S: PinwheelScheduler> BdiskDesigner<S> {
                 // after j losses when nᵢ ≥ mᵢ + j, so nᵢ is at least
                 // mᵢ + rᵢ (and at least the per-cycle occurrence count, so
                 // every visit in a cycle carries a distinct block).
-                let min_width = s.size_blocks + s.max_faults() as u32;
+                let min_width = (s.size_blocks + s.max_faults() as u32).max(s.min_dispersal);
                 BroadcastFile::new(s.id, s.name.clone(), s.size_blocks, s.block_bytes)
                     .with_dispersal(occurrences.max(min_width))
                     .with_latency_vector(
@@ -402,6 +442,43 @@ mod tests {
             assert_eq!(file.dispersed_blocks, per_cycle.max(min_width));
             assert!(file.dispersed_blocks >= min_width);
         }
+    }
+
+    #[test]
+    fn specs_serialized_before_min_dispersal_still_deserialize() {
+        // A pre-`min_dispersal` serialization: the field is absent from the
+        // map and must default to 0 (round trips of current specs keep it).
+        let current = spec(1, 2, &[8, 10]).with_min_dispersal(7);
+        let mut value = serde::Serialize::serialize(&current);
+        if let serde::Value::Map(entries) = &mut value {
+            entries.retain(|(k, _)| k != "min_dispersal");
+        }
+        let legacy: GeneralizedFileSpec = serde::Deserialize::deserialize(&value).unwrap();
+        assert_eq!(legacy.min_dispersal, 0);
+        assert_eq!(legacy.id, current.id);
+        assert_eq!(legacy.latencies, current.latencies);
+        let roundtrip: GeneralizedFileSpec =
+            serde::Deserialize::deserialize(&serde::Serialize::serialize(&current)).unwrap();
+        assert_eq!(roundtrip, current);
+    }
+
+    #[test]
+    fn min_dispersal_floors_the_chosen_width() {
+        let base = vec![spec(1, 2, &[8, 10]), spec(2, 1, &[6])];
+        let widened = vec![spec(1, 2, &[8, 10]).with_min_dispersal(9), spec(2, 1, &[6])];
+        let plain = BdiskDesigner::default().design(&base).unwrap();
+        let floored = BdiskDesigner::default().design(&widened).unwrap();
+        assert!(plain.files.get(FileId(1)).unwrap().dispersed_blocks < 9);
+        assert_eq!(floored.files.get(FileId(1)).unwrap().dispersed_blocks, 9);
+        // The floor adds redundancy only; verification still holds and the
+        // untouched file keeps its width.
+        assert!(floored.verification.is_ok(), "{:?}", floored.verification);
+        assert_eq!(
+            plain.files.get(FileId(2)).unwrap().dispersed_blocks,
+            floored.files.get(FileId(2)).unwrap().dispersed_blocks
+        );
+        // The clamp keeps widths representable in GF(2⁸).
+        assert_eq!(spec(3, 1, &[9]).with_min_dispersal(400).min_dispersal, 255);
     }
 
     #[test]

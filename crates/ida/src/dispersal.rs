@@ -4,6 +4,7 @@ use crate::{BlockHeader, DispersedBlock, FileId, IdaError};
 use bytes::Bytes;
 use gf256::{Gf256, Matrix};
 use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 
 /// Which generator matrix family backs the dispersal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -23,16 +24,58 @@ pub enum MatrixKind {
 /// encoded into `n ≥ m` dispersed blocks, any `m` of which reconstruct the
 /// original.
 ///
-/// The transformation matrix is precomputed once per configuration; the paper
-/// likewise notes that the inverse transformations "could be precomputed for
-/// some or even all possible subsets of m rows" — we invert lazily per
-/// reconstruction, which is plenty for a software implementation.
+/// The transformation matrix is precomputed once per configuration.  The
+/// paper notes that the inverse transformations "could be precomputed for
+/// some or even all possible subsets of m rows"; precomputing all `C(n, m)`
+/// of them is wasteful, but broadcast loss patterns repeat (the same blocks
+/// go missing cycle after cycle), so the inverses are memoised instead: the
+/// first reconstruction from a given received-index subset pays the O(m³)
+/// Gauss–Jordan inversion, repeats hit a bounded cache shared by all clones
+/// of the configuration (a [`crate::Dispersal`] is cloned into every client
+/// handle).
 #[derive(Debug, Clone)]
 pub struct Dispersal {
     m: usize,
     n: usize,
     kind: MatrixKind,
     matrix: Matrix,
+    inverses: Arc<Mutex<InverseCache>>,
+}
+
+/// Bounded memo of inverted `m×m` sub-matrices, keyed by the ordered tuple of
+/// received block indices.  Insertion order is tracked so the cache evicts
+/// oldest-first once `INVERSE_CACHE_CAP` distinct loss patterns have been
+/// seen (hot patterns re-enter immediately on the next reconstruction).
+#[derive(Debug, Default)]
+struct InverseCache {
+    map: std::collections::HashMap<Vec<u8>, Arc<Matrix>>,
+    order: std::collections::VecDeque<Vec<u8>>,
+}
+
+/// Maximum number of distinct received-index subsets memoised per
+/// configuration.
+const INVERSE_CACHE_CAP: usize = 256;
+
+impl InverseCache {
+    fn get(&self, key: &[u8]) -> Option<Arc<Matrix>> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: Vec<u8>, inverse: Arc<Matrix>) {
+        if self.map.contains_key(&key) {
+            return;
+        }
+        while self.map.len() >= INVERSE_CACHE_CAP {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.map.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key, inverse);
+    }
 }
 
 /// The result of dispersing one file: the dispersed blocks plus bookkeeping.
@@ -92,7 +135,13 @@ impl Dispersal {
             MatrixKind::Vandermonde => Matrix::vandermonde(n, m)?,
             MatrixKind::Cauchy => Matrix::cauchy(n, m)?,
         };
-        Ok(Dispersal { m, n, kind, matrix })
+        Ok(Dispersal {
+            m,
+            n,
+            kind,
+            matrix,
+            inverses: Arc::new(Mutex::new(InverseCache::default())),
+        })
     }
 
     /// The reconstruction threshold `m`.
@@ -113,6 +162,17 @@ impl Dispersal {
     /// The matrix family in use.
     pub fn kind(&self) -> MatrixKind {
         self.kind
+    }
+
+    /// Number of distinct received-index subsets whose reconstruction
+    /// inverse is currently memoised (the cache is shared across clones of
+    /// this configuration and bounded, evicting oldest patterns first).
+    pub fn cached_inverses(&self) -> usize {
+        self.inverses
+            .lock()
+            .expect("inverse cache lock is never poisoned")
+            .map
+            .len()
     }
 
     /// The per-block payload size for a file of `len` bytes: the file is
@@ -212,10 +272,27 @@ impl Dispersal {
         let reference = reference.expect("at least one block present");
         let original_len = reference.original_len as usize;
 
-        // Build the m×m sub-matrix for the received indices and invert it.
+        // The m×m sub-matrix inverse for the received indices: memoised per
+        // loss pattern (indices fit in u8 because n ≤ 255).
         let rows: Vec<usize> = chosen.iter().map(|b| b.index() as usize).collect();
-        let sub = self.matrix.submatrix_rows(&rows)?;
-        let inverse = sub.inverted()?;
+        let key: Vec<u8> = rows.iter().map(|&r| r as u8).collect();
+        let cached = self
+            .inverses
+            .lock()
+            .expect("inverse cache lock is never poisoned")
+            .get(&key);
+        let inverse = match cached {
+            Some(inverse) => inverse,
+            None => {
+                let sub = self.matrix.submatrix_rows(&rows)?;
+                let inverse = Arc::new(sub.inverted()?);
+                self.inverses
+                    .lock()
+                    .expect("inverse cache lock is never poisoned")
+                    .insert(key, inverse.clone());
+                inverse
+            }
+        };
 
         let received: Vec<Vec<Gf256>> = chosen
             .iter()
@@ -413,6 +490,49 @@ mod tests {
         let d = Dispersal::new(5, 10).unwrap();
         assert_eq!(d.block_payload_len(5 * 512), 512);
         assert_eq!(d.block_payload_len(5 * 512 + 1), 513);
+    }
+
+    #[test]
+    fn repeated_loss_patterns_hit_the_inverse_cache() {
+        let d = Dispersal::new(4, 9).unwrap();
+        let data = sample(123);
+        let df = d.disperse(FileId(5), &data).unwrap();
+        let subset = vec![
+            df.blocks()[8].clone(),
+            df.blocks()[2].clone(),
+            df.blocks()[6].clone(),
+            df.blocks()[0].clone(),
+        ];
+        assert_eq!(d.cached_inverses(), 0);
+        assert_eq!(d.reconstruct(&subset).unwrap(), data);
+        assert_eq!(d.cached_inverses(), 1);
+        // Same pattern again: no new entry, same answer.
+        assert_eq!(d.reconstruct(&subset).unwrap(), data);
+        assert_eq!(d.cached_inverses(), 1);
+        // A different pattern adds a second entry.
+        let other: Vec<_> = df.blocks()[..4].to_vec();
+        assert_eq!(d.reconstruct(&other).unwrap(), data);
+        assert_eq!(d.cached_inverses(), 2);
+        // Clones share the cache (a client handle reuses the station's).
+        let clone = d.clone();
+        assert_eq!(clone.cached_inverses(), 2);
+        assert_eq!(clone.reconstruct(&subset).unwrap(), data);
+        assert_eq!(d.cached_inverses(), 2);
+    }
+
+    #[test]
+    fn inverse_cache_is_bounded() {
+        // 1-of-n reconstructions generate one pattern per block index; push
+        // more patterns than the cap and check the cache never exceeds it.
+        let d = Dispersal::new(2, 255).unwrap();
+        let data = sample(64);
+        let df = d.disperse(FileId(1), &data).unwrap();
+        for a in 0..255usize {
+            let subset = vec![df.blocks()[a].clone(), df.blocks()[(a + 1) % 255].clone()];
+            assert_eq!(d.reconstruct(&subset).unwrap(), data);
+        }
+        assert!(d.cached_inverses() <= super::INVERSE_CACHE_CAP);
+        assert!(d.cached_inverses() > 0);
     }
 
     #[test]

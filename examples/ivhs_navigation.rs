@@ -10,6 +10,12 @@
 //! naive demand-agnostic flat program, which misses the tight deadlines
 //! exactly as the paper warns.
 //!
+//! Traffic is not stationary: the *rush-hour* program above gives incident
+//! alerts tight deadlines and extra loss protection, while *off-peak* the
+//! same station relaxes them and spends the bandwidth on the bulk files —
+//! demonstrated at the end as an online `prepare_mode`/`swap` (drain
+//! policy), not a rebuild: vehicles mid-retrieval ride through the flip.
+//!
 //! ```text
 //! cargo run --release --example ivhs_navigation
 //! ```
@@ -17,7 +23,10 @@
 use bcore::Planner;
 use bdisk::{BroadcastProgram, BroadcastServer, FlatOrder};
 use bsim::{ivhs_scenario, GilbertElliott, RetrievalSimulator, SimulationConfig};
-use rtbdisk::{Broadcast, FileId, GeneralizedFileSpec};
+use rtbdisk::{
+    Broadcast, FileId, GeneralizedFileSpec, ModeProfile, ModeSpec, NoErrors, RedundancyPolicy,
+    RetrievalResolution, SwapPolicy,
+};
 
 const NAMES: [&str; 5] = [
     "incident-alerts",
@@ -68,7 +77,7 @@ fn main() -> Result<(), rtbdisk::Error> {
                 .with_block_bytes(256)
         })
         .collect();
-    let station = Broadcast::builder().files(specs).build()?;
+    let mut station = Broadcast::builder().files(specs.clone()).build()?;
 
     println!();
     println!("== pinwheel-scheduled broadcast program (designed by the facade) ==");
@@ -136,6 +145,83 @@ fn main() -> Result<(), rtbdisk::Error> {
         "The flat program ignores per-file deadlines, so the urgent incident-alert feed\n\
          misses most of its deadlines; the pinwheel program spaces its blocks to the\n\
          deadline and absorbs bursts with AIDA redundancy."
+    );
+
+    // 4. Midnight: hot-swap the serving station to off-peak mode.  Incident
+    //    alerts and link travel times relax their deadlines (4× slacker),
+    //    freeing bandwidth; the alerts keep one extra dispersed block of
+    //    loss protection via the mode profile.  The drain policy lets every
+    //    in-flight rush-hour retrieval within its declared tolerance finish
+    //    under the old program before the flip.
+    let off_peak_specs: Vec<GeneralizedFileSpec> = specs
+        .iter()
+        .map(|s| {
+            let relax = s.id == FileId(0) || s.id == FileId(1);
+            let latencies: Vec<u32> = s
+                .latencies
+                .iter()
+                .map(|&d| if relax { d * 4 } else { d })
+                .collect();
+            GeneralizedFileSpec::new(s.id, s.size_blocks, latencies)
+                .expect("relaxed windows stay valid")
+                .with_name(s.name.clone())
+                .with_block_bytes(s.block_bytes)
+        })
+        .collect();
+    let off_peak = ModeSpec::new("off-peak")
+        .files(off_peak_specs)
+        .with_profile(
+            ModeProfile::new("off-peak", RedundancyPolicy::None)
+                .with_override(FileId(0), RedundancyPolicy::TolerateFaults { faults: 3 }),
+        );
+
+    // A vehicle is mid-retrieval of the big POI delta when the swap lands.
+    let mut vehicle = station.subscribe(FileId(3), 0)?;
+    station.run_until_slot(std::slice::from_mut(&mut vehicle), &mut NoErrors, 50)?;
+    let prepared = station.prepare_mode(&off_peak)?;
+    println!();
+    println!("== swap: rush-hour -> off-peak (requested at slot 50, drain policy) ==");
+    println!("{}", prepared.transition());
+    let report = station.swap(prepared, 50, SwapPolicy::Drain)?;
+    println!(
+        "  flip deferred to slot {} (swap latency {} slots)",
+        report.flip_slot,
+        report.swap_latency()
+    );
+    let resolutions =
+        station.run_until_resolved(std::slice::from_mut(&mut vehicle), &mut NoErrors)?;
+    match &resolutions[0] {
+        RetrievalResolution::Complete(outcome) => println!(
+            "  mid-flight POI retrieval drained cleanly: {} bytes after {} slots",
+            outcome.data.len(),
+            outcome.latency()
+        ),
+        RetrievalResolution::ModeChanged { file, mode } => {
+            println!("  mid-flight retrieval cancelled: {file} by `{mode}`")
+        }
+    }
+    println!(
+        "  off-peak program (same station, epoch {}):",
+        station.epoch()
+    );
+    for f in station.files().files() {
+        println!(
+            "    {:<20} deadline {:>5} slots, n = {:>2} dispersed blocks",
+            f.name,
+            f.latencies.base_latency(),
+            f.dispersed_blocks
+        );
+    }
+    let alert = station.retrieve(FileId(0), report.flip_slot + 10, &mut NoErrors)?;
+    println!(
+        "    incident alert under off-peak: latency {} slots (deadline {})",
+        alert.latency(),
+        station
+            .files()
+            .get(FileId(0))
+            .unwrap()
+            .latencies
+            .base_latency()
     );
     Ok(())
 }

@@ -4,10 +4,11 @@ use crate::{Error, Station};
 use bcore::{
     BdiskDesigner, ChannelBudget, GeneralizedFileSpec, MultiChannelDesigner, ShardPlanner,
 };
-use bdisk::{BroadcastServer, MultiChannelServer};
+use bdisk::BroadcastServer;
 use ida::FileId;
 use pinwheel::SchedulerChoice;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Entry point of the facade.
 ///
@@ -137,27 +138,35 @@ impl BroadcastBuilder {
         // Contents: whatever was supplied, synthetic defaults for the rest
         // (generated only for files actually missing content).  Payload bytes
         // are independent of the channel layout, so a file reconstructs to
-        // identical bytes whether the station is sharded or not.  Every file
-        // lands on exactly one channel, so supplied payloads are *moved* into
-        // their channel's map, never copied.
-        let mut contents = self.contents;
+        // identical bytes whether the station is sharded or not.  The
+        // supplied map is kept on the station, so a later mode swap can
+        // carry retained files' contents over.
+        let contents = self.contents;
         let mut servers = Vec::with_capacity(design.reports.len());
         for report in &design.reports {
             let mut channel_contents = BTreeMap::new();
             for f in report.files.files() {
                 let bytes = contents
-                    .remove(&f.id)
+                    .get(&f.id)
+                    .cloned()
                     .unwrap_or_else(|| BroadcastServer::synthetic_content(f));
                 channel_contents.insert(f.id, bytes);
             }
-            servers.push(BroadcastServer::new(
+            servers.push(Arc::new(BroadcastServer::new(
                 &report.files,
                 report.program.clone(),
                 &channel_contents,
-            )?);
+            )?));
         }
-        let server = MultiChannelServer::new(servers)?;
-        Station::new(self.specs, design, server, self.listen_cap)
+        Station::new(
+            self.specs,
+            design,
+            servers,
+            contents,
+            self.listen_cap,
+            self.scheduler,
+            self.channels,
+        )
     }
 }
 

@@ -34,6 +34,24 @@ pub enum Error {
     Verification(String),
     /// An operation referenced a file the station does not carry.
     UnknownFile(FileId),
+    /// An in-flight retrieval was cancelled by a mode swap: its file was
+    /// dropped or re-dispersed by the transition, so the blocks it collected
+    /// cannot complete under the new program.
+    ModeChanged {
+        /// The file whose retrieval was cancelled.
+        file: FileId,
+        /// The mode whose swap cancelled it.
+        mode: String,
+    },
+    /// A [`crate::PreparedMode`] was swapped in after another swap already
+    /// changed the station: the preparation's diff no longer describes what
+    /// is on the air.  Re-run [`crate::Station::prepare_mode`].
+    StalePreparation {
+        /// The station epoch the mode was prepared against.
+        prepared_epoch: u64,
+        /// The station's current epoch.
+        current_epoch: u64,
+    },
     /// A retrieval listened for more than the station's listen cap without
     /// completing (pathological loss rates).
     RetrievalStalled {
@@ -67,6 +85,18 @@ impl core::fmt::Display for Error {
                 write!(f, "designed program failed verification: {msg}")
             }
             Error::UnknownFile(id) => write!(f, "file {id} is not on this station"),
+            Error::ModeChanged { file, mode } => write!(
+                f,
+                "retrieval of {file} was cancelled by the swap to mode `{mode}`"
+            ),
+            Error::StalePreparation {
+                prepared_epoch,
+                current_epoch,
+            } => write!(
+                f,
+                "prepared mode targets station epoch {prepared_epoch} but the station is at \
+                 epoch {current_epoch}; prepare again"
+            ),
             Error::RetrievalStalled { file, listened } => write!(
                 f,
                 "retrieval of {file} did not complete within {listened} slots"
@@ -156,6 +186,14 @@ mod tests {
                 file: FileId(1),
                 received: 2,
                 required: 5,
+            },
+            Error::ModeChanged {
+                file: FileId(1),
+                mode: "combat".to_string(),
+            },
+            Error::StalePreparation {
+                prepared_epoch: 1,
+                current_epoch: 2,
             },
         ];
         for e in errors {

@@ -24,6 +24,13 @@
 //!   [`Station::subscribe`] transparently tunes each [`Retrieval`] to the
 //!   channel carrying its file, and per-channel loss is expressible with
 //!   [`IndependentChannels`] / [`CorrelatedChannels`] / [`OnChannel`].
+//! * A station is *mutable at the program level*: [`Station::prepare_mode`]
+//!   designs a target [`ModeSpec`] (with [`ModeProfile`] redundancy
+//!   overrides) off the hot path, and [`Station::swap`] installs it with an
+//!   epoch-bumped, slot-aligned per-channel atomic swap — unchanged
+//!   channels keep broadcasting byte-identically, and in-flight
+//!   [`Retrieval`]s survive, transparently re-subscribe, or resolve to
+//!   [`Error::ModeChanged`] per the [`SwapPolicy`] (immediate vs drain).
 //!
 //! ## Quickstart
 //!
@@ -50,36 +57,41 @@
 //! | [`gf256`] | GF(2⁸) field / matrix substrate |
 //! | [`ida`] | Rabin's IDA and the adaptive AIDA |
 //! | [`pinwheel`] | pinwheel task systems, schedulers, verifier |
-//! | [`bdisk`] | broadcast files, programs, server, client sessions |
+//! | [`bdisk`] | broadcast files, programs, server, client sessions, epoch bank |
 //! | [`bcore`] | conditions, pinwheel algebra, planner, designer |
-//! | [`bsim`] | error models, worst-case analysis, Monte-Carlo simulation |
+//! | [`bmode`] | mode specifications, online re-design, transition planning |
+//! | [`bsim`] | error models, worst-case analysis, Monte-Carlo simulation, mode schedules |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod broadcast;
 mod error;
+mod mode;
 mod retrieval;
 mod station;
 
 pub use broadcast::{Broadcast, BroadcastBuilder};
 pub use error::Error;
-pub use retrieval::Retrieval;
+pub use mode::{PreparedMode, SwapReport};
+pub use retrieval::{Retrieval, RetrievalResolution};
 pub use station::{Station, Stream};
 
 // The handful of cross-crate types every facade user touches.
 pub use bcore::{ChannelBudget, GeneralizedFileSpec, ShardPlan, ShardPlanner};
-pub use bdisk::{LatencyVector, MultiChannelServer, RetrievalOutcome, TransmissionRef};
+pub use bdisk::{EpochBank, LatencyVector, MultiChannelServer, RetrievalOutcome, TransmissionRef};
+pub use bmode::{ChannelTransition, ModePlanner, ModeSpec, SwapPolicy, TransitionPlan};
 pub use bsim::{
     BernoulliErrors, ChannelErrorModel, CorrelatedChannels, ErrorModel, GilbertElliott,
     IndependentChannels, NoErrors, OnChannel, TargetedLoss,
 };
-pub use ida::FileId;
+pub use ida::{FileId, ModeProfile, RedundancyPolicy};
 pub use pinwheel::SchedulerChoice;
 
 // Full per-crate APIs, re-exported for power users.
 pub use bcore;
 pub use bdisk;
+pub use bmode;
 pub use bsim;
 pub use gf256;
 pub use ida;

@@ -1,0 +1,121 @@
+//! Prepared mode transitions: everything a swap needs, computed off the hot
+//! path.
+//!
+//! [`crate::Station::prepare_mode`] runs the full design pipeline for the
+//! target [`bmode::ModeSpec`] — shard planning, per-channel scheduling,
+//! verification, dispersal of contents — and packages the result as a
+//! [`PreparedMode`].  [`crate::Station::swap`] then only installs
+//! already-built servers into the epoch bank: the swap itself is cheap and
+//! cannot fail on design grounds.
+
+use bcore::{DesignReport, GeneralizedFileSpec, MultiChannelReport};
+use bdisk::{BroadcastServer, FileSet, LatencyVector};
+use bmode::{SwapPolicy, TransitionPlan};
+use ida::{Dispersal, FileId};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A fully designed, verified and content-loaded target mode, ready to be
+/// swapped in by [`crate::Station::swap`].
+///
+/// Preparation happens against a snapshot of the station (its epoch is
+/// recorded); if another swap lands first, the swap of this preparation is
+/// rejected with [`crate::Error::StalePreparation`] instead of installing a
+/// diff that no longer describes the air.
+#[derive(Debug, Clone)]
+pub struct PreparedMode {
+    pub(crate) mode: String,
+    pub(crate) specs: Vec<GeneralizedFileSpec>,
+    pub(crate) design: MultiChannelReport,
+    pub(crate) transition: TransitionPlan,
+    pub(crate) servers: Vec<Arc<BroadcastServer>>,
+    pub(crate) files: FileSet,
+    pub(crate) dispersals: BTreeMap<FileId, Arc<Dispersal>>,
+    pub(crate) contents: BTreeMap<FileId, Vec<u8>>,
+    pub(crate) resubscribe: BTreeMap<FileId, (usize, Arc<Dispersal>, LatencyVector)>,
+    pub(crate) base_epoch: u64,
+}
+
+impl PreparedMode {
+    /// The target mode's name.
+    pub fn mode(&self) -> &str {
+        &self.mode
+    }
+
+    /// The diff this preparation will execute.
+    pub fn transition(&self) -> &TransitionPlan {
+        &self.transition
+    }
+
+    /// The target mode's verified per-channel designs.
+    pub fn design(&self) -> &MultiChannelReport {
+        &self.design
+    }
+
+    /// The per-channel design reports of the target mode.
+    pub fn reports(&self) -> &[DesignReport] {
+        &self.design.reports
+    }
+
+    /// Files whose in-flight retrievals survive the swap by transparent
+    /// re-subscription (identical dispersal parameters and contents).
+    pub fn resubscribable(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.resubscribe.keys().copied()
+    }
+
+    /// The station epoch this preparation was computed against.
+    pub fn base_epoch(&self) -> u64 {
+        self.base_epoch
+    }
+
+    /// `true` when swapping this mode in would change nothing on the air.
+    pub fn is_noop(&self) -> bool {
+        self.transition.is_noop()
+    }
+}
+
+/// What a [`crate::Station::swap`] did.
+#[derive(Debug, Clone)]
+pub struct SwapReport {
+    /// The mode now (or soon) on the air.
+    pub mode: String,
+    /// The epoch the flipped channels serve under.
+    pub epoch: u64,
+    /// The slot at which the swap was requested.
+    pub requested_slot: usize,
+    /// The slot at which the changed channels flip (equals `requested_slot`
+    /// under [`SwapPolicy::Immediate`]; deferred past the drain horizon
+    /// under [`SwapPolicy::Drain`]).
+    pub flip_slot: usize,
+    /// The policy the swap was executed under.
+    pub policy: SwapPolicy,
+    /// The transition that was installed.
+    pub transition: TransitionPlan,
+    /// The channels that actually flipped; every other channel broadcasts
+    /// byte-identically across the swap.
+    pub flipped_channels: Vec<usize>,
+}
+
+impl SwapReport {
+    /// Slots between the swap request and the flip — the transition latency
+    /// the policy paid (0 for immediate swaps).
+    pub fn swap_latency(&self) -> usize {
+        self.flip_slot - self.requested_slot
+    }
+}
+
+impl core::fmt::Display for SwapReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "swapped to `{}` (epoch {}): requested at slot {}, flips at slot {} ({} policy), \
+             channels {:?} changed",
+            self.mode,
+            self.epoch,
+            self.requested_slot,
+            self.flip_slot,
+            self.policy,
+            self.flipped_channels
+        )
+    }
+}

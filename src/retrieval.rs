@@ -11,11 +11,49 @@ use bdisk::{ClientSession, LatencyVector, RetrievalOutcome, TransmissionRef};
 use ida::{Dispersal, FileId};
 use std::sync::Arc;
 
+/// How a driven retrieval ended: with the reconstructed file, or cancelled
+/// by a mode swap (per the transition's [`crate::SwapPolicy`]).
+#[derive(Debug, Clone)]
+pub enum RetrievalResolution {
+    /// The retrieval completed; the outcome carries the reconstructed bytes.
+    Complete(bdisk::RetrievalOutcome),
+    /// The retrieval was cancelled by a mode swap (its file was dropped or
+    /// re-dispersed, so its collected blocks cannot complete).
+    ModeChanged {
+        /// The file whose retrieval was cancelled.
+        file: FileId,
+        /// The mode whose swap cancelled it.
+        mode: String,
+    },
+}
+
+impl RetrievalResolution {
+    /// The completed outcome, if the retrieval was not cancelled.
+    pub fn outcome(&self) -> Option<&bdisk::RetrievalOutcome> {
+        match self {
+            RetrievalResolution::Complete(outcome) => Some(outcome),
+            RetrievalResolution::ModeChanged { .. } => None,
+        }
+    }
+
+    /// `true` when the retrieval was cancelled by a mode swap.
+    pub fn is_mode_changed(&self) -> bool {
+        matches!(self, RetrievalResolution::ModeChanged { .. })
+    }
+}
+
 /// One in-progress retrieval of a file from a broadcast station.
 ///
 /// Feed it slots via [`crate::Station::run_until_complete`] (many concurrent
 /// retrievals in one pass) or [`Retrieval::observe`] (manual slot-driving),
 /// then call [`Retrieval::finish`].
+///
+/// The handle carries the *epoch* of its channel at subscription time.  When
+/// a mode swap reprograms the channel mid-retrieval, the station's drivers
+/// notice the epoch mismatch and either transparently re-subscribe the
+/// handle (the file survives the transition with identical dispersal
+/// parameters and contents) or cancel it, after which
+/// [`Retrieval::finish`] reports [`crate::Error::ModeChanged`].
 #[derive(Debug, Clone)]
 pub struct Retrieval {
     session: ClientSession,
@@ -25,6 +63,8 @@ pub struct Retrieval {
     threshold: usize,
     dispersal: Arc<Dispersal>,
     latencies: LatencyVector,
+    epoch: u64,
+    cancelled_by: Option<String>,
 }
 
 impl Retrieval {
@@ -35,6 +75,7 @@ impl Retrieval {
         threshold: usize,
         dispersal: Arc<Dispersal>,
         latencies: LatencyVector,
+        epoch: u64,
     ) -> Self {
         Retrieval {
             session: ClientSession::new(file, threshold, request_slot),
@@ -44,6 +85,8 @@ impl Retrieval {
             threshold,
             dispersal,
             latencies,
+            epoch,
+            cancelled_by: None,
         }
     }
 
@@ -53,9 +96,56 @@ impl Retrieval {
     }
 
     /// The broadcast channel the station routed this retrieval to (always 0
-    /// on an unsharded station).
+    /// on an unsharded station).  Transparent re-subscription after a mode
+    /// swap can move the handle to another channel.
     pub fn channel(&self) -> usize {
         self.channel
+    }
+
+    /// The epoch of the channel's program this retrieval is tuned to.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `true` when a mode swap cancelled this retrieval.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled_by.is_some()
+    }
+
+    /// The mode whose swap cancelled this retrieval, if any.
+    pub fn cancelled_by(&self) -> Option<&str> {
+        self.cancelled_by.as_deref()
+    }
+
+    /// `true` once the retrieval needs no further driving: it completed or a
+    /// mode swap cancelled it.
+    pub fn is_resolved(&self) -> bool {
+        self.is_complete() || self.is_cancelled()
+    }
+
+    /// Cancels the retrieval on behalf of a mode swap.
+    pub(crate) fn cancel(&mut self, mode: String) {
+        if !self.is_complete() {
+            self.cancelled_by = Some(mode);
+        }
+    }
+
+    /// Transparently re-subscribes the handle after a mode swap: same file,
+    /// same dispersal parameters and contents, but possibly a different
+    /// channel, program epoch and declared latency vector.  Collected blocks
+    /// stay valid (the transition preserved the file's dispersed
+    /// representation byte for byte).
+    pub(crate) fn retune(
+        &mut self,
+        channel: usize,
+        epoch: u64,
+        dispersal: Arc<Dispersal>,
+        latencies: LatencyVector,
+    ) {
+        self.channel = channel;
+        self.epoch = epoch;
+        self.dispersal = dispersal;
+        self.latencies = latencies;
     }
 
     /// The slot at which the retrieval was issued.
@@ -117,8 +207,15 @@ impl Retrieval {
     /// Reconstructs the file from the received blocks.
     ///
     /// The dispersal parameters travel inside the handle, so this cannot be
-    /// called with a mismatched `(m, n)` configuration.
+    /// called with a mismatched `(m, n)` configuration.  A retrieval a mode
+    /// swap cancelled reports [`Error::ModeChanged`].
     pub fn finish(&self) -> Result<RetrievalOutcome, Error> {
+        if let Some(mode) = &self.cancelled_by {
+            return Err(Error::ModeChanged {
+                file: self.file,
+                mode: mode.clone(),
+            });
+        }
         if !self.is_complete() {
             return Err(Error::RetrievalIncomplete {
                 file: self.file,
@@ -127,6 +224,21 @@ impl Retrieval {
             });
         }
         self.session.finish(&self.dispersal).map_err(Error::Ida)
+    }
+
+    /// The resolution of a resolved retrieval (completed or cancelled);
+    /// `None` while still in flight.
+    pub fn resolution(&self) -> Option<Result<RetrievalResolution, Error>> {
+        if let Some(mode) = &self.cancelled_by {
+            return Some(Ok(RetrievalResolution::ModeChanged {
+                file: self.file,
+                mode: mode.clone(),
+            }));
+        }
+        if self.is_complete() {
+            return Some(self.finish().map(RetrievalResolution::Complete));
+        }
+        None
     }
 
     /// Whether `outcome` met the latency declared for the number of faults
@@ -152,7 +264,45 @@ mod tests {
             threshold,
             Arc::new(Dispersal::new(threshold, threshold + 2).unwrap()),
             LatencyVector::new(vec![8, 12]).unwrap(),
+            0,
         )
+    }
+
+    #[test]
+    fn cancelled_retrievals_finish_with_mode_changed() {
+        let mut r = handle(2);
+        assert!(!r.is_resolved());
+        r.cancel("landing".to_string());
+        assert!(r.is_cancelled());
+        assert!(r.is_resolved());
+        assert_eq!(r.cancelled_by(), Some("landing"));
+        assert!(matches!(
+            r.finish(),
+            Err(Error::ModeChanged {
+                file: FileId(1),
+                ..
+            })
+        ));
+        assert!(matches!(
+            r.resolution(),
+            Some(Ok(RetrievalResolution::ModeChanged { .. }))
+        ));
+    }
+
+    #[test]
+    fn retuning_moves_channel_epoch_and_latencies() {
+        let mut r = handle(2);
+        assert_eq!(r.epoch(), 0);
+        r.retune(
+            3,
+            7,
+            Arc::new(Dispersal::new(2, 4).unwrap()),
+            LatencyVector::new(vec![20]).unwrap(),
+        );
+        assert_eq!(r.channel(), 3);
+        assert_eq!(r.epoch(), 7);
+        assert_eq!(r.deadline(0), Some(20));
+        assert_eq!(r.deadline(1), None);
     }
 
     #[test]

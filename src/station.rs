@@ -1,13 +1,17 @@
-//! The broadcast station: one owned, ready-to-serve broadcast disk — or a
-//! bank of several, when the file set is sharded across parallel channels.
+//! The broadcast station: an owned, ready-to-serve broadcast disk — or a
+//! bank of several, when the file set is sharded across parallel channels —
+//! whose per-channel programs can be *hot-swapped* between operating modes.
 
-use crate::{Error, Retrieval};
-use bcore::{DesignReport, GeneralizedFileSpec, MultiChannelReport};
-use bdisk::{BroadcastProgram, BroadcastServer, FileSet, MultiChannelServer, TransmissionRef};
+use crate::{Error, PreparedMode, Retrieval, RetrievalResolution, SwapReport};
+use bcore::{BdiskDesigner, ChannelBudget, DesignReport, GeneralizedFileSpec, MultiChannelReport};
+use bdisk::{
+    BroadcastProgram, BroadcastServer, EpochBank, FileSet, LatencyVector, TransmissionRef,
+};
+use bmode::{ChannelTransition, ChannelView, CurrentMode, ModePlanner, ModeSpec, SwapPolicy};
 use bsim::ChannelErrorModel;
 use ida::{Dispersal, FileId};
-use pinwheel::Schedule;
-use std::collections::BTreeMap;
+use pinwheel::{Schedule, SchedulerChoice};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// A designed, verified and content-loaded broadcast disk, ready to serve.
@@ -22,53 +26,81 @@ use std::sync::Arc;
 /// With the default single channel the station behaves exactly like the
 /// paper's model; `Broadcast::builder().channels(k)` shards the file set
 /// across `k` slot-synchronized channels (see [`bcore::ShardPlanner`]).
+///
+/// ## Mode transitions
+///
+/// A station is mutable *at the program level*: [`Station::prepare_mode`]
+/// designs and verifies a target [`ModeSpec`] off the hot path, and
+/// [`Station::swap`] installs it with an epoch-bumped, slot-aligned atomic
+/// swap — per channel, so channels the transition does not touch keep
+/// broadcasting byte-identically.  In-flight [`Retrieval`]s carry their
+/// epoch and either survive (their channel unchanged), transparently
+/// re-subscribe (their file survives with identical dispersal parameters
+/// and contents), or resolve to [`Error::ModeChanged`] per the
+/// [`SwapPolicy`].
 #[derive(Debug, Clone)]
 pub struct Station {
     specs: Vec<GeneralizedFileSpec>,
     reports: Vec<DesignReport>,
-    server: MultiChannelServer,
+    bank: EpochBank,
     files: FileSet,
     dispersals: BTreeMap<FileId, Arc<Dispersal>>,
+    /// Explicitly supplied payloads of the current mode (files absent here
+    /// serve deterministic synthetic contents).
+    contents: BTreeMap<FileId, Vec<u8>>,
     listen_cap: usize,
+    scheduler: SchedulerChoice,
+    channels: ChannelBudget,
+    mode: String,
+    swaps: Vec<SwapRecord>,
+}
+
+/// One executed swap, kept so drivers can resolve in-flight retrievals that
+/// observe the epoch bump.  Flip *timing* lives in the bank's segment
+/// timeline; this record carries the per-file dispositions.
+#[derive(Debug, Clone)]
+struct SwapRecord {
+    epoch: u64,
+    mode: String,
+    flipped: BTreeSet<usize>,
+    /// Files whose in-flight retrievals transparently re-subscribe:
+    /// `file → (new channel, new dispersal, new latency vector)`.
+    resubscribe: BTreeMap<FileId, (usize, Arc<Dispersal>, LatencyVector)>,
 }
 
 impl Station {
     pub(crate) fn new(
         specs: Vec<GeneralizedFileSpec>,
         design: MultiChannelReport,
-        server: MultiChannelServer,
+        servers: Vec<Arc<BroadcastServer>>,
+        contents: BTreeMap<FileId, Vec<u8>>,
         listen_cap: usize,
+        scheduler: SchedulerChoice,
+        channels: ChannelBudget,
     ) -> Result<Self, Error> {
-        // Merge the per-channel file sets back into one, in specification
-        // order, so `files()` keeps its pre-sharding shape.
-        let mut merged = Vec::with_capacity(specs.len());
-        for spec in &specs {
-            let channel = design
-                .channel_of(spec.id)
-                .ok_or(Error::UnknownFile(spec.id))?;
-            let file = design.reports[channel]
-                .files
-                .get(spec.id)
-                .ok_or(Error::UnknownFile(spec.id))?;
-            merged.push(file.clone());
-        }
-        let files = FileSet::new(merged).ok_or(Error::UnknownFile(specs[0].id))?;
+        let files = merge_files(&specs, &design)?;
         let mut dispersals = BTreeMap::new();
         for f in files.files() {
             let dispersal = Dispersal::new(f.size_blocks as usize, f.dispersed_blocks as usize)?;
             dispersals.insert(f.id, Arc::new(dispersal));
         }
+        let bank = EpochBank::new(servers)?;
         Ok(Station {
             specs,
             reports: design.reports,
-            server,
+            bank,
             files,
             dispersals,
+            contents,
             listen_cap,
+            scheduler,
+            channels,
+            mode: "initial".to_string(),
+            swaps: Vec::new(),
         })
     }
 
-    /// The specifications this station was designed from.
+    /// The specifications this station's current mode was designed from.
     pub fn specs(&self) -> &[GeneralizedFileSpec] {
         &self.specs
     }
@@ -78,35 +110,48 @@ impl Station {
         self.specs.iter().find(|s| s.id == file)
     }
 
-    /// The broadcast file set (sizes, dispersal widths, latency vectors),
-    /// merged across channels in specification order.
+    /// The broadcast file set (sizes, dispersal widths, latency vectors) of
+    /// the current mode, merged across channels in specification order.
     pub fn files(&self) -> &FileSet {
         &self.files
     }
 
-    /// Number of broadcast channels.
-    pub fn channel_count(&self) -> usize {
-        self.server.channel_count()
+    /// The name of the mode currently on the air (`"initial"` until the
+    /// first swap).
+    pub fn mode(&self) -> &str {
+        &self.mode
     }
 
-    /// The channel carrying `file`, if the station carries it at all.
+    /// The station's epoch (0 until the first swap; each swap bumps it).
+    pub fn epoch(&self) -> u64 {
+        self.bank.epoch()
+    }
+
+    /// Number of broadcast channels in the current mode.
+    pub fn channel_count(&self) -> usize {
+        self.bank.channel_count()
+    }
+
+    /// The channel carrying `file` in the current mode, if the station
+    /// carries it at all.
     pub fn channel_of(&self, file: FileId) -> Option<usize> {
-        self.server.channel_of(file)
+        self.bank.channel_of(file)
     }
 
     /// The verified broadcast program of the first channel (the *only*
     /// channel of an unsharded station); see [`Station::program_of`] for the
     /// others.
     pub fn program(&self) -> &BroadcastProgram {
-        self.server.as_ref().program()
+        self.server().program()
     }
 
-    /// The verified broadcast program of one channel.
+    /// The current verified broadcast program of one channel.
     pub fn program_of(&self, channel: usize) -> Option<&BroadcastProgram> {
-        self.server.channel(channel).map(BroadcastServer::program)
+        Some(self.bank.current(channel)?.program())
     }
 
-    /// The pinwheel schedule the first channel's program was derived from.
+    /// The pinwheel schedule the first channel's current program was derived
+    /// from.
     pub fn schedule(&self) -> &Schedule {
         &self.reports[0].schedule
     }
@@ -129,20 +174,25 @@ impl Station {
         &self.reports[0]
     }
 
-    /// The per-channel design reports (conversions, conjunct, verification).
+    /// The per-channel design reports of the current mode.
     pub fn reports(&self) -> &[DesignReport] {
         &self.reports
     }
 
-    /// The underlying broadcast server of the first channel, for power users
-    /// and the simulator; see [`Station::multi_server`] for the full bank.
+    /// The underlying broadcast server of the first channel's current
+    /// program, for power users and the simulator; see [`Station::bank`]
+    /// for the full epoch-aware channel bank.
     pub fn server(&self) -> &BroadcastServer {
-        self.server.as_ref()
+        self.bank
+            .current(0)
+            .expect("every mode serves at least channel 0")
     }
 
-    /// The full slot-synchronized channel bank.
-    pub fn multi_server(&self) -> &MultiChannelServer {
-        &self.server
+    /// The epoch-aware channel bank: per-channel program timelines, the
+    /// versioned routing table and the swap primitive underneath
+    /// [`Station::swap`].
+    pub fn bank(&self) -> &EpochBank {
+        &self.bank
     }
 
     /// The maximum number of slots a driven retrieval may listen before
@@ -152,22 +202,33 @@ impl Station {
     }
 
     /// What the first channel transmits in `slot` (borrowed; no copy).
+    /// Slot time is epoch-aware: slots before a flip replay the program that
+    /// was on the air then.
     pub fn transmit(&self, slot: usize) -> Option<TransmissionRef<'_>> {
-        self.server.as_ref().transmit_ref(slot)
+        self.bank.transmit_ref(0, slot)
     }
 
     /// What every channel transmits in `slot`, in channel order.
     pub fn transmit_all(&self, slot: usize) -> Vec<Option<TransmissionRef<'_>>> {
-        self.server.transmit_all(slot)
+        self.bank.transmit_all(slot)
     }
 
-    /// Subscribes a client to `file` starting at `at_slot`.
+    /// Subscribes a client to `file` (of the current mode) starting at
+    /// `at_slot`.
     ///
     /// The returned [`Retrieval`] is tuned to the channel carrying the file
-    /// and internally carries the file's reconstruction threshold and
-    /// dispersal configuration — there is no caller-side routing or
+    /// and internally carries the file's reconstruction threshold, dispersal
+    /// configuration and channel epoch — there is no caller-side routing or
     /// `Dispersal::new` to get wrong.  Unknown files yield
     /// [`Error::UnknownFile`], never a panic.
+    ///
+    /// Subscriptions always attach to the *latest* mode.  During a pending
+    /// [`SwapPolicy::Drain`] window (swap requested, flip deferred), a
+    /// subscription to a file whose channel is flipping hears nothing until
+    /// the flip slot — its latency still counts from `at_slot`, so its
+    /// Lemma 3 deadline is only meaningful for `at_slot` at or after the
+    /// reported [`SwapReport::flip_slot`].  Subscriptions to files on
+    /// untouched channels are unaffected.
     pub fn subscribe(&self, file: FileId, at_slot: usize) -> Result<Retrieval, Error> {
         let channel = self.channel_of(file).ok_or(Error::UnknownFile(file))?;
         let f = self.files.get(file).ok_or(Error::UnknownFile(file))?;
@@ -176,6 +237,10 @@ impl Station {
             .get(&file)
             .ok_or(Error::UnknownFile(file))?
             .clone();
+        let epoch = self
+            .bank
+            .current_epoch_of(channel)
+            .ok_or(Error::UnknownFile(file))?;
         Ok(Retrieval::new(
             file,
             channel,
@@ -183,25 +248,291 @@ impl Station {
             f.size_blocks as usize,
             dispersal,
             f.latencies.clone(),
+            epoch,
         ))
     }
 
     /// An infinite slot-by-slot view of the first channel, starting at
     /// `start`: yields `(slot, transmission)` pairs, `None` for idle slots.
+    /// The view is epoch-aware: it replays whatever was (or will be) on the
+    /// air in each slot, across mode swaps.
     pub fn stream(&self, start: usize) -> Stream<'_> {
         Stream {
-            server: self.server.as_ref(),
+            bank: &self.bank,
+            channel: 0,
             slot: start,
         }
     }
 
     /// The slot-by-slot view of one channel.
     pub fn stream_channel(&self, channel: usize, start: usize) -> Option<Stream<'_>> {
+        if channel >= self.bank.lane_count() {
+            return None;
+        }
         Some(Stream {
-            server: self.server.channel(channel)?,
+            bank: &self.bank,
+            channel,
             slot: start,
         })
     }
+
+    // ------------------------------------------------------------------
+    // Mode transitions
+    // ------------------------------------------------------------------
+
+    /// Designs and verifies `mode` off the hot path, ready for
+    /// [`Station::swap`]: shard planning, per-channel scheduling, program
+    /// verification, dispersal of contents — everything but the flip.
+    ///
+    /// Files retained from the current mode keep their current contents;
+    /// files new to `mode` serve deterministic synthetic payloads (use
+    /// [`Station::prepare_mode_with_contents`] to supply real bytes).
+    pub fn prepare_mode(&self, mode: &ModeSpec) -> Result<PreparedMode, Error> {
+        self.prepare_mode_with_contents(mode, BTreeMap::new())
+    }
+
+    /// [`Station::prepare_mode`] with explicit contents for some of the
+    /// target mode's files.  Supplying content for a file forces its channel
+    /// to flip (the bytes on the wire change), even if the program layout is
+    /// identical.
+    pub fn prepare_mode_with_contents(
+        &self,
+        mode: &ModeSpec,
+        new_contents: BTreeMap<FileId, Vec<u8>>,
+    ) -> Result<PreparedMode, Error> {
+        for id in new_contents.keys() {
+            if !mode.specs().iter().any(|s| s.id == *id) {
+                return Err(Error::UnknownFile(*id));
+            }
+        }
+
+        // Content-dirty files: explicit new bytes that differ from what the
+        // station currently serves.  Stored payloads are compared by
+        // reference; the synthetic default is only materialised for files
+        // without stored bytes.
+        let mut dirty = BTreeSet::new();
+        for (id, bytes) in &new_contents {
+            let unchanged = match self.contents.get(id) {
+                Some(current) => current == bytes,
+                None => self
+                    .files
+                    .get(*id)
+                    .is_some_and(|f| BroadcastServer::synthetic_content(f) == *bytes),
+            };
+            if !unchanged {
+                dirty.insert(*id);
+            }
+        }
+
+        // Re-plan: the same ShardPlanner/scheduler seams that built the
+        // station, diffed against what is on the air now.
+        let current = CurrentMode {
+            specs: &self.specs,
+            channels: self
+                .reports
+                .iter()
+                .map(|r| ChannelView {
+                    program: &r.program,
+                    files: &r.files,
+                })
+                .collect(),
+            dirty,
+        };
+        let planner = match self.channels {
+            ChannelBudget::Fixed(k) => ModePlanner::new(
+                bcore::ShardPlanner::fixed(k),
+                BdiskDesigner::with_scheduler(self.scheduler),
+            ),
+            ChannelBudget::Auto => ModePlanner::new(
+                bcore::ShardPlanner::auto(),
+                BdiskDesigner::with_scheduler(self.scheduler),
+            ),
+        };
+        let plan = planner.plan(&current, mode)?;
+        for report in &plan.design.reports {
+            if let Err(msg) = &report.verification {
+                return Err(Error::Verification(msg.clone()));
+            }
+        }
+        let specs = mode.resolved_specs();
+        let files = merge_files(&specs, &plan.design)?;
+
+        // Contents of the new mode: explicit > carried over > synthetic.
+        let mut contents = BTreeMap::new();
+        for f in files.files() {
+            if let Some(bytes) = new_contents.get(&f.id) {
+                contents.insert(f.id, bytes.clone());
+            } else if let Some(bytes) = self.contents.get(&f.id) {
+                contents.insert(f.id, bytes.clone());
+            }
+        }
+
+        // Per-channel servers: unchanged channels reuse the serving Arc (so
+        // the swap keeps them byte-identical for free), changed ones are
+        // built — and dispersed — here, off the hot path.
+        let mut servers = Vec::with_capacity(plan.design.reports.len());
+        for (c, report) in plan.design.reports.iter().enumerate() {
+            if matches!(plan.transition.channels[c], ChannelTransition::Unchanged) {
+                servers.push(
+                    self.bank
+                        .current_arc(c)
+                        .expect("unchanged channels are currently serving"),
+                );
+                continue;
+            }
+            let mut channel_contents = BTreeMap::new();
+            for f in report.files.files() {
+                let bytes = contents
+                    .get(&f.id)
+                    .cloned()
+                    .unwrap_or_else(|| BroadcastServer::synthetic_content(f));
+                channel_contents.insert(f.id, bytes);
+            }
+            servers.push(Arc::new(BroadcastServer::new(
+                &report.files,
+                report.program.clone(),
+                &channel_contents,
+            )?));
+        }
+
+        // Dispersal configurations: reuse the current Arc when the (m, n)
+        // parameters survive (shares the inverse cache with in-flight
+        // handles), fresh otherwise.
+        let mut dispersals = BTreeMap::new();
+        for f in files.files() {
+            let reused = self.dispersals.get(&f.id).filter(|d| {
+                d.threshold() == f.size_blocks as usize
+                    && d.total_blocks() == f.dispersed_blocks as usize
+            });
+            let dispersal = match reused {
+                Some(d) => d.clone(),
+                None => Arc::new(Dispersal::new(
+                    f.size_blocks as usize,
+                    f.dispersed_blocks as usize,
+                )?),
+            };
+            dispersals.insert(f.id, dispersal);
+        }
+
+        // Transparent re-subscription: files on flipped channels that keep
+        // their dispersal parameters and contents — their already-collected
+        // blocks stay valid under the new program.
+        let mut resubscribe = BTreeMap::new();
+        for file in &plan.transition.retained {
+            let old_channel = match self.channel_of(*file) {
+                Some(c) => c,
+                None => continue,
+            };
+            if matches!(
+                plan.transition.channels[old_channel],
+                ChannelTransition::Unchanged
+            ) {
+                continue; // never disturbed, nothing to re-subscribe
+            }
+            let (Some(old), Some(new)) = (self.files.get(*file), files.get(*file)) else {
+                continue;
+            };
+            let compatible = old.size_blocks == new.size_blocks
+                && old.dispersed_blocks == new.dispersed_blocks
+                && old.block_bytes == new.block_bytes
+                && !current.dirty.contains(file);
+            if !compatible {
+                continue;
+            }
+            let new_channel = match plan.design.channel_of(*file) {
+                Some(c) => c,
+                None => continue,
+            };
+            resubscribe.insert(
+                *file,
+                (new_channel, dispersals[file].clone(), new.latencies.clone()),
+            );
+        }
+
+        Ok(PreparedMode {
+            mode: mode.name().to_string(),
+            specs,
+            design: plan.design,
+            transition: plan.transition,
+            servers,
+            files,
+            dispersals,
+            contents,
+            resubscribe,
+            base_epoch: self.bank.epoch(),
+        })
+    }
+
+    /// Installs a prepared mode with an epoch-bumped, slot-aligned atomic
+    /// swap requested at `at_slot` (the caller's "now" on the slot clock).
+    ///
+    /// * Under [`SwapPolicy::Immediate`] the changed channels flip at
+    ///   `at_slot`; in-flight retrievals whose file cannot be carried over
+    ///   resolve to [`Error::ModeChanged`] the next time they are driven.
+    /// * Under [`SwapPolicy::Drain`] the flip is deferred past the
+    ///   transition's Lemma 3 drain horizon, so every in-flight retrieval of
+    ///   an affected file that stays within its declared fault tolerance
+    ///   completes under the old program first.
+    ///
+    /// Channels the transition does not touch keep broadcasting
+    /// byte-identically (their epoch does not bump), and retrievals tuned to
+    /// them are never affected.  `at_slot` must not precede a slot already
+    /// driven (slot time is monotonic); a preparation made before another
+    /// swap landed is rejected with [`Error::StalePreparation`].
+    ///
+    /// New subscriptions made inside a drain window (after `swap` returns,
+    /// for slots before the returned [`SwapReport::flip_slot`]) attach to
+    /// the *new* mode and wait for the flip — see [`Station::subscribe`] —
+    /// so latency-sensitive post-swap work should subscribe at or after the
+    /// flip slot.
+    pub fn swap(
+        &mut self,
+        prepared: PreparedMode,
+        at_slot: usize,
+        policy: SwapPolicy,
+    ) -> Result<SwapReport, Error> {
+        if prepared.base_epoch != self.bank.epoch() {
+            return Err(Error::StalePreparation {
+                prepared_epoch: prepared.base_epoch,
+                current_epoch: self.bank.epoch(),
+            });
+        }
+        let flip_slot = match policy {
+            SwapPolicy::Immediate => at_slot,
+            SwapPolicy::Drain => at_slot + prepared.transition.drain_horizon as usize,
+        };
+        let applied = self.bank.swap(flip_slot, prepared.servers)?;
+        debug_assert_eq!(
+            applied.flipped,
+            prepared.transition.changed_channels(),
+            "the bank's Arc-identity diff must agree with the planned transition"
+        );
+        self.swaps.push(SwapRecord {
+            epoch: applied.epoch,
+            mode: prepared.mode.clone(),
+            flipped: applied.flipped.iter().copied().collect(),
+            resubscribe: prepared.resubscribe,
+        });
+        self.specs = prepared.specs;
+        self.reports = prepared.design.reports;
+        self.files = prepared.files;
+        self.dispersals = prepared.dispersals;
+        self.contents = prepared.contents;
+        self.mode = prepared.mode.clone();
+        Ok(SwapReport {
+            mode: prepared.mode,
+            epoch: applied.epoch,
+            requested_slot: at_slot,
+            flip_slot,
+            policy,
+            transition: prepared.transition,
+            flipped_channels: applied.flipped,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Drivers
+    // ------------------------------------------------------------------
 
     /// Drives every retrieval in `retrievals` to completion in one pass over
     /// the broadcast — across *all* channels at once — and returns their
@@ -221,69 +552,176 @@ impl Station {
     ///
     /// Returns [`Error::RetrievalStalled`] if any retrieval listens for more
     /// than the station's listen cap (counted from its own request slot)
-    /// without completing, so pathological loss rates terminate instead of
-    /// spinning forever.
+    /// without completing, and [`Error::ModeChanged`] if a mode swap
+    /// cancelled any of the retrievals (use
+    /// [`Station::run_until_resolved`] to receive per-retrieval resolutions
+    /// instead of a fleet-level error).
     pub fn run_until_complete(
         &self,
         retrievals: &mut [Retrieval],
         errors: &mut impl ChannelErrorModel,
     ) -> Result<Vec<bdisk::RetrievalOutcome>, Error> {
-        let mut remaining = retrievals.iter().filter(|r| !r.is_complete()).count();
-        if remaining > 0 {
-            let mut slot = retrievals
-                .iter()
-                .filter(|r| !r.is_complete())
-                .map(Retrieval::request_slot)
-                .min()
-                .expect("remaining > 0 guarantees an incomplete retrieval");
-            // Per-slot, per-channel reception outcome, sampled lazily on the
-            // first listening retrieval of that channel so gap slots (and
-            // channels nobody hears) never consume an error-model sample.
-            let mut channel_ok: Vec<Option<bool>> = vec![None; self.server.channel_count()];
-            while remaining > 0 {
-                channel_ok.fill(None);
-                let mut any_listening = false;
-                let mut next_active = usize::MAX;
-                for r in retrievals.iter_mut() {
-                    if r.is_complete() {
-                        continue;
-                    }
-                    if r.request_slot() > slot {
-                        next_active = next_active.min(r.request_slot());
-                        continue;
-                    }
-                    if slot - r.request_slot() >= self.listen_cap {
-                        return Err(Error::RetrievalStalled {
-                            file: r.file(),
-                            listened: slot - r.request_slot(),
-                        });
-                    }
-                    // A retrieval from a *different* (wider) station may name
-                    // a channel this bank does not have: surface the routing
-                    // miss instead of panicking.
-                    let channel = r.channel();
-                    let server = self
-                        .server
-                        .channel(channel)
-                        .ok_or(Error::UnknownFile(r.file()))?;
-                    let tx = server.transmit_ref(slot);
-                    let ok = *channel_ok[channel].get_or_insert_with(|| match tx {
-                        Some(t) => !errors.is_lost_on(channel, t),
-                        None => true,
-                    });
-                    any_listening = true;
-                    if r.observe(tx, ok) {
-                        remaining -= 1;
-                    }
-                }
-                slot = if any_listening || next_active == usize::MAX {
-                    slot + 1
-                } else {
-                    next_active
-                };
-            }
-        }
+        self.drive(retrievals, errors, None)?;
         retrievals.iter().map(Retrieval::finish).collect()
+    }
+
+    /// Drives every retrieval until it *resolves* — completes, or is
+    /// cancelled by a mode swap — and returns the per-retrieval resolutions
+    /// (in input order).  This is the mode-transition-aware driver: a
+    /// cancelled retrieval is a data point
+    /// ([`RetrievalResolution::ModeChanged`]), not a fleet-level error.
+    pub fn run_until_resolved(
+        &self,
+        retrievals: &mut [Retrieval],
+        errors: &mut impl ChannelErrorModel,
+    ) -> Result<Vec<RetrievalResolution>, Error> {
+        self.drive(retrievals, errors, None)?;
+        retrievals
+            .iter()
+            .map(|r| {
+                r.resolution()
+                    .expect("drive(None) leaves every retrieval resolved")
+            })
+            .collect()
+    }
+
+    /// Drives the retrievals only through slots `< end_slot`, leaving
+    /// them partially complete — the building block for swapping modes
+    /// mid-flight: drive to the swap slot, [`Station::swap`], keep driving.
+    ///
+    /// Retrievals that resolve earlier stop consuming slots; the rest stay
+    /// in flight.
+    pub fn run_until_slot(
+        &self,
+        retrievals: &mut [Retrieval],
+        errors: &mut impl ChannelErrorModel,
+        end_slot: usize,
+    ) -> Result<(), Error> {
+        self.drive(retrievals, errors, Some(end_slot))
+    }
+
+    /// The shared slot-driver: advances every unresolved retrieval, resolving
+    /// epoch mismatches (transparent re-subscription or cancellation) as mode
+    /// swaps come into view.  Stops when all retrievals are resolved, or at
+    /// `stop_before` (exclusive) if given.
+    fn drive(
+        &self,
+        retrievals: &mut [Retrieval],
+        errors: &mut impl ChannelErrorModel,
+        stop_before: Option<usize>,
+    ) -> Result<(), Error> {
+        let mut remaining = retrievals.iter().filter(|r| !r.is_resolved()).count();
+        if remaining == 0 {
+            return Ok(());
+        }
+        let mut slot = retrievals
+            .iter()
+            .filter(|r| !r.is_resolved())
+            .map(Retrieval::request_slot)
+            .min()
+            .expect("remaining > 0 guarantees an unresolved retrieval");
+        let lanes = self.bank.lane_count();
+        // Per-slot, per-channel reception outcome, sampled lazily on the
+        // first listening retrieval of that channel so gap slots (and
+        // channels nobody hears) never consume an error-model sample.
+        let mut channel_ok: Vec<Option<bool>> = vec![None; lanes];
+        while remaining > 0 {
+            if let Some(stop) = stop_before {
+                if slot >= stop {
+                    break;
+                }
+            }
+            channel_ok.fill(None);
+            let mut any_listening = false;
+            let mut next_active = usize::MAX;
+            for r in retrievals.iter_mut() {
+                if r.is_resolved() {
+                    continue;
+                }
+                if r.request_slot() > slot {
+                    next_active = next_active.min(r.request_slot());
+                    continue;
+                }
+                if slot - r.request_slot() >= self.listen_cap {
+                    return Err(Error::RetrievalStalled {
+                        file: r.file(),
+                        listened: slot - r.request_slot(),
+                    });
+                }
+                // Resolve mode transitions before observing: the channel may
+                // have flipped past the retrieval's epoch (re-subscribe or
+                // cancel), or the retrieval may be tuned to a mode that has
+                // not flipped in yet (wait).
+                let observe_on = loop {
+                    // A retrieval from a *different* (wider) station may name
+                    // a channel this bank never had: surface the routing miss
+                    // instead of panicking.
+                    let channel = r.channel();
+                    if channel >= lanes {
+                        return Err(Error::UnknownFile(r.file()));
+                    }
+                    match self.bank.epoch_at(channel, slot) {
+                        // Lane not lit yet, or still serving an older mode:
+                        // the retrieval waits for its epoch's flip slot.
+                        None => break None,
+                        Some(e) if e < r.epoch() => break None,
+                        Some(e) if e == r.epoch() => break Some(channel),
+                        Some(_) => {
+                            // The channel flipped past this retrieval's
+                            // epoch: apply the first swap it has not seen.
+                            let record = self
+                                .swaps
+                                .iter()
+                                .find(|s| s.epoch > r.epoch() && s.flipped.contains(&channel));
+                            let Some(record) = record else {
+                                // No record (foreign retrieval): cancel
+                                // rather than loop forever.
+                                r.cancel(self.mode.clone());
+                                remaining -= 1;
+                                break None;
+                            };
+                            match record.resubscribe.get(&r.file()) {
+                                Some((new_channel, dispersal, latencies)) => {
+                                    r.retune(
+                                        *new_channel,
+                                        record.epoch,
+                                        dispersal.clone(),
+                                        latencies.clone(),
+                                    );
+                                    continue;
+                                }
+                                None => {
+                                    r.cancel(record.mode.clone());
+                                    remaining -= 1;
+                                    break None;
+                                }
+                            }
+                        }
+                    }
+                };
+                if r.is_resolved() {
+                    continue;
+                }
+                any_listening = true;
+                let Some(channel) = observe_on else {
+                    continue; // waiting for a flip: listens, hears nothing
+                };
+                let tx = self.bank.transmit_ref(channel, slot);
+                let ok = *channel_ok[channel].get_or_insert_with(|| match tx {
+                    Some(t) => !errors.is_lost_on(channel, t),
+                    None => true,
+                });
+                if r.observe(tx, ok) {
+                    remaining -= 1;
+                }
+            }
+            slot = if any_listening || next_active == usize::MAX {
+                slot + 1
+            } else {
+                next_active
+            };
+        }
+        Ok(())
     }
 
     /// Convenience single-client wrapper: subscribe, drive to completion,
@@ -300,11 +738,33 @@ impl Station {
     }
 }
 
+/// Merges the per-channel file sets of a design back into one, in
+/// specification order, so `files()` keeps its pre-sharding shape.
+fn merge_files(
+    specs: &[GeneralizedFileSpec],
+    design: &MultiChannelReport,
+) -> Result<FileSet, Error> {
+    let mut merged = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let channel = design
+            .channel_of(spec.id)
+            .ok_or(Error::UnknownFile(spec.id))?;
+        let file = design.reports[channel]
+            .files
+            .get(spec.id)
+            .ok_or(Error::UnknownFile(spec.id))?;
+        merged.push(file.clone());
+    }
+    FileSet::new(merged)
+        .ok_or_else(|| Error::UnknownFile(specs.first().map(|s| s.id).unwrap_or(FileId(0))))
+}
+
 impl AsRef<BroadcastServer> for Station {
-    /// The first channel's server — so single-channel consumers (e.g. the
-    /// Monte-Carlo simulator) keep working against a sharded station.
+    /// The first channel's current server — so single-channel consumers
+    /// (e.g. the Monte-Carlo simulator) keep working against a sharded or
+    /// swapped station.
     fn as_ref(&self) -> &BroadcastServer {
-        self.server.as_ref()
+        self.server()
     }
 }
 
@@ -312,7 +772,8 @@ impl AsRef<BroadcastServer> for Station {
 /// [`Station::stream_channel`].
 #[derive(Debug, Clone)]
 pub struct Stream<'a> {
-    server: &'a BroadcastServer,
+    bank: &'a EpochBank,
+    channel: usize,
     slot: usize,
 }
 
@@ -322,6 +783,200 @@ impl<'a> Iterator for Stream<'a> {
     fn next(&mut self) -> Option<Self::Item> {
         let slot = self.slot;
         self.slot += 1;
-        Some((slot, self.server.transmit_ref(slot)))
+        Some((slot, self.bank.transmit_ref(self.channel, slot)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Broadcast;
+    use bsim::NoErrors;
+
+    fn spec(id: u32, size: u32, latencies: &[u32]) -> GeneralizedFileSpec {
+        GeneralizedFileSpec::new(FileId(id), size, latencies.to_vec()).unwrap()
+    }
+
+    fn two_channel_station() -> Station {
+        Broadcast::builder()
+            .files((1..=4).map(|i| spec(i, 1, &[8 + 2 * i, 12 + 2 * i])))
+            .channels(2)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn preparing_the_same_mode_is_a_noop_swap() {
+        let mut station = two_channel_station();
+        let same = ModeSpec::new("same").files(station.specs().to_vec());
+        let prepared = station.prepare_mode(&same).unwrap();
+        assert!(prepared.is_noop());
+        let report = station.swap(prepared, 40, SwapPolicy::Immediate).unwrap();
+        assert!(report.flipped_channels.is_empty());
+        assert_eq!(station.mode(), "same");
+        assert_eq!(station.epoch(), 1);
+        // Everything still retrieves.
+        let outcome = station.retrieve(FileId(3), 50, &mut NoErrors).unwrap();
+        assert!(!outcome.data.is_empty());
+    }
+
+    #[test]
+    fn swap_cancels_dropped_files_and_preserves_untouched_channels() {
+        let mut station = two_channel_station();
+        let victim = FileId(1);
+        let victim_channel = station.channel_of(victim).unwrap();
+        let witness = station
+            .specs()
+            .iter()
+            .map(|s| s.id)
+            .find(|f| station.channel_of(*f) != Some(victim_channel))
+            .expect("two channels carry different files");
+
+        // In-flight retrievals: one on the victim's channel, one elsewhere —
+        // plus a second victim handle driven through run_until_complete
+        // later, to check the fleet-level error surface.
+        let mut in_flight = vec![
+            station.subscribe(victim, 0).unwrap(),
+            station.subscribe(witness, 0).unwrap(),
+        ];
+        let mut doomed = vec![station.subscribe(victim, 0).unwrap()];
+        // Tighten the victim's latency so only its channel flips... by
+        // *dropping* the victim entirely.
+        let target = ModeSpec::new("without-victim").files(
+            station
+                .specs()
+                .iter()
+                .filter(|s| s.id != victim)
+                .cloned()
+                .collect::<Vec<_>>(),
+        );
+        let prepared = station.prepare_mode(&target).unwrap();
+        assert!(prepared.transition().dropped.contains(&victim));
+        let unchanged_before: Vec<usize> = prepared.transition().unchanged_channels();
+
+        // Byte-identity witness: record what the unchanged channels transmit
+        // around the flip before swapping.
+        let report = station.swap(prepared, 0, SwapPolicy::Immediate).unwrap();
+        assert_eq!(report.flip_slot, 0);
+        for &c in &unchanged_before {
+            assert!(!report.flipped_channels.contains(&c));
+        }
+
+        let resolutions = station
+            .run_until_resolved(&mut in_flight, &mut NoErrors)
+            .unwrap();
+        assert!(resolutions[0].is_mode_changed());
+        match &resolutions[1] {
+            RetrievalResolution::Complete(outcome) => assert_eq!(outcome.file, witness),
+            other => panic!("witness retrieval should complete, got {other:?}"),
+        }
+        // The dropped file is gone from the new mode.
+        assert!(matches!(
+            station.subscribe(victim, 100),
+            Err(Error::UnknownFile(f)) if f == victim
+        ));
+        // run_until_complete (unlike run_until_resolved) surfaces the
+        // cancellation as a typed fleet-level error: `doomed` was in flight
+        // on the victim's channel when the swap landed.
+        let err = station
+            .run_until_complete(&mut doomed, &mut NoErrors)
+            .unwrap_err();
+        assert!(matches!(err, Error::ModeChanged { file, .. } if file == victim));
+        assert!(doomed[0].is_cancelled());
+    }
+
+    #[test]
+    fn drain_policy_defers_the_flip_past_the_lemma_3_horizon() {
+        let mut station = two_channel_station();
+        let victim = FileId(1);
+        let d_max = *station.spec(victim).unwrap().latencies.last().unwrap();
+        let target = ModeSpec::new("drained").files(
+            station
+                .specs()
+                .iter()
+                .filter(|s| s.id != victim)
+                .cloned()
+                .collect::<Vec<_>>(),
+        );
+        let prepared = station.prepare_mode(&target).unwrap();
+        assert!(prepared.transition().drain_horizon >= d_max);
+
+        // An in-flight retrieval of the victim, requested at the swap slot:
+        // under drain it must complete under the old program.
+        let mut in_flight = vec![station.subscribe(victim, 10).unwrap()];
+        let report = station.swap(prepared, 10, SwapPolicy::Drain).unwrap();
+        assert_eq!(
+            report.flip_slot,
+            10 + report.transition.drain_horizon as usize
+        );
+        assert!(report.swap_latency() >= d_max as usize);
+        let resolutions = station
+            .run_until_resolved(&mut in_flight, &mut NoErrors)
+            .unwrap();
+        match &resolutions[0] {
+            RetrievalResolution::Complete(outcome) => {
+                assert!(outcome.completion_slot < report.flip_slot);
+            }
+            other => panic!("drained retrieval should complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compatible_files_resubscribe_across_a_reshard() {
+        // Same files, different channel count: programs change but every
+        // file keeps its (m, n) and contents, so in-flight retrievals
+        // transparently re-subscribe instead of cancelling.
+        let mut station = two_channel_station();
+        let file = FileId(2);
+        let mut in_flight = vec![station.subscribe(file, 0).unwrap()];
+        let target = ModeSpec::new("one-channel")
+            .files(station.specs().to_vec())
+            .with_channels(1);
+        let prepared = station.prepare_mode(&target).unwrap();
+        assert!(prepared.resubscribable().any(|f| f == file));
+        station.swap(prepared, 0, SwapPolicy::Immediate).unwrap();
+        assert_eq!(station.channel_count(), 1);
+        let resolutions = station
+            .run_until_resolved(&mut in_flight, &mut NoErrors)
+            .unwrap();
+        match &resolutions[0] {
+            RetrievalResolution::Complete(outcome) => {
+                assert_eq!(outcome.file, file);
+                assert!(!outcome.data.is_empty());
+            }
+            other => panic!("compatible retrieval should survive, got {other:?}"),
+        }
+        assert_eq!(in_flight[0].channel(), 0);
+        assert_eq!(in_flight[0].epoch(), 1);
+    }
+
+    #[test]
+    fn stale_preparations_are_rejected() {
+        let mut station = two_channel_station();
+        let same = ModeSpec::new("same").files(station.specs().to_vec());
+        let first = station.prepare_mode(&same).unwrap();
+        let second = station.prepare_mode(&same).unwrap();
+        station.swap(first, 0, SwapPolicy::Immediate).unwrap();
+        assert!(matches!(
+            station.swap(second, 10, SwapPolicy::Immediate),
+            Err(Error::StalePreparation {
+                prepared_epoch: 0,
+                current_epoch: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn swaps_cannot_rewrite_the_past() {
+        let mut station = two_channel_station();
+        let drop_one = ModeSpec::new("m1").files(station.specs()[1..].to_vec());
+        let prepared = station.prepare_mode(&drop_one).unwrap();
+        station.swap(prepared, 100, SwapPolicy::Immediate).unwrap();
+        let back = ModeSpec::new("m2").files(station.specs().to_vec());
+        let prepared = station.prepare_mode(&back).unwrap();
+        assert!(matches!(
+            station.swap(prepared, 50, SwapPolicy::Immediate),
+            Err(Error::Server(bdisk::ServerError::SwapInPast { .. }))
+        ));
     }
 }

@@ -1,0 +1,407 @@
+//! Property tests for online mode transitions (the `bmode` subsystem plus
+//! the facade's `prepare_mode`/`swap` surface).
+//!
+//! Seeded-RNG properties locking in the hot-swap guarantees:
+//!
+//! * **atomicity** — every transmitted slot decodes under exactly one
+//!   epoch's program: slots before the flip replay the old program, slots
+//!   at/after it the new one, never a blend;
+//! * **byte identity** — channels the transition does not touch transmit
+//!   byte-identical payloads across the swap;
+//! * **drain** — under [`SwapPolicy::Drain`], no retrieval of a file whose
+//!   channel is untouched ever resolves to `ModeChanged` (and with a
+//!   fault-free channel, nothing does: everything in flight drains);
+//! * **post-swap Lemma 3** — retrievals subscribed after the flip meet the
+//!   *new* mode's declared latency `d⁽ʲ⁾` under `j ≤ r` reception faults.
+//!
+//! Case counts are tunable without code edits via the `RTBDISK_PROP_CASES`
+//! environment variable (default 64; CI runs 256).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtbdisk::{
+    Broadcast, ErrorModel, FileId, GeneralizedFileSpec, ModeProfile, ModeSpec, NoErrors,
+    RedundancyPolicy, Retrieval, RetrievalResolution, Station, SwapPolicy, TransmissionRef,
+};
+use std::collections::BTreeSet;
+
+/// Property-test depth: `RTBDISK_PROP_CASES` (default 64).
+fn prop_cases() -> usize {
+    std::env::var("RTBDISK_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+        .max(1)
+}
+
+/// A random specification set of `n_files` files whose *total* density stays
+/// below `density_cap` (mirrors the sharding suite's generator).
+fn random_specs(rng: &mut StdRng, n_files: usize, density_cap: f64) -> Vec<GeneralizedFileSpec> {
+    loop {
+        let mut density = 0.0f64;
+        let mut specs = Vec::new();
+        for i in 0..n_files {
+            let m = rng.gen_range(1u32..=3);
+            let r = rng.gen_range(0usize..=2);
+            let d0 = (m + r as u32) * rng.gen_range(3u32..=6) + rng.gen_range(0u32..=4);
+            let mut latencies = vec![d0];
+            for _ in 0..r {
+                let prev = *latencies.last().unwrap();
+                latencies.push(prev + rng.gen_range(1u32..=4));
+            }
+            density += f64::from(m) / f64::from(d0);
+            specs.push(GeneralizedFileSpec::new(FileId(i as u32 + 1), m, latencies).unwrap());
+        }
+        if density <= density_cap {
+            return specs;
+        }
+    }
+}
+
+/// A random mutation of `specs` into a target mode: drop a file, relax a
+/// latency vector, and/or demand extra redundancy for one file.
+fn random_target_mode(rng: &mut StdRng, specs: &[GeneralizedFileSpec]) -> ModeSpec {
+    let mut target: Vec<GeneralizedFileSpec> = specs.to_vec();
+    // Maybe drop one file (keep at least one).
+    if target.len() > 1 && rng.gen_bool(0.4) {
+        let victim = rng.gen_range(0..target.len());
+        target.remove(victim);
+    }
+    // Maybe relax one file's latencies (relaxing keeps the design feasible).
+    if rng.gen_bool(0.5) {
+        let i = rng.gen_range(0..target.len());
+        let s = &target[i];
+        let latencies: Vec<u32> = s.latencies.iter().map(|&d| d * 2).collect();
+        target[i] = GeneralizedFileSpec::new(s.id, s.size_blocks, latencies).unwrap();
+    }
+    let mut mode = ModeSpec::new(format!("target-{}", rng.gen_range(0u32..1000)));
+    // Maybe demand extra redundancy for one file via the profile.
+    if rng.gen_bool(0.5) {
+        let boosted = target[rng.gen_range(0..target.len())].id;
+        mode = mode.with_profile(
+            ModeProfile::new("boost", RedundancyPolicy::None).with_override(
+                boosted,
+                RedundancyPolicy::TolerateFaults {
+                    faults: rng.gen_range(1usize..=3),
+                },
+            ),
+        );
+    }
+    mode.files(target)
+}
+
+/// Builds a `k`-channel station plus a prepared random target mode,
+/// re-drawing instances the scheduler cascade declines.
+fn random_transition(rng: &mut StdRng, k: usize) -> (Station, rtbdisk::PreparedMode, ModeSpec) {
+    loop {
+        let n_files = rng.gen_range(k.max(2)..=k.max(2) + 3);
+        let specs = random_specs(rng, n_files, 0.6);
+        let Ok(station) = Broadcast::builder()
+            .files(specs.clone())
+            .channels(k)
+            .build()
+        else {
+            continue;
+        };
+        let mode = random_target_mode(rng, &specs);
+        match station.prepare_mode(&mode) {
+            Ok(prepared) => return (station, prepared, mode),
+            Err(_) => continue,
+        }
+    }
+}
+
+fn same_payload(a: Option<TransmissionRef<'_>>, b: Option<TransmissionRef<'_>>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => {
+            x.block.file() == y.block.file()
+                && x.block.index() == y.block.index()
+                && x.block.payload().as_slice() == y.block.payload().as_slice()
+        }
+        _ => false,
+    }
+}
+
+/// Loses the receptions of `file` whose reception index is in `indices`
+/// (the Lemma 3 adversary of the sharding suite).
+struct LoseReceptions {
+    file: FileId,
+    indices: BTreeSet<usize>,
+    seen: usize,
+}
+
+impl ErrorModel for LoseReceptions {
+    fn is_lost(&mut self, tx: TransmissionRef<'_>) -> bool {
+        if tx.block.file() != self.file {
+            return false;
+        }
+        let lost = self.indices.contains(&self.seen);
+        self.seen += 1;
+        lost
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (a) atomicity: every slot decodes under exactly one epoch's program.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn every_slot_decodes_under_exactly_one_epochs_program() {
+    let mut rng = StdRng::seed_from_u64(0xB30DE1);
+    let cases = prop_cases().div_ceil(4);
+    for _case in 0..cases {
+        let k = [1usize, 2, 4][rng.gen_range(0usize..3)];
+        let (mut station, prepared, _) = random_transition(&mut rng, k);
+        let before = station.clone();
+        let at_slot = rng.gen_range(0usize..200);
+        let policy = if rng.gen_bool(0.5) {
+            SwapPolicy::Immediate
+        } else {
+            SwapPolicy::Drain
+        };
+        let report = station.swap(prepared, at_slot, policy).unwrap();
+        let flip = report.flip_slot;
+        // Around the flip, every lane must transmit either exactly what the
+        // old mode would (slot < flip) or exactly what the new mode does
+        // (slot ≥ flip) — never a mixture within one slot.
+        let lanes = station.bank().lane_count();
+        for slot in flip.saturating_sub(30)..flip + 30 {
+            for lane in 0..lanes {
+                let got = station.bank().transmit_ref(lane, slot);
+                let expect = if slot < flip {
+                    before.bank().transmit_ref(lane, slot)
+                } else {
+                    station
+                        .reports()
+                        .get(lane)
+                        .map(|r| r.program.entry(slot))
+                        .and_then(|entry| match entry {
+                            rtbdisk::bdisk::ProgramEntry::Idle => None,
+                            rtbdisk::bdisk::ProgramEntry::Block { .. } => {
+                                station.bank().current(lane)?.transmit_ref(slot)
+                            }
+                        })
+                };
+                assert!(
+                    same_payload(got, expect),
+                    "lane {lane} slot {slot} (flip {flip}) blends epochs"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (b) unchanged channels are byte-identical across a swap.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn unchanged_channels_transmit_byte_identically_across_a_swap() {
+    let mut rng = StdRng::seed_from_u64(0xB30DE2);
+    let cases = prop_cases().div_ceil(4);
+    for _case in 0..cases {
+        let k = [2usize, 4][rng.gen_range(0usize..2)];
+        let (mut station, prepared, _) = random_transition(&mut rng, k);
+        let unchanged = prepared.transition().unchanged_channels();
+        let before = station.clone();
+        let at_slot = rng.gen_range(0usize..100);
+        let report = station
+            .swap(prepared, at_slot, SwapPolicy::Immediate)
+            .unwrap();
+        for &c in &unchanged {
+            assert!(
+                !report.flipped_channels.contains(&c),
+                "planned-unchanged channel {c} flipped"
+            );
+            // Same bytes on the wire, before and long after the flip.
+            for slot in 0..report.flip_slot + 60 {
+                let got = station.bank().transmit_ref(c, slot);
+                let expect = before.bank().transmit_ref(c, slot);
+                assert!(
+                    same_payload(got, expect),
+                    "unchanged channel {c} differs at slot {slot}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (c) drain: untouched channels never see ModeChanged.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn drain_never_cancels_files_on_untouched_channels() {
+    let mut rng = StdRng::seed_from_u64(0xB30DE3);
+    let cases = prop_cases().div_ceil(4);
+    for _case in 0..cases {
+        let k = [1usize, 2, 4][rng.gen_range(0usize..3)];
+        let (mut station, prepared, _) = random_transition(&mut rng, k);
+        let unchanged: BTreeSet<usize> = prepared
+            .transition()
+            .unchanged_channels()
+            .into_iter()
+            .collect();
+        let at_slot = rng.gen_range(5usize..60);
+        // In-flight fleet across every current file, staggered requests.
+        let mut fleet: Vec<Retrieval> = Vec::new();
+        let mut untouched_files = BTreeSet::new();
+        for spec in station.specs().to_vec() {
+            let channel = station.channel_of(spec.id).unwrap();
+            if unchanged.contains(&channel) {
+                untouched_files.insert(spec.id);
+            }
+            for _ in 0..2 {
+                let start = rng.gen_range(0..at_slot);
+                fleet.push(station.subscribe(spec.id, start).unwrap());
+            }
+        }
+        station
+            .run_until_slot(&mut fleet, &mut NoErrors, at_slot)
+            .unwrap();
+        station.swap(prepared, at_slot, SwapPolicy::Drain).unwrap();
+        let resolutions = station
+            .run_until_resolved(&mut fleet, &mut NoErrors)
+            .unwrap();
+        for (retrieval, resolution) in fleet.iter().zip(&resolutions) {
+            if let RetrievalResolution::ModeChanged { file, .. } = resolution {
+                assert!(
+                    !untouched_files.contains(file),
+                    "drain cancelled {file} whose channel was untouched"
+                );
+            }
+            // Fault-free drain: *nothing* in flight is ever cancelled — the
+            // horizon covers every declared tolerance.
+            assert!(
+                !resolution.is_mode_changed(),
+                "fault-free drain cancelled {:?}",
+                retrieval.file()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// (d) post-swap Lemma 3: the new mode's latency bound holds.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn post_swap_retrievals_meet_the_new_modes_lemma_3_bound() {
+    let mut rng = StdRng::seed_from_u64(0xB30DE4);
+    let cases = prop_cases().div_ceil(4);
+    for _case in 0..cases {
+        let k = [1usize, 2][rng.gen_range(0usize..2)];
+        let (mut station, prepared, _) = random_transition(&mut rng, k);
+        let at_slot = rng.gen_range(0usize..50);
+        let policy = if rng.gen_bool(0.5) {
+            SwapPolicy::Immediate
+        } else {
+            SwapPolicy::Drain
+        };
+        let report = station.swap(prepared, at_slot, policy).unwrap();
+        // One random new-mode file, one random fault level, three starts at
+        // or after the flip.
+        let files = station.files().files().to_vec();
+        let f = &files[rng.gen_range(0..files.len())];
+        let m = f.size_blocks as usize;
+        let j = rng.gen_range(0..=f.latencies.max_faults());
+        let channel = station.channel_of(f.id).unwrap();
+        let cycle = station.program_of(channel).unwrap().data_cycle();
+        for _ in 0..3 {
+            let start = report.flip_slot + rng.gen_range(0..cycle);
+            let mut indices = BTreeSet::new();
+            while indices.len() < j {
+                indices.insert(rng.gen_range(0..m + j));
+            }
+            let mut errors = LoseReceptions {
+                file: f.id,
+                indices: indices.clone(),
+                seen: 0,
+            };
+            let mut retrieval = station.subscribe(f.id, start).unwrap();
+            let outcomes = station
+                .run_until_complete(std::slice::from_mut(&mut retrieval), &mut errors)
+                .unwrap();
+            let outcome = &outcomes[0];
+            assert!(outcome.errors_observed <= j);
+            let deadline = retrieval.deadline(j).unwrap();
+            assert!(
+                outcome.latency() <= deadline as usize,
+                "file {} (m={m}) from slot {start} (flip {}) with {j} faults at \
+                 {indices:?}: latency {} > d({j}) = {deadline} in mode `{}`",
+                f.id,
+                report.flip_slot,
+                outcome.latency(),
+                station.mode()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Immediate-policy dispositions are exactly the planned trichotomy.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn immediate_swaps_resolve_in_flight_retrievals_per_the_plan() {
+    let mut rng = StdRng::seed_from_u64(0xB30DE5);
+    let cases = prop_cases().div_ceil(4);
+    for _case in 0..cases {
+        let k = [1usize, 2][rng.gen_range(0usize..2)];
+        let (mut station, prepared, _) = random_transition(&mut rng, k);
+        let unchanged: BTreeSet<usize> = prepared
+            .transition()
+            .unchanged_channels()
+            .into_iter()
+            .collect();
+        let resubscribable: BTreeSet<FileId> = prepared.resubscribable().collect();
+        let retained: BTreeSet<FileId> = prepared.transition().retained.iter().copied().collect();
+        let at_slot = rng.gen_range(5usize..40);
+        let mut fleet: Vec<Retrieval> = station
+            .specs()
+            .to_vec()
+            .iter()
+            .map(|s| station.subscribe(s.id, at_slot.saturating_sub(3)).unwrap())
+            .collect();
+        station
+            .swap(prepared, at_slot, SwapPolicy::Immediate)
+            .unwrap();
+        let resolutions = station
+            .run_until_resolved(&mut fleet, &mut NoErrors)
+            .unwrap();
+        for (retrieval, resolution) in fleet.iter().zip(&resolutions) {
+            let file = retrieval.file();
+            match resolution {
+                RetrievalResolution::Complete(outcome) => {
+                    assert_eq!(outcome.file, file);
+                    // Completed despite the swap: either its channel never
+                    // flipped, it finished before the flip, or it was
+                    // carried over by re-subscription.
+                    if retrieval.epoch() > 0 {
+                        assert!(
+                            resubscribable.contains(&file),
+                            "{file} re-subscribed but was not planned to"
+                        );
+                    }
+                }
+                RetrievalResolution::ModeChanged { file: f, .. } => {
+                    assert_eq!(*f, file);
+                    // Only files that could not be carried over may cancel:
+                    // dropped, or re-dispersed incompatibly — and never on
+                    // an untouched channel.
+                    assert!(!resubscribable.contains(&file));
+                    let was_on_unchanged = station
+                        .bank()
+                        .channel_of_at(file, 0)
+                        .is_some_and(|c| unchanged.contains(&c));
+                    assert!(
+                        !was_on_unchanged,
+                        "{file} cancelled though its channel was untouched"
+                    );
+                    let _ = &retained;
+                }
+            }
+        }
+    }
+}
