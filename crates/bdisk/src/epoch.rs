@@ -185,9 +185,23 @@ impl EpochBank {
 
     /// What every lane transmits in `slot`, in channel order.
     pub fn transmit_all(&self, slot: usize) -> Vec<Option<TransmissionRef<'_>>> {
-        (0..self.lanes.len())
-            .map(|c| self.transmit_ref(c, slot))
-            .collect()
+        let mut out = Vec::new();
+        self.transmit_all_into(slot, &mut out);
+        out
+    }
+
+    /// [`EpochBank::transmit_all`] into a caller-owned buffer — the per-slot
+    /// serve loop calls this every slot for every driven retrieval fleet, so
+    /// reusing one buffer across slots keeps the loop allocation-free.
+    /// Clears `out` and refills it with one entry per lane, in channel
+    /// order.
+    pub fn transmit_all_into<'a>(
+        &'a self,
+        slot: usize,
+        out: &mut Vec<Option<TransmissionRef<'a>>>,
+    ) {
+        out.clear();
+        out.extend((0..self.lanes.len()).map(|c| self.transmit_ref(c, slot)));
     }
 
     /// The channel carrying `file` in the latest mode.
@@ -378,6 +392,26 @@ mod tests {
         assert_eq!(bank.epoch_at(2, 19), None);
         assert!(bank.transmit_ref(2, 19).is_none());
         assert!(bank.transmit_ref(2, 20).is_some());
+    }
+
+    #[test]
+    fn transmit_all_into_reuses_the_buffer_across_slots() {
+        let a = server_for(&[1]);
+        let b = server_for(&[2]);
+        let mut bank = EpochBank::new(vec![a, b]).unwrap();
+        bank.swap(6, vec![server_for(&[1, 2])]).unwrap();
+        let mut buf = Vec::new();
+        for slot in 0..12 {
+            bank.transmit_all_into(slot, &mut buf);
+            assert_eq!(buf.len(), bank.lane_count());
+            let owned = bank.transmit_all(slot);
+            for (x, y) in buf.iter().zip(&owned) {
+                assert_eq!(x.is_some(), y.is_some(), "slot {slot}");
+                if let (Some(x), Some(y)) = (x, y) {
+                    assert_eq!(x.block, y.block);
+                }
+            }
+        }
     }
 
     #[test]

@@ -88,7 +88,20 @@ impl MultiChannelServer {
     /// What every channel transmits in `slot`, in channel order — the
     /// slot-synchronized view a multi-channel driver consumes.
     pub fn transmit_all(&self, slot: usize) -> Vec<Option<TransmissionRef<'_>>> {
-        self.channels.iter().map(|c| c.transmit_ref(slot)).collect()
+        let mut out = Vec::new();
+        self.transmit_all_into(slot, &mut out);
+        out
+    }
+
+    /// [`MultiChannelServer::transmit_all`] into a caller-owned buffer,
+    /// reusable across slots (cleared and refilled per call).
+    pub fn transmit_all_into<'a>(
+        &'a self,
+        slot: usize,
+        out: &mut Vec<Option<TransmissionRef<'a>>>,
+    ) {
+        out.clear();
+        out.extend(self.channels.iter().map(|c| c.transmit_ref(slot)));
     }
 }
 

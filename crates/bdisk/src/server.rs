@@ -3,6 +3,7 @@
 use crate::{BroadcastProgram, FileSet, ProgramEntry};
 use ida::{Dispersal, DispersedBlock, DispersedFile, FileId, IdaError};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A block transmission in one slot of the broadcast (owned).
 ///
@@ -136,6 +137,26 @@ impl BroadcastServer {
         program: BroadcastProgram,
         contents: &BTreeMap<FileId, Vec<u8>>,
     ) -> Result<Self, ServerError> {
+        Self::with_dispersals(files, program, contents, &BTreeMap::new())
+    }
+
+    /// [`BroadcastServer::new`] reusing already-built [`Dispersal`]
+    /// configurations.
+    ///
+    /// Building a `Dispersal` pays a matrix construction (an inversion, for
+    /// the systematic default) plus the per-coefficient encode tables; a
+    /// station re-dispersing a mode's contents already owns exactly those
+    /// configurations.  Files whose entry in `dispersals` matches their
+    /// declared `(mᵢ, nᵢ)` reuse it — sharing the encode plan *and* the
+    /// memoised reconstruction inverses with every client handle of the
+    /// same `Arc` — and files without a usable entry fall back to a fresh
+    /// build.
+    pub fn with_dispersals(
+        files: &FileSet,
+        program: BroadcastProgram,
+        contents: &BTreeMap<FileId, Vec<u8>>,
+        dispersals: &BTreeMap<FileId, Arc<Dispersal>>,
+    ) -> Result<Self, ServerError> {
         for id in contents.keys() {
             if files.get(*id).is_none() {
                 return Err(ServerError::UnknownFile(*id));
@@ -153,7 +174,15 @@ impl BroadcastServer {
                     actual: data.len(),
                 });
             }
-            let dispersal = Dispersal::new(f.size_blocks as usize, f.dispersed_blocks as usize)?;
+            let (m, n) = (f.size_blocks as usize, f.dispersed_blocks as usize);
+            let reused = dispersals
+                .get(&f.id)
+                .filter(|d| d.threshold() == m && d.total_blocks() == n)
+                .cloned();
+            let dispersal = match reused {
+                Some(d) => d,
+                None => Arc::new(Dispersal::new(m, n)?),
+            };
             dispersed.insert(f.id, dispersal.disperse(f.id, data)?);
         }
         Ok(BroadcastServer { program, dispersed })
@@ -336,6 +365,40 @@ mod tests {
             BroadcastServer::new(&files, program, &unknown).unwrap_err(),
             ServerError::UnknownFile(FileId(77))
         );
+    }
+
+    #[test]
+    fn with_dispersals_reuses_matching_configurations() {
+        let files = paper_files();
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        let contents = contents(&files);
+
+        // A matching shared configuration for file A, a mismatched one for
+        // file B (wrong width: must NOT be used).
+        let shared_a = Arc::new(Dispersal::new(5, 10).unwrap());
+        let wrong_b = Arc::new(Dispersal::new(3, 4).unwrap());
+        let mut lookup = BTreeMap::new();
+        lookup.insert(FileId(0), shared_a.clone());
+        lookup.insert(FileId(1), wrong_b);
+
+        let reusing =
+            BroadcastServer::with_dispersals(&files, program.clone(), &contents, &lookup).unwrap();
+        let fresh = BroadcastServer::new(&files, program, &contents).unwrap();
+
+        // Same bytes on the wire either way.
+        for file in [FileId(0), FileId(1)] {
+            let a = reusing.dispersed(file).unwrap();
+            let b = fresh.dispersed(file).unwrap();
+            for (x, y) in a.blocks().iter().zip(b.blocks()) {
+                assert_eq!(x, y, "file {file}");
+            }
+        }
+        // The matching Arc was actually exercised: reconstructing through it
+        // shares its (previously empty) inverse cache.
+        assert_eq!(shared_a.cached_inverses(), 0);
+        let df = reusing.dispersed(FileId(0)).unwrap();
+        shared_a.reconstruct(&df.blocks()[5..]).unwrap();
+        assert_eq!(shared_a.cached_inverses(), 1);
     }
 
     #[test]

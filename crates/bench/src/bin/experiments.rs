@@ -8,9 +8,15 @@
 //!
 //! Available experiment ids: `fig5`, `fig6`, `fig7`, `lemma1`, `lemma2`,
 //! `example1`, `eq1`, `eq2`, `examples`, `speedup`, `ablation-schedulers`,
-//! `ablation-redundancy`, `ablation-blocksize`, `sharding`, `modes`, `all`.
+//! `ablation-redundancy`, `ablation-blocksize`, `sharding`, `modes`,
+//! `ida_perf`, `all`.
+//!
+//! `ida_perf` additionally writes its result to `BENCH_ida.json` in the
+//! current directory — the repo's recorded perf trajectory.  Because of
+//! that side effect (and its multi-second runtime) it only runs when
+//! requested explicitly, never as part of `all`.
 
-use bench::{ablations, bounds, figures, modes, sharding};
+use bench::{ablations, bounds, figures, modes, perf, sharding};
 
 fn print_experiment<T: core::fmt::Display + serde::Serialize>(value: &T, json: bool) {
     if json {
@@ -45,6 +51,16 @@ fn run(id: &str, json: bool) -> bool {
         "ablation-blocksize" => print_experiment(&ablations::blocksize_ablation(), json),
         "sharding" => print_experiment(&sharding::sharding_figure(100, 0x5A4D), json),
         "modes" => print_experiment(&modes::modes_figure(25, 0x0D35), json),
+        "ida_perf" => {
+            let iters = std::env::var("RTBDISK_PERF_ITERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(40);
+            let result = perf::ida_perf(iters);
+            let pretty = serde_json::to_string_pretty(&result).expect("perf results serialise");
+            std::fs::write("BENCH_ida.json", &pretty).expect("BENCH_ida.json is writable");
+            print_experiment(&result, json);
+        }
         _ => return false,
     }
     true

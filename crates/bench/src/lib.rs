@@ -28,6 +28,7 @@ pub mod ablations;
 pub mod bounds;
 pub mod figures;
 pub mod modes;
+pub mod perf;
 pub mod sharding;
 
 /// Renders a simple aligned text table.

@@ -8,9 +8,13 @@
 //! inverse of an m×m sub-matrix of the dispersal matrix.
 //!
 //! The field is realised with the Reed–Solomon-style irreducible polynomial
-//! `x⁸ + x⁴ + x³ + x² + 1` (bit pattern `0x11d`).  Multiplication and
+//! `x⁸ + x⁴ + x³ + x² + 1` (bit pattern `0x11d`).  Scalar multiplication and
 //! division use compile-time generated exponential/logarithm tables, so a
-//! single multiply is two table lookups and one conditional.
+//! single multiply is two table lookups and one conditional.  Bulk
+//! constant-coefficient multiplication — the shape information dispersal
+//! actually needs — goes through the vectorizable slice kernels in
+//! [`kernel`] instead ([`kernel::MulTable`], [`kernel::mul_slice`],
+//! [`kernel::xor_slice`] and [`Matrix::mul_blocks_into`]).
 //!
 //! ## Quick example
 //!
@@ -31,10 +35,12 @@
 #![warn(missing_docs)]
 
 mod field;
+pub mod kernel;
 mod matrix;
 mod poly;
 
 pub use field::Gf256;
+pub use kernel::{mul_slice, xor_slice, MulTable};
 pub use matrix::{Matrix, MatrixError};
 pub use poly::Poly;
 

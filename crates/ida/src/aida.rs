@@ -8,6 +8,11 @@
 //! example being a "combat" mode that boosts the redundancy of the
 //! "location of nearby aircraft" object while a "landing" mode scales it
 //! down.
+//!
+//! Coding goes through the wrapped [`Dispersal`], so AIDA rides the same
+//! vectorized slice kernels (precomputed encode plans, systematic fast
+//! path, memoised decode plans) — allocation is pure block *selection* and
+//! never re-encodes.
 
 use crate::{Dispersal, DispersedBlock, DispersedFile, FileId, IdaError};
 use serde::{Deserialize, Serialize};

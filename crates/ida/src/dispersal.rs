@@ -2,7 +2,7 @@
 
 use crate::{BlockHeader, DispersedBlock, FileId, IdaError};
 use bytes::Bytes;
-use gf256::{Gf256, Matrix};
+use gf256::{Matrix, MulTable};
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 
@@ -24,31 +24,123 @@ pub enum MatrixKind {
 /// encoded into `n ≥ m` dispersed blocks, any `m` of which reconstruct the
 /// original.
 ///
-/// The transformation matrix is precomputed once per configuration.  The
-/// paper notes that the inverse transformations "could be precomputed for
-/// some or even all possible subsets of m rows"; precomputing all `C(n, m)`
-/// of them is wasteful, but broadcast loss patterns repeat (the same blocks
-/// go missing cycle after cycle), so the inverses are memoised instead: the
-/// first reconstruction from a given received-index subset pays the O(m³)
-/// Gauss–Jordan inversion, repeats hit a bounded cache shared by all clones
-/// of the configuration (a [`crate::Dispersal`] is cloned into every client
-/// handle).
+/// The transformation matrix — and an *encode plan* of per-coefficient
+/// [`MulTable`]s, with identity rows folded into verbatim copies — is
+/// precomputed once per configuration, so [`Dispersal::disperse`] runs
+/// entirely on the vectorizable `gf256::kernel` slice kernels with zero
+/// per-call table builds and zero element-at-a-time field arithmetic.
+///
+/// The paper notes that the inverse transformations "could be precomputed
+/// for some or even all possible subsets of m rows"; precomputing all
+/// `C(n, m)` of them is wasteful, but broadcast loss patterns repeat (the
+/// same blocks go missing cycle after cycle), so *decode plans* are memoised
+/// instead: the first reconstruction from a given received-index subset pays
+/// the O(m³) Gauss–Jordan inversion (plus the plan's table build), repeats
+/// hit a bounded cache shared by all clones of the configuration (a
+/// [`crate::Dispersal`] is cloned into every client handle).
 #[derive(Debug, Clone)]
 pub struct Dispersal {
     m: usize,
     n: usize,
     kind: MatrixKind,
     matrix: Matrix,
+    encode: Arc<EncodePlan>,
     inverses: Arc<Mutex<InverseCache>>,
 }
 
-/// Bounded memo of inverted `m×m` sub-matrices, keyed by the ordered tuple of
-/// received block indices.  Insertion order is tracked so the cache evicts
+/// How one dispersed (or reconstructed) block is produced from a set of
+/// equally-long byte slices.
+#[derive(Debug, Clone)]
+enum RowPlan {
+    /// The matrix row is a unit vector: the block is a verbatim copy of one
+    /// input (a systematic row on encode, a directly-received source block
+    /// on decode).
+    Copy(usize),
+    /// A coded row: XOR of per-input constant-coefficient products, one
+    /// prebuilt [`MulTable`] per input.
+    Coded(Vec<MulTable>),
+}
+
+impl RowPlan {
+    fn for_row(matrix: &Matrix, r: usize) -> RowPlan {
+        match matrix.identity_row(r) {
+            Some(c) => RowPlan::Copy(c),
+            None => RowPlan::Coded(
+                (0..matrix.cols())
+                    .map(|c| MulTable::new(matrix[(r, c)]))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Writes this row applied to the inputs into `out`, where `input(c)` is
+    /// the `c`-th input slice.  `out` must be zero-initialised by the caller
+    /// (both call sites hand out freshly allocated buffers, so the row never
+    /// pays an extra clearing pass); inputs shorter than `out` are treated
+    /// as zero-padded.
+    fn apply<'a>(&self, input: impl Fn(usize) -> &'a [u8], out: &mut [u8]) {
+        match self {
+            RowPlan::Copy(c) => {
+                let src = input(*c);
+                let n = src.len().min(out.len());
+                out[..n].copy_from_slice(&src[..n]);
+            }
+            RowPlan::Coded(tables) => {
+                for (c, table) in tables.iter().enumerate() {
+                    table.mul_acc(input(c), out);
+                }
+            }
+        }
+    }
+}
+
+/// The precomputed encode layout of one configuration: one [`RowPlan`] per
+/// dispersed block.  Built once in [`Dispersal::with_kind`] and shared by
+/// every clone via `Arc` (alongside the decode-plan cache).
+#[derive(Debug)]
+struct EncodePlan {
+    rows: Vec<RowPlan>,
+}
+
+impl EncodePlan {
+    fn new(matrix: &Matrix) -> Self {
+        EncodePlan {
+            rows: (0..matrix.rows())
+                .map(|r| RowPlan::for_row(matrix, r))
+                .collect(),
+        }
+    }
+}
+
+/// The precomputed decode layout for one received-index subset: for each
+/// source block, either the position of the received block that carries it
+/// verbatim (the systematic fast path — the inverse row is a unit vector
+/// exactly when a source block was received as-is) or the [`MulTable`] row
+/// solving it from all `m` received blocks.
+#[derive(Debug)]
+struct DecodePlan {
+    rows: Vec<RowPlan>,
+}
+
+impl DecodePlan {
+    fn new(matrix: &Matrix, rows: &[usize]) -> Result<Self, IdaError> {
+        let sub = matrix.submatrix_rows(rows)?;
+        let inverse = sub.inverted()?;
+        Ok(DecodePlan {
+            rows: (0..inverse.rows())
+                .map(|r| RowPlan::for_row(&inverse, r))
+                .collect(),
+        })
+    }
+}
+
+/// Bounded memo of decode plans, keyed by the ordered tuple of received
+/// block indices.  Insertion order is tracked so the cache evicts
 /// oldest-first once `INVERSE_CACHE_CAP` distinct loss patterns have been
 /// seen (hot patterns re-enter immediately on the next reconstruction).
 #[derive(Debug, Default)]
 struct InverseCache {
-    map: std::collections::HashMap<Vec<u8>, Arc<Matrix>>,
+    map: std::collections::HashMap<Vec<u8>, Arc<DecodePlan>>,
     order: std::collections::VecDeque<Vec<u8>>,
 }
 
@@ -57,14 +149,20 @@ struct InverseCache {
 const INVERSE_CACHE_CAP: usize = 256;
 
 impl InverseCache {
-    fn get(&self, key: &[u8]) -> Option<Arc<Matrix>> {
-        self.map.get(key).cloned()
-    }
-
-    fn insert(&mut self, key: Vec<u8>, inverse: Arc<Matrix>) {
-        if self.map.contains_key(&key) {
-            return;
+    /// Entry-style lookup: returns the memoised plan for `key`, or builds,
+    /// inserts and returns it.  Callers hold the cache lock across the whole
+    /// operation — one lock acquisition per reconstruction, and two threads
+    /// racing on the same unseen loss pattern pay the O(m³) inversion once
+    /// (the second blocks briefly instead of duplicating the work).
+    fn get_or_try_insert_with(
+        &mut self,
+        key: &[u8],
+        build: impl FnOnce() -> Result<DecodePlan, IdaError>,
+    ) -> Result<Arc<DecodePlan>, IdaError> {
+        if let Some(plan) = self.map.get(key) {
+            return Ok(plan.clone());
         }
+        let plan = Arc::new(build()?);
         while self.map.len() >= INVERSE_CACHE_CAP {
             match self.order.pop_front() {
                 Some(oldest) => {
@@ -73,8 +171,9 @@ impl InverseCache {
                 None => break,
             }
         }
-        self.order.push_back(key.clone());
-        self.map.insert(key, inverse);
+        self.order.push_back(key.to_vec());
+        self.map.insert(key.to_vec(), plan.clone());
+        Ok(plan)
     }
 }
 
@@ -135,11 +234,13 @@ impl Dispersal {
             MatrixKind::Vandermonde => Matrix::vandermonde(n, m)?,
             MatrixKind::Cauchy => Matrix::cauchy(n, m)?,
         };
+        let encode = Arc::new(EncodePlan::new(&matrix));
         Ok(Dispersal {
             m,
             n,
             kind,
             matrix,
+            encode,
             inverses: Arc::new(Mutex::new(InverseCache::default())),
         })
     }
@@ -183,28 +284,33 @@ impl Dispersal {
 
     /// Disperses `data` into `n` self-identifying blocks (paper Figure 3,
     /// left side).
+    ///
+    /// Runs directly on the input bytes: source blocks are *views* into
+    /// `data` (the final block's zero padding is implicit, never
+    /// materialised), systematic rows are single copies, and coded rows go
+    /// through the precomputed per-coefficient slice kernels — no
+    /// element-at-a-time field arithmetic and no intermediate `Gf256`
+    /// buffers.
     pub fn disperse(&self, file: FileId, data: &[u8]) -> Result<DispersedFile, IdaError> {
         if data.is_empty() {
             return Err(IdaError::EmptyFile);
         }
         let block_len = self.block_payload_len(data.len());
-        // Split the (zero-padded) file into m source blocks of block_len bytes.
-        let mut sources: Vec<Vec<Gf256>> = Vec::with_capacity(self.m);
-        for i in 0..self.m {
-            let start = i * block_len;
-            let mut blk = Vec::with_capacity(block_len);
-            for k in 0..block_len {
-                let byte = data.get(start + k).copied().unwrap_or(0);
-                blk.push(Gf256::new(byte));
-            }
-            sources.push(blk);
-        }
-        let encoded = self.matrix.mul_blocks(&sources)?;
-        let blocks = encoded
-            .into_iter()
+        // The c-th source block as a (possibly short — implicitly
+        // zero-padded) view into the file.
+        let source = |c: usize| {
+            let start = (c * block_len).min(data.len());
+            let end = (start + block_len).min(data.len());
+            &data[start..end]
+        };
+        let blocks = self
+            .encode
+            .rows
+            .iter()
             .enumerate()
-            .map(|(index, payload)| {
-                let bytes: Vec<u8> = payload.into_iter().map(Gf256::value).collect();
+            .map(|(index, row)| {
+                let mut payload = vec![0u8; block_len];
+                row.apply(source, &mut payload);
                 DispersedBlock::new(
                     BlockHeader {
                         file,
@@ -213,7 +319,7 @@ impl Dispersal {
                         n: self.n as u32,
                         original_len: data.len() as u64,
                     },
-                    Bytes::from(bytes),
+                    Bytes::from(payload),
                 )
             })
             .collect();
@@ -228,6 +334,12 @@ impl Dispersal {
     /// dispersed blocks (paper Figure 3, right side).
     ///
     /// Extra blocks beyond the first `m` distinct indices are ignored.
+    ///
+    /// Received blocks that carry a source block verbatim (the systematic
+    /// prefix — detected exactly, as unit rows of the decode inverse) are
+    /// copied straight into the output; only the missing source blocks are
+    /// solved, through the memoised decode plan for this loss pattern.  A
+    /// fault-free systematic retrieval is therefore pure `memcpy`.
     pub fn reconstruct(&self, blocks: &[DispersedBlock]) -> Result<Vec<u8>, IdaError> {
         // Select the first m blocks with distinct indices and a consistent header.
         let mut chosen: Vec<&DispersedBlock> = Vec::with_capacity(self.m);
@@ -271,46 +383,35 @@ impl Dispersal {
         }
         let reference = reference.expect("at least one block present");
         let original_len = reference.original_len as usize;
+        let block_len = chosen[0].len();
 
-        // The m×m sub-matrix inverse for the received indices: memoised per
-        // loss pattern (indices fit in u8 because n ≤ 255).
+        // The decode plan for the received indices: memoised per loss
+        // pattern (indices fit in u8 because n ≤ 255).  One lock
+        // acquisition covers lookup and (on a miss) the O(m³) inversion, so
+        // concurrent reconstructions of the same unseen pattern never
+        // duplicate the inversion.
         let rows: Vec<usize> = chosen.iter().map(|b| b.index() as usize).collect();
         let key: Vec<u8> = rows.iter().map(|&r| r as u8).collect();
-        let cached = self
+        let plan = self
             .inverses
             .lock()
             .expect("inverse cache lock is never poisoned")
-            .get(&key);
-        let inverse = match cached {
-            Some(inverse) => inverse,
-            None => {
-                let sub = self.matrix.submatrix_rows(&rows)?;
-                let inverse = Arc::new(sub.inverted()?);
-                self.inverses
-                    .lock()
-                    .expect("inverse cache lock is never poisoned")
-                    .insert(key, inverse.clone());
-                inverse
-            }
-        };
+            .get_or_try_insert_with(&key, || DecodePlan::new(&self.matrix, &rows))?;
 
-        let received: Vec<Vec<Gf256>> = chosen
-            .iter()
-            .map(|b| b.payload().iter().copied().map(Gf256::new).collect())
-            .collect();
-        let decoded = inverse.mul_blocks(&received)?;
-
-        // Concatenate the m source blocks and strip the padding.
-        let mut out = Vec::with_capacity(original_len);
-        'outer: for block in decoded {
-            for g in block {
-                if out.len() == original_len {
-                    break 'outer;
-                }
-                out.push(g.value());
+        // Assemble the m source blocks directly into the output, computing
+        // only the bytes inside `original_len` (the padding of the final
+        // partial block is never decoded).
+        let received = |c: usize| &chosen[c].payload()[..];
+        let mut out = vec![0u8; original_len.min(self.m * block_len)];
+        for (i, row) in plan.rows.iter().enumerate() {
+            let start = (i * block_len).min(out.len());
+            let end = (start + block_len).min(out.len());
+            if start == end {
+                break;
             }
+            let (_, segment) = out.split_at_mut(start);
+            row.apply(received, &mut segment[..end - start]);
         }
-        out.truncate(original_len);
         Ok(out)
     }
 }

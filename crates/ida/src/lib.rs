@@ -18,6 +18,13 @@
 //! carries the file it belongs to, its sequence number, and the dispersal
 //! parameters, so a client can pick the correct inverse transformation.
 //!
+//! Both directions run on `gf256`'s vectorized slice kernels: a
+//! [`Dispersal`] precomputes per-coefficient multiplication tables at
+//! construction (identity rows become verbatim copies — the systematic
+//! fast path), and reconstruction memoises a decode plan per loss pattern
+//! in a bounded cache shared across clones, so the hot paths never touch
+//! element-at-a-time field arithmetic.
+//!
 //! ## Quick example
 //!
 //! ```

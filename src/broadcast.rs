@@ -5,7 +5,7 @@ use bcore::{
     BdiskDesigner, ChannelBudget, GeneralizedFileSpec, MultiChannelDesigner, ShardPlanner,
 };
 use bdisk::BroadcastServer;
-use ida::FileId;
+use ida::{Dispersal, FileId};
 use pinwheel::SchedulerChoice;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -142,6 +142,18 @@ impl BroadcastBuilder {
         // supplied map is kept on the station, so a later mode swap can
         // carry retained files' contents over.
         let contents = self.contents;
+        // One dispersal configuration per file, built once and shared: the
+        // servers encode with it here, and the station hands the same `Arc`
+        // to every retrieval (shared encode plans and reconstruction
+        // inverse caches).
+        let mut dispersals = BTreeMap::new();
+        for report in &design.reports {
+            for f in report.files.files() {
+                let dispersal =
+                    Dispersal::new(f.size_blocks as usize, f.dispersed_blocks as usize)?;
+                dispersals.insert(f.id, Arc::new(dispersal));
+            }
+        }
         let mut servers = Vec::with_capacity(design.reports.len());
         for report in &design.reports {
             let mut channel_contents = BTreeMap::new();
@@ -152,10 +164,11 @@ impl BroadcastBuilder {
                     .unwrap_or_else(|| BroadcastServer::synthetic_content(f));
                 channel_contents.insert(f.id, bytes);
             }
-            servers.push(Arc::new(BroadcastServer::new(
+            servers.push(Arc::new(BroadcastServer::with_dispersals(
                 &report.files,
                 report.program.clone(),
                 &channel_contents,
+                &dispersals,
             )?));
         }
         Station::new(
@@ -163,6 +176,7 @@ impl BroadcastBuilder {
             design,
             servers,
             contents,
+            dispersals,
             self.listen_cap,
             self.scheduler,
             self.channels,

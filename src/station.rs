@@ -69,21 +69,32 @@ struct SwapRecord {
 }
 
 impl Station {
+    #[allow(clippy::too_many_arguments)] // crate-internal, called once by the builder
     pub(crate) fn new(
         specs: Vec<GeneralizedFileSpec>,
         design: MultiChannelReport,
         servers: Vec<Arc<BroadcastServer>>,
         contents: BTreeMap<FileId, Vec<u8>>,
+        dispersals: BTreeMap<FileId, Arc<Dispersal>>,
         listen_cap: usize,
         scheduler: SchedulerChoice,
         channels: ChannelBudget,
     ) -> Result<Self, Error> {
         let files = merge_files(&specs, &design)?;
-        let mut dispersals = BTreeMap::new();
+        // Reuse the builder's dispersal configurations (the servers encoded
+        // with them, so retrieval handles share their plans and inverse
+        // caches); build fresh ones only for files without a matching entry.
+        let mut dispersals = dispersals;
         for f in files.files() {
-            let dispersal = Dispersal::new(f.size_blocks as usize, f.dispersed_blocks as usize)?;
-            dispersals.insert(f.id, Arc::new(dispersal));
+            let (m, n) = (f.size_blocks as usize, f.dispersed_blocks as usize);
+            let reuse = dispersals
+                .get(&f.id)
+                .is_some_and(|d| d.threshold() == m && d.total_blocks() == n);
+            if !reuse {
+                dispersals.insert(f.id, Arc::new(Dispersal::new(m, n)?));
+            }
         }
+        dispersals.retain(|id, _| files.get(*id).is_some());
         let bank = EpochBank::new(servers)?;
         Ok(Station {
             specs,
@@ -211,6 +222,17 @@ impl Station {
     /// What every channel transmits in `slot`, in channel order.
     pub fn transmit_all(&self, slot: usize) -> Vec<Option<TransmissionRef<'_>>> {
         self.bank.transmit_all(slot)
+    }
+
+    /// [`Station::transmit_all`] into a caller-owned buffer — what the
+    /// station's own slot drivers use, so a serve loop over many slots never
+    /// allocates per slot.
+    pub fn transmit_all_into<'a>(
+        &'a self,
+        slot: usize,
+        out: &mut Vec<Option<TransmissionRef<'a>>>,
+    ) {
+        self.bank.transmit_all_into(slot, out);
     }
 
     /// Subscribes a client to `file` (of the current mode) starting at
@@ -367,6 +389,27 @@ impl Station {
             }
         }
 
+        // Dispersal configurations: reuse the current Arc when the (m, n)
+        // parameters survive (shares the encode plan and the inverse cache
+        // with in-flight handles), fresh otherwise.  Built before the
+        // servers so re-dispersal below rides the same configurations
+        // instead of rebuilding matrices and encode tables per file.
+        let mut dispersals = BTreeMap::new();
+        for f in files.files() {
+            let reused = self.dispersals.get(&f.id).filter(|d| {
+                d.threshold() == f.size_blocks as usize
+                    && d.total_blocks() == f.dispersed_blocks as usize
+            });
+            let dispersal = match reused {
+                Some(d) => d.clone(),
+                None => Arc::new(Dispersal::new(
+                    f.size_blocks as usize,
+                    f.dispersed_blocks as usize,
+                )?),
+            };
+            dispersals.insert(f.id, dispersal);
+        }
+
         // Per-channel servers: unchanged channels reuse the serving Arc (so
         // the swap keeps them byte-identical for free), changed ones are
         // built — and dispersed — here, off the hot path.
@@ -388,30 +431,12 @@ impl Station {
                     .unwrap_or_else(|| BroadcastServer::synthetic_content(f));
                 channel_contents.insert(f.id, bytes);
             }
-            servers.push(Arc::new(BroadcastServer::new(
+            servers.push(Arc::new(BroadcastServer::with_dispersals(
                 &report.files,
                 report.program.clone(),
                 &channel_contents,
+                &dispersals,
             )?));
-        }
-
-        // Dispersal configurations: reuse the current Arc when the (m, n)
-        // parameters survive (shares the inverse cache with in-flight
-        // handles), fresh otherwise.
-        let mut dispersals = BTreeMap::new();
-        for f in files.files() {
-            let reused = self.dispersals.get(&f.id).filter(|d| {
-                d.threshold() == f.size_blocks as usize
-                    && d.total_blocks() == f.dispersed_blocks as usize
-            });
-            let dispersal = match reused {
-                Some(d) => d.clone(),
-                None => Arc::new(Dispersal::new(
-                    f.size_blocks as usize,
-                    f.dispersed_blocks as usize,
-                )?),
-            };
-            dispersals.insert(f.id, dispersal);
         }
 
         // Transparent re-subscription: files on flipped channels that keep
@@ -625,6 +650,10 @@ impl Station {
         // first listening retrieval of that channel so gap slots (and
         // channels nobody hears) never consume an error-model sample.
         let mut channel_ok: Vec<Option<bool>> = vec![None; lanes];
+        // The slot's transmissions, fetched once per slot into a reused
+        // buffer (no per-slot allocation, no per-retrieval re-fetch when
+        // several retrievals share a channel).
+        let mut transmissions: Vec<Option<TransmissionRef<'_>>> = Vec::with_capacity(lanes);
         while remaining > 0 {
             if let Some(stop) = stop_before {
                 if slot >= stop {
@@ -632,6 +661,7 @@ impl Station {
                 }
             }
             channel_ok.fill(None);
+            self.bank.transmit_all_into(slot, &mut transmissions);
             let mut any_listening = false;
             let mut next_active = usize::MAX;
             for r in retrievals.iter_mut() {
@@ -706,7 +736,7 @@ impl Station {
                 let Some(channel) = observe_on else {
                     continue; // waiting for a flip: listens, hears nothing
                 };
-                let tx = self.bank.transmit_ref(channel, slot);
+                let tx = transmissions[channel];
                 let ok = *channel_ok[channel].get_or_insert_with(|| match tx {
                     Some(t) => !errors.is_lost_on(channel, t),
                     None => true,
