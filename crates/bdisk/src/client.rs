@@ -126,6 +126,16 @@ impl ClientSession {
         false
     }
 
+    /// Records `count` reception errors that were observed *out of band* —
+    /// e.g. slots a lagging concurrent subscriber dropped while blocks of
+    /// this file were on the air.  A completed session ignores them (the
+    /// retrieval no longer listens).
+    pub fn record_erasures(&mut self, count: usize) {
+        if !self.is_complete() {
+            self.errors_observed += count;
+        }
+    }
+
     /// Finishes the session: reconstructs the file from the received blocks.
     ///
     /// Returns an IDA error if called before enough blocks were received.

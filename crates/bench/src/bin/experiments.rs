@@ -9,14 +9,28 @@
 //! Available experiment ids: `fig5`, `fig6`, `fig7`, `lemma1`, `lemma2`,
 //! `example1`, `eq1`, `eq2`, `examples`, `speedup`, `ablation-schedulers`,
 //! `ablation-redundancy`, `ablation-blocksize`, `sharding`, `modes`,
-//! `ida_perf`, `all`.
+//! `ida_perf`, `runtime_perf`, `check_regression`, `all`.
 //!
-//! `ida_perf` additionally writes its result to `BENCH_ida.json` in the
-//! current directory — the repo's recorded perf trajectory.  Because of
-//! that side effect (and its multi-second runtime) it only runs when
-//! requested explicitly, never as part of `all`.
+//! `ida_perf` / `runtime_perf` additionally write their results to
+//! `BENCH_ida.json` / `BENCH_runtime.json` in the current directory — the
+//! repo's recorded perf trajectories.  Because of that side effect (and
+//! their multi-second runtimes) they only run when requested explicitly,
+//! never as part of `all`.
+//!
+//! `check_regression` is the CI perf gate: it compares the trajectories
+//! against committed baselines and exits non-zero on a throughput drop
+//! beyond the tolerance:
+//!
+//! ```text
+//! experiments check_regression --tolerance 0.30 \
+//!     --pair BENCH_ida.baseline.json:BENCH_ida.json \
+//!     --pair BENCH_runtime.baseline.json:BENCH_runtime.json
+//! ```
+//!
+//! (`RTBDISK_PERF_TOLERANCE` overrides `--tolerance` for noisy runners;
+//! the pairs above are the default when none are given.)
 
-use bench::{ablations, bounds, figures, modes, perf, sharding};
+use bench::{ablations, bounds, figures, modes, perf, regression, runtime_perf, sharding};
 
 fn print_experiment<T: core::fmt::Display + serde::Serialize>(value: &T, json: bool) {
     if json {
@@ -61,13 +75,87 @@ fn run(id: &str, json: bool) -> bool {
             std::fs::write("BENCH_ida.json", &pretty).expect("BENCH_ida.json is writable");
             print_experiment(&result, json);
         }
+        "runtime_perf" => {
+            let batches = std::env::var("RTBDISK_PERF_BATCHES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(runtime_perf::default_batches);
+            let result = runtime_perf::runtime_perf(batches);
+            let pretty = serde_json::to_string_pretty(&result).expect("perf results serialise");
+            std::fs::write("BENCH_runtime.json", &pretty).expect("BENCH_runtime.json is writable");
+            print_experiment(&result, json);
+        }
         _ => return false,
     }
     true
 }
 
+/// Runs the `check_regression` gate; returns the process exit code.
+fn check_regression(args: &[String]) -> i32 {
+    let mut tolerance_flag = None;
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--tolerance" => {
+                tolerance_flag = iter.next().and_then(|v| v.parse().ok());
+                if tolerance_flag.is_none() {
+                    eprintln!("--tolerance needs a fractional value (e.g. 0.30)");
+                    return 2;
+                }
+            }
+            "--pair" => {
+                let Some(pair) = iter.next().and_then(|v| v.split_once(':')) else {
+                    eprintln!("--pair needs `baseline.json:current.json`");
+                    return 2;
+                };
+                pairs.push((pair.0.to_string(), pair.1.to_string()));
+            }
+            other => {
+                eprintln!("unknown check_regression argument `{other}`");
+                return 2;
+            }
+        }
+    }
+    if pairs.is_empty() {
+        pairs = vec![
+            (
+                "BENCH_ida.baseline.json".to_string(),
+                "BENCH_ida.json".to_string(),
+            ),
+            (
+                "BENCH_runtime.baseline.json".to_string(),
+                "BENCH_runtime.json".to_string(),
+            ),
+        ];
+    }
+    let tolerance = regression::tolerance_from(tolerance_flag);
+    match regression::check_files(&pairs, tolerance) {
+        Ok(report) => {
+            println!("{report}");
+            if report.failed() {
+                eprintln!(
+                    "perf regression: {} metric(s) dropped more than {:.0}%",
+                    report.regressions().count(),
+                    tolerance * 100.0
+                );
+                1
+            } else {
+                0
+            }
+        }
+        Err(message) => {
+            eprintln!("check_regression failed: {message}");
+            2
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check_regression") {
+        std::process::exit(check_regression(&args[1..]));
+    }
     let json = args.iter().any(|a| a == "--json");
     let ids: Vec<&str> = args
         .iter()

@@ -29,6 +29,8 @@ pub mod bounds;
 pub mod figures;
 pub mod modes;
 pub mod perf;
+pub mod regression;
+pub mod runtime_perf;
 pub mod sharding;
 
 /// Renders a simple aligned text table.

@@ -1,0 +1,293 @@
+//! The perf-regression gate behind `experiments check_regression`.
+//!
+//! Compares freshly measured trajectory files (`BENCH_ida.json`,
+//! `BENCH_runtime.json`) against committed baselines and fails when any
+//! throughput metric dropped by more than the tolerance.  Metrics are
+//! discovered structurally: every numeric leaf whose key ends in a
+//! higher-is-better throughput suffix (`_mb_s`, `_per_s`) participates, so
+//! new bench figures join the gate by simply serialising such fields —
+//! no gate-side edit needed.
+//!
+//! The tolerance is a fraction (0.30 = a 30% drop fails).  CI overrides it
+//! via `RTBDISK_PERF_TOLERANCE` on noisy runners.
+
+use serde::{Deserialize, Error as SerdeError, Value};
+use std::collections::BTreeMap;
+
+/// Key suffixes that mark a numeric leaf as a higher-is-better throughput
+/// metric.
+const THROUGHPUT_SUFFIXES: [&str; 2] = ["_mb_s", "_per_s"];
+
+/// One compared metric.
+#[derive(Debug, Clone)]
+pub struct RegressionRow {
+    /// Structural path of the metric (e.g. `rows[1].disperse_mb_s`).
+    pub metric: String,
+    /// Baseline (committed) value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// `false` when the drop exceeds the tolerance (or the metric vanished).
+    pub ok: bool,
+}
+
+/// The comparison of one or more file pairs.
+#[derive(Debug, Clone)]
+pub struct RegressionReport {
+    /// The tolerated fractional drop.
+    pub tolerance: f64,
+    /// Every compared metric, in structural order per file pair.
+    pub rows: Vec<RegressionRow>,
+}
+
+impl RegressionReport {
+    /// `true` when any metric regressed beyond the tolerance.
+    pub fn failed(&self) -> bool {
+        self.rows.iter().any(|r| !r.ok)
+    }
+
+    /// The offending rows.
+    pub fn regressions(&self) -> impl Iterator<Item = &RegressionRow> {
+        self.rows.iter().filter(|r| !r.ok)
+    }
+}
+
+impl core::fmt::Display for RegressionReport {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "Perf-regression gate (tolerance: {:.0}% drop)",
+            self.tolerance * 100.0
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.metric.clone(),
+                    format!("{:.1}", r.baseline),
+                    format!("{:.1}", r.current),
+                    format!("{:.2}x", r.ratio),
+                    if r.ok { "ok" } else { "REGRESSED" }.to_string(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            crate::render_table(
+                &["metric", "baseline", "current", "ratio", "verdict"],
+                &rows
+            )
+        )
+    }
+}
+
+/// An identity wrapper so the vendored `serde_json` can hand back the raw
+/// [`Value`] tree of an arbitrary JSON document.
+struct Raw(Value);
+
+impl Deserialize for Raw {
+    fn deserialize(v: &Value) -> Result<Self, SerdeError> {
+        Ok(Raw(v.clone()))
+    }
+}
+
+fn as_number(v: &Value) -> Option<f64> {
+    match v {
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Flattens every throughput leaf of a JSON tree into `path → value`.
+fn throughput_metrics(value: &Value) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    collect(value, String::new(), &mut out);
+    out
+}
+
+fn collect(value: &Value, path: String, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Value::Map(entries) => {
+            for (key, child) in entries {
+                let child_path = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                if THROUGHPUT_SUFFIXES.iter().any(|s| key.ends_with(s)) {
+                    if let Some(number) = as_number(child) {
+                        out.insert(child_path, number);
+                        continue;
+                    }
+                }
+                collect(child, child_path, out);
+            }
+        }
+        Value::Seq(items) => {
+            for (index, child) in items.iter().enumerate() {
+                collect(child, format!("{path}[{index}]"), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compares two parsed trajectory documents.  Metrics present in the
+/// baseline but missing from the current measurement fail the gate (a
+/// silently dropped figure is not an improvement); metrics new in the
+/// current measurement are ignored (they become baseline next commit).
+pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<RegressionReport, String> {
+    let baseline: Raw =
+        serde_json::from_str(baseline).map_err(|e| format!("baseline does not parse: {e}"))?;
+    let current: Raw =
+        serde_json::from_str(current).map_err(|e| format!("current does not parse: {e}"))?;
+    let baseline = throughput_metrics(&baseline.0);
+    let current = throughput_metrics(&current.0);
+    if baseline.is_empty() {
+        return Err("the baseline contains no throughput metrics".to_string());
+    }
+    let rows = baseline
+        .iter()
+        .map(|(metric, &base)| match current.get(metric) {
+            Some(&now) => {
+                let ratio = if base > 0.0 {
+                    now / base
+                } else {
+                    f64::INFINITY
+                };
+                RegressionRow {
+                    metric: metric.clone(),
+                    baseline: base,
+                    current: now,
+                    ratio,
+                    ok: now >= base * (1.0 - tolerance),
+                }
+            }
+            None => RegressionRow {
+                metric: metric.clone(),
+                baseline: base,
+                current: f64::NAN,
+                ratio: 0.0,
+                ok: false,
+            },
+        })
+        .collect();
+    Ok(RegressionReport { tolerance, rows })
+}
+
+/// Compares `(baseline_path, current_path)` file pairs and folds the rows
+/// into one report.
+pub fn check_files(pairs: &[(String, String)], tolerance: f64) -> Result<RegressionReport, String> {
+    let mut rows = Vec::new();
+    for (baseline_path, current_path) in pairs {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
+        let current = std::fs::read_to_string(current_path)
+            .map_err(|e| format!("cannot read current `{current_path}`: {e}"))?;
+        let mut report = compare(&baseline, &current, tolerance)?;
+        for row in &mut report.rows {
+            row.metric = format!("{current_path}:{}", row.metric);
+        }
+        rows.extend(report.rows);
+    }
+    Ok(RegressionReport { tolerance, rows })
+}
+
+/// The gate's tolerance: `RTBDISK_PERF_TOLERANCE` wins over the `--tolerance`
+/// flag, which wins over the 0.30 default.
+pub fn tolerance_from(flag: Option<f64>) -> f64 {
+    std::env::var("RTBDISK_PERF_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .or(flag)
+        .unwrap_or(0.30)
+        .clamp(0.0, 0.99)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+        "payload_bytes": 65536,
+        "rows": [
+            {"m": 5, "n": 10, "disperse_mb_s": 1000.0, "reconstruct_coded_mb_s": 1200.0},
+            {"m": 8, "n": 16, "disperse_mb_s": 900.0, "reconstruct_coded_mb_s": 1100.0}
+        ],
+        "fleet": {"retrievals_per_s": 5000.0}
+    }"#;
+
+    #[test]
+    fn equal_measurements_pass() {
+        let report = compare(BASELINE, BASELINE, 0.30).unwrap();
+        assert!(!report.failed());
+        // payload_bytes / m / n are not throughput metrics.
+        assert_eq!(report.rows.len(), 5);
+    }
+
+    #[test]
+    fn an_injected_2x_slowdown_fails_the_gate() {
+        let slowed = BASELINE
+            .replace("1000.0", "500.0")
+            .replace("1200.0", "600.0")
+            .replace("900.0", "450.0")
+            .replace("1100.0", "550.0")
+            .replace("5000.0", "2500.0");
+        let report = compare(BASELINE, &slowed, 0.30).unwrap();
+        assert!(report.failed());
+        assert_eq!(report.regressions().count(), 5);
+        for row in report.regressions() {
+            assert!((row.ratio - 0.5).abs() < 1e-9);
+        }
+        // A 2x slowdown passes only if the tolerance admits it.
+        assert!(!compare(BASELINE, &slowed, 0.60).unwrap().failed());
+    }
+
+    #[test]
+    fn small_noise_within_tolerance_passes() {
+        let noisy = BASELINE.replace("1000.0", "850.0");
+        assert!(!compare(BASELINE, &noisy, 0.30).unwrap().failed());
+        let beyond = BASELINE.replace("1000.0", "650.0");
+        assert!(compare(BASELINE, &beyond, 0.30).unwrap().failed());
+    }
+
+    #[test]
+    fn vanished_metrics_fail_and_new_metrics_are_ignored() {
+        let missing = r#"{"rows": [{"disperse_mb_s": 1000.0}]}"#;
+        let report = compare(BASELINE, missing, 0.30).unwrap();
+        assert!(report.failed());
+        let grown = BASELINE.replace(r#""payload_bytes": 65536,"#, r#""extra_mb_s": 1.0,"#);
+        assert!(!compare(BASELINE, &grown, 0.30).unwrap().failed());
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let faster = BASELINE.replace("1000.0", "9000.0");
+        assert!(!compare(BASELINE, &faster, 0.0).unwrap().failed());
+    }
+
+    #[test]
+    fn improvements_and_metric_paths_render() {
+        let report = compare(BASELINE, BASELINE, 0.30).unwrap();
+        let rendered = report.to_string();
+        assert!(rendered.contains("rows[0].disperse_mb_s"));
+        assert!(rendered.contains("fleet.retrievals_per_s"));
+        assert!(rendered.contains("ok"));
+    }
+
+    #[test]
+    fn tolerance_resolution_order() {
+        // No env in tests (the harness may run in parallel, so only check
+        // the flag/default legs).
+        if std::env::var("RTBDISK_PERF_TOLERANCE").is_err() {
+            assert_eq!(tolerance_from(None), 0.30);
+            assert_eq!(tolerance_from(Some(0.1)), 0.1);
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Multi-client runtime scaling measurement — the concurrent-serving half
+//! of the repo's recorded perf trajectory.
+//!
+//! For each `(channels, subscribers)` combination this spins up a real
+//! threaded runtime (`Station::serve_concurrent`) under a `ManualClock`
+//! released in large batches — i.e. the server free-runs as fast as the
+//! machine allows — subscribes the whole client fleet, and measures the
+//! wall-clock time until every retrieval completes.  `experiments
+//! runtime_perf` serialises the result to `BENCH_runtime.json`, the
+//! committed baseline the CI perf-regression gate compares against
+//! (`experiments check_regression`).
+
+use rtbdisk::{
+    Broadcast, FileId, GeneralizedFileSpec, ManualClock, RetrievalResolution, RuntimeConfig,
+    Station,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The subscriber-fleet sizes of the recorded trajectory.
+pub const SUBSCRIBER_COUNTS: [usize; 3] = [1, 8, 64];
+
+/// The channel counts of the recorded trajectory.
+pub const CHANNEL_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Best-of batches per combination (min-time estimator, like `ida_perf`:
+/// on a noisy host the mean records the scheduler, not the runtime).
+const BATCHES: usize = 5;
+
+/// Slots released per batch — fixed, so the slot-throughput figure divides
+/// a deterministic amount of serving work by wall-clock time instead of
+/// whatever the advance loop happened to release.
+const SLOTS_PER_BATCH: usize = 4096;
+
+/// Throughput of one `(channels, subscribers)` combination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimePerfRow {
+    /// Broadcast channels of the station.
+    pub channels: usize,
+    /// Concurrent subscribers retrieving files round-robin.
+    pub subscribers: usize,
+    /// Slots the server transmitted during the fastest batch.
+    pub slots_served: u64,
+    /// Data slots dropped to lag during the fastest batch (0 with the
+    /// measurement's deep queues).
+    pub lagged_slots: u64,
+    /// Mean retrieval latency in slots (fault-free).
+    pub mean_latency_slots: f64,
+    /// Completed retrievals per wall-clock second (fleet completion
+    /// throughput; spawn + subscribe + serve + reconstruct).
+    pub retrievals_per_s: f64,
+    /// Slots transmitted per wall-clock second while the fleet was live.
+    pub slots_per_s: f64,
+}
+
+/// The full `runtime_perf` measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RuntimePerfResult {
+    /// One row per `(channels, subscribers)` combination.
+    pub rows: Vec<RuntimePerfRow>,
+}
+
+fn station_for(channels: usize) -> Station {
+    // Two files per channel; latencies comfortably feasible so the design
+    // step never dominates the measurement.
+    let files = (1..=(2 * channels) as u32)
+        .map(|i| GeneralizedFileSpec::new(FileId(i), 1, vec![10 + 2 * i, 14 + 2 * i]).unwrap());
+    Broadcast::builder()
+        .files(files)
+        .channels(channels)
+        .build()
+        .expect("the measurement specs are feasible")
+}
+
+/// Fleet rounds per batch, scaled so every batch runs tens of milliseconds
+/// — a single fleet completion is sub-millisecond and would record
+/// scheduler jitter, not runtime throughput.
+fn rounds_for(subscribers: usize) -> usize {
+    (256 / subscribers).clamp(4, 64)
+}
+
+fn measure_once(channels: usize, subscribers: usize) -> RuntimePerfRow {
+    let station = station_for(channels);
+    let files: Vec<FileId> = station.specs().iter().map(|s| s.id).collect();
+    let clock = ManualClock::new();
+    let handle = station.serve_concurrent_with(
+        clock.clone(),
+        RuntimeConfig {
+            queue_capacity: 1 << 16, // deep queues: measure fan-out, not lag
+        },
+    );
+    let rounds = rounds_for(subscribers);
+    let mut latency_total = 0usize;
+    let mut budget = 2_000_000i64;
+    let start = Instant::now();
+    for round in 0..rounds {
+        // Each round gets its own fixed slot window; the fleet subscribes
+        // at the window's start and completes well inside it.
+        let window = round * SLOTS_PER_BATCH;
+        let clients: Vec<_> = (0..subscribers)
+            .map(|i| {
+                handle
+                    .subscribe(files[i % files.len()], window + (i % 32))
+                    .expect("subscription to a served file succeeds")
+            })
+            .collect();
+        clock.advance(SLOTS_PER_BATCH);
+        while !clients.iter().all(|c| c.is_finished()) {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            budget -= 1;
+            assert!(budget > 0, "runtime measurement did not converge");
+        }
+        for client in clients {
+            match client.join().expect("lossless retrievals resolve") {
+                RetrievalResolution::Complete(outcome) => latency_total += outcome.latency(),
+                other => panic!("measurement retrieval resolved as {other:?}"),
+            }
+        }
+    }
+    let completed = start.elapsed().as_secs_f64().max(1e-9);
+    // Let the server drain the full released slot range, so the slot rate
+    // divides a deterministic amount of serving work.
+    let total_slots = (rounds * SLOTS_PER_BATCH) as u64;
+    let stats = loop {
+        let stats = handle.stats().expect("the runtime is still up");
+        if stats.slots_served >= total_slots {
+            break stats;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(50));
+        budget -= 1;
+        assert!(budget > 0, "the server did not drain the released slots");
+    };
+    let drained = start.elapsed().as_secs_f64().max(1e-9);
+    handle.shutdown().expect("the runtime shuts down cleanly");
+    RuntimePerfRow {
+        channels,
+        subscribers,
+        slots_served: stats.slots_served,
+        lagged_slots: stats.lagged_slots,
+        mean_latency_slots: latency_total as f64 / (subscribers * rounds) as f64,
+        retrievals_per_s: (subscribers * rounds) as f64 / completed,
+        slots_per_s: stats.slots_served as f64 / drained,
+    }
+}
+
+/// Measures every `(channels, subscribers)` combination, best of `batches`
+/// runs each (by fleet completion throughput).
+pub fn runtime_perf(batches: usize) -> RuntimePerfResult {
+    let batches = batches.clamp(1, BATCHES * 4);
+    let mut rows = Vec::new();
+    for &channels in &CHANNEL_COUNTS {
+        for &subscribers in &SUBSCRIBER_COUNTS {
+            let best = (0..batches)
+                .map(|_| measure_once(channels, subscribers))
+                .max_by(|a, b| {
+                    a.retrievals_per_s
+                        .partial_cmp(&b.retrievals_per_s)
+                        .expect("throughput is finite")
+                })
+                .expect("at least one batch ran");
+            rows.push(best);
+        }
+    }
+    RuntimePerfResult { rows }
+}
+
+/// The default batch count (`BATCHES`), overridable for smoke runs.
+pub fn default_batches() -> usize {
+    BATCHES
+}
+
+impl core::fmt::Display for RuntimePerfResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "Concurrent runtime scaling (threaded server, ManualClock free-run)"
+        )?;
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.channels.to_string(),
+                    r.subscribers.to_string(),
+                    r.slots_served.to_string(),
+                    format!("{:.1}", r.mean_latency_slots),
+                    format!("{:.0}", r.retrievals_per_s),
+                    format!("{:.0}", r.slots_per_s),
+                    r.lagged_slots.to_string(),
+                ]
+            })
+            .collect();
+        write!(
+            f,
+            "{}",
+            crate::render_table(
+                &[
+                    "k",
+                    "clients",
+                    "slots",
+                    "latency(slots)",
+                    "retrievals/s",
+                    "slots/s",
+                    "lagged"
+                ],
+                &rows,
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_single_combination_measures_and_serialises() {
+        let row = measure_once(1, 2);
+        assert_eq!(row.channels, 1);
+        assert_eq!(row.subscribers, 2);
+        assert!(row.retrievals_per_s > 0.0);
+        assert!(row.slots_per_s > 0.0);
+        assert_eq!(row.lagged_slots, 0);
+        let json = serde_json::to_string(&RuntimePerfResult { rows: vec![row] }).unwrap();
+        assert!(json.contains("retrievals_per_s"));
+    }
+}

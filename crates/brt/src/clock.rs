@@ -1,0 +1,290 @@
+//! Slot clocks: what tells the serving thread that the next slot is due.
+//!
+//! The paper's model is a server that emits exactly one block per channel
+//! per *slot*, forever.  A [`SlotClock`] turns that abstract slot time into
+//! something a thread can wait on:
+//!
+//! * [`WallClock`] — real pacing: slot `t` becomes due at
+//!   `origin + t × period`.  This is what a deployed station runs on.
+//! * [`ManualClock`] — test/CI pacing: no slot is ever due until the test
+//!   calls [`ManualClock::advance`], which releases a batch of slots and
+//!   wakes the server.  Deterministic and as fast as the machine allows.
+//!
+//! Both clocks are cheap `Arc`-backed handles: clone one, hand a clone to
+//! the runtime, keep the other to drive or close it.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What a [`SlotClock::poll`] says about a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockPoll {
+    /// The slot is due: serve it now.
+    Ready,
+    /// The slot is not due yet; if `Some`, a hint for how long until it is
+    /// (wall clocks know, manual clocks do not).
+    NotYet(Option<Duration>),
+    /// The clock was closed; the serving loop should exit.
+    Closed,
+}
+
+/// A source of slot time for the serving thread.
+///
+/// The runtime polls the clock once per loop iteration and parks on its
+/// [`WakeSignal`] while a slot is not due, so implementations must call
+/// [`WakeSignal::wake`] on every registered waker whenever their answer to
+/// [`SlotClock::poll`] may have changed (an advance, a close).
+pub trait SlotClock: Send + Sync + 'static {
+    /// Is `slot` due, not yet due, or is the clock closed?
+    fn poll(&self, slot: usize) -> ClockPoll;
+
+    /// Registers a waker to be notified whenever the clock's state changes.
+    fn register_waker(&self, waker: Arc<WakeSignal>);
+
+    /// Closes the clock: every current and future [`SlotClock::poll`]
+    /// returns [`ClockPoll::Closed`] and all registered wakers are woken.
+    fn close(&self);
+}
+
+/// A parkable wake-up flag: the serving thread waits on it between slots,
+/// and clocks / command senders poke it.  (A tiny hand-rolled event — the
+/// runtime is std-only by design.)
+#[derive(Debug, Default)]
+pub struct WakeSignal {
+    poked: Mutex<bool>,
+    condvar: Condvar,
+}
+
+impl WakeSignal {
+    /// A fresh, un-poked signal.
+    pub fn new() -> Self {
+        WakeSignal::default()
+    }
+
+    /// Pokes the signal, waking a parked waiter (or making the next wait
+    /// return immediately — pokes are never lost).
+    pub fn wake(&self) {
+        let mut poked = self.poked.lock().expect("wake signal lock");
+        *poked = true;
+        self.condvar.notify_all();
+    }
+
+    /// Parks for at most `timeout`, returning early if poked.  Consumes the
+    /// poke.
+    pub fn wait_timeout(&self, timeout: Duration) {
+        let mut poked = self.poked.lock().expect("wake signal lock");
+        if !*poked {
+            let (guard, _) = self
+                .condvar
+                .wait_timeout(poked, timeout)
+                .expect("wake signal lock");
+            poked = guard;
+        }
+        *poked = false;
+    }
+}
+
+#[derive(Debug)]
+struct WallState {
+    closed: bool,
+    wakers: Vec<Arc<WakeSignal>>,
+}
+
+/// Real slot pacing: slot `t` is due at `origin + t × period`.
+///
+/// The origin is captured when the clock is created, so create it right
+/// before [`crate::Runtime::spawn`].  Clones share the same origin and
+/// closed state.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+    period: Duration,
+    state: Arc<Mutex<WallState>>,
+}
+
+impl WallClock {
+    /// A wall clock emitting one slot every `period` (clamped to at least
+    /// one microsecond so a zero period cannot busy-spin the server).
+    pub fn new(period: Duration) -> Self {
+        WallClock {
+            origin: Instant::now(),
+            period: period.max(Duration::from_micros(1)),
+            state: Arc::new(Mutex::new(WallState {
+                closed: false,
+                wakers: Vec::new(),
+            })),
+        }
+    }
+
+    /// The configured slot period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+}
+
+impl SlotClock for WallClock {
+    fn poll(&self, slot: usize) -> ClockPoll {
+        if self.state.lock().expect("wall clock lock").closed {
+            return ClockPoll::Closed;
+        }
+        // Widen before multiplying: a `* slot as u32` would wrap after 2³²
+        // slots (~50 days at 1 ms) and let the server free-run unpaced.
+        // Saturating at u64 nanoseconds only kicks in ~584 years out.
+        let nanos = self.period.as_nanos().saturating_mul(slot as u128);
+        let due = self.origin + Duration::from_nanos(nanos.min(u64::MAX as u128) as u64);
+        let now = Instant::now();
+        if now >= due {
+            ClockPoll::Ready
+        } else {
+            ClockPoll::NotYet(Some(due - now))
+        }
+    }
+
+    fn register_waker(&self, waker: Arc<WakeSignal>) {
+        self.state
+            .lock()
+            .expect("wall clock lock")
+            .wakers
+            .push(waker);
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("wall clock lock");
+        state.closed = true;
+        for w in &state.wakers {
+            w.wake();
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ManualState {
+    /// Slots `0..released` are due.
+    released: usize,
+    closed: bool,
+    wakers: Vec<Arc<WakeSignal>>,
+}
+
+/// A hand-cranked slot clock for deterministic tests and CI.
+///
+/// Freshly created, *no* slot is due: the server parks immediately (and
+/// handles subscribe/swap commands while parked).  Each
+/// [`ManualClock::advance`] releases the next `n` slots.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    state: Arc<Mutex<ManualState>>,
+}
+
+impl ManualClock {
+    /// A clock with no slots released yet.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Releases the next `n` slots and wakes the server.
+    pub fn advance(&self, n: usize) {
+        let mut state = self.state.lock().expect("manual clock lock");
+        state.released = state.released.saturating_add(n);
+        for w in &state.wakers {
+            w.wake();
+        }
+    }
+
+    /// How many slots have been released so far (the first unreleased slot).
+    pub fn released(&self) -> usize {
+        self.state.lock().expect("manual clock lock").released
+    }
+}
+
+impl SlotClock for ManualClock {
+    fn poll(&self, slot: usize) -> ClockPoll {
+        let state = self.state.lock().expect("manual clock lock");
+        if state.closed {
+            ClockPoll::Closed
+        } else if slot < state.released {
+            ClockPoll::Ready
+        } else {
+            ClockPoll::NotYet(None)
+        }
+    }
+
+    fn register_waker(&self, waker: Arc<WakeSignal>) {
+        self.state
+            .lock()
+            .expect("manual clock lock")
+            .wakers
+            .push(waker);
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("manual clock lock");
+        state.closed = true;
+        for w in &state.wakers {
+            w.wake();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_releases_slots_in_batches() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.poll(0), ClockPoll::NotYet(None));
+        clock.advance(2);
+        assert_eq!(clock.poll(0), ClockPoll::Ready);
+        assert_eq!(clock.poll(1), ClockPoll::Ready);
+        assert_eq!(clock.poll(2), ClockPoll::NotYet(None));
+        assert_eq!(clock.released(), 2);
+        clock.close();
+        assert_eq!(clock.poll(0), ClockPoll::Closed);
+    }
+
+    #[test]
+    fn manual_clock_clones_share_state() {
+        let clock = ManualClock::new();
+        let handle = clock.clone();
+        handle.advance(5);
+        assert_eq!(clock.poll(4), ClockPoll::Ready);
+    }
+
+    #[test]
+    fn wall_clock_paces_slots() {
+        let clock = WallClock::new(Duration::from_millis(5));
+        assert_eq!(clock.poll(0), ClockPoll::Ready);
+        match clock.poll(1000) {
+            ClockPoll::NotYet(Some(d)) => assert!(d <= Duration::from_secs(5)),
+            other => panic!("slot 1000 should not be due yet, got {other:?}"),
+        }
+        clock.close();
+        assert_eq!(clock.poll(0), ClockPoll::Closed);
+    }
+
+    #[test]
+    fn wake_signal_pokes_are_not_lost() {
+        let signal = WakeSignal::new();
+        signal.wake();
+        let start = Instant::now();
+        signal.wait_timeout(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn closing_wakes_registered_wakers() {
+        let clock = ManualClock::new();
+        let waker = Arc::new(WakeSignal::new());
+        clock.register_waker(waker.clone());
+        let t = std::thread::spawn({
+            let waker = waker.clone();
+            move || waker.wait_timeout(Duration::from_secs(10))
+        });
+        // Give the waiter a moment to park, then close.
+        std::thread::sleep(Duration::from_millis(10));
+        let start = Instant::now();
+        clock.close();
+        t.join().unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

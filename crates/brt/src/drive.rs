@@ -1,0 +1,173 @@
+//! The synchronous slot driver — the single-threaded engine core that the
+//! facade's `Station::run_until_complete` / `run_until_resolved` /
+//! `run_until_slot` are thin adapters over.
+//!
+//! The threaded [`crate::Runtime`] and this driver share the same
+//! [`Engine`] seam and the same epoch-resolution rules ([`SwapNote`]
+//! application), so the two paths stay behaviourally aligned by
+//! construction; `tests/runtime_properties.rs` pins them byte-identical.
+//!
+//! ## Error-sampling order (locked in)
+//!
+//! The synchronous driver visits slots in ascending order and, within a
+//! slot, channels in the order listening subscribers reference them; the
+//! error model is sampled **lazily, at most once per `(slot, channel)`**,
+//! on the first listening subscriber of that channel, and never for idle
+//! slots, dark channels, or channels nobody listens to.  Consequently the
+//! samples drawn *for any one channel* form a strictly slot-ordered
+//! subsequence — which is what keeps per-channel-seeded models (e.g.
+//! `bsim::IndependentChannels`) seed-compatible with the concurrent
+//! runtime, where each subscriber samples its own model per delivered slot
+//! of its channel, also in slot order.
+
+use crate::engine::{Engine, Subscriber};
+use bdisk::TransmissionRef;
+use bsim::ChannelErrorModel;
+use ida::FileId;
+
+/// Why a synchronous drive stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriveError {
+    /// A subscriber listened for `listened` slots (its per-subscriber cap)
+    /// without resolving.
+    Stalled {
+        /// The file whose retrieval stalled.
+        file: FileId,
+        /// How many slots it listened for.
+        listened: usize,
+    },
+    /// A subscriber references a channel this engine never had (it came
+    /// from a different station).
+    UnknownChannel(FileId),
+}
+
+impl core::fmt::Display for DriveError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DriveError::Stalled { file, listened } => {
+                write!(
+                    f,
+                    "retrieval of {file} did not resolve within {listened} slots"
+                )
+            }
+            DriveError::UnknownChannel(file) => {
+                write!(
+                    f,
+                    "retrieval of {file} is tuned to a channel this engine never served"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriveError {}
+
+/// Advances every unresolved subscriber, resolving epoch mismatches
+/// (transparent re-subscription or cancellation) as mode swaps come into
+/// view.  Stops when all subscribers are resolved, or at `stop_before`
+/// (exclusive) if given.  `listen_cap` bounds how many slots any one
+/// subscriber may listen (counted from its own request slot) before the
+/// drive fails with [`DriveError::Stalled`].
+pub fn drive<E: Engine, S: Subscriber>(
+    engine: &E,
+    subscribers: &mut [S],
+    errors: &mut impl ChannelErrorModel,
+    stop_before: Option<usize>,
+    listen_cap: usize,
+) -> Result<(), DriveError> {
+    let mut remaining = subscribers.iter().filter(|r| !r.is_resolved()).count();
+    if remaining == 0 {
+        return Ok(());
+    }
+    let mut slot = subscribers
+        .iter()
+        .filter(|r| !r.is_resolved())
+        .map(Subscriber::request_slot)
+        .min()
+        .expect("remaining > 0 guarantees an unresolved subscriber");
+    let lanes = engine.lane_count();
+    // Per-slot, per-channel reception outcome, sampled lazily on the first
+    // listening subscriber of that channel so gap slots (and channels nobody
+    // hears) never consume an error-model sample.
+    let mut channel_ok: Vec<Option<bool>> = vec![None; lanes];
+    // The slot's transmissions, fetched once per slot into a reused buffer
+    // (no per-slot allocation, no per-subscriber re-fetch when several
+    // subscribers share a channel).
+    let mut transmissions: Vec<Option<TransmissionRef<'_>>> = Vec::with_capacity(lanes);
+    while remaining > 0 {
+        if let Some(stop) = stop_before {
+            if slot >= stop {
+                break;
+            }
+        }
+        channel_ok.fill(None);
+        engine.transmit_all_into(slot, &mut transmissions);
+        let mut any_listening = false;
+        let mut next_active = usize::MAX;
+        for r in subscribers.iter_mut() {
+            if r.is_resolved() {
+                continue;
+            }
+            if r.request_slot() > slot {
+                next_active = next_active.min(r.request_slot());
+                continue;
+            }
+            if slot - r.request_slot() >= listen_cap {
+                return Err(DriveError::Stalled {
+                    file: r.file(),
+                    listened: slot - r.request_slot(),
+                });
+            }
+            // Resolve mode transitions before observing: the channel may
+            // have flipped past the subscriber's epoch (re-subscribe or
+            // cancel), or the subscriber may be tuned to a mode that has
+            // not flipped in yet (wait).
+            let observe_on = loop {
+                let channel = r.channel();
+                if channel >= lanes {
+                    return Err(DriveError::UnknownChannel(r.file()));
+                }
+                match engine.epoch_at(channel, slot) {
+                    // Lane not lit yet, or still serving an older mode: the
+                    // subscriber waits for its epoch's flip slot.
+                    None => break None,
+                    Some(e) if e < r.epoch() => break None,
+                    Some(e) if e == r.epoch() => break Some(channel),
+                    Some(_) => {
+                        // The channel flipped past this subscriber's epoch:
+                        // apply the first swap it has not seen.
+                        let note = engine.note_for(r.file(), channel, r.epoch());
+                        let cancelled = note.is_cancel();
+                        r.apply(&note);
+                        if cancelled {
+                            remaining -= 1;
+                            break None;
+                        }
+                        continue;
+                    }
+                }
+            };
+            if r.is_resolved() {
+                continue;
+            }
+            any_listening = true;
+            let Some(channel) = observe_on else {
+                continue; // waiting for a flip: listens, hears nothing
+            };
+            let tx = transmissions[channel];
+            let ok = *channel_ok[channel].get_or_insert_with(|| match tx {
+                Some(t) => !errors.is_lost_on(channel, t),
+                None => true,
+            });
+            if r.observe(tx, ok) {
+                remaining -= 1;
+            }
+        }
+        slot = if any_listening || next_active == usize::MAX {
+            slot + 1
+        } else {
+            next_active
+        };
+    }
+    Ok(())
+}

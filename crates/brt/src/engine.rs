@@ -1,0 +1,132 @@
+//! The engine seam: what the runtime needs from a broadcast station.
+//!
+//! `brt` is deliberately generic over the thing that actually owns programs,
+//! contents and mode transitions — the `rtbdisk` facade's `Station`
+//! implements [`Engine`] (and its `Retrieval` implements [`Subscriber`]),
+//! but the runtime machinery itself only ever talks through these traits,
+//! so it can be unit-tested against a stub and reused over any slot source
+//! with an epoch timeline.
+
+use bdisk::{LatencyVector, TransmissionRef};
+use bmode::{ModeSpec, SwapPolicy};
+use ida::{Dispersal, FileId};
+use std::sync::Arc;
+
+/// What happens to a subscriber whose channel's epoch moved past the one it
+/// is tuned to: the engine either carries it over (same file, identical
+/// dispersed representation, possibly a new channel) or cancels it.
+///
+/// The payload is expressed entirely in `bdisk`/`ida` types so the note can
+/// cross the runtime's queues without referencing facade types.
+#[derive(Debug, Clone)]
+pub enum SwapNote {
+    /// Transparent re-subscription: retune to `channel` under `epoch`; the
+    /// blocks collected so far stay valid.
+    Retune {
+        /// The channel now carrying the file.
+        channel: usize,
+        /// The epoch the channel serves under after the swap.
+        epoch: u64,
+        /// The (unchanged-parameters) dispersal configuration to continue
+        /// with — shared, so encode plans and inverse caches are reused.
+        dispersal: Arc<Dispersal>,
+        /// The file's declared latency vector in the new mode.
+        latencies: LatencyVector,
+    },
+    /// The retrieval cannot be carried over (its file was dropped or
+    /// re-dispersed); it resolves as cancelled by `mode`.
+    Cancel {
+        /// The mode whose swap cancelled the retrieval.
+        mode: String,
+    },
+}
+
+impl SwapNote {
+    /// `true` for [`SwapNote::Cancel`].
+    pub fn is_cancel(&self) -> bool {
+        matches!(self, SwapNote::Cancel { .. })
+    }
+}
+
+/// A client-side retrieval handle as the slot drivers see it: tuning state,
+/// observation, and swap-note application.
+pub trait Subscriber {
+    /// The file being retrieved.
+    fn file(&self) -> FileId;
+    /// The channel the subscriber is currently tuned to.
+    fn channel(&self) -> usize;
+    /// The program epoch the subscriber is tuned to.
+    fn epoch(&self) -> u64;
+    /// The slot the subscription was issued at.
+    fn request_slot(&self) -> usize;
+    /// `true` once the subscriber needs no further slots (completed or
+    /// cancelled).
+    fn is_resolved(&self) -> bool;
+    /// Feeds one slot; returns `true` if this slot completed the retrieval.
+    fn observe(&mut self, transmission: Option<TransmissionRef<'_>>, received_ok: bool) -> bool;
+    /// Applies a swap note (retune or cancel).
+    fn apply(&mut self, note: &SwapNote);
+}
+
+/// The serving side: per-slot transmissions, the epoch timeline, and the
+/// mode-transition surface the runtime drives.
+///
+/// `lane_count` / `transmit_all_into` / `epoch_at` mirror the
+/// `bdisk::EpochBank` read API; `subscribe` / `note_for` / `prepare` /
+/// `swap` are the station-level operations the facade provides.
+pub trait Engine: Send + 'static {
+    /// The subscription handle this engine hands out (the facade's
+    /// `Retrieval`).
+    type Ticket: Subscriber + Send + 'static;
+    /// A fully designed mode ready to swap in (the facade's `PreparedMode`).
+    type Prepared: Send + 'static;
+    /// What an executed swap reports (the facade's `SwapReport`).
+    type Report: Send + 'static;
+    /// The engine's error type.
+    type Error: core::fmt::Display + Send + 'static;
+
+    /// Number of lanes (channels ever used; lanes beyond the current mode's
+    /// channel count are dark).
+    fn lane_count(&self) -> usize;
+
+    /// What every lane transmits in `slot`, in channel order, into a
+    /// caller-owned buffer (cleared and refilled).
+    fn transmit_all_into<'a>(&'a self, slot: usize, out: &mut Vec<Option<TransmissionRef<'a>>>);
+
+    /// What one channel transmits in `slot` (`None` for idle slots and dark
+    /// or unknown channels) — the threaded serving loop's per-subscriber
+    /// fetch, which keeps that loop allocation-free even though the engine
+    /// is mutated (swapped) between slots.
+    fn transmit_on(&self, channel: usize, slot: usize) -> Option<TransmissionRef<'_>>;
+
+    /// The epoch under which `channel` serves `slot` (`None` while dark).
+    fn epoch_at(&self, channel: usize, slot: usize) -> Option<u64>;
+
+    /// Subscribes to `file` starting at `at_slot`, tuned to the latest mode.
+    fn subscribe(&self, file: FileId, at_slot: usize) -> Result<Self::Ticket, Self::Error>;
+
+    /// The disposition of a subscriber of `file`, tuned to `channel` at
+    /// `epoch`, after the channel's epoch moved past it: the first swap the
+    /// subscriber has not seen decides between retune and cancel.
+    fn note_for(&self, file: FileId, channel: usize, epoch: u64) -> SwapNote;
+
+    /// A snapshot the preparation thread can design against while the
+    /// serving thread keeps transmitting (stale preparations are rejected
+    /// by [`Engine::swap`]).
+    fn snapshot(&self) -> Self
+    where
+        Self: Sized;
+
+    /// Designs and verifies `mode` — the expensive, off-the-hot-path half of
+    /// a transition.
+    fn prepare(&self, mode: &ModeSpec) -> Result<Self::Prepared, Self::Error>;
+
+    /// Installs a prepared mode with a slot-aligned atomic swap requested at
+    /// `at_slot`.
+    fn swap(
+        &mut self,
+        prepared: Self::Prepared,
+        at_slot: usize,
+        policy: SwapPolicy,
+    ) -> Result<Self::Report, Self::Error>;
+}

@@ -1,0 +1,395 @@
+//! # brt — the slot-clocked concurrent broadcast runtime
+//!
+//! The paper's serving model is a broadcast server that emits one block per
+//! channel per slot, forever, while any number of independent clients tune
+//! in.  The lower crates provide everything *but* the clock and the
+//! concurrency: verified programs (`bcore`/`pinwheel`), dispersed contents
+//! and the epoch-swap primitive (`bdisk`), transition planning (`bmode`).
+//! This crate provides the runtime that puts them on the air:
+//!
+//! * [`SlotClock`] — pacing: [`WallClock`] for real slot periods,
+//!   [`ManualClock`] for deterministic tests and CI;
+//! * [`Engine`] — the seam to the thing being served (the `rtbdisk`
+//!   facade's `Station` implements it);
+//! * [`drive`] — the synchronous slot driver (the facade's
+//!   `run_until_complete` family is a thin adapter over it);
+//! * [`Runtime`] — the threaded server loop: one serving thread fans each
+//!   slot out to N concurrent client tasks over bounded per-subscriber
+//!   queues with backpressure-by-dropping (lag is recorded as erasures;
+//!   the server never stalls on a slow client);
+//! * [`SwapScheduler`] — plays a [`bsim::ModeSchedule`] against a running
+//!   runtime: `prepare` off-thread, `swap` at the planned slot boundary.
+//!
+//! The crate is std-only (threads, channels, condvars — no external
+//! dependencies) and deliberately generic: it never names a facade type,
+//! so the machinery is unit-testable against a stub engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod drive;
+mod engine;
+mod queue;
+mod runtime;
+mod scheduler;
+
+pub use clock::{ClockPoll, ManualClock, SlotClock, WakeSignal, WallClock};
+pub use drive::{drive, DriveError};
+pub use engine::{Engine, Subscriber, SwapNote};
+pub use queue::{Delivery, Popped, SlotQueue};
+pub use runtime::{
+    Consumer, Runtime, RuntimeConfig, RuntimeController, RuntimeError, RuntimeStats, Subscription,
+    SubscriptionStats,
+};
+pub use scheduler::{run_schedule, ScheduleOutcome, SwapScheduler};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk::{
+        BroadcastFile, BroadcastProgram, BroadcastServer, EpochBank, FileSet, FlatOrder,
+        TransmissionRef,
+    };
+    use bmode::{ModeSpec, SwapPolicy};
+    use bsim::ModeSchedule;
+    use ida::{DispersedBlock, FileId};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    /// A minimal engine over an `EpochBank`: enough to exercise the runtime
+    /// machinery without the facade.  `prepare` resolves mode names through
+    /// a fixed catalog of server banks; swaps always cancel in-flight
+    /// subscribers of flipped channels (no transparent re-subscription).
+    #[derive(Clone)]
+    struct BankEngine {
+        bank: EpochBank,
+        catalog: BTreeMap<String, Vec<Arc<BroadcastServer>>>,
+        mode: String,
+    }
+
+    struct BankTicket {
+        file: FileId,
+        channel: usize,
+        epoch: u64,
+        request_slot: usize,
+        received: usize,
+        threshold: usize,
+        cancelled: bool,
+    }
+
+    impl Subscriber for BankTicket {
+        fn file(&self) -> FileId {
+            self.file
+        }
+        fn channel(&self) -> usize {
+            self.channel
+        }
+        fn epoch(&self) -> u64 {
+            self.epoch
+        }
+        fn request_slot(&self) -> usize {
+            self.request_slot
+        }
+        fn is_resolved(&self) -> bool {
+            self.cancelled || self.received >= self.threshold
+        }
+        fn observe(&mut self, tx: Option<TransmissionRef<'_>>, ok: bool) -> bool {
+            if let Some(tx) = tx {
+                if ok && tx.block.file() == self.file {
+                    self.received += 1;
+                    return self.received >= self.threshold;
+                }
+            }
+            false
+        }
+        fn apply(&mut self, note: &SwapNote) {
+            if note.is_cancel() {
+                self.cancelled = true;
+            }
+        }
+    }
+
+    impl Engine for BankEngine {
+        type Ticket = BankTicket;
+        type Prepared = Vec<Arc<BroadcastServer>>;
+        type Report = u64;
+        type Error = String;
+
+        fn lane_count(&self) -> usize {
+            self.bank.lane_count()
+        }
+        fn transmit_all_into<'a>(
+            &'a self,
+            slot: usize,
+            out: &mut Vec<Option<TransmissionRef<'a>>>,
+        ) {
+            self.bank.transmit_all_into(slot, out);
+        }
+        fn transmit_on(&self, channel: usize, slot: usize) -> Option<TransmissionRef<'_>> {
+            self.bank.transmit_ref(channel, slot)
+        }
+        fn epoch_at(&self, channel: usize, slot: usize) -> Option<u64> {
+            self.bank.epoch_at(channel, slot)
+        }
+        fn subscribe(&self, file: FileId, at_slot: usize) -> Result<BankTicket, String> {
+            let channel = self
+                .bank
+                .channel_of(file)
+                .ok_or_else(|| format!("unknown file {file}"))?;
+            Ok(BankTicket {
+                file,
+                channel,
+                epoch: self.bank.current_epoch_of(channel).unwrap_or(0),
+                request_slot: at_slot,
+                received: 0,
+                threshold: 2,
+                cancelled: false,
+            })
+        }
+        fn note_for(&self, _file: FileId, _channel: usize, _epoch: u64) -> SwapNote {
+            SwapNote::Cancel {
+                mode: self.mode.clone(),
+            }
+        }
+        fn snapshot(&self) -> Self {
+            self.clone()
+        }
+        fn prepare(&self, mode: &ModeSpec) -> Result<Self::Prepared, String> {
+            self.catalog
+                .get(mode.name())
+                .cloned()
+                .ok_or_else(|| format!("unknown mode `{}`", mode.name()))
+        }
+        fn swap(
+            &mut self,
+            prepared: Self::Prepared,
+            at_slot: usize,
+            _policy: SwapPolicy,
+        ) -> Result<u64, String> {
+            self.mode = "swapped".to_string();
+            self.bank
+                .swap(at_slot, prepared)
+                .map(|applied| applied.epoch)
+                .map_err(|e| e.to_string())
+        }
+    }
+
+    fn server_for(ids: &[u32]) -> Arc<BroadcastServer> {
+        let files = FileSet::new(
+            ids.iter()
+                .map(|&i| BroadcastFile::new(FileId(i), format!("F{i}"), 2, 8).with_dispersal(4))
+                .collect(),
+        )
+        .unwrap();
+        let program = BroadcastProgram::aida_flat(&files, FlatOrder::Spread).unwrap();
+        Arc::new(BroadcastServer::with_synthetic_contents(&files, program).unwrap())
+    }
+
+    fn engine() -> BankEngine {
+        let mut catalog = BTreeMap::new();
+        catalog.insert("other".to_string(), vec![server_for(&[9])]);
+        BankEngine {
+            bank: EpochBank::new(vec![server_for(&[1, 2])]).unwrap(),
+            catalog,
+            mode: "initial".to_string(),
+        }
+    }
+
+    /// Counts received blocks of one file; completes at the threshold.
+    struct CountingConsumer {
+        file: FileId,
+        received: usize,
+        threshold: usize,
+        cancelled_by: Option<String>,
+        lag_erasures: u64,
+    }
+
+    impl Consumer for CountingConsumer {
+        type Output = (usize, Option<String>, u64);
+        fn deliver(&mut self, _slot: usize, block: &DispersedBlock) -> bool {
+            if block.file() == self.file {
+                self.received += 1;
+            }
+            self.received >= self.threshold
+        }
+        fn lag(&mut self, _slots: u64, file_blocks: u64) {
+            self.lag_erasures += file_blocks;
+        }
+        fn on_swap(&mut self, note: &SwapNote) -> bool {
+            match note {
+                SwapNote::Cancel { mode } => {
+                    self.cancelled_by = Some(mode.clone());
+                    true
+                }
+                SwapNote::Retune { .. } => false,
+            }
+        }
+        fn finish(self) -> Self::Output {
+            (self.received, self.cancelled_by, self.lag_erasures)
+        }
+    }
+
+    fn counting(file: FileId, threshold: usize) -> impl FnOnce(BankTicket) -> CountingConsumer {
+        move |_ticket| CountingConsumer {
+            file,
+            received: 0,
+            threshold,
+            cancelled_by: None,
+            lag_erasures: 0,
+        }
+    }
+
+    #[test]
+    fn manual_clock_runtime_delivers_and_completes() {
+        let clock = ManualClock::new();
+        let runtime = Runtime::spawn(engine(), clock.clone(), RuntimeConfig::default());
+        let sub = runtime
+            .subscribe_with(FileId(1), 0, counting(FileId(1), 2))
+            .unwrap();
+        clock.advance(64);
+        let (received, cancelled, _) = sub.join();
+        assert_eq!(received, 2);
+        assert!(cancelled.is_none());
+        let stats = runtime.stats().unwrap();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.active_subscribers, 0);
+        assert!(stats.slots_served >= 2);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn unknown_files_are_rejected_at_subscribe() {
+        let clock = ManualClock::new();
+        let runtime = Runtime::spawn(engine(), clock.clone(), RuntimeConfig::default());
+        let err = runtime
+            .subscribe_with(FileId(42), 0, counting(FileId(42), 1))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::Engine(_)));
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn scheduled_swaps_apply_at_the_planned_slot_and_cancel_subscribers() {
+        let clock = ManualClock::new();
+        let runtime = Runtime::spawn(engine(), clock.clone(), RuntimeConfig::default());
+        // A subscriber that can never finish before the swap (huge
+        // threshold) and is tuned to the channel the swap flips.
+        let doomed = runtime
+            .subscribe_with(FileId(1), 0, counting(FileId(1), usize::MAX))
+            .unwrap();
+        let schedule = ModeSchedule::new().at(
+            10,
+            ModeSpec::new("other")
+                .file(bcore_spec_stub())
+                .with_channels(1),
+            SwapPolicy::Immediate,
+        );
+        let scheduler = run_schedule(runtime.controller(), schedule);
+        // Hold the clock until the prepared swap is queued with the server,
+        // so it demonstrably applies at its *planned* slot.
+        loop {
+            if runtime.stats().unwrap().pending_swaps == 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        clock.advance(40);
+        let outcomes = scheduler.join();
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].applied(), "swap failed: {:?}", outcomes[0]);
+        let (_, cancelled_by, _) = doomed.join();
+        assert_eq!(cancelled_by.as_deref(), Some("swapped"));
+        // The bank flipped exactly at the planned slot.
+        let engine = runtime.shutdown().unwrap();
+        assert_eq!(engine.bank.epoch_at(0, 9), Some(0));
+        assert_eq!(engine.bank.epoch_at(0, 10), Some(1));
+    }
+
+    /// `ModeSpec` insists on at least the shape of a file spec; the stub
+    /// engine ignores it (modes resolve through the catalog).
+    fn bcore_spec_stub() -> bcore::GeneralizedFileSpec {
+        bcore::GeneralizedFileSpec::new(FileId(9), 1, vec![8]).unwrap()
+    }
+
+    #[test]
+    fn past_due_swaps_apply_while_the_clock_is_parked() {
+        let clock = ManualClock::new();
+        let runtime = Runtime::spawn(engine(), clock.clone(), RuntimeConfig::default());
+        clock.advance(20);
+        loop {
+            if runtime.stats().unwrap().slots_served >= 20 {
+                break; // drained: the server is parked waiting for slot 20
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // Planned for slot 5, which is already behind the cursor: the swap
+        // must apply at the current boundary without another clock tick —
+        // this call hangs forever if past-due swaps wait for Ready.
+        let prepared = runtime
+            .snapshot()
+            .unwrap()
+            .prepare(&ModeSpec::new("other").file(bcore_spec_stub()))
+            .unwrap();
+        let epoch = runtime.swap_at(prepared, 5, SwapPolicy::Immediate).unwrap();
+        assert_eq!(epoch, 1);
+        let engine = runtime.shutdown().unwrap();
+        // Applied at the serving cursor (slot 20), never rewriting history.
+        assert_eq!(engine.bank.epoch_at(0, 19), Some(0));
+        assert_eq!(engine.bank.epoch_at(0, 20), Some(1));
+    }
+
+    #[test]
+    fn slow_consumers_lag_instead_of_stalling_the_server() {
+        let clock = ManualClock::new();
+        let runtime = Runtime::spawn(engine(), clock.clone(), RuntimeConfig { queue_capacity: 1 });
+        struct Slow(CountingConsumer);
+        impl Consumer for Slow {
+            type Output = (usize, Option<String>, u64);
+            fn deliver(&mut self, slot: usize, block: &DispersedBlock) -> bool {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                self.0.deliver(slot, block)
+            }
+            fn lag(&mut self, slots: u64, file_blocks: u64) {
+                self.0.lag(slots, file_blocks);
+            }
+            fn on_swap(&mut self, note: &SwapNote) -> bool {
+                self.0.on_swap(note)
+            }
+            fn finish(self) -> Self::Output {
+                self.0.finish()
+            }
+        }
+        let sub = runtime
+            .subscribe_with(FileId(1), 0, |_t| {
+                Slow(CountingConsumer {
+                    file: FileId(1),
+                    received: 0,
+                    threshold: usize::MAX,
+                    cancelled_by: None,
+                    lag_erasures: 0,
+                })
+            })
+            .unwrap();
+        clock.advance(512);
+        // Wait until the server worked through the released slots.
+        loop {
+            let stats = runtime.stats().unwrap();
+            if stats.slots_served >= 512 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let stats = runtime.stats().unwrap();
+        assert!(
+            stats.lagged_slots > 0,
+            "a capacity-1 queue against 512 fast slots must lag"
+        );
+        runtime.unsubscribe(&sub);
+        let (_, _, lag_erasures) = sub.join();
+        // Everything the server recorded as a dropped file block reached the
+        // consumer as an erasure.
+        assert_eq!(lag_erasures, stats.lag_erasures);
+        runtime.shutdown().unwrap();
+    }
+}

@@ -1,0 +1,213 @@
+//! Bounded per-subscriber delivery queues with lag accounting.
+//!
+//! The serving thread must never stall on a slow client, so pushes are
+//! non-blocking: a data slot that does not fit is *dropped* and recorded as
+//! lag — and if the dropped slot carried a block of the subscriber's file,
+//! as a pending erasure the client applies to its retrieval bookkeeping the
+//! next time it drains (so a lagging client looks exactly like one whose
+//! channel lost those receptions).  Control items (swap notes) are never
+//! dropped: they are rarer than data slots by construction and losing one
+//! would desynchronise the subscriber's epoch.
+
+use crate::engine::SwapNote;
+use ida::DispersedBlock;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// One item delivered to a subscriber's client task.
+#[derive(Debug, Clone)]
+pub enum Delivery {
+    /// A data slot of the subscriber's channel (idle slots are never
+    /// delivered; they carry no information a client acts on).
+    Slot {
+        /// The slot the block was transmitted in.
+        slot: usize,
+        /// The transmitted block (cheap clone; the payload is shared).
+        block: DispersedBlock,
+    },
+    /// The subscriber's channel flipped past its epoch: retune or cancel.
+    Swap(SwapNote),
+}
+
+/// What one blocking [`SlotQueue::pop`] returned: lag accumulated since the
+/// previous pop, plus the next item (`None` once the queue is closed and
+/// drained).
+#[derive(Debug)]
+pub struct Popped {
+    /// Data slots dropped because the queue was full.
+    pub lagged_slots: u64,
+    /// Dropped slots that carried a block of the subscriber's file — the
+    /// client records these as erasures.
+    pub lagged_file_blocks: u64,
+    /// The next delivery, if any.
+    pub item: Option<Delivery>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: VecDeque<Delivery>,
+    lagged_slots: u64,
+    lagged_file_blocks: u64,
+    closed: bool,
+}
+
+/// A bounded single-producer single-consumer delivery queue.
+#[derive(Debug)]
+pub struct SlotQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl SlotQueue {
+    /// A queue holding at most `capacity` undelivered items (clamped to at
+    /// least 1).
+    pub fn new(capacity: usize) -> Self {
+        SlotQueue {
+            state: Mutex::new(QueueState::default()),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pushes a data slot; returns `false` (and records lag) when the queue
+    /// is full or closed.  Never blocks.
+    pub fn push_slot(&self, slot: usize, block: DispersedBlock, carries_file: bool) -> bool {
+        let mut state = self.state.lock().expect("slot queue lock");
+        if state.closed || state.items.len() >= self.capacity {
+            state.lagged_slots += 1;
+            if carries_file {
+                state.lagged_file_blocks += 1;
+            }
+            return false;
+        }
+        state.items.push_back(Delivery::Slot { slot, block });
+        self.ready.notify_one();
+        true
+    }
+
+    /// Pushes a control item (swap note), ignoring the capacity bound.
+    pub fn push_control(&self, note: SwapNote) {
+        let mut state = self.state.lock().expect("slot queue lock");
+        if state.closed {
+            return;
+        }
+        state.items.push_back(Delivery::Swap(note));
+        self.ready.notify_one();
+    }
+
+    /// Blocks until an item is available (or the queue is closed and
+    /// drained), returning it together with the lag accumulated since the
+    /// previous pop.
+    pub fn pop(&self) -> Popped {
+        let mut state = self.state.lock().expect("slot queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Popped {
+                    lagged_slots: std::mem::take(&mut state.lagged_slots),
+                    lagged_file_blocks: std::mem::take(&mut state.lagged_file_blocks),
+                    item: Some(item),
+                };
+            }
+            if state.closed {
+                return Popped {
+                    lagged_slots: std::mem::take(&mut state.lagged_slots),
+                    lagged_file_blocks: std::mem::take(&mut state.lagged_file_blocks),
+                    item: None,
+                };
+            }
+            state = self.ready.wait(state).expect("slot queue lock");
+        }
+    }
+
+    /// Closes the queue: the producer stops enqueuing and the consumer's
+    /// [`SlotQueue::pop`] drains what is left, then returns `None` items.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("slot queue lock");
+        state.closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use ida::{BlockHeader, FileId};
+
+    fn block(file: u32) -> DispersedBlock {
+        DispersedBlock::new(
+            BlockHeader {
+                file: FileId(file),
+                index: 0,
+                m: 1,
+                n: 2,
+                original_len: 4,
+            },
+            Bytes::from(vec![1, 2, 3, 4]),
+        )
+    }
+
+    #[test]
+    fn full_queues_drop_and_record_lag() {
+        let q = SlotQueue::new(2);
+        assert!(q.push_slot(0, block(1), true));
+        assert!(q.push_slot(1, block(2), false));
+        // Full: one dropped slot of the subscriber's file, one of another's.
+        assert!(!q.push_slot(2, block(1), true));
+        assert!(!q.push_slot(3, block(2), false));
+        let first = q.pop();
+        assert_eq!(first.lagged_slots, 2);
+        assert_eq!(first.lagged_file_blocks, 1);
+        assert!(matches!(first.item, Some(Delivery::Slot { slot: 0, .. })));
+        // Lag was consumed by the first pop.
+        let second = q.pop();
+        assert_eq!(second.lagged_slots, 0);
+        assert!(matches!(second.item, Some(Delivery::Slot { slot: 1, .. })));
+    }
+
+    #[test]
+    fn control_items_bypass_the_capacity_bound() {
+        let q = SlotQueue::new(1);
+        assert!(q.push_slot(0, block(1), true));
+        q.push_control(SwapNote::Cancel {
+            mode: "m".to_string(),
+        });
+        assert!(matches!(q.pop().item, Some(Delivery::Slot { .. })));
+        assert!(matches!(q.pop().item, Some(Delivery::Swap(_))));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = SlotQueue::new(4);
+        assert!(q.push_slot(0, block(1), true));
+        q.close();
+        assert!(!q.push_slot(1, block(1), true));
+        // The post-close rejected push was still recorded as lag, consumed
+        // by the first pop along with the drained item.
+        let first = q.pop();
+        assert!(first.item.is_some());
+        assert_eq!(first.lagged_slots, 1);
+        let last = q.pop();
+        assert!(last.item.is_none());
+        assert_eq!(last.lagged_slots, 0);
+    }
+
+    #[test]
+    fn pop_blocks_until_pushed() {
+        let q = std::sync::Arc::new(SlotQueue::new(4));
+        let consumer = std::thread::spawn({
+            let q = q.clone();
+            move || q.pop()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(q.push_slot(7, block(1), true));
+        let popped = consumer.join().unwrap();
+        assert!(matches!(popped.item, Some(Delivery::Slot { slot: 7, .. })));
+    }
+}

@@ -1,0 +1,745 @@
+//! The threaded broadcast runtime: a slot-clocked serving loop on its own
+//! thread, fanning each slot's transmissions out to any number of
+//! concurrent client tasks over bounded per-subscriber queues.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!              commands (subscribe / swap / stats / shutdown)
+//!   Runtime ────────────────────────────────────────────┐
+//!      │                                                ▼
+//!      │ spawn                                   ┌─────────────┐
+//!      ├──────────────────────────────────────▶  │ server loop │ owns the Engine
+//!      │                                         └─────────────┘
+//!      │ subscribe_with(..)                        │   │   │ per-slot fan-out
+//!      ▼                                           ▼   ▼   ▼ (bounded queues)
+//!   Subscription ◀── client task ◀── SlotQueue ◀───┘   …   …
+//! ```
+//!
+//! * The **server loop** waits on the [`SlotClock`] for each slot, applies
+//!   any swap whose planned slot has arrived, fetches the slot's
+//!   transmissions once, and pushes each live subscriber its channel's
+//!   block.  Pushes never block: a slow client's full queue drops the slot
+//!   and records it as lag (an erasure, when the dropped slot carried a
+//!   block of the subscriber's file) — the server never stalls.
+//! * Each **client task** drains its queue, samples its own reception-error
+//!   process, feeds its retrieval, and reports back when it resolves.
+//! * Swap notes ride the same queues as data, so a subscriber observes a
+//!   mode transition at exactly the right point of its delivery stream.
+
+use crate::clock::{ClockPoll, SlotClock, WakeSignal};
+use crate::engine::{Engine, Subscriber, SwapNote};
+use crate::queue::{Delivery, SlotQueue};
+use bmode::SwapPolicy;
+use ida::{DispersedBlock, FileId};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tunables of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Undelivered-item bound of each subscriber's queue; a subscriber more
+    /// than this many data slots behind starts dropping slots (recorded as
+    /// lag / erasures, never stalling the server).
+    pub queue_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// The client side of a subscription: consumes deliveries, decides when the
+/// retrieval is resolved, and produces the final output.
+///
+/// The facade implements this for its `Retrieval` (wrapping a per-client
+/// reception-error model); `brt` itself only needs the shape.
+pub trait Consumer: Send + 'static {
+    /// What [`Subscription::join`] returns.
+    type Output: Send + 'static;
+
+    /// One data slot of the subscriber's channel; returns `true` when the
+    /// retrieval resolved (no further deliveries wanted).
+    fn deliver(&mut self, slot: usize, block: &DispersedBlock) -> bool;
+
+    /// The subscriber fell behind: `lagged_slots` data slots were dropped,
+    /// `lagged_file_blocks` of which carried blocks of its file (record
+    /// them as erasures).
+    fn lag(&mut self, lagged_slots: u64, lagged_file_blocks: u64);
+
+    /// A swap note for this subscriber; returns `true` when the note
+    /// resolved the retrieval (cancellation).
+    fn on_swap(&mut self, note: &SwapNote) -> bool;
+
+    /// Produces the final output (called after resolution, unsubscription
+    /// or runtime shutdown — the retrieval may be incomplete).
+    fn finish(self) -> Self::Output;
+}
+
+/// Shared per-subscriber counters (server-side written, handle-side read).
+#[derive(Debug, Default)]
+pub struct SubscriberCounters {
+    delivered: AtomicU64,
+    lagged_slots: AtomicU64,
+    lag_erasures: AtomicU64,
+}
+
+/// A point-in-time snapshot of one subscriber's delivery counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubscriptionStats {
+    /// Data slots delivered into the subscriber's queue.
+    pub delivered: u64,
+    /// Data slots dropped because the subscriber lagged.
+    pub lagged_slots: u64,
+    /// Dropped slots that carried a block of the subscriber's file.
+    pub lag_erasures: u64,
+}
+
+/// A point-in-time snapshot of the whole runtime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Slots the server has transmitted.
+    pub slots_served: u64,
+    /// The next slot the server will serve.
+    pub next_slot: u64,
+    /// Currently live subscribers.
+    pub active_subscribers: usize,
+    /// Subscriptions ever accepted.
+    pub total_subscriptions: u64,
+    /// Subscriptions that resolved complete.
+    pub completed: u64,
+    /// Subscriptions cancelled by a mode swap.
+    pub cancelled: u64,
+    /// Data slots dropped across all subscribers (lag).
+    pub lagged_slots: u64,
+    /// Lag-dropped slots that carried a block of the lagging subscriber's
+    /// file (recorded as erasures client-side).
+    pub lag_erasures: u64,
+    /// Mode swaps applied by the serving loop.
+    pub swaps_applied: u64,
+    /// Swaps handed to the serving loop but not yet applied (their planned
+    /// slot has not arrived).
+    pub pending_swaps: usize,
+}
+
+/// Why a runtime operation failed.
+#[derive(Debug)]
+pub enum RuntimeError<EE> {
+    /// The runtime has shut down (or its server thread is gone).
+    Closed,
+    /// The engine rejected the operation.
+    Engine(EE),
+}
+
+impl<EE: core::fmt::Display> core::fmt::Display for RuntimeError<EE> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RuntimeError::Closed => write!(f, "the broadcast runtime has shut down"),
+            RuntimeError::Engine(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl<EE: core::fmt::Debug + core::fmt::Display> std::error::Error for RuntimeError<EE> {}
+
+/// What a successful `Command::Subscribe` replies with: the runtime-assigned
+/// subscriber id and the engine's ticket.
+type Seat<E> = (u64, <E as Engine>::Ticket);
+
+enum Command<E: Engine> {
+    Subscribe {
+        file: FileId,
+        at_slot: usize,
+        queue: Arc<SlotQueue>,
+        counters: Arc<SubscriberCounters>,
+        reply: mpsc::Sender<Result<Seat<E>, E::Error>>,
+    },
+    Unsubscribe {
+        id: u64,
+    },
+    Resolved {
+        id: u64,
+        cancelled: bool,
+    },
+    Snapshot {
+        reply: mpsc::Sender<E>,
+    },
+    Swap {
+        prepared: E::Prepared,
+        at_slot: usize,
+        policy: SwapPolicy,
+        reply: mpsc::Sender<Result<E::Report, E::Error>>,
+    },
+    Stats {
+        reply: mpsc::Sender<RuntimeStats>,
+    },
+    Shutdown,
+}
+
+/// A cheap, cloneable handle for talking to a running server loop — what
+/// the [`crate::SwapScheduler`] and client tasks hold.
+pub struct RuntimeController<E: Engine> {
+    commands: mpsc::Sender<Command<E>>,
+    waker: Arc<WakeSignal>,
+}
+
+impl<E: Engine> Clone for RuntimeController<E> {
+    fn clone(&self) -> Self {
+        RuntimeController {
+            commands: self.commands.clone(),
+            waker: self.waker.clone(),
+        }
+    }
+}
+
+impl<E: Engine> RuntimeController<E> {
+    fn send(&self, command: Command<E>) -> Result<(), RuntimeError<E::Error>> {
+        self.commands
+            .send(command)
+            .map_err(|_| RuntimeError::Closed)?;
+        self.waker.wake();
+        Ok(())
+    }
+
+    /// A clone of the engine as of the next command-processing point —
+    /// what a preparation thread designs the next mode against.
+    pub fn snapshot(&self) -> Result<E, RuntimeError<E::Error>> {
+        let (tx, rx) = mpsc::channel();
+        self.send(Command::Snapshot { reply: tx })?;
+        rx.recv().map_err(|_| RuntimeError::Closed)
+    }
+
+    /// Schedules `prepared` to be swapped in when the serving loop reaches
+    /// `at_slot` (immediately, if it is already past it) and blocks until
+    /// the swap was applied, returning the engine's report.
+    pub fn swap_at(
+        &self,
+        prepared: E::Prepared,
+        at_slot: usize,
+        policy: SwapPolicy,
+    ) -> Result<E::Report, RuntimeError<E::Error>> {
+        let (tx, rx) = mpsc::channel();
+        self.send(Command::Swap {
+            prepared,
+            at_slot,
+            policy,
+            reply: tx,
+        })?;
+        rx.recv()
+            .map_err(|_| RuntimeError::Closed)?
+            .map_err(RuntimeError::Engine)
+    }
+
+    /// Fleet-level counters as of the next command-processing point.
+    pub fn stats(&self) -> Result<RuntimeStats, RuntimeError<E::Error>> {
+        let (tx, rx) = mpsc::channel();
+        self.send(Command::Stats { reply: tx })?;
+        rx.recv().map_err(|_| RuntimeError::Closed)
+    }
+}
+
+/// One live subscription: a handle to the client task draining the
+/// subscriber's queue.  [`Subscription::join`] returns the consumer's
+/// output once the retrieval resolves (or the runtime shuts down).
+#[derive(Debug)]
+pub struct Subscription<O> {
+    id: u64,
+    counters: Arc<SubscriberCounters>,
+    task: JoinHandle<O>,
+}
+
+impl<O> Subscription<O> {
+    /// The runtime-assigned subscriber id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// A snapshot of the subscriber's delivery counters.
+    pub fn stats(&self) -> SubscriptionStats {
+        SubscriptionStats {
+            delivered: self.counters.delivered.load(Ordering::Relaxed),
+            lagged_slots: self.counters.lagged_slots.load(Ordering::Relaxed),
+            lag_erasures: self.counters.lag_erasures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `true` once the client task has produced its output ([`Subscription::join`]
+    /// will not block).
+    pub fn is_finished(&self) -> bool {
+        self.task.is_finished()
+    }
+
+    /// Waits for the client task and returns the consumer's output.
+    pub fn join(self) -> O {
+        self.task.join().expect("runtime client task panicked")
+    }
+}
+
+/// A running slot-clocked broadcast runtime over an [`Engine`].
+///
+/// Spawning moves the engine onto a dedicated serving thread; the `Runtime`
+/// value is the control surface (subscribe / swap / stats / shutdown).
+/// Dropping it without [`Runtime::shutdown`] closes the clock and lets the
+/// server wind down detached.
+pub struct Runtime<E: Engine> {
+    controller: RuntimeController<E>,
+    clock: Arc<dyn SlotClock>,
+    config: RuntimeConfig,
+    server: Option<JoinHandle<E>>,
+}
+
+impl<E: Engine> core::fmt::Debug for RuntimeController<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RuntimeController").finish_non_exhaustive()
+    }
+}
+
+impl<E: Engine> core::fmt::Debug for Runtime<E> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("config", &self.config)
+            .field("running", &self.server.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<E: Engine> Runtime<E> {
+    /// Spawns the serving thread over `engine`, paced by `clock`.
+    pub fn spawn(engine: E, clock: impl SlotClock, config: RuntimeConfig) -> Self {
+        let clock: Arc<dyn SlotClock> = Arc::new(clock);
+        let waker = Arc::new(WakeSignal::new());
+        clock.register_waker(waker.clone());
+        let (tx, rx) = mpsc::channel();
+        let server = {
+            let clock = clock.clone();
+            let waker = waker.clone();
+            std::thread::Builder::new()
+                .name("brt-server".to_string())
+                .spawn(move || server_loop(engine, clock, waker, rx))
+                .expect("the broadcast server thread spawns")
+        };
+        Runtime {
+            controller: RuntimeController {
+                commands: tx,
+                waker,
+            },
+            clock,
+            config,
+            server: Some(server),
+        }
+    }
+
+    /// A cloneable controller for off-thread preparation / scheduling.
+    pub fn controller(&self) -> RuntimeController<E> {
+        self.controller.clone()
+    }
+
+    /// The runtime's configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Subscribes to `file` from `at_slot` on and spawns a client task
+    /// driving the consumer built by `make` from the engine's ticket.
+    ///
+    /// Slots already served when the subscription registers are gone (a
+    /// broadcast does not rewind); delivery starts at the next served slot.
+    pub fn subscribe_with<C, F>(
+        &self,
+        file: FileId,
+        at_slot: usize,
+        make: F,
+    ) -> Result<Subscription<C::Output>, RuntimeError<E::Error>>
+    where
+        C: Consumer,
+        F: FnOnce(E::Ticket) -> C,
+    {
+        let queue = Arc::new(SlotQueue::new(self.config.queue_capacity));
+        let counters = Arc::new(SubscriberCounters::default());
+        let (reply_tx, reply_rx) = mpsc::channel();
+        self.controller.send(Command::Subscribe {
+            file,
+            at_slot,
+            queue: queue.clone(),
+            counters: counters.clone(),
+            reply: reply_tx,
+        })?;
+        let (id, ticket) = reply_rx
+            .recv()
+            .map_err(|_| RuntimeError::Closed)?
+            .map_err(RuntimeError::Engine)?;
+        let consumer = make(ticket);
+        let controller = self.controller.clone();
+        let task = std::thread::Builder::new()
+            .name(format!("brt-client-{id}"))
+            .spawn(move || client_loop(id, consumer, queue, controller))
+            .expect("the client task spawns");
+        Ok(Subscription { id, counters, task })
+    }
+
+    /// Detaches a subscription from the broadcast: its queue closes, its
+    /// client task drains what was already delivered and finishes.
+    pub fn unsubscribe<O>(&self, subscription: &Subscription<O>) {
+        let _ = self.controller.send(Command::Unsubscribe {
+            id: subscription.id,
+        });
+    }
+
+    /// See [`RuntimeController::snapshot`].
+    pub fn snapshot(&self) -> Result<E, RuntimeError<E::Error>> {
+        self.controller.snapshot()
+    }
+
+    /// See [`RuntimeController::swap_at`].
+    pub fn swap_at(
+        &self,
+        prepared: E::Prepared,
+        at_slot: usize,
+        policy: SwapPolicy,
+    ) -> Result<E::Report, RuntimeError<E::Error>> {
+        self.controller.swap_at(prepared, at_slot, policy)
+    }
+
+    /// See [`RuntimeController::stats`].
+    pub fn stats(&self) -> Result<RuntimeStats, RuntimeError<E::Error>> {
+        self.controller.stats()
+    }
+
+    /// Stops the serving loop (closing every subscriber queue) and returns
+    /// the engine, so serving can resume later — synchronously or under a
+    /// fresh runtime.
+    pub fn shutdown(mut self) -> Result<E, RuntimeError<E::Error>> {
+        let _ = self.controller.send(Command::Shutdown);
+        self.clock.close();
+        let server = self.server.take().expect("shutdown runs at most once");
+        server.join().map_err(|_| RuntimeError::Closed)
+    }
+}
+
+impl<E: Engine> Drop for Runtime<E> {
+    fn drop(&mut self) {
+        if self.server.is_some() {
+            let _ = self.controller.send(Command::Shutdown);
+            self.clock.close();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------
+
+struct Entry {
+    file: FileId,
+    channel: usize,
+    epoch: u64,
+    request_slot: usize,
+    queue: Arc<SlotQueue>,
+    counters: Arc<SubscriberCounters>,
+}
+
+struct PendingSwap<E: Engine> {
+    at_slot: usize,
+    seq: u64,
+    policy: SwapPolicy,
+    prepared: E::Prepared,
+    reply: mpsc::Sender<Result<E::Report, E::Error>>,
+}
+
+#[derive(Default)]
+struct Fleet {
+    slots_served: u64,
+    total_subscriptions: u64,
+    completed: u64,
+    cancelled: u64,
+    lagged_slots: u64,
+    lag_erasures: u64,
+    swaps_applied: u64,
+}
+
+fn server_loop<E: Engine>(
+    mut engine: E,
+    clock: Arc<dyn SlotClock>,
+    waker: Arc<WakeSignal>,
+    commands: mpsc::Receiver<Command<E>>,
+) -> E {
+    let mut slot: usize = 0;
+    let mut next_id: u64 = 0;
+    let mut next_seq: u64 = 0;
+    let mut subscribers: BTreeMap<u64, Entry> = BTreeMap::new();
+    let mut pending: Vec<PendingSwap<E>> = Vec::new();
+    let mut fleet = Fleet::default();
+    // Reused across slots: ids of subscribers cancelled while serving one.
+    let mut scratch: Vec<u64> = Vec::new();
+    'serve: loop {
+        // Commands are handled at slot boundaries only, so a subscribe or a
+        // swap can never observe (or cause) a half-served slot.
+        loop {
+            match commands.try_recv() {
+                Ok(Command::Shutdown) => break 'serve,
+                Ok(cmd) => handle_command(
+                    cmd,
+                    &engine,
+                    slot,
+                    &mut subscribers,
+                    &mut pending,
+                    &mut fleet,
+                    &mut next_id,
+                    &mut next_seq,
+                ),
+                Err(_) => break,
+            }
+        }
+        // Swaps whose planned slot is already at (or behind) the serving
+        // cursor apply right away — even while the clock is parked — so a
+        // blocked `swap_at(past_slot, …)` never waits for the next tick.
+        // Future-dated swaps stay pending until the cursor reaches them.
+        apply_due_swaps(&mut engine, slot, &mut pending, &mut fleet);
+        match clock.poll(slot) {
+            ClockPoll::Closed => break 'serve,
+            ClockPoll::Ready => {
+                serve_slot(&engine, slot, &mut subscribers, &mut fleet, &mut scratch);
+                slot += 1;
+            }
+            ClockPoll::NotYet(hint) => {
+                let wait = hint.unwrap_or(Duration::from_secs(60));
+                waker.wait_timeout(wait.min(Duration::from_secs(60)));
+            }
+        }
+    }
+    for entry in subscribers.values() {
+        entry.queue.close();
+    }
+    // Unapplied swaps: drop their replies, unblocking waiters with `Closed`.
+    engine
+}
+
+#[allow(clippy::too_many_arguments)] // one call site; splitting obscures it
+fn handle_command<E: Engine>(
+    command: Command<E>,
+    engine: &E,
+    slot: usize,
+    subscribers: &mut BTreeMap<u64, Entry>,
+    pending: &mut Vec<PendingSwap<E>>,
+    fleet: &mut Fleet,
+    next_id: &mut u64,
+    next_seq: &mut u64,
+) {
+    match command {
+        Command::Subscribe {
+            file,
+            at_slot,
+            queue,
+            counters,
+            reply,
+        } => match engine.subscribe(file, at_slot) {
+            Ok(ticket) => {
+                let id = *next_id;
+                *next_id += 1;
+                subscribers.insert(
+                    id,
+                    Entry {
+                        file,
+                        channel: ticket.channel(),
+                        epoch: ticket.epoch(),
+                        request_slot: ticket.request_slot(),
+                        queue,
+                        counters,
+                    },
+                );
+                fleet.total_subscriptions += 1;
+                let _ = reply.send(Ok((id, ticket)));
+            }
+            Err(e) => {
+                let _ = reply.send(Err(e));
+            }
+        },
+        Command::Unsubscribe { id } => {
+            if let Some(entry) = subscribers.remove(&id) {
+                entry.queue.close();
+            }
+        }
+        Command::Resolved { id, cancelled } => {
+            if let Some(entry) = subscribers.remove(&id) {
+                entry.queue.close();
+                if cancelled {
+                    fleet.cancelled += 1;
+                } else {
+                    fleet.completed += 1;
+                }
+            }
+        }
+        Command::Snapshot { reply } => {
+            let _ = reply.send(engine.snapshot());
+        }
+        Command::Swap {
+            prepared,
+            at_slot,
+            policy,
+            reply,
+        } => {
+            let seq = *next_seq;
+            *next_seq += 1;
+            pending.push(PendingSwap {
+                at_slot,
+                seq,
+                policy,
+                prepared,
+                reply,
+            });
+        }
+        Command::Stats { reply } => {
+            let _ = reply.send(RuntimeStats {
+                slots_served: fleet.slots_served,
+                next_slot: slot as u64,
+                active_subscribers: subscribers.len(),
+                total_subscriptions: fleet.total_subscriptions,
+                completed: fleet.completed,
+                cancelled: fleet.cancelled,
+                lagged_slots: fleet.lagged_slots,
+                lag_erasures: fleet.lag_erasures,
+                swaps_applied: fleet.swaps_applied,
+                pending_swaps: pending.len(),
+            });
+        }
+        Command::Shutdown => unreachable!("shutdown is intercepted by the serve loop"),
+    }
+}
+
+/// Applies every pending swap whose planned slot has arrived, in planned
+/// order (FIFO among equal slots), *before* the slot is transmitted — so a
+/// swap planned for slot `s` flips exactly at `s` when it was scheduled
+/// ahead of time, and at the current slot when it arrived late.
+fn apply_due_swaps<E: Engine>(
+    engine: &mut E,
+    slot: usize,
+    pending: &mut Vec<PendingSwap<E>>,
+    fleet: &mut Fleet,
+) {
+    loop {
+        let due = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.at_slot <= slot)
+            .min_by_key(|(_, p)| (p.at_slot, p.seq))
+            .map(|(i, _)| i);
+        let Some(index) = due else { return };
+        let swap = pending.remove(index);
+        let result = engine.swap(swap.prepared, slot, swap.policy);
+        if result.is_ok() {
+            fleet.swaps_applied += 1;
+        }
+        let _ = swap.reply.send(result);
+    }
+}
+
+fn serve_slot<E: Engine>(
+    engine: &E,
+    slot: usize,
+    subscribers: &mut BTreeMap<u64, Entry>,
+    fleet: &mut Fleet,
+    cancelled: &mut Vec<u64>,
+) {
+    let lanes = engine.lane_count();
+    cancelled.clear();
+    for (&id, entry) in subscribers.iter_mut() {
+        if entry.request_slot > slot {
+            continue;
+        }
+        // The same epoch-resolution rules as the synchronous driver: wait
+        // for a flip, retune across swaps, or cancel — notes ride the
+        // subscriber's queue so the client applies them in stream order.
+        let deliver_on = loop {
+            if entry.channel >= lanes {
+                break None;
+            }
+            match engine.epoch_at(entry.channel, slot) {
+                None => break None,
+                Some(e) if e < entry.epoch => break None,
+                Some(e) if e == entry.epoch => break Some(entry.channel),
+                Some(_) => {
+                    let note = engine.note_for(entry.file, entry.channel, entry.epoch);
+                    entry.queue.push_control(note.clone());
+                    match note {
+                        SwapNote::Retune { channel, epoch, .. } => {
+                            entry.channel = channel;
+                            entry.epoch = epoch;
+                            continue;
+                        }
+                        SwapNote::Cancel { .. } => {
+                            entry.queue.close();
+                            fleet.cancelled += 1;
+                            cancelled.push(id);
+                            break None;
+                        }
+                    }
+                }
+            }
+        };
+        let Some(channel) = deliver_on else { continue };
+        let Some(tx) = engine.transmit_on(channel, slot) else {
+            continue; // idle slot: nothing a client acts on
+        };
+        let carries_file = tx.block.file() == entry.file;
+        if entry.queue.push_slot(slot, tx.block.clone(), carries_file) {
+            entry.counters.delivered.fetch_add(1, Ordering::Relaxed);
+        } else {
+            entry.counters.lagged_slots.fetch_add(1, Ordering::Relaxed);
+            fleet.lagged_slots += 1;
+            if carries_file {
+                entry.counters.lag_erasures.fetch_add(1, Ordering::Relaxed);
+                fleet.lag_erasures += 1;
+            }
+        }
+    }
+    for id in cancelled.iter() {
+        subscribers.remove(id);
+    }
+    fleet.slots_served += 1;
+}
+
+// ---------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------
+
+fn client_loop<E: Engine, C: Consumer>(
+    id: u64,
+    mut consumer: C,
+    queue: Arc<SlotQueue>,
+    controller: RuntimeController<E>,
+) -> C::Output {
+    loop {
+        let popped = queue.pop();
+        if popped.lagged_slots > 0 {
+            consumer.lag(popped.lagged_slots, popped.lagged_file_blocks);
+        }
+        match popped.item {
+            None => break, // unsubscribed or runtime shut down
+            Some(Delivery::Slot { slot, block }) => {
+                if consumer.deliver(slot, &block) {
+                    let _ = controller.send(Command::Resolved {
+                        id,
+                        cancelled: false,
+                    });
+                    break;
+                }
+            }
+            Some(Delivery::Swap(note)) => {
+                if consumer.on_swap(&note) {
+                    let _ = controller.send(Command::Resolved {
+                        id,
+                        cancelled: note.is_cancel(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    consumer.finish()
+}

@@ -52,6 +52,15 @@ pub enum Error {
         /// The station's current epoch.
         current_epoch: u64,
     },
+    /// A fleet driver ([`crate::Station::run_until_complete`] /
+    /// [`crate::Station::run_until_resolved`]) was called with an empty
+    /// retrieval fleet — there is nothing to drive and nothing to return,
+    /// so the call is a caller bug, not an empty success.
+    NoSubscribers,
+    /// An operation was sent to a concurrent runtime
+    /// ([`crate::Station::serve_concurrent`]) whose serving thread has
+    /// already shut down.
+    RuntimeClosed,
     /// A retrieval listened for more than the station's listen cap without
     /// completing (pathological loss rates).
     RetrievalStalled {
@@ -97,6 +106,12 @@ impl core::fmt::Display for Error {
                 "prepared mode targets station epoch {prepared_epoch} but the station is at \
                  epoch {current_epoch}; prepare again"
             ),
+            Error::NoSubscribers => {
+                write!(f, "the retrieval fleet is empty: nothing to drive")
+            }
+            Error::RuntimeClosed => {
+                write!(f, "the broadcast runtime has shut down")
+            }
             Error::RetrievalStalled { file, listened } => write!(
                 f,
                 "retrieval of {file} did not complete within {listened} slots"
@@ -195,6 +210,8 @@ mod tests {
                 prepared_epoch: 1,
                 current_epoch: 2,
             },
+            Error::NoSubscribers,
+            Error::RuntimeClosed,
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

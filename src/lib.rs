@@ -31,6 +31,13 @@
 //!   channels keep broadcasting byte-identically, and in-flight
 //!   [`Retrieval`]s survive, transparently re-subscribe, or resolve to
 //!   [`Error::ModeChanged`] per the [`SwapPolicy`] (immediate vs drain).
+//! * [`Station::serve_concurrent`] puts the station on the air for real: a
+//!   slot-clocked serving thread ([`WallClock`] pacing, [`ManualClock`] for
+//!   deterministic tests) fans each slot out to any number of concurrent
+//!   client tasks over bounded queues ([`RuntimeHandle`] — subscribe,
+//!   unsubscribe, scheduled swaps via [`ModeSchedule`], stats, graceful
+//!   shutdown); a slow client drops slots as recorded erasures instead of
+//!   stalling the server.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +68,7 @@
 //! | [`bcore`] | conditions, pinwheel algebra, planner, designer |
 //! | [`bmode`] | mode specifications, online re-design, transition planning |
 //! | [`bsim`] | error models, worst-case analysis, Monte-Carlo simulation, mode schedules |
+//! | [`brt`] | slot clocks, the threaded broadcast runtime, the swap scheduler |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -69,22 +77,29 @@ mod broadcast;
 mod error;
 mod mode;
 mod retrieval;
+mod runtime;
 mod station;
 
 pub use broadcast::{Broadcast, BroadcastBuilder};
 pub use error::Error;
 pub use mode::{PreparedMode, SwapReport};
 pub use retrieval::{Retrieval, RetrievalResolution};
+pub use runtime::{ClientHandle, RuntimeHandle, ScheduleHandle};
 pub use station::{Station, Stream};
 
 // The handful of cross-crate types every facade user touches.
 pub use bcore::{ChannelBudget, GeneralizedFileSpec, ShardPlan, ShardPlanner};
 pub use bdisk::{EpochBank, LatencyVector, MultiChannelServer, RetrievalOutcome, TransmissionRef};
 pub use bmode::{ChannelTransition, ModePlanner, ModeSpec, SwapPolicy, TransitionPlan};
+pub use brt::{
+    ManualClock, RuntimeConfig, RuntimeStats, ScheduleOutcome, SlotClock, SubscriptionStats,
+    WallClock,
+};
 pub use bsim::{
     BernoulliErrors, ChannelErrorModel, CorrelatedChannels, ErrorModel, GilbertElliott,
     IndependentChannels, NoErrors, OnChannel, TargetedLoss,
 };
+pub use bsim::{ModeEvent, ModeSchedule, TransitionMetrics};
 pub use ida::{FileId, ModeProfile, RedundancyPolicy};
 pub use pinwheel::SchedulerChoice;
 
@@ -92,6 +107,7 @@ pub use pinwheel::SchedulerChoice;
 pub use bcore;
 pub use bdisk;
 pub use bmode;
+pub use brt;
 pub use bsim;
 pub use gf256;
 pub use ida;

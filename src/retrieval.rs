@@ -204,6 +204,15 @@ impl Retrieval {
         self.session.observe_ref(transmission, received_ok)
     }
 
+    /// Records reception errors observed out of band — slots a lagging
+    /// concurrent subscriber dropped while blocks of this file were on the
+    /// air.  Completed or cancelled retrievals ignore them.
+    pub(crate) fn record_erasures(&mut self, count: usize) {
+        if !self.is_cancelled() {
+            self.session.record_erasures(count);
+        }
+    }
+
     /// Reconstructs the file from the received blocks.
     ///
     /// The dispersal parameters travel inside the handle, so this cannot be
@@ -249,6 +258,47 @@ impl Retrieval {
         self.latencies
             .latency(outcome.errors_observed)
             .map(|d| outcome.latency() <= d as usize)
+    }
+}
+
+/// The retrieval handle *is* the runtime's subscriber: the synchronous
+/// drivers and the concurrent runtime advance it through exactly this
+/// surface, so the two paths cannot diverge on tuning or swap semantics.
+impl brt::Subscriber for Retrieval {
+    fn file(&self) -> FileId {
+        self.file
+    }
+
+    fn channel(&self) -> usize {
+        self.channel
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn request_slot(&self) -> usize {
+        self.request_slot
+    }
+
+    fn is_resolved(&self) -> bool {
+        Retrieval::is_resolved(self)
+    }
+
+    fn observe(&mut self, transmission: Option<TransmissionRef<'_>>, received_ok: bool) -> bool {
+        Retrieval::observe(self, transmission, received_ok)
+    }
+
+    fn apply(&mut self, note: &brt::SwapNote) {
+        match note {
+            brt::SwapNote::Retune {
+                channel,
+                epoch,
+                dispersal,
+                latencies,
+            } => self.retune(*channel, *epoch, dispersal.clone(), latencies.clone()),
+            brt::SwapNote::Cancel { mode } => self.cancel(mode.clone()),
+        }
     }
 }
 

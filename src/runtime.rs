@@ -1,0 +1,243 @@
+//! Concurrent serving: the facade over the `brt` runtime.
+//!
+//! [`Station::serve_concurrent`] moves a station onto a dedicated serving
+//! thread paced by a [`brt::SlotClock`] and returns a [`RuntimeHandle`]:
+//! subscribe and unsubscribe while the broadcast is on the air, prepare and
+//! schedule mode swaps that flip at planned slot boundaries, read per-client
+//! and fleet statistics, and shut down gracefully (getting the station
+//! back).
+//!
+//! Each subscription runs a client task of its own, draining a bounded
+//! delivery queue and sampling its *own* reception-error process — the
+//! physically sensible model for independent receivers.  A client that
+//! cannot keep up drops slots: the server never stalls, and the dropped
+//! slots that carried blocks of the client's file are recorded as erasures
+//! (exactly as if its channel had lost those receptions).
+
+use crate::{Error, PreparedMode, Retrieval, RetrievalResolution, Station, SwapReport};
+use bdisk::TransmissionRef;
+use bmode::{ModeSpec, SwapPolicy};
+use brt::{RuntimeConfig, RuntimeError, RuntimeStats, SubscriptionStats};
+use bsim::{ChannelErrorModel, ModeSchedule, NoErrors};
+use ida::{DispersedBlock, FileId};
+
+impl Station {
+    /// Puts the station on the air: spawns the slot-clocked serving thread
+    /// and returns the control handle.  [`RuntimeHandle::shutdown`] returns
+    /// the station.
+    ///
+    /// Use a [`brt::WallClock`] for real pacing and a [`brt::ManualClock`]
+    /// for deterministic tests (no slot is served until the clock is
+    /// advanced).
+    pub fn serve_concurrent(self, clock: impl brt::SlotClock) -> RuntimeHandle {
+        self.serve_concurrent_with(clock, RuntimeConfig::default())
+    }
+
+    /// [`Station::serve_concurrent`] with explicit runtime tunables (e.g. a
+    /// smaller per-subscriber queue to exercise lag behaviour).
+    pub fn serve_concurrent_with(
+        self,
+        clock: impl brt::SlotClock,
+        config: RuntimeConfig,
+    ) -> RuntimeHandle {
+        RuntimeHandle {
+            inner: brt::Runtime::spawn(self, clock, config),
+        }
+    }
+}
+
+fn facade_error(error: RuntimeError<Error>) -> Error {
+    match error {
+        RuntimeError::Closed => Error::RuntimeClosed,
+        RuntimeError::Engine(e) => e,
+    }
+}
+
+/// The control handle of a concurrently serving [`Station`].
+#[derive(Debug)]
+pub struct RuntimeHandle {
+    inner: brt::Runtime<Station>,
+}
+
+impl RuntimeHandle {
+    /// Subscribes a lossless client to `file` starting at `at_slot` and
+    /// spawns its client task.  Slots served before the subscription
+    /// registers are gone (a broadcast does not rewind); delivery starts at
+    /// the next served slot.
+    pub fn subscribe(&self, file: FileId, at_slot: usize) -> Result<ClientHandle, Error> {
+        self.subscribe_with(file, at_slot, NoErrors)
+    }
+
+    /// [`RuntimeHandle::subscribe`] with the client's own reception-error
+    /// process.  The model is sampled once per delivered data slot of the
+    /// client's channel, in slot order — so a per-channel-seeded model
+    /// reproduces exactly what a single-retrieval synchronous drive with
+    /// the same model would observe.
+    pub fn subscribe_with(
+        &self,
+        file: FileId,
+        at_slot: usize,
+        errors: impl ChannelErrorModel + Send + 'static,
+    ) -> Result<ClientHandle, Error> {
+        let subscription = self
+            .inner
+            .subscribe_with(file, at_slot, |retrieval| RetrievalConsumer {
+                retrieval,
+                errors,
+            })
+            .map_err(facade_error)?;
+        Ok(ClientHandle {
+            inner: subscription,
+        })
+    }
+
+    /// Detaches a client from the broadcast: its queue closes, its task
+    /// drains what was already delivered and finishes (most likely with
+    /// [`Error::RetrievalIncomplete`]).
+    pub fn unsubscribe(&self, client: &ClientHandle) {
+        self.inner.unsubscribe(&client.inner);
+    }
+
+    /// A clone of the serving station as of the next slot boundary — what
+    /// [`RuntimeHandle::prepare_mode`] designs against, and a window into
+    /// current routing/epochs for diagnostics.
+    pub fn snapshot(&self) -> Result<Station, Error> {
+        self.inner.snapshot().map_err(facade_error)
+    }
+
+    /// Designs and verifies `mode` against a snapshot of the serving
+    /// station, on the caller's thread — the serving loop keeps
+    /// transmitting.  Swap the result in with [`RuntimeHandle::swap_at`].
+    pub fn prepare_mode(&self, mode: &ModeSpec) -> Result<PreparedMode, Error> {
+        self.snapshot()?.prepare_mode(mode)
+    }
+
+    /// Schedules `prepared` to be swapped in when the serving loop reaches
+    /// `at_slot` (immediately, if it is already past) and blocks until the
+    /// swap was applied.  With a [`brt::ManualClock`], advance the clock to
+    /// `at_slot` from another thread — the swap applies at the boundary.
+    pub fn swap_at(
+        &self,
+        prepared: PreparedMode,
+        at_slot: usize,
+        policy: SwapPolicy,
+    ) -> Result<SwapReport, Error> {
+        self.inner
+            .swap_at(prepared, at_slot, policy)
+            .map_err(facade_error)
+    }
+
+    /// Plays a [`ModeSchedule`] against the running station on a scheduler
+    /// thread of its own: each event's mode is prepared off the serving
+    /// thread and swapped in at its planned slot.  Events run strictly in
+    /// order.
+    pub fn run_schedule(&self, schedule: ModeSchedule) -> ScheduleHandle {
+        ScheduleHandle {
+            inner: brt::run_schedule(self.inner.controller(), schedule),
+        }
+    }
+
+    /// Fleet-level statistics as of the next slot boundary.
+    pub fn stats(&self) -> Result<RuntimeStats, Error> {
+        self.inner.stats().map_err(facade_error)
+    }
+
+    /// Stops the serving loop (closing every client's queue) and returns
+    /// the station, ready to serve again — synchronously or under a fresh
+    /// runtime.
+    pub fn shutdown(self) -> Result<Station, Error> {
+        self.inner.shutdown().map_err(facade_error)
+    }
+}
+
+/// One concurrent client: a handle to the task retrieving a file off the
+/// running broadcast.
+#[derive(Debug)]
+pub struct ClientHandle {
+    inner: brt::Subscription<Result<RetrievalResolution, Error>>,
+}
+
+impl ClientHandle {
+    /// The runtime-assigned subscriber id.
+    pub fn id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    /// A snapshot of the client's delivery counters (delivered slots,
+    /// lag-dropped slots, lag-induced erasures).
+    pub fn stats(&self) -> SubscriptionStats {
+        self.inner.stats()
+    }
+
+    /// `true` once the client task has resolved ([`ClientHandle::join`]
+    /// will not block).
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+
+    /// Waits for the retrieval to resolve and returns its resolution:
+    /// [`RetrievalResolution::Complete`] with the reconstructed bytes,
+    /// [`RetrievalResolution::ModeChanged`] when a swap cancelled it, or
+    /// [`Error::RetrievalIncomplete`] when the runtime shut down (or the
+    /// client was unsubscribed) mid-flight.
+    pub fn join(self) -> Result<RetrievalResolution, Error> {
+        self.inner.join()
+    }
+}
+
+/// A handle to a running [`ModeSchedule`] playback; joins to one
+/// [`brt::ScheduleOutcome`] per event, carrying the [`SwapReport`]s.
+#[derive(Debug)]
+pub struct ScheduleHandle {
+    inner: brt::SwapScheduler<SwapReport>,
+}
+
+impl ScheduleHandle {
+    /// `true` once every scheduled event has been executed (or failed).
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+
+    /// Waits for the schedule to finish; one outcome per event, in order.
+    pub fn join(self) -> Vec<brt::ScheduleOutcome<SwapReport>> {
+        self.inner.join()
+    }
+}
+
+/// The client-side consumer: feeds deliveries into a [`Retrieval`],
+/// sampling the client's own reception-error process per data slot.
+struct RetrievalConsumer<M> {
+    retrieval: Retrieval,
+    errors: M,
+}
+
+impl<M: ChannelErrorModel + Send + 'static> brt::Consumer for RetrievalConsumer<M> {
+    type Output = Result<RetrievalResolution, Error>;
+
+    fn deliver(&mut self, slot: usize, block: &DispersedBlock) -> bool {
+        let tx = TransmissionRef { slot, block };
+        let channel = brt::Subscriber::channel(&self.retrieval);
+        let ok = !self.errors.is_lost_on(channel, tx);
+        self.retrieval.observe(Some(tx), ok)
+    }
+
+    fn lag(&mut self, _lagged_slots: u64, lagged_file_blocks: u64) {
+        self.retrieval.record_erasures(lagged_file_blocks as usize);
+    }
+
+    fn on_swap(&mut self, note: &brt::SwapNote) -> bool {
+        brt::Subscriber::apply(&mut self.retrieval, note);
+        self.retrieval.is_resolved()
+    }
+
+    fn finish(self) -> Self::Output {
+        match self.retrieval.resolution() {
+            Some(resolution) => resolution,
+            None => Err(Error::RetrievalIncomplete {
+                file: self.retrieval.file(),
+                received: self.retrieval.blocks_received(),
+                required: self.retrieval.threshold(),
+            }),
+        }
+    }
+}

@@ -563,29 +563,46 @@ impl Station {
     /// the broadcast — across *all* channels at once — and returns their
     /// outcomes (in input order).
     ///
+    /// ## Sampling order (locked in)
+    ///
     /// The slot cursor starts at the earliest request slot among the
-    /// incomplete retrievals; for every slot, each channel with at least one
-    /// listening retrieval is passed through `errors` exactly once (and
-    /// channels or slots nobody listens to not at all), so the model
-    /// represents *channel-level* loss common to every listener of that
-    /// channel (for independent per-client error processes, drive clients in
-    /// separate calls).  Any [`bsim::ErrorModel`] works here (one loss
-    /// process shared across channels); [`bsim::IndependentChannels`],
+    /// incomplete retrievals and visits slots in ascending order; within a
+    /// slot, channels are driven **serially, in the order their first
+    /// listening retrieval appears in the fleet**, and `errors` is sampled
+    /// **lazily, at most once per `(slot, channel)`** — on that first
+    /// listening retrieval, and never for idle slots, dark channels, or
+    /// channels nobody listens to.
+    /// The samples drawn for any one channel therefore form a strictly
+    /// slot-ordered sequence, which is what keeps per-channel-seeded models
+    /// (e.g. [`bsim::IndependentChannels`]) seed-compatible with the
+    /// concurrent runtime ([`Station::serve_concurrent`]), where each
+    /// subscriber samples its own model per delivered slot of its channel —
+    /// also in slot order.  `tests/runtime_properties.rs` pins this order
+    /// with a recording model.
+    ///
+    /// The shared sample means the model represents *channel-level* loss
+    /// common to every listener of that channel (for independent per-client
+    /// error processes, drive clients in separate calls).  Any
+    /// [`bsim::ErrorModel`] works here (one loss process shared across
+    /// channels); [`bsim::IndependentChannels`],
     /// [`bsim::CorrelatedChannels`] and [`bsim::OnChannel`] express
     /// per-channel scenarios.  Already-complete retrievals are left untouched
     /// and simply contribute their outcome.
     ///
-    /// Returns [`Error::RetrievalStalled`] if any retrieval listens for more
-    /// than the station's listen cap (counted from its own request slot)
-    /// without completing, and [`Error::ModeChanged`] if a mode swap
-    /// cancelled any of the retrievals (use
-    /// [`Station::run_until_resolved`] to receive per-retrieval resolutions
-    /// instead of a fleet-level error).
+    /// Returns [`Error::NoSubscribers`] for an empty fleet,
+    /// [`Error::RetrievalStalled`] if any retrieval listens for more than
+    /// the station's listen cap (counted from its own request slot) without
+    /// completing, and [`Error::ModeChanged`] if a mode swap cancelled any
+    /// of the retrievals (use [`Station::run_until_resolved`] to receive
+    /// per-retrieval resolutions instead of a fleet-level error).
     pub fn run_until_complete(
         &self,
         retrievals: &mut [Retrieval],
         errors: &mut impl ChannelErrorModel,
     ) -> Result<Vec<bdisk::RetrievalOutcome>, Error> {
+        if retrievals.is_empty() {
+            return Err(Error::NoSubscribers);
+        }
         self.drive(retrievals, errors, None)?;
         retrievals.iter().map(Retrieval::finish).collect()
     }
@@ -600,6 +617,9 @@ impl Station {
         retrievals: &mut [Retrieval],
         errors: &mut impl ChannelErrorModel,
     ) -> Result<Vec<RetrievalResolution>, Error> {
+        if retrievals.is_empty() {
+            return Err(Error::NoSubscribers);
+        }
         self.drive(retrievals, errors, None)?;
         retrievals
             .iter()
@@ -625,133 +645,53 @@ impl Station {
         self.drive(retrievals, errors, Some(end_slot))
     }
 
-    /// The shared slot-driver: advances every unresolved retrieval, resolving
-    /// epoch mismatches (transparent re-subscription or cancellation) as mode
-    /// swaps come into view.  Stops when all retrievals are resolved, or at
-    /// `stop_before` (exclusive) if given.
+    /// The disposition of a retrieval of `file`, tuned to `channel` at
+    /// `epoch`, after the channel's epoch moved past it: the first swap the
+    /// retrieval has not seen decides between transparent re-subscription
+    /// and cancellation.  A retrieval with no matching swap record (it came
+    /// from a different station) cancels rather than loops forever.
+    pub(crate) fn note_for(&self, file: FileId, channel: usize, epoch: u64) -> brt::SwapNote {
+        let record = self
+            .swaps
+            .iter()
+            .find(|s| s.epoch > epoch && s.flipped.contains(&channel));
+        let Some(record) = record else {
+            return brt::SwapNote::Cancel {
+                mode: self.mode.clone(),
+            };
+        };
+        match record.resubscribe.get(&file) {
+            Some((new_channel, dispersal, latencies)) => brt::SwapNote::Retune {
+                channel: *new_channel,
+                epoch: record.epoch,
+                dispersal: dispersal.clone(),
+                latencies: latencies.clone(),
+            },
+            None => brt::SwapNote::Cancel {
+                mode: record.mode.clone(),
+            },
+        }
+    }
+
+    /// The shared slot-driver — a thin adapter over the `brt` runtime's
+    /// synchronous engine ([`brt::drive`]), so the serial drivers and
+    /// [`Station::serve_concurrent`] ride the same epoch-resolution and
+    /// observation machinery.  Stops when all retrievals are resolved, or
+    /// at `stop_before` (exclusive) if given.
     fn drive(
         &self,
         retrievals: &mut [Retrieval],
         errors: &mut impl ChannelErrorModel,
         stop_before: Option<usize>,
     ) -> Result<(), Error> {
-        let mut remaining = retrievals.iter().filter(|r| !r.is_resolved()).count();
-        if remaining == 0 {
-            return Ok(());
-        }
-        let mut slot = retrievals
-            .iter()
-            .filter(|r| !r.is_resolved())
-            .map(Retrieval::request_slot)
-            .min()
-            .expect("remaining > 0 guarantees an unresolved retrieval");
-        let lanes = self.bank.lane_count();
-        // Per-slot, per-channel reception outcome, sampled lazily on the
-        // first listening retrieval of that channel so gap slots (and
-        // channels nobody hears) never consume an error-model sample.
-        let mut channel_ok: Vec<Option<bool>> = vec![None; lanes];
-        // The slot's transmissions, fetched once per slot into a reused
-        // buffer (no per-slot allocation, no per-retrieval re-fetch when
-        // several retrievals share a channel).
-        let mut transmissions: Vec<Option<TransmissionRef<'_>>> = Vec::with_capacity(lanes);
-        while remaining > 0 {
-            if let Some(stop) = stop_before {
-                if slot >= stop {
-                    break;
-                }
+        brt::drive(self, retrievals, errors, stop_before, self.listen_cap).map_err(|e| match e {
+            brt::DriveError::Stalled { file, listened } => {
+                Error::RetrievalStalled { file, listened }
             }
-            channel_ok.fill(None);
-            self.bank.transmit_all_into(slot, &mut transmissions);
-            let mut any_listening = false;
-            let mut next_active = usize::MAX;
-            for r in retrievals.iter_mut() {
-                if r.is_resolved() {
-                    continue;
-                }
-                if r.request_slot() > slot {
-                    next_active = next_active.min(r.request_slot());
-                    continue;
-                }
-                if slot - r.request_slot() >= self.listen_cap {
-                    return Err(Error::RetrievalStalled {
-                        file: r.file(),
-                        listened: slot - r.request_slot(),
-                    });
-                }
-                // Resolve mode transitions before observing: the channel may
-                // have flipped past the retrieval's epoch (re-subscribe or
-                // cancel), or the retrieval may be tuned to a mode that has
-                // not flipped in yet (wait).
-                let observe_on = loop {
-                    // A retrieval from a *different* (wider) station may name
-                    // a channel this bank never had: surface the routing miss
-                    // instead of panicking.
-                    let channel = r.channel();
-                    if channel >= lanes {
-                        return Err(Error::UnknownFile(r.file()));
-                    }
-                    match self.bank.epoch_at(channel, slot) {
-                        // Lane not lit yet, or still serving an older mode:
-                        // the retrieval waits for its epoch's flip slot.
-                        None => break None,
-                        Some(e) if e < r.epoch() => break None,
-                        Some(e) if e == r.epoch() => break Some(channel),
-                        Some(_) => {
-                            // The channel flipped past this retrieval's
-                            // epoch: apply the first swap it has not seen.
-                            let record = self
-                                .swaps
-                                .iter()
-                                .find(|s| s.epoch > r.epoch() && s.flipped.contains(&channel));
-                            let Some(record) = record else {
-                                // No record (foreign retrieval): cancel
-                                // rather than loop forever.
-                                r.cancel(self.mode.clone());
-                                remaining -= 1;
-                                break None;
-                            };
-                            match record.resubscribe.get(&r.file()) {
-                                Some((new_channel, dispersal, latencies)) => {
-                                    r.retune(
-                                        *new_channel,
-                                        record.epoch,
-                                        dispersal.clone(),
-                                        latencies.clone(),
-                                    );
-                                    continue;
-                                }
-                                None => {
-                                    r.cancel(record.mode.clone());
-                                    remaining -= 1;
-                                    break None;
-                                }
-                            }
-                        }
-                    }
-                };
-                if r.is_resolved() {
-                    continue;
-                }
-                any_listening = true;
-                let Some(channel) = observe_on else {
-                    continue; // waiting for a flip: listens, hears nothing
-                };
-                let tx = transmissions[channel];
-                let ok = *channel_ok[channel].get_or_insert_with(|| match tx {
-                    Some(t) => !errors.is_lost_on(channel, t),
-                    None => true,
-                });
-                if r.observe(tx, ok) {
-                    remaining -= 1;
-                }
-            }
-            slot = if any_listening || next_active == usize::MAX {
-                slot + 1
-            } else {
-                next_active
-            };
-        }
-        Ok(())
+            // A retrieval from a *different* (wider) station names a channel
+            // this bank never had: surface the routing miss, don't panic.
+            brt::DriveError::UnknownChannel(file) => Error::UnknownFile(file),
+        })
     }
 
     /// Convenience single-client wrapper: subscribe, drive to completion,
@@ -787,6 +727,58 @@ fn merge_files(
     }
     FileSet::new(merged)
         .ok_or_else(|| Error::UnknownFile(specs.first().map(|s| s.id).unwrap_or(FileId(0))))
+}
+
+/// The station *is* the runtime's engine: [`Station::serve_concurrent`]
+/// moves it onto the serving thread, and the synchronous drivers run over
+/// the same seam inline — one set of epoch/observation/swap semantics for
+/// both paths.
+impl brt::Engine for Station {
+    type Ticket = Retrieval;
+    type Prepared = PreparedMode;
+    type Report = SwapReport;
+    type Error = Error;
+
+    fn lane_count(&self) -> usize {
+        self.bank.lane_count()
+    }
+
+    fn transmit_all_into<'a>(&'a self, slot: usize, out: &mut Vec<Option<TransmissionRef<'a>>>) {
+        self.bank.transmit_all_into(slot, out);
+    }
+
+    fn transmit_on(&self, channel: usize, slot: usize) -> Option<TransmissionRef<'_>> {
+        self.bank.transmit_ref(channel, slot)
+    }
+
+    fn epoch_at(&self, channel: usize, slot: usize) -> Option<u64> {
+        self.bank.epoch_at(channel, slot)
+    }
+
+    fn subscribe(&self, file: FileId, at_slot: usize) -> Result<Retrieval, Error> {
+        Station::subscribe(self, file, at_slot)
+    }
+
+    fn note_for(&self, file: FileId, channel: usize, epoch: u64) -> brt::SwapNote {
+        Station::note_for(self, file, channel, epoch)
+    }
+
+    fn snapshot(&self) -> Self {
+        self.clone()
+    }
+
+    fn prepare(&self, mode: &ModeSpec) -> Result<PreparedMode, Error> {
+        self.prepare_mode(mode)
+    }
+
+    fn swap(
+        &mut self,
+        prepared: PreparedMode,
+        at_slot: usize,
+        policy: SwapPolicy,
+    ) -> Result<SwapReport, Error> {
+        Station::swap(self, prepared, at_slot, policy)
+    }
 }
 
 impl AsRef<BroadcastServer> for Station {
@@ -833,6 +825,22 @@ mod tests {
             .channels(2)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn empty_fleets_error_instead_of_driving_nothing() {
+        let station = two_channel_station();
+        assert!(matches!(
+            station.run_until_complete(&mut [], &mut NoErrors),
+            Err(Error::NoSubscribers)
+        ));
+        assert!(matches!(
+            station.run_until_resolved(&mut [], &mut NoErrors),
+            Err(Error::NoSubscribers)
+        ));
+        // The partial driver stays a no-op on an empty fleet: it is the
+        // mid-swap building block and "nothing in flight" is a valid state.
+        assert!(station.run_until_slot(&mut [], &mut NoErrors, 100).is_ok());
     }
 
     #[test]

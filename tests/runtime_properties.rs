@@ -1,0 +1,530 @@
+//! Property tests for the concurrent broadcast runtime (`brt` + the
+//! facade's `serve_concurrent` surface).
+//!
+//! Seeded-RNG properties locking in the runtime guarantees:
+//!
+//! * **byte identity** — a fleet driven through the threaded runtime under
+//!   a `ManualClock` resolves *identically* (bytes, completion slots,
+//!   latencies) to the same fleet driven through the synchronous
+//!   `Station::run_until_complete` path;
+//! * **seed compatibility** — a concurrent subscriber sampling its own
+//!   per-channel-seeded loss model observes exactly what a single-retrieval
+//!   synchronous drive with the same model observes;
+//! * **sampling order** — the synchronous driver samples its error model
+//!   lazily, at most once per `(slot, channel)`, slots ascending, with
+//!   every per-channel sample stream in strict slot order (the contract
+//!   that makes the previous property possible);
+//! * **swap atomicity** — a scheduled swap under concurrent subscribers
+//!   flips at one slot boundary: victims cancel with `ModeChanged`,
+//!   witnesses on untouched channels complete byte-identically, and no slot
+//!   ever blends epochs;
+//! * **lag bookkeeping** — a slow subscriber drops slots instead of
+//!   stalling the server, and every dropped slot that carried a block of
+//!   its file is accounted as an erasure;
+//! * **wall-clock smoke** — a real-time (`WallClock`) runtime completes a
+//!   multi-client retrieval with a scheduled swap firing at its planned
+//!   slot.
+//!
+//! Case counts are tunable without code edits via the `RTBDISK_PROP_CASES`
+//! environment variable (default 64; CI runs 256).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtbdisk::{
+    BernoulliErrors, Broadcast, ChannelErrorModel, ErrorModel, FileId, GeneralizedFileSpec,
+    ManualClock, ModeSchedule, ModeSpec, NoErrors, RetrievalResolution, RuntimeConfig, Station,
+    SwapPolicy, TransmissionRef, WallClock,
+};
+use std::time::Duration;
+
+/// Property-test depth: `RTBDISK_PROP_CASES` (default 64).
+fn prop_cases() -> usize {
+    std::env::var("RTBDISK_PROP_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+        .max(1)
+}
+
+/// A random specification set whose total density stays below `cap`.
+fn random_specs(rng: &mut StdRng, n_files: usize, cap: f64) -> Vec<GeneralizedFileSpec> {
+    loop {
+        let mut density = 0.0f64;
+        let mut specs = Vec::new();
+        for i in 0..n_files {
+            let m = rng.gen_range(1u32..=3);
+            let r = rng.gen_range(0usize..=2);
+            let d0 = (m + r as u32) * rng.gen_range(3u32..=6) + rng.gen_range(0u32..=4);
+            let mut latencies = vec![d0];
+            for _ in 0..r {
+                let prev = *latencies.last().unwrap();
+                latencies.push(prev + rng.gen_range(1u32..=4));
+            }
+            density += f64::from(m) / f64::from(d0);
+            specs.push(GeneralizedFileSpec::new(FileId(i as u32 + 1), m, latencies).unwrap());
+        }
+        if density <= cap {
+            return specs;
+        }
+    }
+}
+
+/// Builds a station over random specs, retrying generation until the shard
+/// planner accepts the set on `k` channels.
+fn random_station(rng: &mut StdRng, k: usize) -> Station {
+    let cap = match k {
+        1 => 0.85,
+        2 => 1.5,
+        _ => 2.5,
+    };
+    loop {
+        let n_files = rng.gen_range(k.max(2)..=k.max(2) + 2);
+        let specs = random_specs(rng, n_files, cap);
+        if let Ok(station) = Broadcast::builder().files(specs).channels(k).build() {
+            return station;
+        }
+    }
+}
+
+/// Advances the manual clock in bounded chunks until every client resolves
+/// (or panics after a generous cap — nothing here should take this long).
+fn advance_until_finished(clock: &ManualClock, clients: &[rtbdisk::ClientHandle]) {
+    for _ in 0..4096 {
+        if clients.iter().all(|c| c.is_finished()) {
+            return;
+        }
+        clock.advance(256);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    panic!("clients did not resolve within the advance budget");
+}
+
+#[test]
+fn concurrent_drives_are_byte_identical_to_the_synchronous_station() {
+    let mut rng = StdRng::seed_from_u64(0xB2_07);
+    let cases = prop_cases().div_ceil(4).max(4);
+    for case in 0..cases {
+        let k = [1, 2, 4][case % 3];
+        let station = random_station(&mut rng, k);
+
+        // The synchronous reference: two staggered retrievals per file.
+        let serial = station.clone();
+        let mut fleet: Vec<_> = serial
+            .specs()
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                [
+                    serial.subscribe(s.id, 3 * i).unwrap(),
+                    serial.subscribe(s.id, 3 * i + 17).unwrap(),
+                ]
+            })
+            .collect();
+        let expected = serial
+            .run_until_complete(&mut fleet, &mut NoErrors)
+            .unwrap();
+
+        // The same fleet through the threaded runtime.
+        let clock = ManualClock::new();
+        let handle = station.serve_concurrent_with(
+            clock.clone(),
+            RuntimeConfig {
+                queue_capacity: 1 << 20, // no lag: this is the identity leg
+            },
+        );
+        let clients: Vec<_> = serial
+            .specs()
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                [
+                    handle.subscribe(s.id, 3 * i).unwrap(),
+                    handle.subscribe(s.id, 3 * i + 17).unwrap(),
+                ]
+            })
+            .collect();
+        advance_until_finished(&clock, &clients);
+        let stats = handle.stats().unwrap();
+        assert_eq!(stats.lagged_slots, 0, "identity leg must not lag");
+        for (client, expected) in clients.into_iter().zip(&expected) {
+            match client.join().unwrap() {
+                RetrievalResolution::Complete(outcome) => {
+                    assert_eq!(outcome.file, expected.file, "case {case}");
+                    assert_eq!(outcome.data, expected.data, "case {case}");
+                    assert_eq!(
+                        outcome.completion_slot, expected.completion_slot,
+                        "case {case} file {}",
+                        expected.file
+                    );
+                    assert_eq!(outcome.request_slot, expected.request_slot);
+                    assert_eq!(outcome.errors_observed, 0);
+                }
+                other => panic!("case {case}: lossless retrieval resolved as {other:?}"),
+            }
+        }
+        handle.shutdown().unwrap();
+    }
+}
+
+#[test]
+fn per_client_loss_is_seed_compatible_with_single_retrieval_serial_drives() {
+    let mut rng = StdRng::seed_from_u64(0xB2_08);
+    let cases = prop_cases().div_ceil(4).max(4);
+    for case in 0..cases {
+        let k = [1, 2][case % 2];
+        let station = random_station(&mut rng, k);
+        let serial = station.clone();
+
+        let clock = ManualClock::new();
+        let handle = station.serve_concurrent_with(
+            clock.clone(),
+            RuntimeConfig {
+                queue_capacity: 1 << 20,
+            },
+        );
+        let plans: Vec<(FileId, usize, u64)> = serial
+            .specs()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, 5 * i, rng.gen()))
+            .collect();
+        let mut expected = Vec::new();
+        for &(file, at_slot, seed) in &plans {
+            // One retrieval per serial drive: the channel-level sample
+            // stream then coincides with a per-client process.
+            let mut one = vec![serial.subscribe(file, at_slot).unwrap()];
+            let outcome = serial
+                .run_until_complete(&mut one, &mut BernoulliErrors::new(0.2, seed))
+                .unwrap();
+            expected.push(outcome.pop_or_panic());
+        }
+        let clients: Vec<_> = plans
+            .iter()
+            .map(|&(file, at_slot, seed)| {
+                handle
+                    .subscribe_with(file, at_slot, BernoulliErrors::new(0.2, seed))
+                    .unwrap()
+            })
+            .collect();
+        advance_until_finished(&clock, &clients);
+        for (client, expected) in clients.into_iter().zip(&expected) {
+            match client.join().unwrap() {
+                RetrievalResolution::Complete(outcome) => {
+                    assert_eq!(outcome.data, expected.data, "case {case}");
+                    assert_eq!(outcome.completion_slot, expected.completion_slot);
+                    assert_eq!(
+                        outcome.errors_observed, expected.errors_observed,
+                        "case {case}: the loss sample streams must coincide"
+                    );
+                }
+                other => panic!("case {case}: retrieval resolved as {other:?}"),
+            }
+        }
+        handle.shutdown().unwrap();
+    }
+}
+
+trait PopOrPanic<T> {
+    fn pop_or_panic(self) -> T;
+}
+
+impl<T> PopOrPanic<T> for Vec<T> {
+    fn pop_or_panic(mut self) -> T {
+        self.pop().expect("one retrieval yields one outcome")
+    }
+}
+
+/// Records every `(slot, channel)` the driver samples; loses nothing.
+#[derive(Default)]
+struct RecordingModel {
+    samples: Vec<(usize, usize)>,
+}
+
+impl ChannelErrorModel for RecordingModel {
+    fn is_lost_on(&mut self, channel: usize, transmission: TransmissionRef<'_>) -> bool {
+        self.samples.push((transmission.slot, channel));
+        false
+    }
+}
+
+#[test]
+fn synchronous_error_sampling_order_is_locked_in() {
+    let mut rng = StdRng::seed_from_u64(0xB2_09);
+    for _case in 0..prop_cases().div_ceil(4).max(4) {
+        let station = random_station(&mut rng, 2);
+        let mut fleet: Vec<_> = station
+            .specs()
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                [
+                    station.subscribe(s.id, 2 * i).unwrap(),
+                    station.subscribe(s.id, 11 + 2 * i).unwrap(),
+                ]
+            })
+            .collect();
+        let mut recorder = RecordingModel::default();
+        station
+            .run_until_complete(&mut fleet, &mut recorder)
+            .unwrap();
+        assert!(!recorder.samples.is_empty());
+        // The locked-in contract: slots are visited in ascending order; the
+        // model is sampled at most once per (slot, channel); and the
+        // samples drawn for any one channel form a strictly slot-ascending
+        // sequence (the seed-compatibility guarantee for per-channel
+        // models).  Within one slot the cross-channel order follows the
+        // fleet (first listening retrieval), which the per-channel check
+        // deliberately does not constrain.
+        for pair in recorder.samples.windows(2) {
+            assert!(
+                pair[0].0 <= pair[1].0,
+                "slot order violated: {:?} then {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        let mut last_slot_of = std::collections::BTreeMap::new();
+        for &(slot, channel) in &recorder.samples {
+            assert!(
+                seen.insert((slot, channel)),
+                "({slot}, {channel}) was sampled twice"
+            );
+            if let Some(&prev) = last_slot_of.get(&channel) {
+                assert!(prev < slot, "channel {channel} sampled out of slot order");
+            }
+            last_slot_of.insert(channel, slot);
+        }
+        // Every sample names a real channel of this station.
+        let lanes = station.channel_count();
+        assert!(recorder.samples.iter().all(|&(_, c)| c < lanes));
+    }
+}
+
+#[test]
+fn scheduled_swaps_are_atomic_under_concurrent_subscribers() {
+    let mut rng = StdRng::seed_from_u64(0xB2_10);
+    let cases = prop_cases().div_ceil(8).max(3);
+    for case in 0..cases {
+        let station = random_station(&mut rng, 2);
+        let specs = station.specs().to_vec();
+        let victim = specs[rng.gen_range(0..specs.len())].id;
+        let victim_channel = station.channel_of(victim).unwrap();
+        let witness = specs
+            .iter()
+            .map(|s| s.id)
+            .find(|f| station.channel_of(*f) != Some(victim_channel));
+        let witness_channel = witness.and_then(|w| station.channel_of(w));
+        let target = ModeSpec::new("without-victim").files(
+            specs
+                .iter()
+                .filter(|s| s.id != victim)
+                .cloned()
+                .collect::<Vec<_>>(),
+        );
+        let serial_witness = witness.map(|w| {
+            let mut one = vec![station.subscribe(w, 0).unwrap()];
+            station
+                .run_until_complete(&mut one, &mut NoErrors)
+                .unwrap()
+                .pop_or_panic()
+        });
+
+        let clock = ManualClock::new();
+        let handle = station.serve_concurrent(clock.clone());
+        // In flight before any slot is served: a victim client (cancelled by
+        // the immediate swap at slot 0) and, where the station has one, a
+        // witness on an untouched channel (must complete byte-identically).
+        let doomed = handle.subscribe(victim, 0).unwrap();
+        let witness_client = witness.map(|w| handle.subscribe(w, 0).unwrap());
+        let schedule = ModeSchedule::new().at(0, target, SwapPolicy::Immediate);
+        let scheduler = handle.run_schedule(schedule);
+        // Hold the clock until the prepared swap is queued so the flip
+        // happens at its planned slot, before anything is transmitted.
+        for _ in 0..20_000 {
+            if handle.stats().unwrap().pending_swaps == 1 || scheduler.is_finished() {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        clock.advance(256);
+        let outcomes = scheduler.join();
+        assert_eq!(outcomes.len(), 1);
+        let report = outcomes[0].result.as_ref().unwrap_or_else(|e| {
+            panic!("case {case}: scheduled swap failed: {e}");
+        });
+        assert_eq!(report.flip_slot, 0);
+        assert!(report.flipped_channels.contains(&victim_channel));
+
+        match doomed.join() {
+            Err(rtbdisk::Error::ModeChanged { file, .. }) => assert_eq!(file, victim),
+            Ok(RetrievalResolution::ModeChanged { file, .. }) => assert_eq!(file, victim),
+            other => panic!("case {case}: victim should cancel, got {other:?}"),
+        }
+        if let (Some(client), Some(expected)) = (witness_client, serial_witness.as_ref()) {
+            let clients = vec![client];
+            advance_until_finished(&clock, &clients);
+            let untouched = witness_channel.is_some_and(|c| !report.flipped_channels.contains(&c));
+            match clients.pop_or_panic().join().unwrap() {
+                RetrievalResolution::Complete(outcome) => {
+                    // Contents survive the swap whatever happened to the
+                    // witness's channel; its timing is only pinned when the
+                    // swap left that channel untouched (a re-shard may
+                    // legitimately reprogram it).
+                    assert_eq!(outcome.data, expected.data, "case {case}");
+                    if untouched {
+                        assert_eq!(outcome.completion_slot, expected.completion_slot);
+                    }
+                }
+                RetrievalResolution::ModeChanged { file, .. } => {
+                    // Only legitimate when the re-shard actually flipped the
+                    // witness's channel AND changed its dispersal (so its
+                    // collected blocks could not be carried over).  An
+                    // untouched channel must never lose a retrieval.
+                    assert!(
+                        !untouched,
+                        "case {case}: witness {file} on an untouched channel was cancelled"
+                    );
+                }
+            }
+        }
+
+        // Atomicity on the wire: every slot of every lane decodes under
+        // exactly one epoch, and the flip happened at one boundary.
+        let station = handle.shutdown().unwrap();
+        for lane in 0..station.bank().lane_count() {
+            let before = station
+                .bank()
+                .epoch_at(lane, report.flip_slot.saturating_sub(1));
+            let after = station.bank().epoch_at(lane, report.flip_slot);
+            if report.flipped_channels.contains(&lane) {
+                assert_eq!(after, Some(report.epoch), "case {case} lane {lane}");
+            } else {
+                assert_eq!(before, after, "untouched lanes never bump epochs");
+            }
+        }
+    }
+}
+
+/// A lossless model that is slow to answer — which makes its client task
+/// fall behind a fast server.
+struct SlowModel;
+
+impl ErrorModel for SlowModel {
+    fn is_lost(&mut self, _transmission: TransmissionRef<'_>) -> bool {
+        std::thread::sleep(Duration::from_millis(2));
+        false
+    }
+}
+
+#[test]
+fn lagging_subscribers_drop_slots_as_erasures_without_stalling_the_server() {
+    // One file, threshold 2: the client completes from any two distinct
+    // blocks that actually reach it, however many slots lag drops.
+    let station = Broadcast::builder()
+        .file(GeneralizedFileSpec::new(FileId(1), 2, vec![12, 16]).unwrap())
+        .build()
+        .unwrap();
+    let clock = ManualClock::new();
+    let handle = station.serve_concurrent_with(clock.clone(), RuntimeConfig { queue_capacity: 1 });
+    let client = handle.subscribe_with(FileId(1), 0, SlowModel).unwrap();
+    let clients = vec![client];
+    advance_until_finished(&clock, &clients);
+    // Let the server work through everything the clock released before
+    // reading the fleet counters.
+    let fleet = loop {
+        let fleet = handle.stats().unwrap();
+        if fleet.slots_served == clock.released() as u64 {
+            break fleet;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    let client = clients.pop_or_panic();
+    let stats = client.stats();
+    assert!(
+        fleet.lagged_slots > 0 && stats.lagged_slots > 0,
+        "a capacity-1 queue against a free-running server must lag (fleet {fleet:?})"
+    );
+    assert_eq!(stats.lagged_slots, fleet.lagged_slots);
+    assert_eq!(stats.lag_erasures, fleet.lag_erasures);
+    match client.join().unwrap() {
+        RetrievalResolution::Complete(outcome) => {
+            assert!(!outcome.data.is_empty());
+            // Lag was booked as erasures: the retrieval observed errors even
+            // though its loss model never loses.
+            assert!(
+                outcome.errors_observed > 0,
+                "dropped file blocks must surface as observed erasures"
+            );
+            assert!(outcome.errors_observed as u64 <= stats.lag_erasures);
+        }
+        other => panic!("lagging retrieval should still complete, got {other:?}"),
+    }
+    // The server never stalled: it worked through everything released.
+    assert_eq!(fleet.slots_served, clock.released() as u64);
+    handle.shutdown().unwrap();
+}
+
+#[test]
+fn wall_clock_runtime_completes_multi_client_retrievals_with_a_planned_swap() {
+    let station =
+        Broadcast::builder()
+            .files((1..=4).map(|i| {
+                GeneralizedFileSpec::new(FileId(i), 1, vec![8 + 2 * i, 12 + 2 * i]).unwrap()
+            }))
+            .channels(2)
+            .build()
+            .unwrap();
+    let specs = station.specs().to_vec();
+    let victim = FileId(1);
+    let target = ModeSpec::new("without-f1").files(
+        specs
+            .iter()
+            .filter(|s| s.id != victim)
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+
+    let clock = WallClock::new(Duration::from_millis(2));
+    let handle = station.serve_concurrent(clock.clone());
+    // Multi-client: every file, subscribed while the clock is already
+    // running.
+    let early: Vec<_> = specs
+        .iter()
+        .map(|s| handle.subscribe(s.id, 0).unwrap())
+        .collect();
+    // Planned far enough out that preparing the mode (debug builds, busy
+    // CI) comfortably beats the clock.
+    let planned = 400;
+    let schedule = ModeSchedule::new().at(planned, target, SwapPolicy::Immediate);
+    let scheduler = handle.run_schedule(schedule);
+    for client in early {
+        match client.join().unwrap() {
+            RetrievalResolution::Complete(outcome) => assert!(!outcome.data.is_empty()),
+            other => panic!("pre-swap client should complete, got {other:?}"),
+        }
+    }
+    let outcomes = scheduler.join();
+    let report = outcomes[0]
+        .result
+        .as_ref()
+        .expect("the scheduled swap applies");
+    assert_eq!(
+        report.requested_slot, planned,
+        "the swap fired at its planned slot, not whenever the scheduler got around to it"
+    );
+    assert_eq!(report.flip_slot, planned);
+    // Post-swap subscriber retrieves under the new mode.
+    let survivor = specs.iter().find(|s| s.id != victim).unwrap().id;
+    let late = handle.subscribe(survivor, planned).unwrap();
+    match late.join().unwrap() {
+        RetrievalResolution::Complete(outcome) => {
+            assert_eq!(outcome.file, survivor);
+            assert!(outcome.completion_slot >= planned);
+        }
+        other => panic!("post-swap client should complete, got {other:?}"),
+    }
+    let station = handle.shutdown().unwrap();
+    assert_eq!(station.mode(), "without-f1");
+    assert!(station.epoch() >= 1);
+}
