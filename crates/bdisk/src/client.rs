@@ -126,6 +126,22 @@ impl ClientSession {
         false
     }
 
+    /// Feeds one received *owned* block into the session — the frame→block
+    /// adapter for transports (e.g. a network client) that deliver
+    /// [`DispersedBlock`]s decoded from wire frames rather than borrowing
+    /// from an in-process server.  Equivalent to
+    /// [`ClientSession::observe_ref`] with a transmission at `slot`.
+    ///
+    /// Returns `true` if this block completed the retrieval.
+    pub fn observe_block(
+        &mut self,
+        slot: usize,
+        block: &DispersedBlock,
+        received_ok: bool,
+    ) -> bool {
+        self.observe_ref(Some(TransmissionRef { slot, block }), received_ok)
+    }
+
     /// Records `count` reception errors that were observed *out of band* —
     /// e.g. slots a lagging concurrent subscriber dropped while blocks of
     /// this file were on the air.  A completed session ignores them (the

@@ -9,13 +9,13 @@
 //! Available experiment ids: `fig5`, `fig6`, `fig7`, `lemma1`, `lemma2`,
 //! `example1`, `eq1`, `eq2`, `examples`, `speedup`, `ablation-schedulers`,
 //! `ablation-redundancy`, `ablation-blocksize`, `sharding`, `modes`,
-//! `ida_perf`, `runtime_perf`, `check_regression`, `all`.
+//! `ida_perf`, `runtime_perf`, `net_perf`, `check_regression`, `all`.
 //!
-//! `ida_perf` / `runtime_perf` additionally write their results to
-//! `BENCH_ida.json` / `BENCH_runtime.json` in the current directory — the
-//! repo's recorded perf trajectories.  Because of that side effect (and
-//! their multi-second runtimes) they only run when requested explicitly,
-//! never as part of `all`.
+//! `ida_perf` / `runtime_perf` / `net_perf` additionally write their
+//! results to `BENCH_ida.json` / `BENCH_runtime.json` / `BENCH_net.json`
+//! in the current directory — the repo's recorded perf trajectories.
+//! Because of that side effect (and their multi-second runtimes) they only
+//! run when requested explicitly, never as part of `all`.
 //!
 //! `check_regression` is the CI perf gate: it compares the trajectories
 //! against committed baselines and exits non-zero on a throughput drop
@@ -24,13 +24,16 @@
 //! ```text
 //! experiments check_regression --tolerance 0.30 \
 //!     --pair BENCH_ida.baseline.json:BENCH_ida.json \
-//!     --pair BENCH_runtime.baseline.json:BENCH_runtime.json
+//!     --pair BENCH_runtime.baseline.json:BENCH_runtime.json \
+//!     --pair BENCH_net.baseline.json:BENCH_net.json
 //! ```
 //!
 //! (`RTBDISK_PERF_TOLERANCE` overrides `--tolerance` for noisy runners;
 //! the pairs above are the default when none are given.)
 
-use bench::{ablations, bounds, figures, modes, perf, regression, runtime_perf, sharding};
+use bench::{
+    ablations, bounds, figures, modes, net_perf, perf, regression, runtime_perf, sharding,
+};
 
 fn print_experiment<T: core::fmt::Display + serde::Serialize>(value: &T, json: bool) {
     if json {
@@ -85,6 +88,16 @@ fn run(id: &str, json: bool) -> bool {
             std::fs::write("BENCH_runtime.json", &pretty).expect("BENCH_runtime.json is writable");
             print_experiment(&result, json);
         }
+        "net_perf" => {
+            let batches = std::env::var("RTBDISK_PERF_BATCHES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(net_perf::default_batches);
+            let result = net_perf::net_perf(batches);
+            let pretty = serde_json::to_string_pretty(&result).expect("perf results serialise");
+            std::fs::write("BENCH_net.json", &pretty).expect("BENCH_net.json is writable");
+            print_experiment(&result, json);
+        }
         _ => return false,
     }
     true
@@ -126,6 +139,10 @@ fn check_regression(args: &[String]) -> i32 {
             (
                 "BENCH_runtime.baseline.json".to_string(),
                 "BENCH_runtime.json".to_string(),
+            ),
+            (
+                "BENCH_net.baseline.json".to_string(),
+                "BENCH_net.json".to_string(),
             ),
         ];
     }

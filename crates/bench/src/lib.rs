@@ -28,6 +28,7 @@ pub mod ablations;
 pub mod bounds;
 pub mod figures;
 pub mod modes;
+pub mod net_perf;
 pub mod perf;
 pub mod regression;
 pub mod runtime_perf;

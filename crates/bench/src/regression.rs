@@ -40,6 +40,10 @@ pub struct RegressionReport {
     pub tolerance: f64,
     /// Every compared metric, in structural order per file pair.
     pub rows: Vec<RegressionRow>,
+    /// Baseline files that did not exist and were skipped — the bootstrap
+    /// path for brand-new figures, which have no committed baseline on
+    /// their first run.  Skips never fail the gate.
+    pub skipped: Vec<String>,
 }
 
 impl RegressionReport {
@@ -61,6 +65,13 @@ impl core::fmt::Display for RegressionReport {
             "Perf-regression gate (tolerance: {:.0}% drop)",
             self.tolerance * 100.0
         )?;
+        for missing in &self.skipped {
+            writeln!(
+                f,
+                "note: baseline `{missing}` does not exist yet — skipped \
+                 (commit the freshly generated figure to arm the gate)"
+            )?;
+        }
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -178,14 +189,30 @@ pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<Regressi
             },
         })
         .collect();
-    Ok(RegressionReport { tolerance, rows })
+    Ok(RegressionReport {
+        tolerance,
+        rows,
+        skipped: Vec::new(),
+    })
 }
 
 /// Compares `(baseline_path, current_path)` file pairs and folds the rows
 /// into one report.
+///
+/// A baseline file that does not exist is skipped with a warning instead
+/// of failing: a brand-new figure has no committed baseline on its first
+/// run, and the gate must not block the commit that creates one.  A
+/// baseline that exists but cannot be parsed — or a *current* file that
+/// cannot be read — is still an error, and metrics that vanished from
+/// within an existing baseline still fail.
 pub fn check_files(pairs: &[(String, String)], tolerance: f64) -> Result<RegressionReport, String> {
     let mut rows = Vec::new();
+    let mut skipped = Vec::new();
     for (baseline_path, current_path) in pairs {
+        if !std::path::Path::new(baseline_path).exists() {
+            skipped.push(baseline_path.clone());
+            continue;
+        }
         let baseline = std::fs::read_to_string(baseline_path)
             .map_err(|e| format!("cannot read baseline `{baseline_path}`: {e}"))?;
         let current = std::fs::read_to_string(current_path)
@@ -196,7 +223,11 @@ pub fn check_files(pairs: &[(String, String)], tolerance: f64) -> Result<Regress
         }
         rows.extend(report.rows);
     }
-    Ok(RegressionReport { tolerance, rows })
+    Ok(RegressionReport {
+        tolerance,
+        rows,
+        skipped,
+    })
 }
 
 /// The gate's tolerance: `RTBDISK_PERF_TOLERANCE` wins over the `--tolerance`
@@ -279,6 +310,53 @@ mod tests {
         assert!(rendered.contains("rows[0].disperse_mb_s"));
         assert!(rendered.contains("fleet.retrievals_per_s"));
         assert!(rendered.contains("ok"));
+    }
+
+    #[test]
+    fn missing_baseline_files_are_skipped_not_failed() {
+        let dir = std::env::temp_dir().join("rtbdisk_regression_bootstrap");
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("BENCH_new_figure.json");
+        std::fs::write(&current, BASELINE).unwrap();
+        let absent = dir.join("does_not_exist_baseline.json");
+        let pairs = vec![(
+            absent.to_string_lossy().into_owned(),
+            current.to_string_lossy().into_owned(),
+        )];
+        let report = check_files(&pairs, 0.30).unwrap();
+        assert!(
+            !report.failed(),
+            "a missing baseline must not fail the gate"
+        );
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.rows.is_empty());
+        assert!(report.to_string().contains("does not exist yet"));
+    }
+
+    #[test]
+    fn skips_do_not_mask_regressions_in_other_pairs() {
+        let dir = std::env::temp_dir().join("rtbdisk_regression_mixed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("BENCH_old.json");
+        let current = dir.join("BENCH_old_current.json");
+        std::fs::write(&baseline, BASELINE).unwrap();
+        std::fs::write(&current, BASELINE.replace("1000.0", "100.0")).unwrap();
+        let absent = dir.join("no_such_baseline.json");
+        let fresh = dir.join("BENCH_fresh.json");
+        std::fs::write(&fresh, BASELINE).unwrap();
+        let pairs = vec![
+            (
+                absent.to_string_lossy().into_owned(),
+                fresh.to_string_lossy().into_owned(),
+            ),
+            (
+                baseline.to_string_lossy().into_owned(),
+                current.to_string_lossy().into_owned(),
+            ),
+        ];
+        let report = check_files(&pairs, 0.30).unwrap();
+        assert!(report.failed(), "the regressed pair must still fail");
+        assert_eq!(report.skipped.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Socket clients: the passive UDP listener and the TCP control client.
+
+use crate::error::NetError;
+use crate::server::SubscriptionInfo;
+use crate::session::{ClientState, ClientStats};
+use crate::wire::{encode, ControlFrame, Frame};
+use bdisk::RetrievalOutcome;
+use ida::FileId;
+use std::io::ErrorKind;
+use std::net::{IpAddr, SocketAddr, TcpStream, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// How often an unacknowledged `Join` is re-sent (the join datagram itself
+/// travels the lossy medium).
+const JOIN_RETRY: Duration = Duration::from_millis(100);
+
+/// A passive UDP listener retrieving one file from a broadcasting station.
+///
+/// The client joins the station's fan-out set, then simply listens:
+/// dispersal parameters come from block headers, losses and corruption
+/// become erasures (see [`ClientState`]), and any `m` distinct blocks
+/// reconstruct the file — the paper's client, over a real socket.
+pub struct NetClient {
+    socket: UdpSocket,
+    server: SocketAddr,
+    state: ClientState,
+}
+
+impl NetClient {
+    /// Binds an ephemeral socket and sends a `Join` to the station's data
+    /// address.
+    pub fn join(server: SocketAddr, file: FileId) -> Result<Self, NetError> {
+        let bind_ip: IpAddr = match server {
+            SocketAddr::V4(_) => "0.0.0.0".parse().expect("valid literal"),
+            SocketAddr::V6(_) => "::".parse().expect("valid literal"),
+        };
+        let socket = UdpSocket::bind(SocketAddr::new(bind_ip, 0))?;
+        socket.set_read_timeout(Some(Duration::from_millis(25)))?;
+        socket.send_to(&encode(&Frame::Control(ControlFrame::Join)), server)?;
+        Ok(NetClient {
+            socket,
+            server,
+            state: ClientState::new(file),
+        })
+    }
+
+    /// The client's local socket address.
+    pub fn local_addr(&self) -> Result<SocketAddr, NetError> {
+        Ok(self.socket.local_addr()?)
+    }
+
+    /// The retrieval state machine (stats, progress).
+    pub fn state(&self) -> &ClientState {
+        &self.state
+    }
+
+    /// Listens until the retrieval completes (or is cancelled by a mode
+    /// swap), then leaves the fan-out set and reconstructs the file.
+    ///
+    /// `timeout` bounds the whole retrieval; hitting it surfaces as
+    /// [`NetError::Incomplete`] / [`NetError::NoSignal`] describing how far
+    /// the retrieval got.
+    pub fn retrieve(mut self, timeout: Duration) -> Result<RetrievalOutcome, NetError> {
+        let deadline = Instant::now() + timeout;
+        let mut last_join = Instant::now();
+        let mut buf = vec![0u8; 65_536];
+        while !self.state.is_complete() && self.state.cancelled_by().is_none() {
+            if Instant::now() >= deadline {
+                break;
+            }
+            match self.socket.recv_from(&mut buf) {
+                Ok((len, _)) => {
+                    self.state.feed_datagram(&buf[..len]);
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    // Until anything arrives, the join itself may have been
+                    // lost: re-send it.
+                    if self.state.stats().datagrams == 0 && last_join.elapsed() >= JOIN_RETRY {
+                        self.socket
+                            .send_to(&encode(&Frame::Control(ControlFrame::Join)), self.server)?;
+                        last_join = Instant::now();
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let _ = self
+            .socket
+            .send_to(&encode(&Frame::Control(ControlFrame::Leave)), self.server);
+        self.state.finish()
+    }
+
+    /// A snapshot of what the client has seen.
+    pub fn stats(&self) -> ClientStats {
+        self.state.stats()
+    }
+}
+
+/// A reliable (TCP) control-plane client: subscriptions and resyncs.
+pub struct ControlClient {
+    stream: TcpStream,
+}
+
+impl ControlClient {
+    /// Connects to a station's control plane.
+    pub fn connect(addr: SocketAddr) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+        Ok(ControlClient { stream })
+    }
+
+    /// Asks where `file` is served.
+    pub fn subscribe(&mut self, file: FileId) -> Result<SubscriptionInfo, NetError> {
+        crate::server::write_control_frame(&mut self.stream, &ControlFrame::Subscribe { file })?;
+        match crate::server::read_control_frame(&mut self.stream)? {
+            Some(ControlFrame::SubscribeAck {
+                file: acked,
+                channel,
+                epoch,
+                m,
+                n,
+            }) if acked == file => Ok(SubscriptionInfo {
+                channel,
+                epoch,
+                m,
+                n,
+            }),
+            Some(ControlFrame::SubscribeNak { reason, .. }) => {
+                Err(NetError::Refused { file, reason })
+            }
+            Some(_) => Err(NetError::Protocol("unexpected subscribe reply")),
+            None => Err(NetError::Protocol("control connection closed")),
+        }
+    }
+
+    /// Asks for the station's slot counter: `(epoch, next_slot)`.
+    pub fn resync(&mut self) -> Result<(u64, u64), NetError> {
+        crate::server::write_control_frame(&mut self.stream, &ControlFrame::ResyncRequest)?;
+        match crate::server::read_control_frame(&mut self.stream)? {
+            Some(ControlFrame::Resync { epoch, next_slot }) => Ok((epoch, next_slot)),
+            Some(_) => Err(NetError::Protocol("unexpected resync reply")),
+            None => Err(NetError::Protocol("control connection closed")),
+        }
+    }
+}

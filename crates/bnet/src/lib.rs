@@ -1,0 +1,37 @@
+//! `bnet` — fault-tolerant broadcast disks over real sockets.
+//!
+//! Everything else in this workspace simulates the paper's lossy broadcast
+//! medium in-process; this crate replaces the simulation with the real
+//! thing.  Lossy UDP *is* the erasure channel of conf_icde_BaruahB97: the
+//! station publishes every served slot once per channel as a datagram,
+//! clients passively listen, and whatever the network drops or corrupts is
+//! exactly the erasure the IDA dispersal was provisioned to absorb — no
+//! acknowledgements, no retransmission, byte-identical reconstruction.
+//!
+//! The crate has four layers, std-only:
+//!
+//! * [`wire`] — the versioned wire format: slot frames, control frames,
+//!   fragmentation of oversized blocks, a hardened bounds-checked decoder.
+//! * [`NetServer`] / [`UdpFanout`] — the station side: a
+//!   [`brt::SlotSink`] that fans every served slot out to the joined
+//!   peers, a datagram membership loop, and an optional TCP control plane
+//!   answering subscriptions from a [`Directory`].
+//! * [`ClientState`] — the pure, socket-free retrieval state machine that
+//!   turns datagrams into blocks and losses into erasures.
+//! * [`NetClient`] / [`ControlClient`] — the socket clients wrapping it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+mod server;
+mod session;
+pub mod wire;
+
+pub use client::{ControlClient, NetClient};
+pub use error::NetError;
+pub use server::{
+    Directory, NetConfig, NetHandle, NetServer, NetStats, SubscriptionInfo, UdpFanout,
+};
+pub use session::{ClientState, ClientStats};

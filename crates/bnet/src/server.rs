@@ -1,0 +1,600 @@
+//! The station's network side: UDP slot fan-out plus an optional TCP
+//! control plane.
+//!
+//! The serving thread publishes every slot once per live lane through a
+//! [`UdpFanout`] (a [`SlotSink`]), which encodes each lane as one datagram —
+//! fragmenting oversized blocks — and sends it to every joined peer.  Sends
+//! never block and never retry: on a broadcast medium loss is normal and
+//! dispersal absorbs it, so a full socket buffer or an unreachable peer is
+//! an erasure at the receiver, not an error at the sender.
+//!
+//! Membership is datagram-based ([`ControlFrame::Join`] /
+//! [`ControlFrame::Leave`] sent to the data address) so a pure-UDP client
+//! needs nothing else: dispersal parameters travel in every block header.
+//! The optional TCP control plane answers [`ControlFrame::Subscribe`] from
+//! a static [`Directory`] and serves slot-counter resyncs — a reliable
+//! convenience, not a requirement.
+
+use crate::error::NetError;
+use crate::wire::{datagrams, decode, encode, ControlFrame, Frame, Packet, SlotFrame};
+use brt::{LaneView, SlotSink};
+use std::collections::{BTreeMap, HashSet};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a [`NetServer`] binds and behaves.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Address of the UDP data/membership socket (`127.0.0.1:0` by
+    /// default — an ephemeral loopback port).
+    pub data_bind: SocketAddr,
+    /// Address of the TCP control listener; `None` (the default) disables
+    /// the control plane.
+    pub control_bind: Option<SocketAddr>,
+    /// Largest datagram the fan-out will send; larger frames fragment.
+    pub mtu: usize,
+    /// Most peers the fan-out set will hold; further joins are ignored.
+    pub max_peers: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            data_bind: "127.0.0.1:0".parse().expect("valid literal"),
+            control_bind: None,
+            mtu: 1400,
+            max_peers: 64,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Enables the TCP control plane on an ephemeral loopback port.
+    pub fn with_control_plane(mut self) -> Self {
+        self.control_bind = Some("127.0.0.1:0".parse().expect("valid literal"));
+        self
+    }
+}
+
+/// Where one file is served: the answer to a subscription request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriptionInfo {
+    /// The channel carrying the file.
+    pub channel: u16,
+    /// The epoch the channel serves under (at directory-build time).
+    pub epoch: u64,
+    /// Reconstruction threshold.
+    pub m: u32,
+    /// Dispersed block count.
+    pub n: u32,
+}
+
+/// The control plane's static view of the station: file id → where it is
+/// served.  Built by the caller from the engine at bind time.
+pub type Directory = BTreeMap<u32, SubscriptionInfo>;
+
+/// A snapshot of the network side's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Slot frames published (one per live lane per served slot).
+    pub frames_sent: u64,
+    /// Frames that needed fragmentation.
+    pub frames_fragmented: u64,
+    /// Datagrams handed to the socket.
+    pub datagrams_sent: u64,
+    /// Payload bytes handed to the socket.
+    pub bytes_sent: u64,
+    /// Sends the socket refused (full buffer, unreachable peer) — loss,
+    /// by design.
+    pub send_errors: u64,
+    /// Join datagrams honoured.
+    pub joins: u64,
+    /// Leave datagrams honoured.
+    pub leaves: u64,
+    /// Peers currently in the fan-out set.
+    pub peers: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    frames_sent: AtomicU64,
+    frames_fragmented: AtomicU64,
+    datagrams_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    send_errors: AtomicU64,
+    joins: AtomicU64,
+    leaves: AtomicU64,
+}
+
+struct Shared {
+    peers: Mutex<HashSet<SocketAddr>>,
+    counters: Counters,
+    /// The next slot the serving loop will publish — what a `Resync`
+    /// reports.
+    next_slot: AtomicU64,
+    stop: AtomicBool,
+    directory: Directory,
+    max_peers: usize,
+}
+
+impl Shared {
+    fn resync_frame(&self) -> Frame {
+        Frame::Control(ControlFrame::Resync {
+            epoch: self.directory.values().next().map_or(0, |info| info.epoch),
+            next_slot: self.next_slot.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// The [`SlotSink`] half of a bound network server: attach it to a `brt`
+/// runtime (or drive [`UdpFanout::publish`] directly) and every served
+/// slot goes out on the wire.
+pub struct UdpFanout {
+    socket: UdpSocket,
+    shared: Arc<Shared>,
+    mtu: usize,
+    seq: u64,
+}
+
+impl SlotSink for UdpFanout {
+    fn publish(&mut self, slot: usize, lanes: &[LaneView<'_>]) {
+        self.shared
+            .next_slot
+            .store(slot as u64 + 1, Ordering::Relaxed);
+        let peers: Vec<SocketAddr> = {
+            let guard = self.shared.peers.lock().expect("peer set lock");
+            guard.iter().copied().collect()
+        };
+        if peers.is_empty() {
+            return;
+        }
+        let counters = &self.shared.counters;
+        for lane in lanes {
+            let frame = Frame::Slot(SlotFrame::from_transmission(
+                lane.channel as u16,
+                lane.epoch,
+                lane.transmission,
+            ));
+            let packets = datagrams(&frame, self.mtu, self.seq);
+            counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+            if packets.len() > 1 {
+                self.seq = self.seq.wrapping_add(1);
+                counters.frames_fragmented.fetch_add(1, Ordering::Relaxed);
+            }
+            for packet in &packets {
+                for peer in &peers {
+                    match self.socket.send_to(packet, peer) {
+                        Ok(sent) => {
+                            counters.datagrams_sent.fetch_add(1, Ordering::Relaxed);
+                            counters
+                                .bytes_sent
+                                .fetch_add(sent as u64, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            counters.send_errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The bound network server: addresses, stats, and shutdown of the
+/// membership/control threads.  Dropping the handle also shuts them down.
+pub struct NetHandle {
+    data_addr: SocketAddr,
+    control_addr: Option<SocketAddr>,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NetHandle {
+    /// The UDP address clients send `Join` to and receive slots from.
+    pub fn data_addr(&self) -> SocketAddr {
+        self.data_addr
+    }
+
+    /// The TCP control-plane address, when one was configured.
+    pub fn control_addr(&self) -> Option<SocketAddr> {
+        self.control_addr
+    }
+
+    /// A snapshot of the network counters.
+    pub fn stats(&self) -> NetStats {
+        let c = &self.shared.counters;
+        NetStats {
+            frames_sent: c.frames_sent.load(Ordering::Relaxed),
+            frames_fragmented: c.frames_fragmented.load(Ordering::Relaxed),
+            datagrams_sent: c.datagrams_sent.load(Ordering::Relaxed),
+            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
+            send_errors: c.send_errors.load(Ordering::Relaxed),
+            joins: c.joins.load(Ordering::Relaxed),
+            leaves: c.leaves.load(Ordering::Relaxed),
+            peers: self.shared.peers.lock().expect("peer set lock").len(),
+        }
+    }
+
+    /// Stops the membership and control threads and waits for them.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for NetHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds the station's network side.
+pub struct NetServer;
+
+impl NetServer {
+    /// Binds the UDP data/membership socket (and the TCP control listener
+    /// when configured), spawns their service threads, and returns the
+    /// fan-out sink to attach to a runtime plus the handle to manage it.
+    pub fn bind(
+        config: NetConfig,
+        directory: Directory,
+    ) -> Result<(UdpFanout, NetHandle), NetError> {
+        let membership = UdpSocket::bind(config.data_bind)?;
+        membership.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let data_addr = membership.local_addr()?;
+        // A separate non-blocking send socket: the serving thread must
+        // never block on the medium, while the membership socket keeps its
+        // blocking-with-timeout receive loop.
+        let send_socket = UdpSocket::bind(SocketAddr::new(data_addr.ip(), 0))?;
+        send_socket.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            peers: Mutex::new(HashSet::new()),
+            counters: Counters::default(),
+            next_slot: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            directory,
+            max_peers: config.max_peers.max(1),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                membership_loop(&membership, &shared);
+            }));
+        }
+
+        let control_addr = match config.control_bind {
+            Some(bind) => {
+                let listener = TcpListener::bind(bind)?;
+                let addr = listener.local_addr()?;
+                listener.set_nonblocking(true)?;
+                let shared = Arc::clone(&shared);
+                threads.push(std::thread::spawn(move || {
+                    control_loop(&listener, &shared);
+                }));
+                Some(addr)
+            }
+            None => None,
+        };
+
+        let fanout = UdpFanout {
+            socket: send_socket,
+            shared: Arc::clone(&shared),
+            mtu: config.mtu,
+            seq: 0,
+        };
+        let handle = NetHandle {
+            data_addr,
+            control_addr,
+            shared,
+            threads,
+        };
+        Ok((fanout, handle))
+    }
+}
+
+fn membership_loop(socket: &UdpSocket, shared: &Shared) {
+    let mut buf = [0u8; 2048];
+    while !shared.stop.load(Ordering::Relaxed) {
+        let (len, from) = match socket.recv_from(&mut buf) {
+            Ok(received) => received,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => continue,
+        };
+        let Ok(Packet::Frame(Frame::Control(control))) = decode(&buf[..len]) else {
+            continue; // not ours to worry about: the medium is lossy
+        };
+        match control {
+            ControlFrame::Join => {
+                let mut peers = shared.peers.lock().expect("peer set lock");
+                if peers.len() < shared.max_peers || peers.contains(&from) {
+                    peers.insert(from);
+                    shared.counters.joins.fetch_add(1, Ordering::Relaxed);
+                    drop(peers);
+                    // Ack with a resync so the client can baseline its
+                    // gap detector; losing this reply is harmless.
+                    let _ = socket.send_to(&encode(&shared.resync_frame()), from);
+                }
+            }
+            ControlFrame::Leave => {
+                let removed = shared.peers.lock().expect("peer set lock").remove(&from);
+                if removed {
+                    shared.counters.leaves.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            ControlFrame::ResyncRequest => {
+                let _ = socket.send_to(&encode(&shared.resync_frame()), from);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Largest control frame the TCP plane will read.
+const MAX_CONTROL_FRAME: usize = 64 * 1024;
+
+fn control_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Connections are served one at a time: the control plane
+                // is a short-lived request/response convenience, not a
+                // data path.
+                let _ = serve_control_connection(stream, shared);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn serve_control_connection(mut stream: TcpStream, shared: &Shared) -> Result<(), NetError> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(200)))?;
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let frame = match read_control_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()), // clean EOF
+            Err(NetError::Io(e))
+                if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+            {
+                continue
+            }
+            Err(_) => return Ok(()), // garbage on a reliable link: drop them
+        };
+        let reply = match frame {
+            ControlFrame::Subscribe { file } => Some(match shared.directory.get(&file.0) {
+                Some(info) => ControlFrame::SubscribeAck {
+                    file,
+                    channel: info.channel,
+                    epoch: info.epoch,
+                    m: info.m,
+                    n: info.n,
+                },
+                None => ControlFrame::SubscribeNak {
+                    file,
+                    reason: "file is not on this station".to_string(),
+                },
+            }),
+            ControlFrame::ResyncRequest => match shared.resync_frame() {
+                Frame::Control(resync) => Some(resync),
+                Frame::Slot(_) => None,
+            },
+            ControlFrame::Leave => return Ok(()),
+            _ => None,
+        };
+        if let Some(reply) = reply {
+            write_control_frame(&mut stream, &reply)?;
+        }
+    }
+}
+
+/// Reads one length-prefixed control frame from a TCP stream.  `Ok(None)`
+/// is a clean end of stream.
+pub(crate) fn read_control_frame(stream: &mut TcpStream) -> Result<Option<ControlFrame>, NetError> {
+    let mut len_bytes = [0u8; 4];
+    match stream.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_CONTROL_FRAME {
+        return Err(NetError::Protocol("oversized control frame"));
+    }
+    let mut packet = vec![0u8; len];
+    stream.read_exact(&mut packet)?;
+    match decode(&packet)? {
+        Packet::Frame(Frame::Control(control)) => Ok(Some(control)),
+        _ => Err(NetError::Protocol("expected a control frame")),
+    }
+}
+
+/// Writes one length-prefixed control frame to a TCP stream.
+pub(crate) fn write_control_frame(
+    stream: &mut TcpStream,
+    control: &ControlFrame,
+) -> Result<(), NetError> {
+    let packet = encode(&Frame::Control(control.clone()));
+    let len = packet.len() as u32;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(&packet)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdisk::TransmissionRef;
+    use bytes::Bytes;
+    use ida::{BlockHeader, DispersedBlock, FileId};
+
+    fn test_block() -> DispersedBlock {
+        DispersedBlock::new(
+            BlockHeader {
+                file: FileId(1),
+                index: 0,
+                m: 2,
+                n: 4,
+                original_len: 64,
+            },
+            Bytes::from(vec![5u8; 16]),
+        )
+    }
+
+    #[test]
+    fn joined_peer_receives_published_slots() {
+        let (mut fanout, handle) = NetServer::bind(NetConfig::default(), Directory::new()).unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        client
+            .send_to(
+                &encode(&Frame::Control(ControlFrame::Join)),
+                handle.data_addr(),
+            )
+            .unwrap();
+        // The join ack doubles as the join barrier.
+        let mut buf = [0u8; 2048];
+        let (len, _) = client.recv_from(&mut buf).unwrap();
+        assert!(matches!(
+            decode(&buf[..len]).unwrap(),
+            Packet::Frame(Frame::Control(ControlFrame::Resync { .. }))
+        ));
+
+        let block = test_block();
+        let tx = TransmissionRef {
+            slot: 3,
+            block: &block,
+        };
+        fanout.publish(
+            3,
+            &[LaneView {
+                channel: 0,
+                epoch: 7,
+                transmission: tx,
+            }],
+        );
+        let (len, _) = client.recv_from(&mut buf).unwrap();
+        let Packet::Frame(Frame::Slot(sf)) = decode(&buf[..len]).unwrap() else {
+            panic!("expected a slot frame");
+        };
+        assert_eq!(sf.slot, 3);
+        assert_eq!(sf.epoch, 7);
+        assert_eq!(sf.block, block);
+
+        let stats = handle.stats();
+        assert_eq!(stats.joins, 1);
+        assert_eq!(stats.frames_sent, 1);
+        assert!(stats.datagrams_sent >= 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn leave_removes_the_peer_and_publishing_without_peers_is_cheap() {
+        let (mut fanout, handle) = NetServer::bind(NetConfig::default(), Directory::new()).unwrap();
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        client
+            .send_to(
+                &encode(&Frame::Control(ControlFrame::Join)),
+                handle.data_addr(),
+            )
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        client.recv_from(&mut buf).unwrap();
+        client
+            .send_to(
+                &encode(&Frame::Control(ControlFrame::Leave)),
+                handle.data_addr(),
+            )
+            .unwrap();
+        // Wait until the membership thread processed the leave.
+        let mut waited = 0;
+        while handle.stats().peers > 0 && waited < 100 {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += 1;
+        }
+        assert_eq!(handle.stats().peers, 0);
+        let block = test_block();
+        fanout.publish(
+            0,
+            &[LaneView {
+                channel: 0,
+                epoch: 1,
+                transmission: TransmissionRef {
+                    slot: 0,
+                    block: &block,
+                },
+            }],
+        );
+        assert_eq!(handle.stats().datagrams_sent, 0);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn control_plane_answers_subscriptions_from_the_directory() {
+        let mut directory = Directory::new();
+        directory.insert(
+            1,
+            SubscriptionInfo {
+                channel: 2,
+                epoch: 5,
+                m: 3,
+                n: 6,
+            },
+        );
+        let (_fanout, handle) =
+            NetServer::bind(NetConfig::default().with_control_plane(), directory).unwrap();
+        let addr = handle.control_addr().expect("control plane configured");
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        write_control_frame(&mut stream, &ControlFrame::Subscribe { file: FileId(1) }).unwrap();
+        let reply = read_control_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(
+            reply,
+            ControlFrame::SubscribeAck {
+                file: FileId(1),
+                channel: 2,
+                epoch: 5,
+                m: 3,
+                n: 6,
+            }
+        );
+
+        write_control_frame(&mut stream, &ControlFrame::Subscribe { file: FileId(9) }).unwrap();
+        let reply = read_control_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(
+            reply,
+            ControlFrame::SubscribeNak {
+                file: FileId(9),
+                ..
+            }
+        ));
+
+        write_control_frame(&mut stream, &ControlFrame::ResyncRequest).unwrap();
+        let reply = read_control_frame(&mut stream).unwrap().unwrap();
+        assert!(matches!(reply, ControlFrame::Resync { epoch: 5, .. }));
+        handle.shutdown();
+    }
+}

@@ -1,0 +1,421 @@
+//! The pure, socket-free client state machine.
+//!
+//! [`ClientState`] turns a stream of raw datagrams into a completed
+//! retrieval: it decodes packets, reassembles fragments, feeds blocks of
+//! its file into a [`ClientSession`], and — the heart of the paper's model
+//! — turns everything that goes wrong on the medium into *erasures* rather
+//! than failures:
+//!
+//! * a datagram that fails to decode (corrupt, short, foreign) counts as
+//!   one erasure;
+//! * a gap in the slot numbering of the client's channel counts as one
+//!   erasure per missing slot (lost datagrams — conservative: the gap may
+//!   have carried other files' blocks);
+//! * an evicted fragment group (a frame that will never complete) counts
+//!   as one erasure.
+//!
+//! Erasures observed before the first block arrives (before the dispersal
+//! parameters are known) are buffered and applied the moment the session
+//! forms, so `errors_observed` is faithful from the first listened slot.
+//! Being socket-free, the state machine is driven identically by a real
+//! `UdpSocket`, an in-memory lossy channel (see the property tests), or a
+//! replay log.
+
+use crate::error::NetError;
+use crate::wire::{decode, ControlFrame, Frame, Packet, Reassembler, SlotFrame};
+use bdisk::{ClientSession, RetrievalOutcome};
+use ida::{Dispersal, FileId};
+
+/// Counters describing what a [`ClientState`] has seen.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Raw datagrams fed in.
+    pub datagrams: u64,
+    /// Slot frames successfully decoded (all channels).
+    pub slot_frames: u64,
+    /// Control frames successfully decoded.
+    pub control_frames: u64,
+    /// Datagrams that failed to decode (corrupt/short/foreign).
+    pub decode_errors: u64,
+    /// Missing slots detected on the client's channel.
+    pub gap_erasures: u64,
+    /// Erasures recorded in total (decode errors + gaps + evictions).
+    pub erasures: u64,
+}
+
+/// How many partial fragment groups a client keeps in flight.
+const CLIENT_REASSEMBLY_GROUPS: usize = 16;
+
+/// The socket-free retrieval state machine for one file.
+pub struct ClientState {
+    file: FileId,
+    channel: Option<u16>,
+    params: Option<(u32, u32)>,
+    session: Option<ClientSession>,
+    pending_erasures: usize,
+    last_slot: Option<u64>,
+    reassembler: Reassembler,
+    cancelled: Option<String>,
+    stats: ClientStats,
+}
+
+impl ClientState {
+    /// Starts retrieving `file`.  The channel and dispersal parameters are
+    /// learned from the stream itself (block headers or a subscribe ack).
+    pub fn new(file: FileId) -> Self {
+        ClientState {
+            file,
+            channel: None,
+            params: None,
+            session: None,
+            pending_erasures: 0,
+            last_slot: None,
+            reassembler: Reassembler::new(CLIENT_REASSEMBLY_GROUPS),
+            cancelled: None,
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The file being retrieved.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// The dispersal parameters `(m, n)`, once learned.
+    pub fn params(&self) -> Option<(u32, u32)> {
+        self.params
+    }
+
+    /// The channel carrying the file, once learned.
+    pub fn channel(&self) -> Option<u16> {
+        self.channel
+    }
+
+    /// The mode that cancelled this retrieval, if a cancel note arrived.
+    pub fn cancelled_by(&self) -> Option<&str> {
+        self.cancelled.as_deref()
+    }
+
+    /// `true` once enough distinct blocks have been received.
+    pub fn is_complete(&self) -> bool {
+        self.session
+            .as_ref()
+            .is_some_and(ClientSession::is_complete)
+    }
+
+    /// What the state machine has seen so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Distinct blocks of the file received so far.
+    pub fn blocks_received(&self) -> usize {
+        self.session
+            .as_ref()
+            .map_or(0, ClientSession::blocks_received)
+    }
+
+    /// Feeds one raw datagram.  Returns `true` if it completed the
+    /// retrieval.
+    pub fn feed_datagram(&mut self, buf: &[u8]) -> bool {
+        self.stats.datagrams += 1;
+        match decode(buf) {
+            Ok(Packet::Frame(frame)) => self.feed_frame(frame),
+            Ok(Packet::Fragment(frag)) => {
+                let before = self.reassembler.evicted();
+                let complete = self.reassembler.offer(frag);
+                let evicted = (self.reassembler.evicted() - before) as usize;
+                if evicted > 0 {
+                    self.note_erasures(evicted);
+                }
+                match complete {
+                    Some(bytes) => match decode(&bytes) {
+                        Ok(Packet::Frame(frame)) => self.feed_frame(frame),
+                        // A reassembled frame that decodes to garbage (or,
+                        // nonsensically, to another fragment) is a lost
+                        // frame: one erasure.
+                        _ => {
+                            self.stats.decode_errors += 1;
+                            self.note_erasures(1);
+                            false
+                        }
+                    },
+                    None => false,
+                }
+            }
+            Err(_) => {
+                self.stats.decode_errors += 1;
+                self.note_erasures(1);
+                false
+            }
+        }
+    }
+
+    /// Feeds one already-decoded frame (the TCP control path and the
+    /// in-memory property tests use this directly).
+    pub fn feed_frame(&mut self, frame: Frame) -> bool {
+        match frame {
+            Frame::Slot(sf) => self.feed_slot(sf),
+            Frame::Control(cf) => {
+                self.stats.control_frames += 1;
+                self.feed_control(cf);
+                false
+            }
+        }
+    }
+
+    /// Records `count` losses observed out of band (e.g. a receive timeout
+    /// the caller interprets as missed traffic).
+    pub fn record_loss(&mut self, count: usize) {
+        self.note_erasures(count);
+    }
+
+    /// Finishes the retrieval: reconstructs the file.
+    ///
+    /// Fails with [`NetError::Cancelled`] if a cancel note arrived,
+    /// [`NetError::NoSignal`] if the dispersal parameters were never
+    /// learned, and [`NetError::Incomplete`] if too few blocks arrived.
+    pub fn finish(&self) -> Result<RetrievalOutcome, NetError> {
+        if let Some(mode) = &self.cancelled {
+            return Err(NetError::Cancelled {
+                file: self.file,
+                mode: mode.clone(),
+            });
+        }
+        let Some((m, n)) = self.params else {
+            return Err(NetError::NoSignal { file: self.file });
+        };
+        let Some(session) = &self.session else {
+            return Err(NetError::NoSignal { file: self.file });
+        };
+        if !session.is_complete() {
+            return Err(NetError::Incomplete {
+                file: self.file,
+                received: session.blocks_received(),
+                required: m as usize,
+            });
+        }
+        let dispersal = Dispersal::new(m as usize, n as usize)?;
+        session.finish(&dispersal).map_err(NetError::Ida)
+    }
+
+    fn feed_slot(&mut self, sf: SlotFrame) -> bool {
+        self.stats.slot_frames += 1;
+        let ours = sf.block.file() == self.file;
+        if ours && self.channel.is_none() {
+            self.channel = Some(sf.channel);
+        }
+        // Lost-datagram detection: the station serves its channels every
+        // slot, so a jump in the slot numbering of *our* channel means the
+        // intervening datagrams were lost on the medium.
+        if self.channel == Some(sf.channel) {
+            if let Some(last) = self.last_slot {
+                if sf.slot > last + 1 {
+                    let gap = (sf.slot - last - 1) as usize;
+                    self.stats.gap_erasures += gap as u64;
+                    self.note_erasures(gap);
+                }
+            }
+            if self.last_slot.is_none_or(|last| sf.slot > last) {
+                self.last_slot = Some(sf.slot);
+            }
+        }
+        if !ours {
+            return false;
+        }
+        let header = *sf.block.header();
+        self.learn_params(header.m, header.n);
+        let session = self
+            .session
+            .as_mut()
+            .expect("learn_params created the session");
+        session.observe_block(sf.slot as usize, &sf.block, true)
+    }
+
+    fn feed_control(&mut self, cf: ControlFrame) {
+        match cf {
+            ControlFrame::SubscribeAck {
+                file,
+                channel,
+                m,
+                n,
+                ..
+            } if file == self.file => {
+                self.channel = Some(channel);
+                self.learn_params(m, n);
+            }
+            ControlFrame::Retune { file, channel, .. } if file == self.file => {
+                self.channel = Some(channel);
+            }
+            ControlFrame::Cancel { file, mode } if file == self.file => {
+                self.cancelled = Some(mode);
+            }
+            // Baseline the gap detector so pre-join slots don't count as
+            // losses.
+            ControlFrame::Resync { next_slot, .. } if self.last_slot.is_none() && next_slot > 0 => {
+                self.last_slot = Some(next_slot - 1);
+            }
+            _ => {}
+        }
+    }
+
+    fn learn_params(&mut self, m: u32, n: u32) {
+        if self.params.is_none() && m >= 1 && m <= n {
+            self.params = Some((m, n));
+            let mut session = ClientSession::new(self.file, m as usize, 0);
+            session.record_erasures(self.pending_erasures);
+            self.pending_erasures = 0;
+            self.session = Some(session);
+        }
+    }
+
+    fn note_erasures(&mut self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        self.stats.erasures += count as u64;
+        match &mut self.session {
+            Some(session) => session.record_erasures(count),
+            None => self.pending_erasures += count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{datagrams, encode};
+    use bytes::Bytes;
+    use ida::{BlockHeader, DispersedBlock};
+
+    fn frame(slot: u64, channel: u16, file: u32, index: u32, payload: &[u8]) -> Frame {
+        Frame::Slot(SlotFrame {
+            epoch: 1,
+            channel,
+            slot,
+            block: DispersedBlock::new(
+                BlockHeader {
+                    file: FileId(file),
+                    index,
+                    m: 2,
+                    n: 4,
+                    original_len: 8,
+                },
+                Bytes::from(payload.to_vec()),
+            ),
+        })
+    }
+
+    #[test]
+    fn learns_params_and_completes_from_slot_frames_alone() {
+        let mut state = ClientState::new(FileId(1));
+        assert!(!state.feed_datagram(&encode(&frame(0, 0, 1, 0, b"aaaa"))));
+        assert_eq!(state.params(), Some((2, 4)));
+        assert_eq!(state.channel(), Some(0));
+        assert!(state.feed_datagram(&encode(&frame(1, 0, 1, 1, b"bbbb"))));
+        assert!(state.is_complete());
+    }
+
+    #[test]
+    fn corrupt_datagrams_become_erasures() {
+        let mut state = ClientState::new(FileId(1));
+        let mut corrupt = encode(&frame(0, 0, 1, 0, b"aaaa"));
+        corrupt[10] ^= 0xFF;
+        state.feed_datagram(&corrupt);
+        state.feed_datagram(b"no");
+        assert_eq!(state.stats().decode_errors, 2);
+        assert_eq!(state.stats().erasures, 2);
+        // They were pending; the session inherits them when it forms.
+        state.feed_datagram(&encode(&frame(1, 0, 1, 0, b"aaaa")));
+        state.feed_datagram(&encode(&frame(2, 0, 1, 1, b"bbbb")));
+        let outcome = state.finish().unwrap();
+        assert_eq!(outcome.errors_observed, 2);
+    }
+
+    #[test]
+    fn slot_gaps_on_the_clients_channel_become_erasures() {
+        let mut state = ClientState::new(FileId(1));
+        state.feed_datagram(&encode(&frame(0, 0, 1, 0, b"aaaa")));
+        // Slots 1..4 never arrive.
+        state.feed_datagram(&encode(&frame(4, 0, 1, 1, b"bbbb")));
+        assert_eq!(state.stats().gap_erasures, 3);
+        assert_eq!(state.finish().unwrap().errors_observed, 3);
+    }
+
+    #[test]
+    fn gaps_on_other_channels_are_ignored() {
+        let mut state = ClientState::new(FileId(1));
+        state.feed_datagram(&encode(&frame(0, 0, 1, 0, b"aaaa")));
+        // A foreign channel with wild slot numbering.
+        state.feed_datagram(&encode(&frame(90, 3, 2, 0, b"xxxx")));
+        state.feed_datagram(&encode(&frame(1, 0, 1, 1, b"bbbb")));
+        assert_eq!(state.stats().gap_erasures, 0);
+    }
+
+    #[test]
+    fn resync_baselines_the_gap_detector() {
+        let mut state = ClientState::new(FileId(1));
+        state.feed_frame(Frame::Control(ControlFrame::Resync {
+            epoch: 0,
+            next_slot: 100,
+        }));
+        state.feed_datagram(&encode(&frame(100, 0, 1, 0, b"aaaa")));
+        assert_eq!(state.stats().gap_erasures, 0);
+        state.feed_datagram(&encode(&frame(102, 0, 1, 1, b"bbbb")));
+        assert_eq!(state.stats().gap_erasures, 1);
+    }
+
+    #[test]
+    fn subscribe_ack_supplies_params_before_any_block() {
+        let mut state = ClientState::new(FileId(1));
+        state.feed_frame(Frame::Control(ControlFrame::SubscribeAck {
+            file: FileId(1),
+            channel: 2,
+            epoch: 0,
+            m: 2,
+            n: 4,
+        }));
+        assert_eq!(state.params(), Some((2, 4)));
+        assert_eq!(state.channel(), Some(2));
+    }
+
+    #[test]
+    fn cancel_notes_fail_the_retrieval() {
+        let mut state = ClientState::new(FileId(1));
+        state.feed_frame(Frame::Control(ControlFrame::Cancel {
+            file: FileId(1),
+            mode: "combat".to_string(),
+        }));
+        assert!(matches!(
+            state.finish(),
+            Err(NetError::Cancelled { mode, .. }) if mode == "combat"
+        ));
+    }
+
+    #[test]
+    fn fragmented_frames_feed_through() {
+        let big = frame(0, 0, 1, 0, &vec![7u8; 5000]);
+        let mut state = ClientState::new(FileId(1));
+        for d in datagrams(&big, 1200, 9) {
+            state.feed_datagram(&d);
+        }
+        assert_eq!(state.blocks_received(), 1);
+        assert_eq!(state.stats().slot_frames, 1);
+    }
+
+    #[test]
+    fn finishing_without_signal_or_blocks_fails_cleanly() {
+        let state = ClientState::new(FileId(1));
+        assert!(matches!(state.finish(), Err(NetError::NoSignal { .. })));
+        let mut state = ClientState::new(FileId(1));
+        state.feed_datagram(&encode(&frame(0, 0, 1, 0, b"aaaa")));
+        assert!(matches!(
+            state.finish(),
+            Err(NetError::Incomplete {
+                received: 1,
+                required: 2,
+                ..
+            })
+        ));
+    }
+}

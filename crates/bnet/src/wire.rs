@@ -1,0 +1,967 @@
+//! The `bnet` wire format, version 1.
+//!
+//! Every datagram is one *packet*: a fixed prefix (magic `b"BNET"`, version
+//! byte, kind byte), a kind-specific body, and a trailing CRC-32 (IEEE) over
+//! everything before it.  All integers are little-endian.
+//!
+//! | kind | packet | body |
+//! |------|--------|------|
+//! | `0x01` | slot frame | `epoch u64, channel u16, slot u64, file u32, index u32, m u32, n u32, original_len u64, payload_len u32, payload` |
+//! | `0x02` | fragment | `seq u64, index u16, count u16, chunk_len u32, chunk` |
+//! | `0x03` | control frame | `op u8` + op-specific fields |
+//!
+//! A frame that does not fit the transport MTU is split by [`datagrams`]
+//! into fragment packets sharing a sequence number; a [`Reassembler`] on the
+//! receiver glues them back into the original encoded frame, which is then
+//! decoded again.  Because a broadcast medium is lossy by assumption, the
+//! decoder is hardened rather than trusting: every length field is
+//! bounds-checked against the buffer before use, bodies must be consumed
+//! exactly (trailing garbage is rejected), and no input can make [`decode`]
+//! panic or allocate unboundedly — corruption always surfaces as a
+//! [`WireError`].
+
+use bdisk::TransmissionRef;
+use bytes::Bytes;
+use ida::{BlockHeader, DispersedBlock, FileId};
+use std::collections::BTreeMap;
+
+/// The four magic bytes opening every packet.
+pub const MAGIC: [u8; 4] = *b"BNET";
+/// The wire-format version this module speaks.
+pub const VERSION: u8 = 1;
+
+const KIND_SLOT: u8 = 0x01;
+const KIND_FRAG: u8 = 0x02;
+const KIND_CONTROL: u8 = 0x03;
+
+/// Bytes of fixed framing around every body: magic + version + kind before
+/// it, CRC-32 after it.
+pub const PACKET_OVERHEAD: usize = 4 + 1 + 1 + 4;
+/// Fixed body bytes of a fragment packet (`seq, index, count, chunk_len`).
+const FRAG_HEADER: usize = 8 + 2 + 2 + 4;
+/// Most fragments one frame may be split into.  At the default MTU this
+/// allows multi-megabyte frames — far beyond any dispersed block this
+/// workspace serves — while bounding what a [`Reassembler`] can be asked to
+/// buffer for one sequence number.
+pub const MAX_FRAGMENTS: u16 = 4096;
+
+/// One broadcast slot on the wire: which channel transmitted what, when,
+/// under which epoch.  The dispersed block travels with its full
+/// self-identifying header, so a purely passive receiver can derive the
+/// dispersal parameters `(m, n)` without any control plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotFrame {
+    /// The epoch the channel serves under.
+    pub epoch: u64,
+    /// The broadcast channel.
+    pub channel: u16,
+    /// The slot index.
+    pub slot: u64,
+    /// The transmitted block.
+    pub block: DispersedBlock,
+}
+
+impl SlotFrame {
+    /// Builds the slot frame for one live lane of a served slot.
+    pub fn from_transmission(channel: u16, epoch: u64, tx: TransmissionRef<'_>) -> Self {
+        SlotFrame {
+            epoch,
+            channel,
+            slot: tx.slot as u64,
+            block: tx.block.clone(),
+        }
+    }
+}
+
+/// A reliable in-band control message: membership, subscription and the
+/// wire mirror of the runtime's swap notes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlFrame {
+    /// A client asks to be added to the UDP fan-out set.
+    Join,
+    /// A client asks to be removed from the UDP fan-out set.
+    Leave,
+    /// A client asks where `file` is served (TCP control plane).
+    Subscribe {
+        /// The requested file.
+        file: FileId,
+    },
+    /// The station's answer to [`ControlFrame::Subscribe`].
+    SubscribeAck {
+        /// The requested file.
+        file: FileId,
+        /// The channel carrying it.
+        channel: u16,
+        /// The epoch that channel currently serves under.
+        epoch: u64,
+        /// Reconstruction threshold.
+        m: u32,
+        /// Dispersed block count.
+        n: u32,
+    },
+    /// The station does not carry the requested file.
+    SubscribeNak {
+        /// The requested file.
+        file: FileId,
+        /// Why the subscription was refused.
+        reason: String,
+    },
+    /// A client stops listening for `file` (informational).
+    Unsubscribe {
+        /// The file no longer wanted.
+        file: FileId,
+    },
+    /// Swap note: `file` is now carried on `channel` under `epoch`; blocks
+    /// collected so far stay valid.
+    Retune {
+        /// The retuned file.
+        file: FileId,
+        /// The channel now carrying it.
+        channel: u16,
+        /// The epoch that channel serves under after the swap.
+        epoch: u64,
+    },
+    /// Swap note: retrievals of `file` cannot be carried over the swap to
+    /// `mode`.
+    Cancel {
+        /// The cancelled file.
+        file: FileId,
+        /// The mode whose swap cancelled it.
+        mode: String,
+    },
+    /// The station tells a (re)joining client where the slot counter is.
+    Resync {
+        /// The epoch of the station's lowest-numbered live channel (0 when
+        /// unknown — advisory).
+        epoch: u64,
+        /// The next slot the station will serve.
+        next_slot: u64,
+    },
+    /// A client asks for a [`ControlFrame::Resync`].
+    ResyncRequest,
+}
+
+const OP_JOIN: u8 = 0x01;
+const OP_LEAVE: u8 = 0x02;
+const OP_SUBSCRIBE: u8 = 0x03;
+const OP_SUBSCRIBE_ACK: u8 = 0x04;
+const OP_SUBSCRIBE_NAK: u8 = 0x05;
+const OP_UNSUBSCRIBE: u8 = 0x06;
+const OP_RETUNE: u8 = 0x07;
+const OP_CANCEL: u8 = 0x08;
+const OP_RESYNC: u8 = 0x09;
+const OP_RESYNC_REQUEST: u8 = 0x0A;
+
+/// A complete (unfragmented) message: one slot transmission or one control
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A broadcast slot.
+    Slot(SlotFrame),
+    /// A control message.
+    Control(ControlFrame),
+}
+
+/// One piece of a frame too large for a single datagram.  All fragments of
+/// a frame share `seq`; reassembling the `count` chunks in index order
+/// yields the frame's complete encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// Sequence number shared by all fragments of one frame.
+    pub seq: u64,
+    /// This fragment's position (`0 ≤ index < count`).
+    pub index: u16,
+    /// Total fragments of the frame (`1 ≤ count ≤` [`MAX_FRAGMENTS`]).
+    pub count: u16,
+    /// The carried slice of the frame's encoding.
+    pub chunk: Vec<u8>,
+}
+
+/// Anything [`decode`] can yield: a complete frame or one fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Packet {
+    /// A complete frame.
+    Frame(Frame),
+    /// A fragment to feed a [`Reassembler`].
+    Fragment(Fragment),
+}
+
+/// Why a buffer failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed packet framing.
+    TooShort,
+    /// The magic bytes are wrong — not a `bnet` packet.
+    BadMagic,
+    /// The version byte names a format this decoder does not speak.
+    BadVersion(u8),
+    /// The kind byte names no packet kind.
+    BadKind(u8),
+    /// The control opcode names no control message.
+    BadOpcode(u8),
+    /// The trailing CRC-32 does not match the packet contents.
+    BadChecksum,
+    /// A length field points past the end of the buffer.
+    Truncated,
+    /// The body was longer than its kind's layout — trailing garbage.
+    TrailingGarbage,
+    /// A string field holds invalid UTF-8.
+    BadUtf8,
+    /// A field combination violates the format's invariants.
+    Inconsistent(&'static str),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::TooShort => write!(f, "packet shorter than fixed framing"),
+            WireError::BadMagic => write!(f, "bad magic: not a bnet packet"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown packet kind {k:#04x}"),
+            WireError::BadOpcode(op) => write!(f, "unknown control opcode {op:#04x}"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::Truncated => write!(f, "length field exceeds buffer"),
+            WireError::TrailingGarbage => write!(f, "trailing bytes after body"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::Inconsistent(what) => write!(f, "inconsistent fields: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table built at
+// compile time.
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// The CRC-32 (IEEE) of `data`, as appended to every packet.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Encoding.
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = u16::try_from(bytes.len()).expect("wire strings are capped at 64 KiB");
+    put_u16(out, len);
+    out.extend_from_slice(bytes);
+}
+
+fn open_packet(kind: u8, body_hint: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(PACKET_OVERHEAD + body_hint);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    out
+}
+
+fn seal_packet(mut out: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Encodes one frame into a single packet (no fragmentation — see
+/// [`datagrams`] for MTU-bounded output).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::Slot(sf) => {
+            let h = sf.block.header();
+            let mut out = open_packet(KIND_SLOT, 42 + sf.block.len());
+            put_u64(&mut out, sf.epoch);
+            put_u16(&mut out, sf.channel);
+            put_u64(&mut out, sf.slot);
+            put_u32(&mut out, h.file.0);
+            put_u32(&mut out, h.index);
+            put_u32(&mut out, h.m);
+            put_u32(&mut out, h.n);
+            put_u64(&mut out, h.original_len);
+            let payload = sf.block.payload().as_slice();
+            put_u32(&mut out, payload.len() as u32);
+            out.extend_from_slice(payload);
+            seal_packet(out)
+        }
+        Frame::Control(cf) => {
+            let mut out = open_packet(KIND_CONTROL, 32);
+            match cf {
+                ControlFrame::Join => out.push(OP_JOIN),
+                ControlFrame::Leave => out.push(OP_LEAVE),
+                ControlFrame::Subscribe { file } => {
+                    out.push(OP_SUBSCRIBE);
+                    put_u32(&mut out, file.0);
+                }
+                ControlFrame::SubscribeAck {
+                    file,
+                    channel,
+                    epoch,
+                    m,
+                    n,
+                } => {
+                    out.push(OP_SUBSCRIBE_ACK);
+                    put_u32(&mut out, file.0);
+                    put_u16(&mut out, *channel);
+                    put_u64(&mut out, *epoch);
+                    put_u32(&mut out, *m);
+                    put_u32(&mut out, *n);
+                }
+                ControlFrame::SubscribeNak { file, reason } => {
+                    out.push(OP_SUBSCRIBE_NAK);
+                    put_u32(&mut out, file.0);
+                    put_str(&mut out, reason);
+                }
+                ControlFrame::Unsubscribe { file } => {
+                    out.push(OP_UNSUBSCRIBE);
+                    put_u32(&mut out, file.0);
+                }
+                ControlFrame::Retune {
+                    file,
+                    channel,
+                    epoch,
+                } => {
+                    out.push(OP_RETUNE);
+                    put_u32(&mut out, file.0);
+                    put_u16(&mut out, *channel);
+                    put_u64(&mut out, *epoch);
+                }
+                ControlFrame::Cancel { file, mode } => {
+                    out.push(OP_CANCEL);
+                    put_u32(&mut out, file.0);
+                    put_str(&mut out, mode);
+                }
+                ControlFrame::Resync { epoch, next_slot } => {
+                    out.push(OP_RESYNC);
+                    put_u64(&mut out, *epoch);
+                    put_u64(&mut out, *next_slot);
+                }
+                ControlFrame::ResyncRequest => out.push(OP_RESYNC_REQUEST),
+            }
+            seal_packet(out)
+        }
+    }
+}
+
+fn encode_fragment(frag: &Fragment) -> Vec<u8> {
+    let mut out = open_packet(KIND_FRAG, FRAG_HEADER + frag.chunk.len());
+    put_u64(&mut out, frag.seq);
+    put_u16(&mut out, frag.index);
+    put_u16(&mut out, frag.count);
+    put_u32(&mut out, frag.chunk.len() as u32);
+    out.extend_from_slice(&frag.chunk);
+    seal_packet(out)
+}
+
+/// Encodes `frame` as one or more datagrams of at most `mtu` bytes each.
+///
+/// A frame whose encoding fits in `mtu` yields exactly one datagram;
+/// anything larger is split into fragment packets sharing the caller's
+/// `seq`.  `mtu` must leave room for at least one chunk byte per fragment
+/// ([`PACKET_OVERHEAD`] + the fragment header + 1); blocks requiring more
+/// than [`MAX_FRAGMENTS`] pieces are a configuration error and panic.
+pub fn datagrams(frame: &Frame, mtu: usize, seq: u64) -> Vec<Vec<u8>> {
+    let encoded = encode(frame);
+    if encoded.len() <= mtu {
+        return vec![encoded];
+    }
+    let chunk_size = mtu
+        .checked_sub(PACKET_OVERHEAD + FRAG_HEADER)
+        .filter(|&c| c > 0)
+        .expect("mtu too small to carry a fragment chunk");
+    let count = encoded.len().div_ceil(chunk_size);
+    assert!(
+        count <= MAX_FRAGMENTS as usize,
+        "frame of {} bytes needs {count} fragments at mtu {mtu} (max {MAX_FRAGMENTS})",
+        encoded.len()
+    );
+    encoded
+        .chunks(chunk_size)
+        .enumerate()
+        .map(|(index, chunk)| {
+            encode_fragment(&Fragment {
+                seq,
+                index: index as u16,
+                count: count as u16,
+                chunk: chunk.to_vec(),
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+
+/// A bounds-checked cursor: every read is validated against the remaining
+/// buffer, so no length field can cause an out-of-range access or an
+/// attacker-sized allocation.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingGarbage)
+        }
+    }
+}
+
+/// Decodes one datagram into a [`Packet`].
+///
+/// Rejects wrong magic/version/kind, checksum mismatches, any length field
+/// pointing past the buffer, and bodies with trailing bytes.  Never panics
+/// on any input.
+pub fn decode(buf: &[u8]) -> Result<Packet, WireError> {
+    if buf.len() < PACKET_OVERHEAD {
+        return Err(WireError::TooShort);
+    }
+    if buf[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if buf[4] != VERSION {
+        return Err(WireError::BadVersion(buf[4]));
+    }
+    let (content, crc_bytes) = buf.split_at(buf.len() - 4);
+    let expected = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(content) != expected {
+        return Err(WireError::BadChecksum);
+    }
+    let kind = buf[5];
+    let mut rd = Reader { buf: &content[6..] };
+    let packet = match kind {
+        KIND_SLOT => Packet::Frame(Frame::Slot(decode_slot(&mut rd)?)),
+        KIND_FRAG => Packet::Fragment(decode_fragment(&mut rd)?),
+        KIND_CONTROL => Packet::Frame(Frame::Control(decode_control(&mut rd)?)),
+        k => return Err(WireError::BadKind(k)),
+    };
+    rd.finish()?;
+    Ok(packet)
+}
+
+fn decode_slot(rd: &mut Reader<'_>) -> Result<SlotFrame, WireError> {
+    let epoch = rd.u64()?;
+    let channel = rd.u16()?;
+    let slot = rd.u64()?;
+    let file = FileId(rd.u32()?);
+    let index = rd.u32()?;
+    let m = rd.u32()?;
+    let n = rd.u32()?;
+    let original_len = rd.u64()?;
+    if m == 0 || m > n {
+        return Err(WireError::Inconsistent("dispersal requires 1 <= m <= n"));
+    }
+    if index >= n {
+        return Err(WireError::Inconsistent("block index must be < n"));
+    }
+    let payload_len = rd.u32()? as usize;
+    let payload = rd.take(payload_len)?;
+    let header = BlockHeader {
+        file,
+        index,
+        m,
+        n,
+        original_len,
+    };
+    Ok(SlotFrame {
+        epoch,
+        channel,
+        slot,
+        block: DispersedBlock::new(header, Bytes::from(payload.to_vec())),
+    })
+}
+
+fn decode_fragment(rd: &mut Reader<'_>) -> Result<Fragment, WireError> {
+    let seq = rd.u64()?;
+    let index = rd.u16()?;
+    let count = rd.u16()?;
+    if count == 0 || count > MAX_FRAGMENTS {
+        return Err(WireError::Inconsistent("fragment count out of range"));
+    }
+    if index >= count {
+        return Err(WireError::Inconsistent("fragment index must be < count"));
+    }
+    let chunk_len = rd.u32()? as usize;
+    let chunk = rd.take(chunk_len)?.to_vec();
+    Ok(Fragment {
+        seq,
+        index,
+        count,
+        chunk,
+    })
+}
+
+fn decode_control(rd: &mut Reader<'_>) -> Result<ControlFrame, WireError> {
+    let op = rd.u8()?;
+    Ok(match op {
+        OP_JOIN => ControlFrame::Join,
+        OP_LEAVE => ControlFrame::Leave,
+        OP_SUBSCRIBE => ControlFrame::Subscribe {
+            file: FileId(rd.u32()?),
+        },
+        OP_SUBSCRIBE_ACK => ControlFrame::SubscribeAck {
+            file: FileId(rd.u32()?),
+            channel: rd.u16()?,
+            epoch: rd.u64()?,
+            m: rd.u32()?,
+            n: rd.u32()?,
+        },
+        OP_SUBSCRIBE_NAK => ControlFrame::SubscribeNak {
+            file: FileId(rd.u32()?),
+            reason: rd.string()?,
+        },
+        OP_UNSUBSCRIBE => ControlFrame::Unsubscribe {
+            file: FileId(rd.u32()?),
+        },
+        OP_RETUNE => ControlFrame::Retune {
+            file: FileId(rd.u32()?),
+            channel: rd.u16()?,
+            epoch: rd.u64()?,
+        },
+        OP_CANCEL => ControlFrame::Cancel {
+            file: FileId(rd.u32()?),
+            mode: rd.string()?,
+        },
+        OP_RESYNC => ControlFrame::Resync {
+            epoch: rd.u64()?,
+            next_slot: rd.u64()?,
+        },
+        OP_RESYNC_REQUEST => ControlFrame::ResyncRequest,
+        other => return Err(WireError::BadOpcode(other)),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reassembly.
+
+struct Group {
+    count: u16,
+    received: usize,
+    chunks: Vec<Option<Vec<u8>>>,
+}
+
+/// Glues [`Fragment`]s back into complete frame encodings.
+///
+/// Groups are keyed by sequence number and bounded: when more than
+/// `max_groups` are in flight the lowest-numbered (oldest) group is evicted
+/// — on a lossy medium an incomplete old group is a lost frame, and the
+/// eviction counter lets the receiver account it as an erasure.
+pub struct Reassembler {
+    groups: BTreeMap<u64, Group>,
+    max_groups: usize,
+    evicted: u64,
+}
+
+impl Reassembler {
+    /// Creates a reassembler holding at most `max_groups` partial frames.
+    pub fn new(max_groups: usize) -> Self {
+        Reassembler {
+            groups: BTreeMap::new(),
+            max_groups: max_groups.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// Offers one fragment; returns the complete frame encoding when this
+    /// fragment was the last missing piece of its group.
+    ///
+    /// A fragment whose `count` disagrees with its group's is treated as
+    /// the start of a fresh frame under the same sequence number (the old
+    /// group is evicted as corrupt).  Duplicate fragments are ignored.
+    pub fn offer(&mut self, frag: Fragment) -> Option<Vec<u8>> {
+        if let Some(group) = self.groups.get(&frag.seq) {
+            if group.count != frag.count {
+                self.groups.remove(&frag.seq);
+                self.evicted += 1;
+            }
+        }
+        let group = self.groups.entry(frag.seq).or_insert_with(|| Group {
+            count: frag.count,
+            received: 0,
+            chunks: vec![None; frag.count as usize],
+        });
+        let slot = &mut group.chunks[frag.index as usize];
+        if slot.is_none() {
+            *slot = Some(frag.chunk);
+            group.received += 1;
+        }
+        if group.received == group.count as usize {
+            let group = self.groups.remove(&frag.seq).expect("group exists");
+            let mut frame = Vec::with_capacity(group.chunks.iter().flatten().map(Vec::len).sum());
+            for chunk in group.chunks.into_iter().flatten() {
+                frame.extend_from_slice(&chunk);
+            }
+            return Some(frame);
+        }
+        while self.groups.len() > self.max_groups {
+            let oldest = *self.groups.keys().next().expect("non-empty");
+            self.groups.remove(&oldest);
+            self.evicted += 1;
+        }
+        None
+    }
+
+    /// Partial frames evicted so far (each is a frame that will never
+    /// complete — account them as erasures).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Partial frames currently buffered.
+    pub fn pending(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn block(payload_len: usize) -> DispersedBlock {
+        let header = BlockHeader {
+            file: FileId(7),
+            index: 3,
+            m: 4,
+            n: 9,
+            original_len: 4096,
+        };
+        let payload: Vec<u8> = (0..payload_len).map(|i| (i % 251) as u8).collect();
+        DispersedBlock::new(header, Bytes::from(payload))
+    }
+
+    fn slot_frame(payload_len: usize) -> Frame {
+        Frame::Slot(SlotFrame {
+            epoch: 11,
+            channel: 2,
+            slot: 12345,
+            block: block(payload_len),
+        })
+    }
+
+    fn all_control_frames() -> Vec<ControlFrame> {
+        vec![
+            ControlFrame::Join,
+            ControlFrame::Leave,
+            ControlFrame::Subscribe { file: FileId(1) },
+            ControlFrame::SubscribeAck {
+                file: FileId(1),
+                channel: 3,
+                epoch: 9,
+                m: 4,
+                n: 8,
+            },
+            ControlFrame::SubscribeNak {
+                file: FileId(2),
+                reason: "unknown file".to_string(),
+            },
+            ControlFrame::Unsubscribe { file: FileId(1) },
+            ControlFrame::Retune {
+                file: FileId(1),
+                channel: 0,
+                epoch: 10,
+            },
+            ControlFrame::Cancel {
+                file: FileId(1),
+                mode: "combat".to_string(),
+            },
+            ControlFrame::Resync {
+                epoch: 2,
+                next_slot: 777,
+            },
+            ControlFrame::ResyncRequest,
+        ]
+    }
+
+    #[test]
+    fn slot_frames_round_trip() {
+        for len in [0, 1, 64, 1500] {
+            let frame = slot_frame(len);
+            let decoded = decode(&encode(&frame)).unwrap();
+            assert_eq!(decoded, Packet::Frame(frame));
+        }
+    }
+
+    #[test]
+    fn every_control_frame_round_trips() {
+        for cf in all_control_frames() {
+            let frame = Frame::Control(cf);
+            let decoded = decode(&encode(&frame)).unwrap();
+            assert_eq!(decoded, Packet::Frame(frame));
+        }
+    }
+
+    #[test]
+    fn fragments_round_trip() {
+        let frag = Fragment {
+            seq: 42,
+            index: 1,
+            count: 3,
+            chunk: vec![1, 2, 3, 4, 5],
+        };
+        let decoded = decode(&encode_fragment(&frag)).unwrap();
+        assert_eq!(decoded, Packet::Fragment(frag));
+    }
+
+    #[test]
+    fn small_frames_are_a_single_datagram() {
+        let frame = slot_frame(100);
+        let dgrams = datagrams(&frame, 1400, 0);
+        assert_eq!(dgrams.len(), 1);
+        assert_eq!(decode(&dgrams[0]).unwrap(), Packet::Frame(frame));
+    }
+
+    #[test]
+    fn oversized_frames_fragment_and_reassemble() {
+        let frame = slot_frame(5000);
+        let dgrams = datagrams(&frame, 1400, 99);
+        assert!(dgrams.len() > 1);
+        assert!(dgrams.iter().all(|d| d.len() <= 1400));
+        let mut reassembler = Reassembler::new(8);
+        let mut complete = None;
+        for d in &dgrams {
+            let Packet::Fragment(frag) = decode(d).unwrap() else {
+                panic!("expected fragment");
+            };
+            if let Some(bytes) = reassembler.offer(frag) {
+                complete = Some(bytes);
+            }
+        }
+        let bytes = complete.expect("all fragments offered");
+        assert_eq!(decode(&bytes).unwrap(), Packet::Frame(frame));
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_fragments_reassemble() {
+        let frame = slot_frame(4000);
+        let dgrams = datagrams(&frame, 1000, 7);
+        let frags: Vec<Fragment> = dgrams
+            .iter()
+            .map(|d| match decode(d).unwrap() {
+                Packet::Fragment(f) => f,
+                other => panic!("expected fragment, got {other:?}"),
+            })
+            .collect();
+        let mut reassembler = Reassembler::new(8);
+        // Feed in reverse, with the first fragment duplicated mid-stream.
+        let mut complete = None;
+        for frag in frags.iter().rev().chain([&frags[frags.len() - 1]]) {
+            if let Some(bytes) = reassembler.offer(frag.clone()) {
+                complete = Some(bytes);
+            }
+        }
+        assert_eq!(
+            decode(&complete.expect("reassembled")).unwrap(),
+            Packet::Frame(frame)
+        );
+    }
+
+    #[test]
+    fn reassembler_is_bounded_and_counts_evictions() {
+        let mut reassembler = Reassembler::new(2);
+        for seq in 0..10u64 {
+            let done = reassembler.offer(Fragment {
+                seq,
+                index: 0,
+                count: 2,
+                chunk: vec![0],
+            });
+            assert!(done.is_none());
+        }
+        assert!(reassembler.pending() <= 2);
+        assert_eq!(reassembler.evicted(), 8);
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_kind_and_opcode() {
+        let good = encode(&slot_frame(10));
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert_eq!(decode(&bad), Err(WireError::BadMagic));
+
+        let mut bad = good.clone();
+        bad[4] = 9;
+        assert_eq!(decode(&bad), Err(WireError::BadVersion(9)));
+
+        // A wrong kind byte with a recomputed checksum must still fail.
+        let mut bad = good.clone();
+        bad[5] = 0x77;
+        let crc_at = bad.len() - 4;
+        let crc = crc32(&bad[..crc_at]);
+        bad[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&bad), Err(WireError::BadKind(0x77)));
+
+        let mut bad = encode(&Frame::Control(ControlFrame::Join));
+        let body_at = 6;
+        bad[body_at] = 0xEE;
+        let crc_at = bad.len() - 4;
+        let crc = crc32(&bad[..crc_at]);
+        bad[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&bad), Err(WireError::BadOpcode(0xEE)));
+    }
+
+    #[test]
+    fn rejects_corruption_truncation_and_garbage() {
+        let good = encode(&slot_frame(32));
+        // Any single flipped bit trips the checksum.
+        let mut corrupt = good.clone();
+        corrupt[20] ^= 0x40;
+        assert_eq!(decode(&corrupt), Err(WireError::BadChecksum));
+        // Truncation below the fixed framing.
+        assert_eq!(decode(&good[..5]), Err(WireError::TooShort));
+        // A length field pointing past the buffer (checksum recomputed so
+        // the structural check is what rejects it).
+        let mut oversized = good.clone();
+        let payload_len_at = 6 + 8 + 2 + 8 + 4 + 4 + 4 + 4 + 8;
+        oversized[payload_len_at..payload_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let crc_at = oversized.len() - 4;
+        let crc = crc32(&oversized[..crc_at]);
+        oversized[crc_at..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&oversized), Err(WireError::Truncated));
+        // Trailing garbage after a structurally complete body.
+        let mut padded = good.clone();
+        padded.truncate(padded.len() - 4);
+        padded.extend_from_slice(&[0xAB, 0xCD]);
+        let crc = crc32(&padded);
+        padded.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&padded), Err(WireError::TrailingGarbage));
+    }
+
+    #[test]
+    fn rejects_inconsistent_dispersal_headers() {
+        // m = 0 and index >= n, with valid checksums.
+        for (m, n, index) in [(0u32, 5u32, 0u32), (6, 5, 0), (4, 5, 5)] {
+            let mut out = open_packet(KIND_SLOT, 64);
+            put_u64(&mut out, 1);
+            put_u16(&mut out, 0);
+            put_u64(&mut out, 0);
+            put_u32(&mut out, 1);
+            put_u32(&mut out, index);
+            put_u32(&mut out, m);
+            put_u32(&mut out, n);
+            put_u64(&mut out, 100);
+            put_u32(&mut out, 0);
+            let packet = seal_packet(out);
+            assert!(matches!(decode(&packet), Err(WireError::Inconsistent(_))));
+        }
+    }
+
+    #[test]
+    fn fuzzed_corruption_never_panics() {
+        // Satellite: random byte flips / truncations / random buffers must
+        // always return Err or a valid packet — never panic.
+        let mut rng = StdRng::seed_from_u64(0xB4E7);
+        let mut seeds: Vec<Vec<u8>> = vec![encode(&slot_frame(300))];
+        seeds.extend(
+            all_control_frames()
+                .into_iter()
+                .map(|cf| encode(&Frame::Control(cf))),
+        );
+        seeds.extend(datagrams(&slot_frame(5000), 1200, 5));
+        let mut decoded_ok = 0u32;
+        for _ in 0..4000 {
+            let mut buf = seeds[rng.gen_range(0..seeds.len())].clone();
+            match rng.gen_range(0u32..3) {
+                0 => {
+                    // Flip 1..8 random bits.
+                    for _ in 0..rng.gen_range(1..8) {
+                        let at = rng.gen_range(0..buf.len());
+                        buf[at] ^= 1 << rng.gen_range(0u32..8);
+                    }
+                }
+                1 => {
+                    // Truncate to a random strict prefix.
+                    buf.truncate(rng.gen_range(0..buf.len()));
+                }
+                _ => {
+                    // Replace with random bytes of random length.
+                    let len = rng.gen_range(0..128usize);
+                    buf = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
+                }
+            }
+            if decode(&buf).is_ok() {
+                decoded_ok += 1;
+            }
+        }
+        // Corruption is overwhelmingly caught; a rare CRC collision would
+        // still be a *valid* packet, which is acceptable.
+        assert!(decoded_ok < 40, "suspiciously many corrupt packets decoded");
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

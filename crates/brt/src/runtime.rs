@@ -30,6 +30,7 @@
 use crate::clock::{ClockPoll, SlotClock, WakeSignal};
 use crate::engine::{Engine, Subscriber, SwapNote};
 use crate::queue::{Delivery, SlotQueue};
+use crate::sink::{LaneView, SlotSink};
 use bmode::SwapPolicy;
 use ida::{DispersedBlock, FileId};
 use std::collections::BTreeMap;
@@ -312,6 +313,19 @@ impl<E: Engine> core::fmt::Debug for Runtime<E> {
 impl<E: Engine> Runtime<E> {
     /// Spawns the serving thread over `engine`, paced by `clock`.
     pub fn spawn(engine: E, clock: impl SlotClock, config: RuntimeConfig) -> Self {
+        Self::spawn_with_sinks(engine, clock, config, Vec::new())
+    }
+
+    /// [`Runtime::spawn`] with transport-facing fan-out sinks attached: each
+    /// served slot's live lanes are published once to every sink (on the
+    /// serving thread, after the in-process subscriber fan-out) — the seam a
+    /// network transport plugs into.
+    pub fn spawn_with_sinks(
+        engine: E,
+        clock: impl SlotClock,
+        config: RuntimeConfig,
+        sinks: Vec<Box<dyn SlotSink>>,
+    ) -> Self {
         let clock: Arc<dyn SlotClock> = Arc::new(clock);
         let waker = Arc::new(WakeSignal::new());
         clock.register_waker(waker.clone());
@@ -321,7 +335,7 @@ impl<E: Engine> Runtime<E> {
             let waker = waker.clone();
             std::thread::Builder::new()
                 .name("brt-server".to_string())
-                .spawn(move || server_loop(engine, clock, waker, rx))
+                .spawn(move || server_loop(engine, clock, waker, rx, sinks))
                 .expect("the broadcast server thread spawns")
         };
         Runtime {
@@ -468,6 +482,7 @@ fn server_loop<E: Engine>(
     clock: Arc<dyn SlotClock>,
     waker: Arc<WakeSignal>,
     commands: mpsc::Receiver<Command<E>>,
+    mut sinks: Vec<Box<dyn SlotSink>>,
 ) -> E {
     let mut slot: usize = 0;
     let mut next_id: u64 = 0;
@@ -505,6 +520,7 @@ fn server_loop<E: Engine>(
             ClockPoll::Closed => break 'serve,
             ClockPoll::Ready => {
                 serve_slot(&engine, slot, &mut subscribers, &mut fleet, &mut scratch);
+                publish_slot(&engine, slot, &mut sinks);
                 slot += 1;
             }
             ClockPoll::NotYet(hint) => {
@@ -702,6 +718,34 @@ fn serve_slot<E: Engine>(
         subscribers.remove(id);
     }
     fleet.slots_served += 1;
+}
+
+/// Publishes one served slot's live lanes to every attached sink — once per
+/// slot, regardless of how many receivers each sink reaches (a broadcast
+/// medium fans out for free).  The lane buffer is scoped to the slot: the
+/// engine is mutated (swapped) between slots, so borrows cannot be carried
+/// across iterations.
+fn publish_slot<E: Engine>(engine: &E, slot: usize, sinks: &mut [Box<dyn SlotSink>]) {
+    if sinks.is_empty() {
+        return;
+    }
+    let mut lanes: Vec<LaneView<'_>> = Vec::with_capacity(engine.lane_count());
+    for channel in 0..engine.lane_count() {
+        let Some(epoch) = engine.epoch_at(channel, slot) else {
+            continue; // dark lane
+        };
+        let Some(transmission) = engine.transmit_on(channel, slot) else {
+            continue; // idle slot
+        };
+        lanes.push(LaneView {
+            channel,
+            epoch,
+            transmission,
+        });
+    }
+    for sink in sinks.iter_mut() {
+        sink.publish(slot, &lanes);
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,113 @@
+//! Broadcast over real sockets: a station transmitting UDP datagrams on
+//! loopback and a standalone client reconstructing a file from whatever the
+//! wire delivers — losses, if any, absorbed as erasures by the dispersal.
+//!
+//! ```text
+//! # Self-contained demo: spawns the station, joins it, retrieves, exits.
+//! cargo run --release --example net_client
+//!
+//! # Split across two terminals (or machines on a LAN):
+//! cargo run --release --example net_client -- --serve 127.0.0.1:7700
+//! cargo run --release --example net_client -- --connect 127.0.0.1:7700 --file 2
+//! ```
+
+use rtbdisk::bnet::NetClient;
+use rtbdisk::{
+    Broadcast, ControlClient, FileId, GeneralizedFileSpec, NetConfig, Station, WallClock,
+};
+use std::time::Duration;
+
+fn station() -> Result<Station, rtbdisk::Error> {
+    Broadcast::builder()
+        .file(GeneralizedFileSpec::new(FileId(1), 2, vec![12, 16])?.with_name("track-file"))
+        .file(GeneralizedFileSpec::new(FileId(2), 1, vec![8, 12])?.with_name("alert-feed"))
+        .file(GeneralizedFileSpec::new(FileId(3), 1, vec![18])?.with_name("weather"))
+        .channels(2)
+        .build()
+}
+
+fn retrieve(addr: std::net::SocketAddr, file: FileId) {
+    let client = NetClient::join(addr, file).expect("the station's data port is reachable");
+    match client.retrieve(Duration::from_secs(10)) {
+        Ok(outcome) => {
+            println!(
+                "retrieved {} over the wire: {} bytes, {} reception errors absorbed as erasures",
+                outcome.file,
+                outcome.data.len(),
+                outcome.errors_observed
+            );
+        }
+        Err(error) => println!("retrieval of {file} failed: {error}"),
+    }
+}
+
+fn main() -> Result<(), rtbdisk::Error> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+
+    if let Some(addr) = flag_value("--connect") {
+        // Client-only mode: join a station someone else is serving.
+        let addr = addr.parse().expect("--connect takes host:port");
+        let file = FileId(
+            flag_value("--file")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
+        );
+        retrieve(addr, file);
+        return Ok(());
+    }
+
+    // Serving mode: put the station on the wire (on an explicit port with
+    // `--serve host:port`, else an ephemeral loopback one for the demo).
+    let mut config = NetConfig::default().with_control_plane();
+    let demo = flag_value("--serve").is_none();
+    if let Some(bind) = flag_value("--serve") {
+        config.data_bind = bind.parse().expect("--serve takes host:port");
+    }
+    let clock = WallClock::new(Duration::from_millis(1));
+    let serving = station()?.serve_network_with(clock, Default::default(), config)?;
+    println!(
+        "station on the wire: data {}  control {}",
+        serving.data_addr(),
+        serving
+            .control_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default()
+    );
+
+    if demo {
+        // Ask the control plane where a file lives, then retrieve it twice
+        // over UDP, concurrently.
+        let mut control = ControlClient::connect(serving.control_addr().expect("demo has one"))
+            .expect("the control plane is reachable");
+        let info = control.subscribe(FileId(2)).expect("file 2 is served");
+        println!(
+            "control plane: file 2 on channel {} at epoch {}, any {} of {} blocks reconstruct",
+            info.channel, info.epoch, info.m, info.n
+        );
+        let addr = serving.data_addr();
+        let fleet: Vec<_> = [FileId(1), FileId(2)]
+            .into_iter()
+            .map(|file| std::thread::spawn(move || retrieve(addr, file)))
+            .collect();
+        for client in fleet {
+            client.join().expect("client thread exits");
+        }
+        let stats = serving.net_stats();
+        println!(
+            "station: {} frames, {} datagrams, {} bytes on the wire, {} joins",
+            stats.frames_sent, stats.datagrams_sent, stats.bytes_sent, stats.joins
+        );
+        serving.shutdown()?;
+    } else {
+        println!("serving until interrupted (connect with --connect)");
+        loop {
+            std::thread::sleep(Duration::from_secs(1));
+        }
+    }
+    Ok(())
+}

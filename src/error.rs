@@ -61,6 +61,11 @@ pub enum Error {
     /// ([`crate::Station::serve_concurrent`]) whose serving thread has
     /// already shut down.
     RuntimeClosed,
+    /// The network side failed ([`crate::Station::serve_network`]): a
+    /// socket could not be bound or a control exchange failed.  Carries
+    /// the rendered [`bnet::NetError`] (this enum stays `Clone` +
+    /// `PartialEq`, which `std::io::Error` is not).
+    Net(String),
     /// A retrieval listened for more than the station's listen cap without
     /// completing (pathological loss rates).
     RetrievalStalled {
@@ -112,6 +117,7 @@ impl core::fmt::Display for Error {
             Error::RuntimeClosed => {
                 write!(f, "the broadcast runtime has shut down")
             }
+            Error::Net(msg) => write!(f, "network serving failed: {msg}"),
             Error::RetrievalStalled { file, listened } => write!(
                 f,
                 "retrieval of {file} did not complete within {listened} slots"
@@ -212,6 +218,7 @@ mod tests {
             },
             Error::NoSubscribers,
             Error::RuntimeClosed,
+            Error::Net("bind failed".to_string()),
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

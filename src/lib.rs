@@ -38,6 +38,12 @@
 //!   unsubscribe, scheduled swaps via [`ModeSchedule`], stats, graceful
 //!   shutdown); a slow client drops slots as recorded erasures instead of
 //!   stalling the server.
+//! * [`Station::serve_network`] additionally puts the broadcast on the
+//!   *wire*: every served slot goes out once per channel as a UDP datagram
+//!   to every joined peer ([`NetServing`]), and a standalone
+//!   [`NetClient`] on the far side turns lost or corrupt datagrams into
+//!   erasures and reconstructs files byte-identical to in-process serving
+//!   — lossy UDP is exactly the erasure channel the paper models.
 //!
 //! ## Quickstart
 //!
@@ -69,6 +75,7 @@
 //! | [`bmode`] | mode specifications, online re-design, transition planning |
 //! | [`bsim`] | error models, worst-case analysis, Monte-Carlo simulation, mode schedules |
 //! | [`brt`] | slot clocks, the threaded broadcast runtime, the swap scheduler |
+//! | [`bnet`] | wire format, UDP station server, TCP control plane, socket clients |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,6 +83,7 @@
 mod broadcast;
 mod error;
 mod mode;
+mod net;
 mod retrieval;
 mod runtime;
 mod station;
@@ -83,6 +91,7 @@ mod station;
 pub use broadcast::{Broadcast, BroadcastBuilder};
 pub use error::Error;
 pub use mode::{PreparedMode, SwapReport};
+pub use net::NetServing;
 pub use retrieval::{Retrieval, RetrievalResolution};
 pub use runtime::{ClientHandle, RuntimeHandle, ScheduleHandle};
 pub use station::{Station, Stream};
@@ -91,6 +100,7 @@ pub use station::{Station, Stream};
 pub use bcore::{ChannelBudget, GeneralizedFileSpec, ShardPlan, ShardPlanner};
 pub use bdisk::{EpochBank, LatencyVector, MultiChannelServer, RetrievalOutcome, TransmissionRef};
 pub use bmode::{ChannelTransition, ModePlanner, ModeSpec, SwapPolicy, TransitionPlan};
+pub use bnet::{ControlClient, NetClient, NetConfig, NetError, NetStats};
 pub use brt::{
     ManualClock, RuntimeConfig, RuntimeStats, ScheduleOutcome, SlotClock, SubscriptionStats,
     WallClock,
@@ -107,6 +117,7 @@ pub use pinwheel::SchedulerChoice;
 pub use bcore;
 pub use bdisk;
 pub use bmode;
+pub use bnet;
 pub use brt;
 pub use bsim;
 pub use gf256;

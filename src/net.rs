@@ -1,0 +1,115 @@
+//! Network serving: the facade over the `bnet` subsystem.
+//!
+//! [`Station::serve_network`] is [`Station::serve_concurrent`] with the
+//! broadcast additionally on the wire: the slot-clocked serving thread
+//! publishes every served slot once per channel as a UDP datagram to every
+//! joined peer, exactly the paper's broadcast medium — clients passively
+//! listen, and what the network loses is an erasure the dispersal absorbs.
+//! The returned [`NetServing`] bundles the full concurrent-runtime handle
+//! (in-process subscriptions, swaps and stats keep working while the
+//! station broadcasts on the wire) with the network side's addresses and
+//! counters.
+
+use crate::runtime::RuntimeHandle;
+use crate::{Error, Station};
+use bnet::{Directory, NetConfig, NetHandle, NetServer, NetStats, SubscriptionInfo};
+use brt::RuntimeConfig;
+use std::net::SocketAddr;
+
+impl Station {
+    /// Puts the station on the air *and* on the wire: spawns the serving
+    /// thread with a UDP fan-out sink bound per the default [`NetConfig`]
+    /// (an ephemeral loopback port, no TCP control plane).
+    ///
+    /// Clients join with [`bnet::NetClient::join`] against
+    /// [`NetServing::data_addr`].
+    pub fn serve_network(self, clock: impl brt::SlotClock) -> Result<NetServing, Error> {
+        self.serve_network_with(clock, RuntimeConfig::default(), NetConfig::default())
+    }
+
+    /// [`Station::serve_network`] with explicit runtime and network
+    /// tunables (bind addresses, MTU, the optional TCP control plane).
+    pub fn serve_network_with(
+        self,
+        clock: impl brt::SlotClock,
+        runtime_config: RuntimeConfig,
+        net_config: NetConfig,
+    ) -> Result<NetServing, Error> {
+        let directory = self.network_directory();
+        let (fanout, net) =
+            NetServer::bind(net_config, directory).map_err(|e| Error::Net(e.to_string()))?;
+        let runtime =
+            brt::Runtime::spawn_with_sinks(self, clock, runtime_config, vec![Box::new(fanout)]);
+        Ok(NetServing {
+            runtime: RuntimeHandle::from_inner(runtime),
+            net,
+        })
+    }
+
+    /// The control-plane directory of this station: file id → channel,
+    /// epoch and dispersal parameters, as served right now.
+    pub fn network_directory(&self) -> Directory {
+        let mut directory = Directory::new();
+        for file in self.files().files() {
+            let Some(channel) = self.channel_of(file.id) else {
+                continue;
+            };
+            let epoch = self.bank().current_epoch_of(channel).unwrap_or(0);
+            directory.insert(
+                file.id.0,
+                SubscriptionInfo {
+                    channel: channel as u16,
+                    epoch,
+                    m: file.threshold(),
+                    n: file.dispersed_blocks,
+                },
+            );
+        }
+        directory
+    }
+}
+
+/// A station serving concurrently *and* broadcasting over UDP.
+///
+/// Dereference-style access: [`NetServing::runtime`] exposes the full
+/// [`RuntimeHandle`] API (subscribe, swaps, stats), while the network side
+/// is managed here.  [`NetServing::shutdown`] stops both and returns the
+/// station.
+pub struct NetServing {
+    runtime: RuntimeHandle,
+    net: NetHandle,
+}
+
+impl NetServing {
+    /// The UDP address clients send `Join` to and receive slots from.
+    pub fn data_addr(&self) -> SocketAddr {
+        self.net.data_addr()
+    }
+
+    /// The TCP control-plane address, when one was configured.
+    pub fn control_addr(&self) -> Option<SocketAddr> {
+        self.net.control_addr()
+    }
+
+    /// A snapshot of the network counters (frames, datagrams, bytes,
+    /// joins, send errors).
+    pub fn net_stats(&self) -> NetStats {
+        self.net.stats()
+    }
+
+    /// The concurrent-runtime handle: in-process subscriptions, mode
+    /// swaps, fleet statistics — everything keeps working while the
+    /// station broadcasts on the wire.
+    pub fn runtime(&self) -> &RuntimeHandle {
+        &self.runtime
+    }
+
+    /// Stops the serving loop and the network threads; returns the
+    /// station.
+    pub fn shutdown(self) -> Result<Station, Error> {
+        let NetServing { runtime, net } = self;
+        let station = runtime.shutdown()?;
+        net.shutdown();
+        Ok(station)
+    }
+}

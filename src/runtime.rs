@@ -60,6 +60,12 @@ pub struct RuntimeHandle {
 }
 
 impl RuntimeHandle {
+    /// Wraps a spawned runtime (the network-serving path spawns it with
+    /// sinks attached).
+    pub(crate) fn from_inner(inner: brt::Runtime<Station>) -> Self {
+        RuntimeHandle { inner }
+    }
+
     /// Subscribes a lossless client to `file` starting at `at_slot` and
     /// spawns its client task.  Slots served before the subscription
     /// registers are gone (a broadcast does not rewind); delivery starts at

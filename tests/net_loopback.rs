@@ -1,0 +1,185 @@
+//! Loopback integration of the network-serving path: a station on real
+//! UDP/TCP sockets, clients in other threads, reconstruction byte-identical
+//! to the in-process drive — with injected garbage datagrams accounted as
+//! erasures along the way.
+
+use rtbdisk::bnet::NetClient;
+use rtbdisk::{
+    Broadcast, ControlClient, FileId, GeneralizedFileSpec, ManualClock, NetConfig, NetError,
+    NoErrors, RuntimeConfig, Station,
+};
+use std::time::Duration;
+
+fn station() -> Station {
+    let files = (1..=4u32).map(|i| {
+        GeneralizedFileSpec::new(FileId(i), 1, vec![10 + 2 * i, 14 + 2 * i]).expect("feasible spec")
+    });
+    Broadcast::builder()
+        .files(files)
+        .channels(2)
+        .build()
+        .expect("the test specs are feasible")
+}
+
+/// What the in-process serial drive reconstructs — the reference bytes.
+fn expected_bytes(station: &Station, file: FileId) -> Vec<u8> {
+    let mut fleet = vec![station.subscribe(file, 0).unwrap()];
+    station
+        .run_until_complete(&mut fleet, &mut NoErrors)
+        .unwrap()
+        .pop()
+        .unwrap()
+        .data
+}
+
+/// Advances the manual clock in small batches until `done` reports true
+/// (or a generous budget runs out) — small batches keep the loopback send
+/// rate below what the receive buffers drop wholesale.
+fn advance_until(clock: &ManualClock, mut done: impl FnMut() -> bool) {
+    for _ in 0..4096 {
+        if done() {
+            return;
+        }
+        clock.advance(32);
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    panic!("the loopback clients did not finish within the advance budget");
+}
+
+#[test]
+fn loopback_clients_reconstruct_byte_identically_to_in_process_serving() {
+    let station = station();
+    let reference = station.clone();
+    let clock = ManualClock::new();
+    let serving = station.serve_network(clock.clone()).unwrap();
+    let addr = serving.data_addr();
+
+    let files = [FileId(1), FileId(2), FileId(3), FileId(4)];
+    let clients: Vec<_> = files
+        .map(|file| {
+            let client = NetClient::join(addr, file).unwrap();
+            std::thread::spawn(move || client.retrieve(Duration::from_secs(30)))
+        })
+        .into_iter()
+        .collect();
+
+    // Wait for the whole fleet to register before asserting anything.  The
+    // monotonic `joins` counter, not the `peers` gauge: a fast client can
+    // join, complete (this loop advances the clock) and *leave* between two
+    // samples, so `peers` may never be observed at its peak.
+    advance_until(&clock, || serving.net_stats().joins as usize == files.len());
+    let mut joined = Vec::new();
+    for (client, file) in clients.into_iter().zip(files) {
+        // Keep serving until this client's thread resolves.
+        advance_until(&clock, || client.is_finished());
+        let outcome = client
+            .join()
+            .expect("client thread does not panic")
+            .expect("the loopback retrieval completes");
+        assert_eq!(outcome.file, file);
+        assert_eq!(
+            outcome.data,
+            expected_bytes(&reference, file),
+            "file {file}: the wire must reconstruct what the in-process drive does"
+        );
+        joined.push(file);
+    }
+    assert_eq!(joined.len(), files.len());
+
+    let stats = serving.net_stats();
+    assert_eq!(stats.joins as usize, files.len());
+    assert!(stats.frames_sent > 0);
+    assert!(stats.datagrams_sent >= stats.frames_sent);
+    let station = serving.shutdown().unwrap();
+    assert_eq!(station.specs().len(), 4, "shutdown returns the station");
+}
+
+#[test]
+fn garbage_datagrams_are_accounted_as_erasures_and_do_not_break_retrieval() {
+    let station = station();
+    let reference = station.clone();
+    let file = FileId(2);
+    let clock = ManualClock::new();
+    let serving = station.serve_network(clock.clone()).unwrap();
+
+    let client = NetClient::join(serving.data_addr(), file).unwrap();
+    let victim = client.local_addr().unwrap();
+    let retrieval = std::thread::spawn(move || client.retrieve(Duration::from_secs(30)));
+
+    // An interferer blasts garbage straight at the client's socket: short
+    // datagrams, bad magic, and truncated-but-plausible frames.  Sent
+    // before the first clock advance, so loopback FIFO guarantees the
+    // client chews through all of it before any slot frame arrives.
+    let noise = std::net::UdpSocket::bind("127.0.0.1:0").unwrap();
+    const GARBAGE: usize = 32;
+    for i in 0..GARBAGE {
+        let junk: Vec<u8> = match i % 3 {
+            0 => vec![0xFF; 5],
+            1 => b"BNETgarbage-not-a-frame".to_vec(),
+            _ => vec![b'B', b'N', b'E', b'T', 1, 1, i as u8],
+        };
+        noise.send_to(&junk, victim).unwrap();
+    }
+
+    // `joins` (monotonic), not `peers` (transient): the client may complete
+    // and leave between two samples once the clock starts moving.
+    advance_until(&clock, || serving.net_stats().joins >= 1);
+    advance_until(&clock, || retrieval.is_finished());
+    let outcome = retrieval
+        .join()
+        .expect("client thread does not panic")
+        .expect("garbage on the wire must not break the retrieval");
+    assert_eq!(outcome.data, expected_bytes(&reference, file));
+    assert!(
+        outcome.errors_observed >= GARBAGE,
+        "all {GARBAGE} garbage datagrams must be absorbed as erasures \
+         (saw {})",
+        outcome.errors_observed
+    );
+    serving.shutdown().unwrap();
+}
+
+#[test]
+fn the_tcp_control_plane_answers_subscriptions_and_resyncs() {
+    let station = station();
+    let directory = station.network_directory();
+    let clock = ManualClock::new();
+    let serving = station
+        .serve_network_with(
+            clock.clone(),
+            RuntimeConfig::default(),
+            NetConfig::default().with_control_plane(),
+        )
+        .unwrap();
+    let control = serving
+        .control_addr()
+        .expect("a control plane was asked for");
+
+    let mut client = ControlClient::connect(control).unwrap();
+    for (file, info) in &directory {
+        let answer = client.subscribe(FileId(*file)).unwrap();
+        assert_eq!(answer, *info, "the ack must mirror the directory");
+    }
+    match client.subscribe(FileId(99)) {
+        Err(NetError::Refused { file, .. }) => assert_eq!(file, FileId(99)),
+        other => panic!("unknown file must be refused, got {other:?}"),
+    }
+
+    // Resync reflects serving progress.
+    let (_, before) = client.resync().unwrap();
+    clock.advance(64);
+    advance_until(&clock, || {
+        serving
+            .runtime()
+            .stats()
+            .map(|s| s.slots_served)
+            .unwrap_or(0)
+            >= 64
+    });
+    let (_, after) = client.resync().unwrap();
+    assert!(
+        after > before && after >= 64,
+        "resync must reflect serving progress ({before} → {after})"
+    );
+    serving.shutdown().unwrap();
+}

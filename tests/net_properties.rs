@@ -1,0 +1,207 @@
+//! Properties of the wire transport (`bnet`) against the synchronous
+//! station — the paper's central claim carried onto a real medium:
+//!
+//! * **loss-as-erasure equivalence** — a lossy in-memory "socket" (the
+//!   channel's wire stream with a seeded drop pattern) resolves
+//!   byte-identically to the serial drive losing the *same* receptions
+//!   through a `bsim` error model;
+//! * **corruption is loss** — flipping bytes in a datagram instead of
+//!   dropping it yields the same reconstruction (the decoder rejects the
+//!   datagram, the dispersal absorbs it as an erasure);
+//! * **fragmentation is transparent** — a tiny MTU that forces every slot
+//!   frame through the fragment path reconstructs identically.
+//!
+//! All three feed [`rtbdisk::bnet::ClientState`] directly: the state
+//! machine is socket-free, so the deterministic in-memory wire is exactly
+//! what a `UdpSocket` would deliver, minus the non-determinism.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtbdisk::bnet::wire::{datagrams, encode, Frame, SlotFrame};
+use rtbdisk::bnet::ClientState;
+use rtbdisk::{Broadcast, ErrorModel, FileId, GeneralizedFileSpec, Station, TransmissionRef};
+
+/// A precomputed loss pattern: reception `i` is lost iff `pattern[i]`.
+/// The serial drive samples it once per live `(slot, channel)` in slot
+/// order — the same order the wire leg consumes it in.
+struct PatternErrors {
+    pattern: Vec<bool>,
+    next: usize,
+}
+
+impl PatternErrors {
+    fn new(pattern: Vec<bool>) -> Self {
+        PatternErrors { pattern, next: 0 }
+    }
+}
+
+impl ErrorModel for PatternErrors {
+    fn is_lost(&mut self, _transmission: TransmissionRef<'_>) -> bool {
+        let lost = self.pattern.get(self.next).copied().unwrap_or(false);
+        self.next += 1;
+        lost
+    }
+}
+
+fn station_case(case: usize) -> Station {
+    let channels = [1, 2][case % 2];
+    let files = (1..=(2 * channels) as u32).map(|i| {
+        GeneralizedFileSpec::new(FileId(i), 1, vec![10 + 3 * i, 15 + 3 * i]).expect("feasible spec")
+    });
+    Broadcast::builder()
+        .files(files)
+        .channels(channels)
+        .build()
+        .expect("the case specs are feasible")
+}
+
+/// The wire stream of one channel: every live transmission encoded as a
+/// slot-frame datagram, in slot order, up to `limit` receptions.
+fn wire_stream(station: &Station, channel: u16, epoch: u64, limit: usize) -> Vec<Vec<u8>> {
+    station
+        .stream_channel(channel as usize, 0)
+        .expect("the directory names a real channel")
+        .filter_map(|(_, tx)| tx)
+        .take(limit)
+        .map(|tx| {
+            encode(&Frame::Slot(SlotFrame::from_transmission(
+                channel, epoch, tx,
+            )))
+        })
+        .collect()
+}
+
+#[test]
+fn lossy_wire_resolves_byte_identically_to_the_serial_bernoulli_drive() {
+    let mut rng = StdRng::seed_from_u64(0x03E7_0001);
+    for case in 0..8 {
+        let station = station_case(case);
+        for spec in station.specs() {
+            let file = spec.id;
+            let info = station.network_directory()[&file.0];
+            let pattern: Vec<bool> = (0..station.listen_cap())
+                .map(|_| rng.gen_bool(0.25))
+                .collect();
+
+            // The reference: the synchronous station losing exactly the
+            // receptions the pattern marks.
+            let mut fleet = vec![station.subscribe(file, 0).unwrap()];
+            let expected = station
+                .run_until_complete(&mut fleet, &mut PatternErrors::new(pattern.clone()))
+                .unwrap()
+                .pop()
+                .unwrap();
+
+            // The wire: the same channel's datagram stream through a lossy
+            // in-memory socket dropping the same receptions.
+            let mut state = ClientState::new(file);
+            for (i, datagram) in wire_stream(&station, info.channel, info.epoch, pattern.len())
+                .iter()
+                .enumerate()
+            {
+                if pattern[i] {
+                    continue; // the medium ate this datagram
+                }
+                if state.feed_datagram(datagram) {
+                    break;
+                }
+            }
+            let outcome = state.finish().expect("the wire leg reconstructs");
+            assert_eq!(
+                outcome.data, expected.data,
+                "case {case} file {file}: wire loss and serial-drive loss must \
+                 resolve to the same bytes"
+            );
+            assert_eq!(state.blocks_received(), info.m as usize);
+            assert_eq!(state.params(), Some((info.m, info.n)));
+        }
+    }
+}
+
+#[test]
+fn corrupted_datagrams_resolve_like_dropped_ones() {
+    let mut rng = StdRng::seed_from_u64(0x03E7_0002);
+    for case in 0..6 {
+        let station = station_case(case);
+        let spec = &station.specs()[case % station.specs().len()];
+        let file = spec.id;
+        let info = station.network_directory()[&file.0];
+        let pattern: Vec<bool> = (0..station.listen_cap())
+            .map(|_| rng.gen_bool(0.2))
+            .collect();
+
+        let mut fleet = vec![station.subscribe(file, 0).unwrap()];
+        let expected = station
+            .run_until_complete(&mut fleet, &mut PatternErrors::new(pattern.clone()))
+            .unwrap()
+            .pop()
+            .unwrap();
+
+        // Same drop pattern, but instead of vanishing, the marked datagrams
+        // arrive corrupted: a flipped byte somewhere in the body.
+        let mut state = ClientState::new(file);
+        let mut corrupted_fed = 0u64;
+        for (i, datagram) in wire_stream(&station, info.channel, info.epoch, pattern.len())
+            .iter()
+            .enumerate()
+        {
+            let done = if pattern[i] {
+                let mut garbled = datagram.clone();
+                let at = rng.gen_range(0..garbled.len());
+                garbled[at] ^= 0x5A;
+                corrupted_fed += 1;
+                state.feed_datagram(&garbled)
+            } else {
+                state.feed_datagram(datagram)
+            };
+            if done {
+                break;
+            }
+        }
+        let outcome = state
+            .finish()
+            .expect("corruption is absorbed exactly like loss");
+        assert_eq!(outcome.data, expected.data, "case {case} file {file}");
+        // Every corrupted datagram the decoder saw was rejected and counted.
+        assert_eq!(state.stats().decode_errors, corrupted_fed);
+        assert!(state.stats().erasures >= corrupted_fed);
+    }
+}
+
+#[test]
+fn fragmentation_under_a_tiny_mtu_is_transparent() {
+    for case in 0..4 {
+        let station = station_case(case);
+        let spec = &station.specs()[case % station.specs().len()];
+        let file = spec.id;
+        let info = station.network_directory()[&file.0];
+
+        let mut fleet = vec![station.subscribe(file, 0).unwrap()];
+        let expected = station
+            .run_until_complete(&mut fleet, &mut rtbdisk::NoErrors)
+            .unwrap()
+            .pop()
+            .unwrap();
+
+        // An MTU far below the block size: every slot frame fragments.
+        let mut state = ClientState::new(file);
+        let stream = station
+            .stream_channel(info.channel as usize, 0)
+            .unwrap()
+            .filter_map(|(_, tx)| tx)
+            .take(station.listen_cap());
+        'outer: for (seq, tx) in stream.enumerate() {
+            let frame = Frame::Slot(SlotFrame::from_transmission(info.channel, info.epoch, tx));
+            let pieces = datagrams(&frame, 96, seq as u64);
+            assert!(pieces.len() > 1, "a 96-byte MTU must fragment the frame");
+            for piece in &pieces {
+                if state.feed_datagram(piece) {
+                    break 'outer;
+                }
+            }
+        }
+        let outcome = state.finish().expect("fragments reassemble losslessly");
+        assert_eq!(outcome.data, expected.data, "case {case} file {file}");
+        assert_eq!(state.stats().erasures, 0, "a lossless wire has no erasures");
+    }
+}
