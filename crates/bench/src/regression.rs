@@ -44,6 +44,13 @@ pub struct RegressionReport {
     /// path for brand-new figures, which have no committed baseline on
     /// their first run.  Skips never fail the gate.
     pub skipped: Vec<String>,
+    /// Metrics whose committed baseline value is zero or not finite and
+    /// which were therefore skipped with a warning: no finite ratio exists
+    /// against such a baseline, so comparing would either divide by zero or
+    /// wave every current value through as an infinite improvement.  A
+    /// degenerate baseline is a measurement bug to fix at the source, not a
+    /// gate verdict.
+    pub skipped_metrics: Vec<String>,
 }
 
 impl RegressionReport {
@@ -70,6 +77,13 @@ impl core::fmt::Display for RegressionReport {
                 f,
                 "note: baseline `{missing}` does not exist yet — skipped \
                  (commit the freshly generated figure to arm the gate)"
+            )?;
+        }
+        for degenerate in &self.skipped_metrics {
+            writeln!(
+                f,
+                "warning: baseline metric {degenerate} — skipped \
+                 (regenerate and commit a healthy baseline to arm this metric)"
             )?;
         }
         let rows: Vec<Vec<String>> = self
@@ -163,23 +177,24 @@ pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<Regressi
     if baseline.is_empty() {
         return Err("the baseline contains no throughput metrics".to_string());
     }
-    let rows = baseline
-        .iter()
-        .map(|(metric, &base)| match current.get(metric) {
-            Some(&now) => {
-                let ratio = if base > 0.0 {
-                    now / base
-                } else {
-                    f64::INFINITY
-                };
-                RegressionRow {
-                    metric: metric.clone(),
-                    baseline: base,
-                    current: now,
-                    ratio,
-                    ok: now >= base * (1.0 - tolerance),
-                }
-            }
+    let mut rows = Vec::new();
+    let mut skipped_metrics = Vec::new();
+    for (metric, &base) in &baseline {
+        // A zero or non-finite baseline admits no finite ratio: comparing
+        // against it would either divide by zero or pass anything as an
+        // "infinite improvement".  Warn and skip instead of guessing.
+        if !(base.is_finite() && base > 0.0) {
+            skipped_metrics.push(format!("{metric} (baseline value {base} is unusable)"));
+            continue;
+        }
+        rows.push(match current.get(metric) {
+            Some(&now) => RegressionRow {
+                metric: metric.clone(),
+                baseline: base,
+                current: now,
+                ratio: now / base,
+                ok: now >= base * (1.0 - tolerance),
+            },
             None => RegressionRow {
                 metric: metric.clone(),
                 baseline: base,
@@ -187,12 +202,13 @@ pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<Regressi
                 ratio: 0.0,
                 ok: false,
             },
-        })
-        .collect();
+        });
+    }
     Ok(RegressionReport {
         tolerance,
         rows,
         skipped: Vec::new(),
+        skipped_metrics,
     })
 }
 
@@ -208,6 +224,7 @@ pub fn compare(baseline: &str, current: &str, tolerance: f64) -> Result<Regressi
 pub fn check_files(pairs: &[(String, String)], tolerance: f64) -> Result<RegressionReport, String> {
     let mut rows = Vec::new();
     let mut skipped = Vec::new();
+    let mut skipped_metrics = Vec::new();
     for (baseline_path, current_path) in pairs {
         if !std::path::Path::new(baseline_path).exists() {
             skipped.push(baseline_path.clone());
@@ -222,11 +239,18 @@ pub fn check_files(pairs: &[(String, String)], tolerance: f64) -> Result<Regress
             row.metric = format!("{current_path}:{}", row.metric);
         }
         rows.extend(report.rows);
+        skipped_metrics.extend(
+            report
+                .skipped_metrics
+                .into_iter()
+                .map(|m| format!("{current_path}:{m}")),
+        );
     }
     Ok(RegressionReport {
         tolerance,
         rows,
         skipped,
+        skipped_metrics,
     })
 }
 
@@ -357,6 +381,30 @@ mod tests {
         let report = check_files(&pairs, 0.30).unwrap();
         assert!(report.failed(), "the regressed pair must still fail");
         assert_eq!(report.skipped.len(), 1);
+    }
+
+    #[test]
+    fn zero_baselines_are_skipped_with_a_warning_not_compared() {
+        // A degenerate committed baseline (a figure recorded as 0, e.g. from
+        // an interrupted run) must neither fail the gate nor wave the metric
+        // through as an infinite improvement — it is warned about and
+        // skipped until a healthy baseline is committed.
+        let baseline = r#"{"rows": [{"broken_per_s": 0.0, "healthy_mb_s": 100.0}]}"#;
+        let current = r#"{"rows": [{"broken_per_s": 5000.0, "healthy_mb_s": 100.0}]}"#;
+        let report = compare(baseline, current, 0.30).unwrap();
+        assert!(!report.failed());
+        assert_eq!(report.rows.len(), 1, "only the healthy metric compares");
+        assert_eq!(report.skipped_metrics.len(), 1);
+        assert!(report.skipped_metrics[0].contains("broken_per_s"));
+        assert!(report.to_string().contains("warning: baseline metric"));
+        assert!(report.rows.iter().all(|r| r.ratio.is_finite()));
+
+        // The healthy metric still gates: a real regression next to a
+        // degenerate sibling must not be masked by the skip.
+        let regressed = r#"{"rows": [{"broken_per_s": 0.0, "healthy_mb_s": 10.0}]}"#;
+        let report = compare(baseline, regressed, 0.30).unwrap();
+        assert!(report.failed());
+        assert_eq!(report.skipped_metrics.len(), 1);
     }
 
     #[test]

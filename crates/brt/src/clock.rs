@@ -38,6 +38,18 @@ pub trait SlotClock: Send + Sync + 'static {
     /// Is `slot` due, not yet due, or is the clock closed?
     fn poll(&self, slot: usize) -> ClockPoll;
 
+    /// How many consecutive slots starting at `from` are due right now
+    /// (`0` when `from` itself is not due, or the clock is closed).  One
+    /// query can size a whole serving burst, so implementations that know
+    /// their release frontier save the serving loop a poll per slot; the
+    /// default conservatively derives a run of at most one.
+    fn ready_run(&self, from: usize) -> usize {
+        match self.poll(from) {
+            ClockPoll::Ready => 1,
+            _ => 0,
+        }
+    }
+
     /// Registers a waker to be notified whenever the clock's state changes.
     fn register_waker(&self, waker: Arc<WakeSignal>);
 
@@ -140,6 +152,17 @@ impl SlotClock for WallClock {
         }
     }
 
+    fn ready_run(&self, from: usize) -> usize {
+        if self.state.lock().expect("wall clock lock").closed {
+            return 0;
+        }
+        let elapsed = Instant::now().saturating_duration_since(self.origin);
+        // Slot `t` is due once `elapsed >= t × period`, so the frontier is
+        // `floor(elapsed / period) + 1` due slots.
+        let due = (elapsed.as_nanos() / self.period.as_nanos().max(1)) as usize + 1;
+        due.saturating_sub(from)
+    }
+
     fn register_waker(&self, waker: Arc<WakeSignal>) {
         self.state
             .lock()
@@ -205,6 +228,15 @@ impl SlotClock for ManualClock {
             ClockPoll::Ready
         } else {
             ClockPoll::NotYet(None)
+        }
+    }
+
+    fn ready_run(&self, from: usize) -> usize {
+        let state = self.state.lock().expect("manual clock lock");
+        if state.closed {
+            0
+        } else {
+            state.released.saturating_sub(from)
         }
     }
 

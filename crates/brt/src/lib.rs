@@ -13,10 +13,16 @@
 //!   facade's `Station` implements it);
 //! * [`drive`] — the synchronous slot driver (the facade's
 //!   `run_until_complete` family is a thin adapter over it);
-//! * [`Runtime`] — the threaded server loop: one serving thread fans each
-//!   slot out to N concurrent client tasks over bounded per-subscriber
-//!   queues with backpressure-by-dropping (lag is recorded as erasures;
-//!   the server never stalls on a slow client);
+//! * [`Runtime`] — the threaded server loop: one serving thread publishes
+//!   each slot **once** onto a shared [`BroadcastRing`]; N concurrent
+//!   client tasks read it through private cursors without cloning payloads
+//!   (a true broadcast: server cost is independent of the fleet size).
+//!   Backpressure is by overwrite — a reader that falls more than the
+//!   ring's capacity behind self-accounts the lost span as lag/erasures;
+//!   the server never stalls on a slow client.  Swap notes ride small
+//!   per-subscriber control [`SlotQueue`]s so epochs never desync, and
+//!   [`Engine::admit`] gates subscriptions against per-channel fleet
+//!   budgets;
 //! * [`SwapScheduler`] — plays a [`bsim::ModeSchedule`] against a running
 //!   runtime: `prepare` off-thread, `swap` at the planned slot boundary;
 //! * [`SlotSink`] — the transport-facing fan-out hook: every served slot's
@@ -35,6 +41,7 @@ mod clock;
 mod drive;
 mod engine;
 mod queue;
+mod ring;
 mod runtime;
 mod scheduler;
 mod sink;
@@ -42,7 +49,8 @@ mod sink;
 pub use clock::{ClockPoll, ManualClock, SlotClock, WakeSignal, WallClock};
 pub use drive::{drive, DriveError};
 pub use engine::{Engine, Subscriber, SwapNote};
-pub use queue::{Delivery, Popped, SlotQueue};
+pub use queue::{Delivery, Popped, Push, SlotQueue};
+pub use ring::{BatchRead, BroadcastRing, LaneCell, RingRead, SlotCell};
 pub use runtime::{
     Consumer, Runtime, RuntimeConfig, RuntimeController, RuntimeError, RuntimeStats, Subscription,
     SubscriptionStats,
@@ -72,6 +80,8 @@ mod tests {
         bank: EpochBank,
         catalog: BTreeMap<String, Vec<Arc<BroadcastServer>>>,
         mode: String,
+        /// Per-channel fleet budget for `admit` (`None` admits everything).
+        budget: Option<usize>,
     }
 
     struct BankTicket {
@@ -158,6 +168,14 @@ mod tests {
                 mode: self.mode.clone(),
             }
         }
+        fn admit(&self, _file: FileId, channel: usize, active: usize) -> Result<(), String> {
+            match self.budget {
+                Some(budget) if active >= budget => {
+                    Err(format!("channel {channel} fleet budget {budget} exhausted"))
+                }
+                _ => Ok(()),
+            }
+        }
         fn snapshot(&self) -> Self {
             self.clone()
         }
@@ -199,12 +217,15 @@ mod tests {
             bank: EpochBank::new(vec![server_for(&[1, 2])]).unwrap(),
             catalog,
             mode: "initial".to_string(),
+            budget: None,
         }
     }
 
     /// Counts received blocks of one file; completes at the threshold.
     struct CountingConsumer {
         file: FileId,
+        channel: usize,
+        epoch: u64,
         received: usize,
         threshold: usize,
         cancelled_by: Option<String>,
@@ -213,6 +234,12 @@ mod tests {
 
     impl Consumer for CountingConsumer {
         type Output = (usize, Option<String>, u64);
+        fn channel(&self) -> usize {
+            self.channel
+        }
+        fn epoch(&self) -> u64 {
+            self.epoch
+        }
         fn deliver(&mut self, _slot: usize, block: &DispersedBlock) -> bool {
             if block.file() == self.file {
                 self.received += 1;
@@ -228,7 +255,11 @@ mod tests {
                     self.cancelled_by = Some(mode.clone());
                     true
                 }
-                SwapNote::Retune { .. } => false,
+                SwapNote::Retune { channel, epoch, .. } => {
+                    self.channel = *channel;
+                    self.epoch = *epoch;
+                    false
+                }
             }
         }
         fn finish(self) -> Self::Output {
@@ -237,8 +268,10 @@ mod tests {
     }
 
     fn counting(file: FileId, threshold: usize) -> impl FnOnce(BankTicket) -> CountingConsumer {
-        move |_ticket| CountingConsumer {
+        move |ticket| CountingConsumer {
             file,
+            channel: ticket.channel,
+            epoch: ticket.epoch,
             received: 0,
             threshold,
             cancelled_by: None,
@@ -399,6 +432,12 @@ mod tests {
         struct Slow(CountingConsumer);
         impl Consumer for Slow {
             type Output = (usize, Option<String>, u64);
+            fn channel(&self) -> usize {
+                self.0.channel()
+            }
+            fn epoch(&self) -> u64 {
+                self.0.epoch()
+            }
             fn deliver(&mut self, slot: usize, block: &DispersedBlock) -> bool {
                 std::thread::sleep(std::time::Duration::from_millis(2));
                 self.0.deliver(slot, block)
@@ -414,9 +453,11 @@ mod tests {
             }
         }
         let sub = runtime
-            .subscribe_with(FileId(1), 0, |_t| {
+            .subscribe_with(FileId(1), 0, |t| {
                 Slow(CountingConsumer {
                     file: FileId(1),
+                    channel: t.channel,
+                    epoch: t.epoch,
                     received: 0,
                     threshold: usize::MAX,
                     cancelled_by: None,
@@ -433,16 +474,44 @@ mod tests {
             }
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
+        runtime.unsubscribe(&sub);
+        let (_, _, lag_erasures) = sub.join();
+        // The reader has booked every overwritten span it observed before
+        // detaching; the fleet counters must agree with the consumer's view.
         let stats = runtime.stats().unwrap();
         assert!(
             stats.lagged_slots > 0,
-            "a capacity-1 queue against 512 fast slots must lag"
+            "a capacity-1 ring against 512 fast slots must lag"
         );
-        runtime.unsubscribe(&sub);
-        let (_, _, lag_erasures) = sub.join();
-        // Everything the server recorded as a dropped file block reached the
-        // consumer as an erasure.
         assert_eq!(lag_erasures, stats.lag_erasures);
+        runtime.shutdown().unwrap();
+    }
+
+    #[test]
+    fn admission_control_refuses_subscriptions_over_the_channel_budget() {
+        let clock = ManualClock::new();
+        let mut capped = engine();
+        capped.budget = Some(1);
+        let runtime = Runtime::spawn(capped, clock.clone(), RuntimeConfig::default());
+        let seated = runtime
+            .subscribe_with(FileId(1), 0, counting(FileId(1), 2))
+            .unwrap();
+        // Same channel (the bank has one), budget 1: the second seat is
+        // refused by the engine's admission hook, not by subscribe itself.
+        let refused = runtime
+            .subscribe_with(FileId(2), 0, counting(FileId(2), 2))
+            .unwrap_err();
+        assert!(matches!(refused, RuntimeError::Engine(_)));
+        let stats = runtime.stats().unwrap();
+        assert_eq!(stats.admission_denied, 1);
+        assert_eq!(stats.total_subscriptions, 1);
+        // The refused seat freed nothing; the seated one completes and its
+        // departure reopens the channel for a new subscriber.
+        clock.advance(64);
+        let (received, _, _) = seated.join();
+        assert_eq!(received, 2);
+        let reseated = runtime.subscribe_with(FileId(2), 64, counting(FileId(2), 2));
+        assert!(reseated.is_ok());
         runtime.shutdown().unwrap();
     }
 }

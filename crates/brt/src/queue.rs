@@ -1,13 +1,21 @@
 //! Bounded per-subscriber delivery queues with lag accounting.
 //!
-//! The serving thread must never stall on a slow client, so pushes are
-//! non-blocking: a data slot that does not fit is *dropped* and recorded as
-//! lag — and if the dropped slot carried a block of the subscriber's file,
-//! as a pending erasure the client applies to its retrieval bookkeeping the
-//! next time it drains (so a lagging client looks exactly like one whose
-//! channel lost those receptions).  Control items (swap notes) are never
-//! dropped: they are rarer than data slots by construction and losing one
-//! would desynchronise the subscriber's epoch.
+//! The broadcast ring carries the runtime's data path; these queues carry
+//! what must stay *per-subscriber*: control items (swap notes), which are
+//! never dropped — they are rarer than data slots by construction and
+//! losing one would desynchronise the subscriber's epoch.  The data API
+//! remains for direct (queue-shaped) producers and for pinning the drop
+//! semantics the ring's lag accounting mirrors: pushes are non-blocking, a
+//! data slot that does not fit is *dropped* and recorded as lag — and if
+//! the dropped slot carried a block of the subscriber's file, as a pending
+//! erasure the consumer applies to its retrieval bookkeeping the next time
+//! it drains (so a lagging client looks exactly like one whose channel lost
+//! those receptions).
+//!
+//! A *closed* queue is different from a *full* one: pushes to a closed
+//! queue are refused without lag accounting — the subscriber departed, so
+//! nothing was "missed" (counting those pushes used to inflate the fleet's
+//! lag counters).
 
 use crate::engine::SwapNote;
 use ida::DispersedBlock;
@@ -17,16 +25,36 @@ use std::sync::{Condvar, Mutex};
 /// One item delivered to a subscriber's client task.
 #[derive(Debug, Clone)]
 pub enum Delivery {
-    /// A data slot of the subscriber's channel (idle slots are never
-    /// delivered; they carry no information a client acts on).
+    /// A data slot of the subscriber's channel carrying a block of its file
+    /// (idle slots are never delivered; they carry no information a client
+    /// acts on).
     Slot {
         /// The slot the block was transmitted in.
         slot: usize,
         /// The transmitted block (cheap clone; the payload is shared).
         block: DispersedBlock,
     },
+    /// A data slot of the subscriber's channel carrying *another* file's
+    /// block: the client only needs the slot number for its reception
+    /// bookkeeping, so no payload rides the queue.
+    Passing {
+        /// The slot the foreign block was transmitted in.
+        slot: usize,
+    },
     /// The subscriber's channel flipped past its epoch: retune or cancel.
     Swap(SwapNote),
+}
+
+/// What one non-blocking [`SlotQueue::push_slot`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Push {
+    /// The item was enqueued.
+    Queued,
+    /// The queue was full: the slot was dropped and recorded as lag.
+    Lagged,
+    /// The queue was closed: the slot was refused *without* lag accounting
+    /// (a departed subscriber misses nothing).
+    Closed,
 }
 
 /// What one blocking [`SlotQueue::pop`] returned: lag accumulated since the
@@ -75,20 +103,34 @@ impl SlotQueue {
         self.capacity
     }
 
-    /// Pushes a data slot; returns `false` (and records lag) when the queue
-    /// is full or closed.  Never blocks.
-    pub fn push_slot(&self, slot: usize, block: DispersedBlock, carries_file: bool) -> bool {
+    /// Pushes a data slot; never blocks.  A full queue drops the slot and
+    /// records lag ([`Push::Lagged`]); a closed queue refuses it without
+    /// accounting ([`Push::Closed`]).  The block is only cloned in when it
+    /// carries the subscriber's file — foreign blocks ride as lightweight
+    /// [`Delivery::Passing`] slot markers.
+    pub fn push_slot(&self, slot: usize, block: &DispersedBlock, carries_file: bool) -> Push {
         let mut state = self.state.lock().expect("slot queue lock");
-        if state.closed || state.items.len() >= self.capacity {
+        if state.closed {
+            return Push::Closed;
+        }
+        if state.items.len() >= self.capacity {
             state.lagged_slots += 1;
             if carries_file {
                 state.lagged_file_blocks += 1;
             }
-            return false;
+            return Push::Lagged;
         }
-        state.items.push_back(Delivery::Slot { slot, block });
+        let item = if carries_file {
+            Delivery::Slot {
+                slot,
+                block: block.clone(),
+            }
+        } else {
+            Delivery::Passing { slot }
+        };
+        state.items.push_back(item);
         self.ready.notify_one();
-        true
+        Push::Queued
     }
 
     /// Pushes a control item (swap note), ignoring the capacity bound.
@@ -125,6 +167,11 @@ impl SlotQueue {
         }
     }
 
+    /// `true` once the queue was closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("slot queue lock").closed
+    }
+
     /// Closes the queue: the producer stops enqueuing and the consumer's
     /// [`SlotQueue::pop`] drains what is left, then returns `None` items.
     pub fn close(&self) {
@@ -156,11 +203,11 @@ mod tests {
     #[test]
     fn full_queues_drop_and_record_lag() {
         let q = SlotQueue::new(2);
-        assert!(q.push_slot(0, block(1), true));
-        assert!(q.push_slot(1, block(2), false));
+        assert_eq!(q.push_slot(0, &block(1), true), Push::Queued);
+        assert_eq!(q.push_slot(1, &block(2), false), Push::Queued);
         // Full: one dropped slot of the subscriber's file, one of another's.
-        assert!(!q.push_slot(2, block(1), true));
-        assert!(!q.push_slot(3, block(2), false));
+        assert_eq!(q.push_slot(2, &block(1), true), Push::Lagged);
+        assert_eq!(q.push_slot(3, &block(2), false), Push::Lagged);
         let first = q.pop();
         assert_eq!(first.lagged_slots, 2);
         assert_eq!(first.lagged_file_blocks, 1);
@@ -168,13 +215,23 @@ mod tests {
         // Lag was consumed by the first pop.
         let second = q.pop();
         assert_eq!(second.lagged_slots, 0);
-        assert!(matches!(second.item, Some(Delivery::Slot { slot: 1, .. })));
+        assert!(matches!(second.item, Some(Delivery::Passing { slot: 1 })));
+    }
+
+    #[test]
+    fn foreign_blocks_ride_as_payload_free_markers() {
+        let q = SlotQueue::new(4);
+        assert_eq!(q.push_slot(9, &block(2), false), Push::Queued);
+        match q.pop().item {
+            Some(Delivery::Passing { slot }) => assert_eq!(slot, 9),
+            other => panic!("expected a passing marker, got {other:?}"),
+        }
     }
 
     #[test]
     fn control_items_bypass_the_capacity_bound() {
         let q = SlotQueue::new(1);
-        assert!(q.push_slot(0, block(1), true));
+        assert_eq!(q.push_slot(0, &block(1), true), Push::Queued);
         q.push_control(SwapNote::Cancel {
             mode: "m".to_string(),
         });
@@ -183,19 +240,50 @@ mod tests {
     }
 
     #[test]
-    fn close_drains_then_ends() {
+    fn closed_queues_refuse_without_lag_accounting() {
+        // A departed subscriber misses nothing: post-close pushes are
+        // refused as Closed and never inflate the lag counters.
         let q = SlotQueue::new(4);
-        assert!(q.push_slot(0, block(1), true));
+        assert_eq!(q.push_slot(0, &block(1), true), Push::Queued);
         q.close();
-        assert!(!q.push_slot(1, block(1), true));
-        // The post-close rejected push was still recorded as lag, consumed
-        // by the first pop along with the drained item.
+        assert!(q.is_closed());
+        assert_eq!(q.push_slot(1, &block(1), true), Push::Closed);
         let first = q.pop();
         assert!(first.item.is_some());
-        assert_eq!(first.lagged_slots, 1);
+        assert_eq!(first.lagged_slots, 0);
+        assert_eq!(first.lagged_file_blocks, 0);
         let last = q.pop();
         assert!(last.item.is_none());
         assert_eq!(last.lagged_slots, 0);
+    }
+
+    #[test]
+    fn closed_is_distinct_from_full() {
+        let q = SlotQueue::new(1);
+        assert_eq!(q.push_slot(0, &block(1), true), Push::Queued);
+        // Full first (books lag), closed after (books nothing).
+        assert_eq!(q.push_slot(1, &block(1), true), Push::Lagged);
+        q.close();
+        assert_eq!(q.push_slot(2, &block(1), true), Push::Closed);
+        let popped = q.pop();
+        assert_eq!(popped.lagged_slots, 1);
+        assert_eq!(popped.lagged_file_blocks, 1);
+    }
+
+    #[test]
+    fn capacity_one_queue_lags_exactly_at_the_full_boundary() {
+        // The clamp floor: capacity 1 holds exactly one undelivered item,
+        // and the lag boundary sits exactly at the second push.
+        let q = SlotQueue::new(0); // clamped to 1
+        assert_eq!(q.capacity(), 1);
+        assert_eq!(q.push_slot(0, &block(1), true), Push::Queued);
+        assert_eq!(q.push_slot(1, &block(1), true), Push::Lagged);
+        let popped = q.pop();
+        assert_eq!(popped.lagged_slots, 1);
+        assert!(matches!(popped.item, Some(Delivery::Slot { slot: 0, .. })));
+        // Draining reopens exactly one seat.
+        assert_eq!(q.push_slot(2, &block(1), true), Push::Queued);
+        assert_eq!(q.push_slot(3, &block(1), true), Push::Lagged);
     }
 
     #[test]
@@ -206,7 +294,7 @@ mod tests {
             move || q.pop()
         });
         std::thread::sleep(std::time::Duration::from_millis(10));
-        assert!(q.push_slot(7, block(1), true));
+        assert_eq!(q.push_slot(7, &block(1), true), Push::Queued);
         let popped = consumer.join().unwrap();
         assert!(matches!(popped.item, Some(Delivery::Slot { slot: 7, .. })));
     }

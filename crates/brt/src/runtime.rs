@@ -1,50 +1,75 @@
 //! The threaded broadcast runtime: a slot-clocked serving loop on its own
-//! thread, fanning each slot's transmissions out to any number of
-//! concurrent client tasks over bounded per-subscriber queues.
+//! thread, publishing each slot **once** onto a shared broadcast ring that
+//! any number of concurrent client tasks read through private cursors.
 //!
 //! ## Architecture
 //!
 //! ```text
-//!              commands (subscribe / swap / stats / shutdown)
+//!              commands (subscribe / lag / note / swap / stats / shutdown)
 //!   Runtime ────────────────────────────────────────────┐
 //!      │                                                ▼
 //!      │ spawn                                   ┌─────────────┐
 //!      ├──────────────────────────────────────▶  │ server loop │ owns the Engine
-//!      │                                         └─────────────┘
-//!      │ subscribe_with(..)                        │   │   │ per-slot fan-out
-//!      ▼                                           ▼   ▼   ▼ (bounded queues)
-//!   Subscription ◀── client task ◀── SlotQueue ◀───┘   …   …
+//!      │                                         └──────┬──────┘
+//!      │ subscribe_with(..)                             │ publish once per slot
+//!      ▼                                                ▼
+//!   Subscription ◀── client task ◀─ cursor ─▶ [ BroadcastRing ] ◀─ cursor ─ …
 //! ```
 //!
 //! * The **server loop** waits on the [`SlotClock`] for each slot, applies
-//!   any swap whose planned slot has arrived, fetches the slot's
-//!   transmissions once, and pushes each live subscriber its channel's
-//!   block.  Pushes never block: a slow client's full queue drops the slot
-//!   and records it as lag (an erasure, when the dropped slot carried a
-//!   block of the subscriber's file) — the server never stalls.
-//! * Each **client task** drains its queue, samples its own reception-error
-//!   process, feeds its retrieval, and reports back when it resolves.
-//! * Swap notes ride the same queues as data, so a subscriber observes a
-//!   mode transition at exactly the right point of its delivery stream.
+//!   any swap whose planned slot has arrived, snapshots the slot's lanes
+//!   into one [`SlotCell`] and publishes it to the [`BroadcastRing`] — one
+//!   `Arc` store and one `Condvar` broadcast per slot, independent of the
+//!   fleet size.  The server never touches per-subscriber state on the data
+//!   path.
+//! * Each **client task** holds a cursor into the ring, resolves its own
+//!   epoch transitions against the published lane epochs, samples its own
+//!   reception-error process, and feeds its retrieval.  A reader that falls
+//!   more than the ring's capacity behind observes the overwrite and
+//!   self-accounts the skipped span as lag/erasures (the server replays the
+//!   span's schedule off the data path to count exactly which dropped slots
+//!   carried the subscriber's file).
+//! * Swap notes ride a small per-subscriber control queue, requested by the
+//!   reader at the exact cell where it observes its channel's epoch move —
+//!   so a subscriber applies a mode transition at precisely the right point
+//!   of its delivery stream and epochs never desync.
 
 use crate::clock::{ClockPoll, SlotClock, WakeSignal};
 use crate::engine::{Engine, Subscriber, SwapNote};
 use crate::queue::{Delivery, SlotQueue};
+use crate::ring::{BatchRead, BroadcastRing, LaneCell, SlotCell};
 use crate::sink::{LaneView, SlotSink};
+use bdisk::TransmissionRef;
 use bmode::SwapPolicy;
 use ida::{DispersedBlock, FileId};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Control queues only carry swap notes (never data), and a subscriber can
+/// owe at most a handful before draining them; the bound is nominal.
+const CONTROL_QUEUE_CAPACITY: usize = 4;
+
+/// Cells a client task drains from the broadcast ring per lock acquisition:
+/// enough to amortise locking while it catches up to a free-running server,
+/// small enough that detach/close checks stay prompt.
+const READ_BATCH: usize = 256;
+
+/// Ready slots the serving loop transmits per command-queue poll while no
+/// swap is pending: long enough to amortise the poll out of the per-slot
+/// cost when the clock free-runs, short enough that a command waits at
+/// most a few microseconds' worth of slots for its boundary.
+const SERVE_BURST: usize = 64;
+
 /// Tunables of a [`Runtime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
-    /// Undelivered-item bound of each subscriber's queue; a subscriber more
-    /// than this many data slots behind starts dropping slots (recorded as
-    /// lag / erasures, never stalling the server).
+    /// Capacity of the shared broadcast ring, in slots: a subscriber more
+    /// than this many slots behind the serving cursor has the overwritten
+    /// span dropped and recorded as lag / erasures (never stalling the
+    /// server).
     pub queue_capacity: usize,
 }
 
@@ -60,10 +85,20 @@ impl Default for RuntimeConfig {
 /// retrieval is resolved, and produces the final output.
 ///
 /// The facade implements this for its `Retrieval` (wrapping a per-client
-/// reception-error model); `brt` itself only needs the shape.
+/// reception-error model); `brt` itself only needs the shape.  The tuning
+/// accessors ([`Consumer::channel`] / [`Consumer::epoch`]) let the client
+/// task resolve epoch transitions against the broadcast ring's published
+/// lane epochs; they must reflect every note applied via
+/// [`Consumer::on_swap`].
 pub trait Consumer: Send + 'static {
     /// What [`Subscription::join`] returns.
     type Output: Send + 'static;
+
+    /// The channel the consumer is currently tuned to.
+    fn channel(&self) -> usize;
+
+    /// The program epoch the consumer is tuned to.
+    fn epoch(&self) -> u64;
 
     /// One data slot of the subscriber's channel; returns `true` when the
     /// retrieval resolved (no further deliveries wanted).
@@ -83,7 +118,8 @@ pub trait Consumer: Send + 'static {
     fn finish(self) -> Self::Output;
 }
 
-/// Shared per-subscriber counters (server-side written, handle-side read).
+/// Shared per-subscriber counters (written by the server loop and the
+/// client task, read through the subscription handle).
 #[derive(Debug, Default)]
 pub struct SubscriberCounters {
     delivered: AtomicU64,
@@ -94,7 +130,7 @@ pub struct SubscriberCounters {
 /// A point-in-time snapshot of one subscriber's delivery counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SubscriptionStats {
-    /// Data slots delivered into the subscriber's queue.
+    /// Data slots the subscriber's client task consumed off the ring.
     pub delivered: u64,
     /// Data slots dropped because the subscriber lagged.
     pub lagged_slots: u64,
@@ -113,6 +149,9 @@ pub struct RuntimeStats {
     pub active_subscribers: usize,
     /// Subscriptions ever accepted.
     pub total_subscriptions: u64,
+    /// Subscriptions refused by admission control (the channel's fleet
+    /// budget was exhausted).
+    pub admission_denied: u64,
     /// Subscriptions that resolved complete.
     pub completed: u64,
     /// Subscriptions cancelled by a mode swap.
@@ -150,15 +189,17 @@ impl<EE: core::fmt::Display> core::fmt::Display for RuntimeError<EE> {
 impl<EE: core::fmt::Debug + core::fmt::Display> std::error::Error for RuntimeError<EE> {}
 
 /// What a successful `Command::Subscribe` replies with: the runtime-assigned
-/// subscriber id and the engine's ticket.
-type Seat<E> = (u64, <E as Engine>::Ticket);
+/// subscriber id, the engine's ticket, and the server's serving cursor at
+/// registration (slots before it are gone — a broadcast does not rewind).
+type Seat<E> = (u64, <E as Engine>::Ticket, usize);
 
 enum Command<E: Engine> {
     Subscribe {
         file: FileId,
         at_slot: usize,
-        queue: Arc<SlotQueue>,
+        control: Arc<SlotQueue>,
         counters: Arc<SubscriberCounters>,
+        detached: Arc<AtomicBool>,
         reply: mpsc::Sender<Result<Seat<E>, E::Error>>,
     },
     Unsubscribe {
@@ -167,6 +208,23 @@ enum Command<E: Engine> {
     Resolved {
         id: u64,
         cancelled: bool,
+    },
+    /// A reader found its cursor overwritten: account slots `[from, to)` on
+    /// its tuned `(channel, epoch)` as lag, off the data path.
+    Lag {
+        id: u64,
+        channel: usize,
+        epoch: u64,
+        from: usize,
+        to: usize,
+        reply: mpsc::Sender<(u64, u64)>,
+    },
+    /// A reader observed its channel's epoch move past `epoch`: push the
+    /// engine's disposition (retune or cancel) onto its control queue.
+    Note {
+        id: u64,
+        channel: usize,
+        epoch: u64,
     },
     Snapshot {
         reply: mpsc::Sender<E>,
@@ -245,9 +303,9 @@ impl<E: Engine> RuntimeController<E> {
     }
 }
 
-/// One live subscription: a handle to the client task draining the
-/// subscriber's queue.  [`Subscription::join`] returns the consumer's
-/// output once the retrieval resolves (or the runtime shuts down).
+/// One live subscription: a handle to the client task reading the broadcast
+/// ring.  [`Subscription::join`] returns the consumer's output once the
+/// retrieval resolves (or the runtime shuts down).
 #[derive(Debug)]
 pub struct Subscription<O> {
     id: u64,
@@ -292,6 +350,7 @@ pub struct Runtime<E: Engine> {
     controller: RuntimeController<E>,
     clock: Arc<dyn SlotClock>,
     config: RuntimeConfig,
+    ring: Arc<BroadcastRing>,
     server: Option<JoinHandle<E>>,
 }
 
@@ -318,8 +377,8 @@ impl<E: Engine> Runtime<E> {
 
     /// [`Runtime::spawn`] with transport-facing fan-out sinks attached: each
     /// served slot's live lanes are published once to every sink (on the
-    /// serving thread, after the in-process subscriber fan-out) — the seam a
-    /// network transport plugs into.
+    /// serving thread, from the same lane snapshot the broadcast ring cell
+    /// is built from) — the seam a network transport plugs into.
     pub fn spawn_with_sinks(
         engine: E,
         clock: impl SlotClock,
@@ -329,13 +388,15 @@ impl<E: Engine> Runtime<E> {
         let clock: Arc<dyn SlotClock> = Arc::new(clock);
         let waker = Arc::new(WakeSignal::new());
         clock.register_waker(waker.clone());
+        let ring = Arc::new(BroadcastRing::new(config.queue_capacity));
         let (tx, rx) = mpsc::channel();
         let server = {
             let clock = clock.clone();
             let waker = waker.clone();
+            let ring = ring.clone();
             std::thread::Builder::new()
                 .name("brt-server".to_string())
-                .spawn(move || server_loop(engine, clock, waker, rx, sinks))
+                .spawn(move || server_loop(engine, clock, waker, rx, ring, sinks))
                 .expect("the broadcast server thread spawns")
         };
         Runtime {
@@ -345,6 +406,7 @@ impl<E: Engine> Runtime<E> {
             },
             clock,
             config,
+            ring,
             server: Some(server),
         }
     }
@@ -359,11 +421,22 @@ impl<E: Engine> Runtime<E> {
         &self.config
     }
 
+    /// Slots the server has transmitted so far, read straight off the
+    /// broadcast ring — unlike [`Runtime::stats`] this never round-trips a
+    /// command through the serving thread, so it is safe to poll tightly
+    /// (a stats round-trip per poll preempts the server it is watching).
+    pub fn slots_served(&self) -> u64 {
+        self.ring.tail() as u64
+    }
+
     /// Subscribes to `file` from `at_slot` on and spawns a client task
     /// driving the consumer built by `make` from the engine's ticket.
     ///
     /// Slots already served when the subscription registers are gone (a
-    /// broadcast does not rewind); delivery starts at the next served slot.
+    /// broadcast does not rewind); the client's cursor starts at the later
+    /// of the request slot and the serving cursor.  The engine's admission
+    /// control runs before the seat is granted: a subscription that would
+    /// break its channel's fleet budget is refused with the engine's error.
     pub fn subscribe_with<C, F>(
         &self,
         file: FileId,
@@ -374,31 +447,43 @@ impl<E: Engine> Runtime<E> {
         C: Consumer,
         F: FnOnce(E::Ticket) -> C,
     {
-        let queue = Arc::new(SlotQueue::new(self.config.queue_capacity));
+        let control = Arc::new(SlotQueue::new(CONTROL_QUEUE_CAPACITY));
         let counters = Arc::new(SubscriberCounters::default());
+        let detached = Arc::new(AtomicBool::new(false));
         let (reply_tx, reply_rx) = mpsc::channel();
         self.controller.send(Command::Subscribe {
             file,
             at_slot,
-            queue: queue.clone(),
+            control: control.clone(),
             counters: counters.clone(),
+            detached: detached.clone(),
             reply: reply_tx,
         })?;
-        let (id, ticket) = reply_rx
+        let (id, ticket, start_slot) = reply_rx
             .recv()
             .map_err(|_| RuntimeError::Closed)?
             .map_err(RuntimeError::Engine)?;
+        let cursor = ticket.request_slot().max(start_slot);
         let consumer = make(ticket);
         let controller = self.controller.clone();
-        let task = std::thread::Builder::new()
-            .name(format!("brt-client-{id}"))
-            .spawn(move || client_loop(id, consumer, queue, controller))
-            .expect("the client task spawns");
+        let ring = self.ring.clone();
+        let task = {
+            let counters = counters.clone();
+            let detached = detached.clone();
+            std::thread::Builder::new()
+                .name(format!("brt-client-{id}"))
+                .spawn(move || {
+                    client_loop(
+                        id, consumer, ring, control, counters, detached, cursor, controller,
+                    )
+                })
+                .expect("the client task spawns")
+        };
         Ok(Subscription { id, counters, task })
     }
 
-    /// Detaches a subscription from the broadcast: its queue closes, its
-    /// client task drains what was already delivered and finishes.
+    /// Detaches a subscription from the broadcast: its detach flag is
+    /// raised and its client task finishes without further deliveries.
     pub fn unsubscribe<O>(&self, subscription: &Subscription<O>) {
         let _ = self.controller.send(Command::Unsubscribe {
             id: subscription.id,
@@ -425,9 +510,9 @@ impl<E: Engine> Runtime<E> {
         self.controller.stats()
     }
 
-    /// Stops the serving loop (closing every subscriber queue) and returns
-    /// the engine, so serving can resume later — synchronously or under a
-    /// fresh runtime.
+    /// Stops the serving loop (closing the ring and every subscriber's
+    /// control queue) and returns the engine, so serving can resume later —
+    /// synchronously or under a fresh runtime.
     pub fn shutdown(mut self) -> Result<E, RuntimeError<E::Error>> {
         let _ = self.controller.send(Command::Shutdown);
         self.clock.close();
@@ -453,9 +538,9 @@ struct Entry {
     file: FileId,
     channel: usize,
     epoch: u64,
-    request_slot: usize,
-    queue: Arc<SlotQueue>,
+    control: Arc<SlotQueue>,
     counters: Arc<SubscriberCounters>,
+    detached: Arc<AtomicBool>,
 }
 
 struct PendingSwap<E: Engine> {
@@ -470,6 +555,7 @@ struct PendingSwap<E: Engine> {
 struct Fleet {
     slots_served: u64,
     total_subscriptions: u64,
+    admission_denied: u64,
     completed: u64,
     cancelled: u64,
     lagged_slots: u64,
@@ -477,37 +563,86 @@ struct Fleet {
     swaps_applied: u64,
 }
 
+/// Everything the server loop owns besides the engine and the clock.
+struct ServerState<E: Engine> {
+    next_id: u64,
+    next_seq: u64,
+    subscribers: BTreeMap<u64, Entry>,
+    /// Live subscribers per channel, maintained incrementally so admission
+    /// control stays O(log channels) however large the fleet grows.
+    active: BTreeMap<usize, usize>,
+    pending: Vec<PendingSwap<E>>,
+    fleet: Fleet,
+    ring: Arc<BroadcastRing>,
+}
+
+impl<E: Engine> ServerState<E> {
+    fn new(ring: Arc<BroadcastRing>) -> Self {
+        ServerState {
+            next_id: 0,
+            next_seq: 0,
+            subscribers: BTreeMap::new(),
+            active: BTreeMap::new(),
+            pending: Vec::new(),
+            fleet: Fleet::default(),
+            ring,
+        }
+    }
+
+    fn active_on(&self, channel: usize) -> usize {
+        self.active.get(&channel).copied().unwrap_or(0)
+    }
+
+    fn grow_active(&mut self, channel: usize) {
+        *self.active.entry(channel).or_insert(0) += 1;
+    }
+
+    fn drop_active(&mut self, channel: usize) {
+        if let Some(count) = self.active.get_mut(&channel) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                self.active.remove(&channel);
+            }
+        }
+    }
+
+    /// Removes a subscriber entry, closing it out so its reader stops.
+    /// Removes a subscriber.  `wake` kicks the ring so a *parked* reader
+    /// observes its raised detach flag — needed for externally-initiated
+    /// departures (unsubscribe, swap cancellation) but pure waste for a
+    /// reader that resolved its own retrieval: that reader is running, not
+    /// parked, and fleet-wide kicks per completion turn a large fleet's
+    /// drain-down into a quadratic wakeup storm.
+    fn retire(&mut self, id: u64, wake: bool) -> Option<Entry> {
+        let entry = self.subscribers.remove(&id)?;
+        self.drop_active(entry.channel);
+        entry.control.close();
+        entry.detached.store(true, Ordering::SeqCst);
+        if wake {
+            self.ring.kick();
+        }
+        Some(entry)
+    }
+}
+
 fn server_loop<E: Engine>(
     mut engine: E,
     clock: Arc<dyn SlotClock>,
     waker: Arc<WakeSignal>,
     commands: mpsc::Receiver<Command<E>>,
+    ring: Arc<BroadcastRing>,
     mut sinks: Vec<Box<dyn SlotSink>>,
 ) -> E {
     let mut slot: usize = 0;
-    let mut next_id: u64 = 0;
-    let mut next_seq: u64 = 0;
-    let mut subscribers: BTreeMap<u64, Entry> = BTreeMap::new();
-    let mut pending: Vec<PendingSwap<E>> = Vec::new();
-    let mut fleet = Fleet::default();
-    // Reused across slots: ids of subscribers cancelled while serving one.
-    let mut scratch: Vec<u64> = Vec::new();
+    let mut state = ServerState::<E>::new(ring.clone());
+    let mut burst: Vec<SlotCell> = Vec::with_capacity(SERVE_BURST);
     'serve: loop {
         // Commands are handled at slot boundaries only, so a subscribe or a
         // swap can never observe (or cause) a half-served slot.
         loop {
             match commands.try_recv() {
                 Ok(Command::Shutdown) => break 'serve,
-                Ok(cmd) => handle_command(
-                    cmd,
-                    &engine,
-                    slot,
-                    &mut subscribers,
-                    &mut pending,
-                    &mut fleet,
-                    &mut next_id,
-                    &mut next_seq,
-                ),
+                Ok(cmd) => handle_command(cmd, &engine, slot, &mut state),
                 Err(_) => break,
             }
         }
@@ -515,13 +650,49 @@ fn server_loop<E: Engine>(
         // cursor apply right away — even while the clock is parked — so a
         // blocked `swap_at(past_slot, …)` never waits for the next tick.
         // Future-dated swaps stay pending until the cursor reaches them.
-        apply_due_swaps(&mut engine, slot, &mut pending, &mut fleet);
+        apply_due_swaps(&mut engine, slot, &mut state.pending, &mut state.fleet);
         match clock.poll(slot) {
             ClockPoll::Closed => break 'serve,
             ClockPoll::Ready => {
-                serve_slot(&engine, slot, &mut subscribers, &mut fleet, &mut scratch);
-                publish_slot(&engine, slot, &mut sinks);
-                slot += 1;
+                // One clock query sizes a whole burst of due slots; with no
+                // swap pending, nothing can change the engine or the fleet
+                // until the next command is processed — commands only land
+                // at the boundaries this loop chooses to observe — so the
+                // burst serves without re-polling the command queue.  The
+                // cap bounds command latency to a burst's worth of slots,
+                // and a pending swap forces slot-at-a-time serving so it
+                // applies exactly at its planned slot.
+                let mut run = clock.ready_run(slot).clamp(1, SERVE_BURST);
+                if !state.pending.is_empty() {
+                    run = 1;
+                }
+                if state.subscribers.is_empty() && sinks.is_empty() {
+                    // Nothing can observe these slots — no subscriber is
+                    // live, no sink is attached, and a later subscriber's
+                    // cursor starts no earlier than the serving slot.
+                    // Advance past the run instead of snapshotting cells
+                    // nobody can ever read.
+                    ring.skip_run(slot, run);
+                    state.fleet.slots_served += run as u64;
+                    slot += run;
+                } else if sinks.is_empty() {
+                    // No sink wants per-slot views, so the burst's cells are
+                    // built outside the ring lock and published in one
+                    // batch — one lock acquisition and one wake sweep per
+                    // run instead of one per slot.
+                    burst.clear();
+                    for _ in 0..run {
+                        burst.push(build_cell(&engine, slot));
+                        slot += 1;
+                    }
+                    state.fleet.slots_served += run as u64;
+                    ring.publish_run(&mut burst);
+                } else {
+                    for _ in 0..run {
+                        serve_slot(&engine, slot, &ring, &mut sinks, &mut state.fleet);
+                        slot += 1;
+                    }
+                }
             }
             ClockPoll::NotYet(hint) => {
                 let wait = hint.unwrap_or(Duration::from_secs(60));
@@ -529,66 +700,127 @@ fn server_loop<E: Engine>(
             }
         }
     }
-    for entry in subscribers.values() {
-        entry.queue.close();
+    for entry in state.subscribers.values() {
+        entry.control.close();
+        entry.detached.store(true, Ordering::SeqCst);
     }
+    ring.close();
     // Unapplied swaps: drop their replies, unblocking waiters with `Closed`.
     engine
 }
 
-#[allow(clippy::too_many_arguments)] // one call site; splitting obscures it
 fn handle_command<E: Engine>(
     command: Command<E>,
     engine: &E,
     slot: usize,
-    subscribers: &mut BTreeMap<u64, Entry>,
-    pending: &mut Vec<PendingSwap<E>>,
-    fleet: &mut Fleet,
-    next_id: &mut u64,
-    next_seq: &mut u64,
+    state: &mut ServerState<E>,
 ) {
     match command {
         Command::Subscribe {
             file,
             at_slot,
-            queue,
+            control,
             counters,
+            detached,
             reply,
         } => match engine.subscribe(file, at_slot) {
             Ok(ticket) => {
-                let id = *next_id;
-                *next_id += 1;
-                subscribers.insert(
+                let channel = ticket.channel();
+                if let Err(refusal) = engine.admit(file, channel, state.active_on(channel)) {
+                    state.fleet.admission_denied += 1;
+                    let _ = reply.send(Err(refusal));
+                    return;
+                }
+                let id = state.next_id;
+                state.next_id += 1;
+                state.subscribers.insert(
                     id,
                     Entry {
                         file,
-                        channel: ticket.channel(),
+                        channel,
                         epoch: ticket.epoch(),
-                        request_slot: ticket.request_slot(),
-                        queue,
+                        control,
                         counters,
+                        detached,
                     },
                 );
-                fleet.total_subscriptions += 1;
-                let _ = reply.send(Ok((id, ticket)));
+                state.grow_active(channel);
+                state.fleet.total_subscriptions += 1;
+                let _ = reply.send(Ok((id, ticket, slot)));
             }
             Err(e) => {
                 let _ = reply.send(Err(e));
             }
         },
         Command::Unsubscribe { id } => {
-            if let Some(entry) = subscribers.remove(&id) {
-                entry.queue.close();
-            }
+            state.retire(id, true);
         }
         Command::Resolved { id, cancelled } => {
-            if let Some(entry) = subscribers.remove(&id) {
-                entry.queue.close();
+            if state.retire(id, false).is_some() {
                 if cancelled {
-                    fleet.cancelled += 1;
+                    state.fleet.cancelled += 1;
                 } else {
-                    fleet.completed += 1;
+                    state.fleet.completed += 1;
                 }
+            }
+        }
+        Command::Lag {
+            id,
+            channel,
+            epoch,
+            from,
+            to,
+            reply,
+        } => {
+            // Replay the overwritten span's schedule to count exactly what
+            // the reader missed — off the data path, so only lagging
+            // subscribers pay for it.  Departed subscribers book nothing.
+            let mut lagged = (0, 0);
+            if let Some(entry) = state.subscribers.get(&id) {
+                lagged = replay_lag(engine, entry.file, channel, epoch, from, to);
+                entry
+                    .counters
+                    .lagged_slots
+                    .fetch_add(lagged.0, Ordering::Relaxed);
+                entry
+                    .counters
+                    .lag_erasures
+                    .fetch_add(lagged.1, Ordering::Relaxed);
+                state.fleet.lagged_slots += lagged.0;
+                state.fleet.lag_erasures += lagged.1;
+            }
+            let _ = reply.send(lagged);
+        }
+        Command::Note { id, channel, epoch } => {
+            let Some(file) = state.subscribers.get(&id).map(|e| e.file) else {
+                return;
+            };
+            let note = engine.note_for(file, channel, epoch);
+            if let SwapNote::Retune {
+                channel: new_channel,
+                epoch: new_epoch,
+                ..
+            } = &note
+            {
+                let (new_channel, new_epoch) = (*new_channel, *new_epoch);
+                let entry = state
+                    .subscribers
+                    .get_mut(&id)
+                    .expect("the entry was just looked up");
+                let previous = entry.channel;
+                entry.channel = new_channel;
+                entry.epoch = new_epoch;
+                entry.control.push_control(note);
+                state.drop_active(previous);
+                state.grow_active(new_channel);
+            } else {
+                let entry = state
+                    .subscribers
+                    .get(&id)
+                    .expect("the entry was just looked up");
+                entry.control.push_control(note);
+                state.retire(id, true);
+                state.fleet.cancelled += 1;
             }
         }
         Command::Snapshot { reply } => {
@@ -600,9 +832,9 @@ fn handle_command<E: Engine>(
             policy,
             reply,
         } => {
-            let seq = *next_seq;
-            *next_seq += 1;
-            pending.push(PendingSwap {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            state.pending.push(PendingSwap {
                 at_slot,
                 seq,
                 policy,
@@ -612,16 +844,17 @@ fn handle_command<E: Engine>(
         }
         Command::Stats { reply } => {
             let _ = reply.send(RuntimeStats {
-                slots_served: fleet.slots_served,
+                slots_served: state.fleet.slots_served,
                 next_slot: slot as u64,
-                active_subscribers: subscribers.len(),
-                total_subscriptions: fleet.total_subscriptions,
-                completed: fleet.completed,
-                cancelled: fleet.cancelled,
-                lagged_slots: fleet.lagged_slots,
-                lag_erasures: fleet.lag_erasures,
-                swaps_applied: fleet.swaps_applied,
-                pending_swaps: pending.len(),
+                active_subscribers: state.subscribers.len(),
+                total_subscriptions: state.fleet.total_subscriptions,
+                admission_denied: state.fleet.admission_denied,
+                completed: state.fleet.completed,
+                cancelled: state.fleet.cancelled,
+                lagged_slots: state.fleet.lagged_slots,
+                lag_erasures: state.fleet.lag_erasures,
+                swaps_applied: state.fleet.swaps_applied,
+                pending_swaps: state.pending.len(),
             });
         }
         Command::Shutdown => unreachable!("shutdown is intercepted by the serve loop"),
@@ -655,132 +888,183 @@ fn apply_due_swaps<E: Engine>(
     }
 }
 
+/// Snapshots every lane's epoch and transmission for `slot` into one
+/// [`SlotCell`] — the single publication the whole fleet reads.
+fn build_cell<E: Engine>(engine: &E, slot: usize) -> SlotCell {
+    let lane_count = engine.lane_count();
+    let mut lanes = Vec::with_capacity(lane_count);
+    for channel in 0..lane_count {
+        let epoch = engine.epoch_at(channel, slot);
+        // Dark lanes transmit nothing; idle slots carry no block.  The
+        // payload clone is a reference-count bump, never a byte copy.
+        let block = match epoch {
+            Some(_) => engine.transmit_on(channel, slot).map(|tx| tx.block.clone()),
+            None => None,
+        };
+        lanes.push(LaneCell { epoch, block });
+    }
+    SlotCell { slot, lanes }
+}
+
+/// Serves one slot: snapshots every lane's epoch and transmission into one
+/// [`SlotCell`], publishes it to the attached sinks and then onto the
+/// broadcast ring — one publication per slot, independent of the fleet.
 fn serve_slot<E: Engine>(
     engine: &E,
     slot: usize,
-    subscribers: &mut BTreeMap<u64, Entry>,
+    ring: &BroadcastRing,
+    sinks: &mut [Box<dyn SlotSink>],
     fleet: &mut Fleet,
-    cancelled: &mut Vec<u64>,
 ) {
-    let lanes = engine.lane_count();
-    cancelled.clear();
-    for (&id, entry) in subscribers.iter_mut() {
-        if entry.request_slot > slot {
-            continue;
-        }
-        // The same epoch-resolution rules as the synchronous driver: wait
-        // for a flip, retune across swaps, or cancel — notes ride the
-        // subscriber's queue so the client applies them in stream order.
-        let deliver_on = loop {
-            if entry.channel >= lanes {
-                break None;
-            }
-            match engine.epoch_at(entry.channel, slot) {
-                None => break None,
-                Some(e) if e < entry.epoch => break None,
-                Some(e) if e == entry.epoch => break Some(entry.channel),
-                Some(_) => {
-                    let note = engine.note_for(entry.file, entry.channel, entry.epoch);
-                    entry.queue.push_control(note.clone());
-                    match note {
-                        SwapNote::Retune { channel, epoch, .. } => {
-                            entry.channel = channel;
-                            entry.epoch = epoch;
-                            continue;
-                        }
-                        SwapNote::Cancel { .. } => {
-                            entry.queue.close();
-                            fleet.cancelled += 1;
-                            cancelled.push(id);
-                            break None;
-                        }
-                    }
-                }
-            }
-        };
-        let Some(channel) = deliver_on else { continue };
-        let Some(tx) = engine.transmit_on(channel, slot) else {
-            continue; // idle slot: nothing a client acts on
-        };
-        let carries_file = tx.block.file() == entry.file;
-        if entry.queue.push_slot(slot, tx.block.clone(), carries_file) {
-            entry.counters.delivered.fetch_add(1, Ordering::Relaxed);
-        } else {
-            entry.counters.lagged_slots.fetch_add(1, Ordering::Relaxed);
-            fleet.lagged_slots += 1;
-            if carries_file {
-                entry.counters.lag_erasures.fetch_add(1, Ordering::Relaxed);
-                fleet.lag_erasures += 1;
-            }
-        }
-    }
-    for id in cancelled.iter() {
-        subscribers.remove(id);
-    }
     fleet.slots_served += 1;
+    let cell = build_cell(engine, slot);
+    if !sinks.is_empty() {
+        let mut views: Vec<LaneView<'_>> = Vec::with_capacity(cell.lanes.len());
+        for (channel, lane) in cell.lanes.iter().enumerate() {
+            if let (Some(epoch), Some(block)) = (lane.epoch, lane.block.as_ref()) {
+                views.push(LaneView {
+                    channel,
+                    epoch,
+                    transmission: TransmissionRef { slot, block },
+                });
+            }
+        }
+        for sink in sinks.iter_mut() {
+            sink.publish(slot, &views);
+        }
+    }
+    ring.publish(cell);
 }
 
-/// Publishes one served slot's live lanes to every attached sink — once per
-/// slot, regardless of how many receivers each sink reaches (a broadcast
-/// medium fans out for free).  The lane buffer is scoped to the slot: the
-/// engine is mutated (swapped) between slots, so borrows cannot be carried
-/// across iterations.
-fn publish_slot<E: Engine>(engine: &E, slot: usize, sinks: &mut [Box<dyn SlotSink>]) {
-    if sinks.is_empty() {
-        return;
+/// Counts what a reader missed across an overwritten span `[from, to)` on
+/// its tuned `(channel, epoch)`: data slots the span's schedule would have
+/// delivered, and how many of them carried `file` — exactly the accounting
+/// a bounded queue's drops produced, derived from the same timeline.
+fn replay_lag<E: Engine>(
+    engine: &E,
+    file: FileId,
+    channel: usize,
+    epoch: u64,
+    from: usize,
+    to: usize,
+) -> (u64, u64) {
+    if channel >= engine.lane_count() {
+        return (0, 0);
     }
-    let mut lanes: Vec<LaneView<'_>> = Vec::with_capacity(engine.lane_count());
-    for channel in 0..engine.lane_count() {
-        let Some(epoch) = engine.epoch_at(channel, slot) else {
-            continue; // dark lane
+    let mut lagged_slots = 0;
+    let mut lagged_file_blocks = 0;
+    for slot in from..to {
+        if engine.epoch_at(channel, slot) != Some(epoch) {
+            continue;
+        }
+        let Some(tx) = engine.transmit_on(channel, slot) else {
+            continue; // idle slot: a queue would not have carried it either
         };
-        let Some(transmission) = engine.transmit_on(channel, slot) else {
-            continue; // idle slot
-        };
-        lanes.push(LaneView {
-            channel,
-            epoch,
-            transmission,
-        });
+        lagged_slots += 1;
+        if tx.block.file() == file {
+            lagged_file_blocks += 1;
+        }
     }
-    for sink in sinks.iter_mut() {
-        sink.publish(slot, &lanes);
-    }
+    (lagged_slots, lagged_file_blocks)
 }
 
 // ---------------------------------------------------------------------
 // Client side
 // ---------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)] // one call site; a struct would obscure it
 fn client_loop<E: Engine, C: Consumer>(
     id: u64,
     mut consumer: C,
-    queue: Arc<SlotQueue>,
+    ring: Arc<BroadcastRing>,
+    control: Arc<SlotQueue>,
+    counters: Arc<SubscriberCounters>,
+    detached: Arc<AtomicBool>,
+    mut cursor: usize,
     controller: RuntimeController<E>,
 ) -> C::Output {
-    loop {
-        let popped = queue.pop();
-        if popped.lagged_slots > 0 {
-            consumer.lag(popped.lagged_slots, popped.lagged_file_blocks);
-        }
-        match popped.item {
-            None => break, // unsubscribed or runtime shut down
-            Some(Delivery::Slot { slot, block }) => {
-                if consumer.deliver(slot, &block) {
-                    let _ = controller.send(Command::Resolved {
-                        id,
-                        cancelled: false,
-                    });
-                    break;
+    let mut batch: Vec<Arc<SlotCell>> = Vec::with_capacity(READ_BATCH);
+    'read: loop {
+        match ring.read_many(cursor, READ_BATCH, &detached, &mut batch) {
+            BatchRead::Closed | BatchRead::Detached => break 'read,
+            BatchRead::Overwritten { resume } => {
+                // Self-account the overwritten span as lag: the server
+                // replays the span's schedule (off the data path) and books
+                // the counts; the consumer records the erasures.
+                let (reply_tx, reply_rx) = mpsc::channel();
+                let sent = controller.send(Command::Lag {
+                    id,
+                    channel: consumer.channel(),
+                    epoch: consumer.epoch(),
+                    from: cursor,
+                    to: resume,
+                    reply: reply_tx,
+                });
+                if sent.is_err() {
+                    break 'read;
                 }
+                let Ok((lagged_slots, lagged_file_blocks)) = reply_rx.recv() else {
+                    break 'read;
+                };
+                if lagged_slots > 0 {
+                    consumer.lag(lagged_slots, lagged_file_blocks);
+                }
+                cursor = resume;
             }
-            Some(Delivery::Swap(note)) => {
-                if consumer.on_swap(&note) {
-                    let _ = controller.send(Command::Resolved {
-                        id,
-                        cancelled: note.is_cancel(),
-                    });
-                    break;
+            BatchRead::Cells => {
+                for cell in batch.drain(..) {
+                    // The same epoch-resolution rules as the synchronous
+                    // driver, applied reader-side against the cell's
+                    // published lane epochs: wait for a flip, retune across
+                    // swaps, or cancel.
+                    let deliver_on = loop {
+                        let channel = consumer.channel();
+                        let Some(lane) = cell.lanes.get(channel) else {
+                            break None;
+                        };
+                        match lane.epoch {
+                            None => break None,
+                            Some(e) if e < consumer.epoch() => break None,
+                            Some(e) if e == consumer.epoch() => break Some(channel),
+                            Some(_) => {
+                                // The channel flipped past us: fetch the note
+                                // over the control queue, in stream order.
+                                let requested = controller.send(Command::Note {
+                                    id,
+                                    channel,
+                                    epoch: consumer.epoch(),
+                                });
+                                if requested.is_err() {
+                                    break 'read;
+                                }
+                                let note = match control.pop().item {
+                                    Some(Delivery::Swap(note)) => note,
+                                    _ => break 'read, // retired or shut down
+                                };
+                                let cancelled = note.is_cancel();
+                                if consumer.on_swap(&note) {
+                                    let _ = controller.send(Command::Resolved { id, cancelled });
+                                    break 'read;
+                                }
+                                if cancelled {
+                                    break 'read; // the server already retired us
+                                }
+                            }
+                        }
+                    };
+                    if let Some(channel) = deliver_on {
+                        if let Some(block) = cell.lanes[channel].block.as_ref() {
+                            counters.delivered.fetch_add(1, Ordering::Relaxed);
+                            if consumer.deliver(cell.slot, block) {
+                                let _ = controller.send(Command::Resolved {
+                                    id,
+                                    cancelled: false,
+                                });
+                                break 'read;
+                            }
+                        }
+                    }
+                    cursor += 1;
                 }
             }
         }

@@ -43,6 +43,7 @@ pub struct BroadcastBuilder {
     scheduler: SchedulerChoice,
     channels: ChannelBudget,
     listen_cap: usize,
+    channel_fleet_budget: Option<usize>,
 }
 
 impl Default for BroadcastBuilder {
@@ -53,6 +54,7 @@ impl Default for BroadcastBuilder {
             scheduler: SchedulerChoice::default(),
             channels: ChannelBudget::Fixed(1),
             listen_cap: 100_000,
+            channel_fleet_budget: None,
         }
     }
 }
@@ -106,6 +108,16 @@ impl BroadcastBuilder {
     /// [`Station::run_until_complete`] gives up (default `100_000`).
     pub fn listen_cap(mut self, slots: usize) -> Self {
         self.listen_cap = slots.max(1);
+        self
+    }
+
+    /// Declares the station's per-channel fleet budget (clamped to at least
+    /// 1): how many concurrent subscribers each channel is provisioned to
+    /// drain while keeping the Lemma 3 latency promise.  The concurrent
+    /// runtime's admission control refuses subscriptions beyond it with
+    /// [`Error::AdmissionDenied`].  Unset (the default) admits everything.
+    pub fn channel_fleet_budget(mut self, budget: usize) -> Self {
+        self.channel_fleet_budget = Some(budget.max(1));
         self
     }
 
@@ -180,6 +192,7 @@ impl BroadcastBuilder {
             self.listen_cap,
             self.scheduler,
             self.channels,
+            self.channel_fleet_budget,
         )
     }
 }

@@ -7,11 +7,14 @@
 //! and fleet statistics, and shut down gracefully (getting the station
 //! back).
 //!
-//! Each subscription runs a client task of its own, draining a bounded
-//! delivery queue and sampling its *own* reception-error process — the
-//! physically sensible model for independent receivers.  A client that
-//! cannot keep up drops slots: the server never stalls, and the dropped
-//! slots that carried blocks of the client's file are recorded as erasures
+//! Each subscription runs a client task of its own, reading the shared
+//! broadcast ring through a cursor of its own and sampling its *own*
+//! reception-error process — the physically sensible model for independent
+//! receivers.  The serving loop publishes each slot exactly once; it never
+//! touches per-subscriber state on the data path, so fan-out cost does not
+//! grow with the fleet.  A client that falls more than the ring's capacity
+//! behind observes the overwrite and self-accounts the skipped span as lag;
+//! skipped slots that carried blocks of its file are recorded as erasures
 //! (exactly as if its channel had lost those receptions).
 
 use crate::{Error, PreparedMode, Retrieval, RetrievalResolution, Station, SwapReport};
@@ -148,6 +151,13 @@ impl RuntimeHandle {
         self.inner.stats().map_err(facade_error)
     }
 
+    /// Slots the server has transmitted so far, read straight off the
+    /// broadcast ring — pollable without the command round-trip (and the
+    /// server preemption) that [`RuntimeHandle::stats`] costs.
+    pub fn slots_served(&self) -> u64 {
+        self.inner.slots_served()
+    }
+
     /// Stops the serving loop (closing every client's queue) and returns
     /// the station, ready to serve again — synchronously or under a fresh
     /// runtime.
@@ -219,6 +229,14 @@ struct RetrievalConsumer<M> {
 
 impl<M: ChannelErrorModel + Send + 'static> brt::Consumer for RetrievalConsumer<M> {
     type Output = Result<RetrievalResolution, Error>;
+
+    fn channel(&self) -> usize {
+        brt::Subscriber::channel(&self.retrieval)
+    }
+
+    fn epoch(&self) -> u64 {
+        brt::Subscriber::epoch(&self.retrieval)
+    }
 
     fn deliver(&mut self, slot: usize, block: &DispersedBlock) -> bool {
         let tx = TransmissionRef { slot, block };

@@ -51,6 +51,10 @@ pub struct Station {
     listen_cap: usize,
     scheduler: SchedulerChoice,
     channels: ChannelBudget,
+    /// Per-channel fleet budget for concurrent admission control (`None`
+    /// admits every subscription) — the operator's Lemma 3 capacity
+    /// declaration; see [`Error::AdmissionDenied`].
+    channel_fleet_budget: Option<usize>,
     mode: String,
     swaps: Vec<SwapRecord>,
 }
@@ -79,6 +83,7 @@ impl Station {
         listen_cap: usize,
         scheduler: SchedulerChoice,
         channels: ChannelBudget,
+        channel_fleet_budget: Option<usize>,
     ) -> Result<Self, Error> {
         let files = merge_files(&specs, &design)?;
         // Reuse the builder's dispersal configurations (the servers encoded
@@ -106,9 +111,16 @@ impl Station {
             listen_cap,
             scheduler,
             channels,
+            channel_fleet_budget,
             mode: "initial".to_string(),
             swaps: Vec::new(),
         })
+    }
+
+    /// The per-channel fleet budget concurrent admission control enforces
+    /// (`None` admits every subscription).
+    pub fn channel_fleet_budget(&self) -> Option<usize> {
+        self.channel_fleet_budget
     }
 
     /// The specifications this station's current mode was designed from.
@@ -761,6 +773,24 @@ impl brt::Engine for Station {
 
     fn note_for(&self, file: FileId, channel: usize, epoch: u64) -> brt::SwapNote {
         Station::note_for(self, file, channel, epoch)
+    }
+
+    /// Lemma 3 admission control: the paper's latency vectors `d⁽ʳ⁾` promise
+    /// each admitted subscriber a bounded worst-case retrieval latency, a
+    /// promise the serving host can only keep while it drains the whole
+    /// fleet every slot.  A declared per-channel budget caps the live fleet;
+    /// a subscription that would exceed it is refused with a typed error
+    /// instead of admitted into certain deadline violation.
+    fn admit(&self, file: FileId, channel: usize, active_on_channel: usize) -> Result<(), Error> {
+        match self.channel_fleet_budget {
+            Some(budget) if active_on_channel >= budget => Err(Error::AdmissionDenied {
+                file,
+                channel,
+                active: active_on_channel,
+                budget,
+            }),
+            _ => Ok(()),
+        }
     }
 
     fn snapshot(&self) -> Self {
