@@ -12,10 +12,10 @@
 
 use rtbdisk::{
     Broadcast, FileId, GeneralizedFileSpec, ManualClock, RetrievalResolution, RuntimeConfig,
-    Station,
+    Station, WallClock,
 };
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The subscriber-fleet sizes of the recorded trajectory.
 pub const SUBSCRIBER_COUNTS: [usize; 3] = [1, 8, 64];
@@ -75,6 +75,43 @@ pub struct RuntimePerfRow {
     pub slots_per_s: f64,
 }
 
+/// Slot-deadline lateness and serving-phase timings, read off the
+/// runtime's `bobs` histograms under a wall-paced run, plus the measured
+/// cost of turning telemetry recording on.
+///
+/// All `_ns` fields are nanoseconds and deliberately carry no
+/// `check_regression` throughput suffix — absolute timings vary wildly
+/// across hosts; what the gate holds is the `slots_per_s` figures, which
+/// run with recording *off* (the shipping default).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatenessReport {
+    /// Slots of the wall-paced lateness window.
+    pub slots: u64,
+    /// Median signed lateness of a slot's publish against its due-time.
+    pub slot_lateness_p50_ns: i64,
+    /// 99th-percentile slot lateness.
+    pub slot_lateness_p99_ns: i64,
+    /// Median cell-build phase of a served burst.
+    pub phase_build_p50_ns: i64,
+    /// 99th-percentile cell-build phase.
+    pub phase_build_p99_ns: i64,
+    /// Median ring-publish phase.
+    pub phase_publish_p50_ns: i64,
+    /// 99th-percentile ring-publish phase.
+    pub phase_publish_p99_ns: i64,
+    /// Median cohort-wakeup phase.
+    pub phase_wakeup_p50_ns: i64,
+    /// 99th-percentile cohort-wakeup phase.
+    pub phase_wakeup_p99_ns: i64,
+    /// Free-run slot rate with recording off (the shipping default).
+    pub recording_off_slot_rate: f64,
+    /// The same window with recording on.
+    pub recording_on_slot_rate: f64,
+    /// `(off / on − 1) × 100`: the percentage the free-run slot rate pays
+    /// for recording.  Near zero by design; can dip negative from noise.
+    pub recording_overhead_pct: f64,
+}
+
 /// The full `runtime_perf` measurement.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RuntimePerfResult {
@@ -86,6 +123,9 @@ pub struct RuntimePerfResult {
     /// rates.  Kept separate from `rows` so the grid's structural metric
     /// paths stay stable across baselines.
     pub scaling: Vec<RuntimePerfRow>,
+    /// Slot-lateness percentiles, serving-phase timings and the recording
+    /// overhead, from the runtime's own telemetry histograms.
+    pub lateness: LatenessReport,
 }
 
 fn station_for(channels: usize) -> Station {
@@ -235,6 +275,105 @@ fn measure(channels: usize, subscribers: usize, rounds: usize) -> RuntimePerfRow
     }
 }
 
+/// The free-run slot rate of a small station with one seated subscriber,
+/// with telemetry recording toggled.  Under the `ManualClock` free-run this
+/// prices the always-on counter path plus (when on) the event-trace path;
+/// the wall-clock histograms stay dormant — they require real deadlines —
+/// which is exactly the shipping hot path this figure guards.
+fn free_run_slot_rate(recording: bool) -> f64 {
+    let station = station_for(SCALING_CHANNELS);
+    let files: Vec<FileId> = station.specs().iter().map(|s| s.id).collect();
+    let clock = ManualClock::new();
+    let handle = station.serve_concurrent_with(
+        clock.clone(),
+        RuntimeConfig {
+            queue_capacity: 1 << 16,
+        },
+    );
+    handle.telemetry().set_recording(recording);
+    let window = 8 * SLOTS_PER_BATCH;
+    // A parked sentinel keeps the fleet non-empty so every slot builds and
+    // publishes cells instead of fast-skipping (see phase B above).
+    let sentinel = handle
+        .subscribe(files[0], window + SLOTS_PER_BATCH)
+        .expect("the sentinel subscription seats");
+    let start = Instant::now();
+    clock.advance(window);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while handle.slots_served() < window as u64 {
+        std::thread::sleep(Duration::from_micros(50));
+        assert!(
+            Instant::now() < deadline,
+            "the free-run window did not drain"
+        );
+    }
+    let rate = window as f64 / start.elapsed().as_secs_f64().max(1e-9);
+    handle.unsubscribe(&sentinel);
+    handle.shutdown().expect("the runtime shuts down cleanly");
+    rate
+}
+
+/// Serves `slots` under a real [`WallClock`] with recording on and reads
+/// the lateness / phase histograms back off the runtime's telemetry, then
+/// prices recording against the free-run slot rate.
+fn measure_lateness(slots: usize, period: Duration) -> LatenessReport {
+    let station = station_for(SCALING_CHANNELS);
+    let files: Vec<FileId> = station.specs().iter().map(|s| s.id).collect();
+    let clock = WallClock::new(period);
+    let handle = station.serve_concurrent_with(
+        clock.clone(),
+        RuntimeConfig {
+            queue_capacity: 1 << 16,
+        },
+    );
+    handle.telemetry().set_recording(true);
+    let sentinel = handle
+        .subscribe(files[0], 2 * slots)
+        .expect("the sentinel subscription seats");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while handle.slots_served() < slots as u64 {
+        std::thread::sleep(Duration::from_micros(100));
+        assert!(
+            Instant::now() < deadline,
+            "the wall-paced window did not complete"
+        );
+    }
+    let snapshot = handle.telemetry().snapshot();
+    handle.unsubscribe(&sentinel);
+    handle.shutdown().expect("the runtime shuts down cleanly");
+    let q = |name: &str, quantile: f64| -> i64 {
+        snapshot
+            .histograms
+            .get(name)
+            .and_then(|h| h.quantile(quantile))
+            .unwrap_or(0)
+    };
+    // Best-of-3 per mode: free-run rates on a shared box are scheduler
+    // noise around a stable peak, and the peak is what recording overhead
+    // should be priced against.
+    let best = |recording: bool| -> f64 {
+        (0..3)
+            .map(|_| free_run_slot_rate(recording))
+            .fold(0.0, f64::max)
+    };
+    let off = best(false);
+    let on = best(true);
+    LatenessReport {
+        slots: slots as u64,
+        slot_lateness_p50_ns: q("brt_slot_lateness_ns", 0.50),
+        slot_lateness_p99_ns: q("brt_slot_lateness_ns", 0.99),
+        phase_build_p50_ns: q("brt_phase_build_ns", 0.50),
+        phase_build_p99_ns: q("brt_phase_build_ns", 0.99),
+        phase_publish_p50_ns: q("brt_phase_publish_ns", 0.50),
+        phase_publish_p99_ns: q("brt_phase_publish_ns", 0.99),
+        phase_wakeup_p50_ns: q("brt_phase_wakeup_ns", 0.50),
+        phase_wakeup_p99_ns: q("brt_phase_wakeup_ns", 0.99),
+        recording_off_slot_rate: off,
+        recording_on_slot_rate: on,
+        recording_overhead_pct: (off / on.max(1e-9) - 1.0) * 100.0,
+    }
+}
+
 /// The scaling-curve fleet sizes: `RTBDISK_SCALING_FLEETS` (comma-separated
 /// counts; empty disables the curve) over the recorded default.
 fn scaling_fleets() -> Vec<usize> {
@@ -274,7 +413,12 @@ pub fn runtime_perf(batches: usize) -> RuntimePerfResult {
         .into_iter()
         .map(|subscribers| best_of(batches.min(2), &|| measure_scaling(subscribers)))
         .collect();
-    RuntimePerfResult { rows, scaling }
+    let lateness = measure_lateness(2000, Duration::from_micros(250));
+    RuntimePerfResult {
+        rows,
+        scaling,
+        lateness,
+    }
 }
 
 /// The default batch count (`BATCHES`), overridable for smoke runs.
@@ -322,6 +466,28 @@ impl core::fmt::Display for RuntimePerfResult {
             writeln!(f, "Fleet scaling (publish-once ring, single round)")?;
             write!(f, "{}", render(&self.scaling))?;
         }
+        let l = &self.lateness;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "Slot lateness over {} wall-paced slots: p50 {} ns, p99 {} ns",
+            l.slots, l.slot_lateness_p50_ns, l.slot_lateness_p99_ns
+        )?;
+        writeln!(
+            f,
+            "Serving phases (p50/p99 ns): build {}/{}, publish {}/{}, wakeup {}/{}",
+            l.phase_build_p50_ns,
+            l.phase_build_p99_ns,
+            l.phase_publish_p50_ns,
+            l.phase_publish_p99_ns,
+            l.phase_wakeup_p50_ns,
+            l.phase_wakeup_p99_ns
+        )?;
+        writeln!(
+            f,
+            "Recording overhead: off {:.0} slots/s, on {:.0} slots/s ({:+.2}%)",
+            l.recording_off_slot_rate, l.recording_on_slot_rate, l.recording_overhead_pct
+        )?;
         Ok(())
     }
 }
@@ -329,6 +495,24 @@ impl core::fmt::Display for RuntimePerfResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A placeholder lateness block for tests exercising the grid rows.
+    fn empty_lateness() -> LatenessReport {
+        LatenessReport {
+            slots: 0,
+            slot_lateness_p50_ns: 0,
+            slot_lateness_p99_ns: 0,
+            phase_build_p50_ns: 0,
+            phase_build_p99_ns: 0,
+            phase_publish_p50_ns: 0,
+            phase_publish_p99_ns: 0,
+            phase_wakeup_p50_ns: 0,
+            phase_wakeup_p99_ns: 0,
+            recording_off_slot_rate: 0.0,
+            recording_on_slot_rate: 0.0,
+            recording_overhead_pct: 0.0,
+        }
+    }
 
     #[test]
     fn a_single_combination_measures_and_serialises() {
@@ -341,9 +525,11 @@ mod tests {
         let json = serde_json::to_string(&RuntimePerfResult {
             rows: vec![row],
             scaling: vec![],
+            lateness: empty_lateness(),
         })
         .unwrap();
         assert!(json.contains("retrievals_per_s"));
+        assert!(json.contains("slot_lateness_p99_ns"));
     }
 
     #[test]
@@ -358,9 +544,22 @@ mod tests {
         let result = RuntimePerfResult {
             rows: vec![],
             scaling: vec![row],
+            lateness: empty_lateness(),
         };
         let json = serde_json::to_string(&result).unwrap();
         assert!(json.contains("scaling"));
         assert!(result.to_string().contains("Fleet scaling"));
+    }
+
+    #[test]
+    fn the_lateness_window_populates_the_histograms() {
+        // A short wall-paced window: the histograms must actually fill and
+        // the percentiles must be ordered.
+        let report = measure_lateness(64, Duration::from_micros(200));
+        assert_eq!(report.slots, 64);
+        assert!(report.slot_lateness_p50_ns <= report.slot_lateness_p99_ns);
+        assert!(report.phase_build_p99_ns > 0);
+        assert!(report.recording_off_slot_rate > 0.0);
+        assert!(report.recording_on_slot_rate > 0.0);
     }
 }

@@ -3,7 +3,7 @@
 use crate::error::NetError;
 use crate::server::SubscriptionInfo;
 use crate::session::{ClientState, ClientStats};
-use crate::wire::{encode, ControlFrame, Frame};
+use crate::wire::{encode, ControlFrame, Frame, MetricsFormat};
 use bdisk::RetrievalOutcome;
 use ida::FileId;
 use std::io::ErrorKind;
@@ -140,6 +140,22 @@ impl ControlClient {
         match crate::server::read_control_frame(&mut self.stream)? {
             Some(ControlFrame::Resync { epoch, next_slot }) => Ok((epoch, next_slot)),
             Some(_) => Err(NetError::Protocol("unexpected resync reply")),
+            None => Err(NetError::Protocol("control connection closed")),
+        }
+    }
+
+    /// Scrapes the station's telemetry registry, rendered in `format`.
+    /// The reply must echo the requested format.
+    pub fn metrics(&mut self, format: MetricsFormat) -> Result<String, NetError> {
+        crate::server::write_control_frame(
+            &mut self.stream,
+            &ControlFrame::MetricsRequest { format },
+        )?;
+        match crate::server::read_control_frame(&mut self.stream)? {
+            Some(ControlFrame::Metrics {
+                format: got, body, ..
+            }) if got == format => Ok(body),
+            Some(_) => Err(NetError::Protocol("unexpected metrics reply")),
             None => Err(NetError::Protocol("control connection closed")),
         }
     }

@@ -19,6 +19,11 @@
 //! * [`ClientState`] — the pure, socket-free retrieval state machine that
 //!   turns datagrams into blocks and losses into erasures.
 //! * [`NetClient`] / [`ControlClient`] — the socket clients wrapping it.
+//!
+//! The station side records into a shared [`bobs::Telemetry`] (see
+//! [`NetServer::bind_with_telemetry`]); the TCP control plane serves the
+//! registry as a live metrics endpoint ([`ControlClient::metrics`]) in
+//! Prometheus-style text or JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,3 +40,4 @@ pub use server::{
     Directory, NetConfig, NetHandle, NetServer, NetStats, SubscriptionInfo, UdpFanout,
 };
 pub use session::{ClientState, ClientStats};
+pub use wire::MetricsFormat;

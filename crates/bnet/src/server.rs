@@ -16,7 +16,10 @@
 //! convenience, not a requirement.
 
 use crate::error::NetError;
-use crate::wire::{datagrams, decode, encode, ControlFrame, Frame, Packet, SlotFrame};
+use crate::wire::{
+    datagrams, decode, encode, ControlFrame, Frame, MetricsFormat, Packet, SlotFrame,
+};
+use bobs::{Counter, Event, Gauge, Registry, Telemetry};
 use brt::{LaneView, SlotSink};
 use std::collections::{BTreeMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
@@ -77,7 +80,8 @@ pub struct SubscriptionInfo {
 /// served.  Built by the caller from the engine at bind time.
 pub type Directory = BTreeMap<u32, SubscriptionInfo>;
 
-/// A snapshot of the network side's counters.
+/// A snapshot of the network side's counters — a view over the station's
+/// [`bobs`] registry, kept shape-compatible with earlier releases.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Slot frames published (one per live lane per served slot).
@@ -91,28 +95,52 @@ pub struct NetStats {
     /// Sends the socket refused (full buffer, unreachable peer) — loss,
     /// by design.
     pub send_errors: u64,
-    /// Join datagrams honoured.
+    /// Join datagrams honoured (monotonic).
     pub joins: u64,
-    /// Leave datagrams honoured.
+    /// Leave datagrams honoured (monotonic).
     pub leaves: u64,
     /// Peers currently in the fan-out set.
+    ///
+    /// This is a *transient gauge*: a client that joined and immediately
+    /// left can legitimately read as `0` at any later sample, and a sample
+    /// taken between a join datagram arriving and the membership thread
+    /// honouring it reads the old value.  Tests and monitors that need to
+    /// observe that membership churn *happened* must wait on the monotonic
+    /// `joins` / `leaves` counters, never on this gauge.
     pub peers: usize,
 }
 
-#[derive(Default)]
-struct Counters {
-    frames_sent: AtomicU64,
-    frames_fragmented: AtomicU64,
-    datagrams_sent: AtomicU64,
-    bytes_sent: AtomicU64,
-    send_errors: AtomicU64,
-    joins: AtomicU64,
-    leaves: AtomicU64,
+/// The fan-out's registry handles, under `bnet_*` metric names.
+struct NetMetrics {
+    frames_sent: Counter,
+    frames_fragmented: Counter,
+    datagrams_sent: Counter,
+    bytes_sent: Counter,
+    send_errors: Counter,
+    joins: Counter,
+    leaves: Counter,
+    peers: Gauge,
+}
+
+impl NetMetrics {
+    fn new(registry: &Registry) -> Self {
+        NetMetrics {
+            frames_sent: registry.counter("bnet_frames_sent"),
+            frames_fragmented: registry.counter("bnet_frames_fragmented"),
+            datagrams_sent: registry.counter("bnet_datagrams_sent"),
+            bytes_sent: registry.counter("bnet_bytes_sent"),
+            send_errors: registry.counter("bnet_send_errors"),
+            joins: registry.counter("bnet_joins"),
+            leaves: registry.counter("bnet_leaves"),
+            peers: registry.gauge("bnet_peers"),
+        }
+    }
 }
 
 struct Shared {
     peers: Mutex<HashSet<SocketAddr>>,
-    counters: Counters,
+    metrics: NetMetrics,
+    telemetry: Telemetry,
     /// The next slot the serving loop will publish — what a `Resync`
     /// reports.
     next_slot: AtomicU64,
@@ -152,7 +180,7 @@ impl SlotSink for UdpFanout {
         if peers.is_empty() {
             return;
         }
-        let counters = &self.shared.counters;
+        let metrics = &self.shared.metrics;
         for lane in lanes {
             let frame = Frame::Slot(SlotFrame::from_transmission(
                 lane.channel as u16,
@@ -160,25 +188,34 @@ impl SlotSink for UdpFanout {
                 lane.transmission,
             ));
             let packets = datagrams(&frame, self.mtu, self.seq);
-            counters.frames_sent.fetch_add(1, Ordering::Relaxed);
+            metrics.frames_sent.inc();
             if packets.len() > 1 {
                 self.seq = self.seq.wrapping_add(1);
-                counters.frames_fragmented.fetch_add(1, Ordering::Relaxed);
+                metrics.frames_fragmented.inc();
             }
+            let mut dropped = false;
             for packet in &packets {
                 for peer in &peers {
                     match self.socket.send_to(packet, peer) {
                         Ok(sent) => {
-                            counters.datagrams_sent.fetch_add(1, Ordering::Relaxed);
-                            counters
-                                .bytes_sent
-                                .fetch_add(sent as u64, Ordering::Relaxed);
+                            metrics.datagrams_sent.inc();
+                            metrics.bytes_sent.add(sent as u64);
                         }
                         Err(_) => {
-                            counters.send_errors.fetch_add(1, Ordering::Relaxed);
+                            metrics.send_errors.inc();
+                            dropped = true;
                         }
                     }
                 }
+            }
+            self.shared.telemetry.record_event(|| Event::FrameSent {
+                slot: slot as u64,
+                peers: peers.len() as u64,
+            });
+            if dropped {
+                self.shared
+                    .telemetry
+                    .record_event(|| Event::FrameDropped { slot: slot as u64 });
             }
         }
     }
@@ -204,19 +241,26 @@ impl NetHandle {
         self.control_addr
     }
 
-    /// A snapshot of the network counters.
+    /// A snapshot of the network counters (a view over the registry — see
+    /// the caveat on [`NetStats::peers`]).
     pub fn stats(&self) -> NetStats {
-        let c = &self.shared.counters;
+        let m = &self.shared.metrics;
         NetStats {
-            frames_sent: c.frames_sent.load(Ordering::Relaxed),
-            frames_fragmented: c.frames_fragmented.load(Ordering::Relaxed),
-            datagrams_sent: c.datagrams_sent.load(Ordering::Relaxed),
-            bytes_sent: c.bytes_sent.load(Ordering::Relaxed),
-            send_errors: c.send_errors.load(Ordering::Relaxed),
-            joins: c.joins.load(Ordering::Relaxed),
-            leaves: c.leaves.load(Ordering::Relaxed),
+            frames_sent: m.frames_sent.get(),
+            frames_fragmented: m.frames_fragmented.get(),
+            datagrams_sent: m.datagrams_sent.get(),
+            bytes_sent: m.bytes_sent.get(),
+            send_errors: m.send_errors.get(),
+            joins: m.joins.get(),
+            leaves: m.leaves.get(),
             peers: self.shared.peers.lock().expect("peer set lock").len(),
         }
+    }
+
+    /// The telemetry the network side records into — the same handle the
+    /// control plane's metrics opcode serves from.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.shared.telemetry
     }
 
     /// Stops the membership and control threads and waits for them.
@@ -245,9 +289,22 @@ impl NetServer {
     /// Binds the UDP data/membership socket (and the TCP control listener
     /// when configured), spawns their service threads, and returns the
     /// fan-out sink to attach to a runtime plus the handle to manage it.
+    /// Records into a fresh private [`Telemetry`]; use
+    /// [`NetServer::bind_with_telemetry`] to share one with a runtime.
     pub fn bind(
         config: NetConfig,
         directory: Directory,
+    ) -> Result<(UdpFanout, NetHandle), NetError> {
+        NetServer::bind_with_telemetry(config, directory, Telemetry::new())
+    }
+
+    /// [`NetServer::bind`] recording into a caller-supplied [`Telemetry`] —
+    /// hand it the runtime's handle and the control plane's metrics opcode
+    /// exposes runtime and network metrics from one registry.
+    pub fn bind_with_telemetry(
+        config: NetConfig,
+        directory: Directory,
+        telemetry: Telemetry,
     ) -> Result<(UdpFanout, NetHandle), NetError> {
         let membership = UdpSocket::bind(config.data_bind)?;
         membership.set_read_timeout(Some(Duration::from_millis(20)))?;
@@ -260,7 +317,8 @@ impl NetServer {
 
         let shared = Arc::new(Shared {
             peers: Mutex::new(HashSet::new()),
-            counters: Counters::default(),
+            metrics: NetMetrics::new(telemetry.registry()),
+            telemetry,
             next_slot: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             directory,
@@ -321,7 +379,8 @@ fn membership_loop(socket: &UdpSocket, shared: &Shared) {
                 let mut peers = shared.peers.lock().expect("peer set lock");
                 if peers.len() < shared.max_peers || peers.contains(&from) {
                     peers.insert(from);
-                    shared.counters.joins.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.peers.set(peers.len() as i64);
+                    shared.metrics.joins.inc();
                     drop(peers);
                     // Ack with a resync so the client can baseline its
                     // gap detector; losing this reply is harmless.
@@ -329,9 +388,10 @@ fn membership_loop(socket: &UdpSocket, shared: &Shared) {
                 }
             }
             ControlFrame::Leave => {
-                let removed = shared.peers.lock().expect("peer set lock").remove(&from);
-                if removed {
-                    shared.counters.leaves.fetch_add(1, Ordering::Relaxed);
+                let mut peers = shared.peers.lock().expect("peer set lock");
+                if peers.remove(&from) {
+                    shared.metrics.peers.set(peers.len() as i64);
+                    shared.metrics.leaves.inc();
                 }
             }
             ControlFrame::ResyncRequest => {
@@ -397,6 +457,16 @@ fn serve_control_connection(mut stream: TcpStream, shared: &Shared) -> Result<()
                 Frame::Control(resync) => Some(resync),
                 Frame::Slot(_) => None,
             },
+            // The live metrics plane: render the shared registry in the
+            // requested format.  A station's registry is a couple dozen
+            // fixed-name metrics, far under the control-frame cap.
+            ControlFrame::MetricsRequest { format } => Some(ControlFrame::Metrics {
+                format,
+                body: match format {
+                    MetricsFormat::Text => shared.telemetry.export_text(),
+                    MetricsFormat::Json => shared.telemetry.export_json(),
+                },
+            }),
             ControlFrame::Leave => return Ok(()),
             _ => None,
         };
@@ -595,6 +665,70 @@ mod tests {
         write_control_frame(&mut stream, &ControlFrame::ResyncRequest).unwrap();
         let reply = read_control_frame(&mut stream).unwrap().unwrap();
         assert!(matches!(reply, ControlFrame::Resync { epoch: 5, .. }));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn control_plane_serves_metrics_in_both_formats() {
+        let telemetry = Telemetry::new();
+        let (mut fanout, handle) = NetServer::bind_with_telemetry(
+            NetConfig::default().with_control_plane(),
+            Directory::new(),
+            telemetry.clone(),
+        )
+        .unwrap();
+        // Publishing with no peers still registers the bnet_* names, so a
+        // scrape sees them at zero; publish once to be sure.
+        let block = test_block();
+        fanout.publish(
+            0,
+            &[LaneView {
+                channel: 0,
+                epoch: 1,
+                transmission: TransmissionRef {
+                    slot: 0,
+                    block: &block,
+                },
+            }],
+        );
+        let addr = handle.control_addr().expect("control plane configured");
+        let mut stream = TcpStream::connect(addr).unwrap();
+
+        write_control_frame(
+            &mut stream,
+            &ControlFrame::MetricsRequest {
+                format: MetricsFormat::Text,
+            },
+        )
+        .unwrap();
+        let reply = read_control_frame(&mut stream).unwrap().unwrap();
+        let ControlFrame::Metrics {
+            format: MetricsFormat::Text,
+            body,
+        } = reply
+        else {
+            panic!("expected a text metrics reply");
+        };
+        assert!(body.contains("# TYPE bnet_frames_sent counter"));
+        assert!(body.contains("bnet_peers"));
+
+        write_control_frame(
+            &mut stream,
+            &ControlFrame::MetricsRequest {
+                format: MetricsFormat::Json,
+            },
+        )
+        .unwrap();
+        let reply = read_control_frame(&mut stream).unwrap().unwrap();
+        let ControlFrame::Metrics {
+            format: MetricsFormat::Json,
+            body,
+        } = reply
+        else {
+            panic!("expected a JSON metrics reply");
+        };
+        assert!(body.starts_with('{'));
+        assert!(body.contains("\"bnet_frames_sent\""));
         handle.shutdown();
     }
 }

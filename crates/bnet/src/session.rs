@@ -43,6 +43,37 @@ pub struct ClientStats {
     pub erasures: u64,
 }
 
+impl ClientStats {
+    /// Publishes this snapshot into a [`bobs::Registry`] as
+    /// `bnet_client_*` gauges, so a client process can expose its
+    /// retrieval progress on the same metrics plane as a station.
+    ///
+    /// [`ClientState`] is single-threaded by design, so unlike the station
+    /// structs these are not live registry-backed counters — the caller
+    /// re-exports after feeding datagrams, and each export overwrites the
+    /// previous point-in-time view.
+    pub fn export_into(&self, registry: &bobs::Registry) {
+        registry
+            .gauge("bnet_client_datagrams")
+            .set(self.datagrams as i64);
+        registry
+            .gauge("bnet_client_slot_frames")
+            .set(self.slot_frames as i64);
+        registry
+            .gauge("bnet_client_control_frames")
+            .set(self.control_frames as i64);
+        registry
+            .gauge("bnet_client_decode_errors")
+            .set(self.decode_errors as i64);
+        registry
+            .gauge("bnet_client_gap_erasures")
+            .set(self.gap_erasures as i64);
+        registry
+            .gauge("bnet_client_erasures")
+            .set(self.erasures as i64);
+    }
+}
+
 /// How many partial fragment groups a client keeps in flight.
 const CLIENT_REASSEMBLY_GROUPS: usize = 16;
 
@@ -401,6 +432,22 @@ mod tests {
         }
         assert_eq!(state.blocks_received(), 1);
         assert_eq!(state.stats().slot_frames, 1);
+    }
+
+    #[test]
+    fn client_stats_export_as_registry_gauges() {
+        let mut state = ClientState::new(FileId(1));
+        state.feed_datagram(&encode(&frame(0, 0, 1, 0, b"aaaa")));
+        state.feed_datagram(b"junk");
+        let registry = bobs::Registry::new();
+        state.stats().export_into(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauges["bnet_client_datagrams"], 2);
+        assert_eq!(snap.gauges["bnet_client_decode_errors"], 1);
+        // Re-export overwrites: it is a point-in-time view.
+        state.feed_datagram(&encode(&frame(1, 0, 1, 1, b"bbbb")));
+        state.stats().export_into(&registry);
+        assert_eq!(registry.snapshot().gauges["bnet_client_datagrams"], 3);
     }
 
     #[test]

@@ -139,6 +139,42 @@ pub enum ControlFrame {
     },
     /// A client asks for a [`ControlFrame::Resync`].
     ResyncRequest,
+    /// A client asks the station for a telemetry snapshot in `format`
+    /// (TCP control plane).
+    MetricsRequest {
+        /// The requested exposition format.
+        format: MetricsFormat,
+    },
+    /// The station's answer to [`ControlFrame::MetricsRequest`]: the
+    /// rendered exposition.  The body carries a u32 length on the wire —
+    /// unlike the u16-capped string fields — but a whole control packet is
+    /// still bounded by the receiver's frame cap, so a station must keep
+    /// its registry small enough to fit.
+    Metrics {
+        /// The format the body is rendered in.
+        format: MetricsFormat,
+        /// The rendered snapshot (UTF-8 text or JSON).
+        body: String,
+    },
+}
+
+/// The exposition formats a [`ControlFrame::MetricsRequest`] may ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus-style text exposition.
+    Text = 0,
+    /// A JSON object of counters, gauges and histograms.
+    Json = 1,
+}
+
+impl MetricsFormat {
+    fn from_wire(v: u8) -> Result<Self, WireError> {
+        match v {
+            0 => Ok(MetricsFormat::Text),
+            1 => Ok(MetricsFormat::Json),
+            _ => Err(WireError::Inconsistent("unknown metrics format")),
+        }
+    }
 }
 
 const OP_JOIN: u8 = 0x01;
@@ -151,6 +187,8 @@ const OP_RETUNE: u8 = 0x07;
 const OP_CANCEL: u8 = 0x08;
 const OP_RESYNC: u8 = 0x09;
 const OP_RESYNC_REQUEST: u8 = 0x0A;
+const OP_METRICS_REQUEST: u8 = 0x0B;
+const OP_METRICS: u8 = 0x0C;
 
 /// A complete (unfragmented) message: one slot transmission or one control
 /// message.
@@ -374,6 +412,19 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
                     put_u64(&mut out, *next_slot);
                 }
                 ControlFrame::ResyncRequest => out.push(OP_RESYNC_REQUEST),
+                ControlFrame::MetricsRequest { format } => {
+                    out.push(OP_METRICS_REQUEST);
+                    out.push(*format as u8);
+                }
+                ControlFrame::Metrics { format, body } => {
+                    out.push(OP_METRICS);
+                    out.push(*format as u8);
+                    // Expositions routinely exceed the u16 string cap, so
+                    // the body travels with its own u32 length.
+                    let bytes = body.as_bytes();
+                    put_u32(&mut out, bytes.len() as u32);
+                    out.extend_from_slice(bytes);
+                }
             }
             seal_packet(out)
         }
@@ -597,6 +648,18 @@ fn decode_control(rd: &mut Reader<'_>) -> Result<ControlFrame, WireError> {
             next_slot: rd.u64()?,
         },
         OP_RESYNC_REQUEST => ControlFrame::ResyncRequest,
+        OP_METRICS_REQUEST => ControlFrame::MetricsRequest {
+            format: MetricsFormat::from_wire(rd.u8()?)?,
+        },
+        OP_METRICS => {
+            let format = MetricsFormat::from_wire(rd.u8()?)?;
+            let len = rd.u32()? as usize;
+            let bytes = rd.take(len)?;
+            ControlFrame::Metrics {
+                format,
+                body: String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)?,
+            }
+        }
         other => return Err(WireError::BadOpcode(other)),
     })
 }
@@ -741,6 +804,20 @@ mod tests {
                 next_slot: 777,
             },
             ControlFrame::ResyncRequest,
+            ControlFrame::MetricsRequest {
+                format: MetricsFormat::Text,
+            },
+            ControlFrame::MetricsRequest {
+                format: MetricsFormat::Json,
+            },
+            ControlFrame::Metrics {
+                format: MetricsFormat::Text,
+                body: "# TYPE brt_slots_served counter\nbrt_slots_served 7\n".to_string(),
+            },
+            ControlFrame::Metrics {
+                format: MetricsFormat::Json,
+                body: "{\"counters\":{\"brt_slots_served\":7}}".to_string(),
+            },
         ]
     }
 
@@ -957,6 +1034,15 @@ mod tests {
         // Corruption is overwhelmingly caught; a rare CRC collision would
         // still be a *valid* packet, which is acceptable.
         assert!(decoded_ok < 40, "suspiciously many corrupt packets decoded");
+    }
+
+    #[test]
+    fn rejects_unknown_metrics_format() {
+        let mut out = open_packet(KIND_CONTROL, 8);
+        out.push(OP_METRICS_REQUEST);
+        out.push(9); // no such format
+        let packet = seal_packet(out);
+        assert!(matches!(decode(&packet), Err(WireError::Inconsistent(_))));
     }
 
     #[test]

@@ -50,6 +50,21 @@ pub trait SlotClock: Send + Sync + 'static {
         }
     }
 
+    /// The signed lateness of serving `slot` *right now*, in nanoseconds:
+    /// positive when the slot's due-time has already passed (a late
+    /// publish), negative when it is being served ahead of its deadline.
+    ///
+    /// `None` means the clock has no wall-time deadlines — the default,
+    /// and what [`ManualClock`] inherits.  Telemetry gates every
+    /// wall-clock quantity (lateness, serving-phase timings) on this
+    /// returning `Some`, so a manually-cranked run never records a
+    /// nondeterministic value: two identical `ManualClock` runs produce
+    /// identical traces and histogram bucket counts.
+    fn slot_lateness(&self, slot: usize) -> Option<i64> {
+        let _ = slot;
+        None
+    }
+
     /// Registers a waker to be notified whenever the clock's state changes.
     fn register_waker(&self, waker: Arc<WakeSignal>);
 
@@ -161,6 +176,20 @@ impl SlotClock for WallClock {
         // `floor(elapsed / period) + 1` due slots.
         let due = (elapsed.as_nanos() / self.period.as_nanos().max(1)) as usize + 1;
         due.saturating_sub(from)
+    }
+
+    fn slot_lateness(&self, slot: usize) -> Option<i64> {
+        // Same widening as `poll`: the due offset saturates at u64
+        // nanoseconds (~584 years), far past any real schedule.
+        let nanos = self.period.as_nanos().saturating_mul(slot as u128);
+        let due = self.origin + Duration::from_nanos(nanos.min(u64::MAX as u128) as u64);
+        let now = Instant::now();
+        let signed = |d: Duration| d.as_nanos().min(i64::MAX as u128) as i64;
+        Some(if now >= due {
+            signed(now - due)
+        } else {
+            -signed(due - now)
+        })
     }
 
     fn register_waker(&self, waker: Arc<WakeSignal>) {
@@ -292,6 +321,17 @@ mod tests {
         }
         clock.close();
         assert_eq!(clock.poll(0), ClockPoll::Closed);
+    }
+
+    #[test]
+    fn lateness_is_signed_and_manual_clocks_have_none() {
+        let clock = WallClock::new(Duration::from_millis(50));
+        // Slot 0 was due at the origin: by now we are (non-negatively) late.
+        assert!(clock.slot_lateness(0).unwrap() >= 0);
+        // Slot 1000 is due ~50 s out: serving it now would be very early.
+        assert!(clock.slot_lateness(1000).unwrap() < 0);
+        // Manual clocks have no deadlines — nothing wall-timed may record.
+        assert_eq!(ManualClock::new().slot_lateness(0), None);
     }
 
     #[test]

@@ -46,11 +46,12 @@ mod runtime;
 mod scheduler;
 mod sink;
 
+pub use bobs::{Event, Telemetry};
 pub use clock::{ClockPoll, ManualClock, SlotClock, WakeSignal, WallClock};
 pub use drive::{drive, DriveError};
 pub use engine::{Engine, Subscriber, SwapNote};
 pub use queue::{Delivery, Popped, Push, SlotQueue};
-pub use ring::{BatchRead, BroadcastRing, LaneCell, RingRead, SlotCell};
+pub use ring::{BatchRead, BroadcastRing, LaneCell, RingRead, SlotCell, WakeSet};
 pub use runtime::{
     Consumer, Runtime, RuntimeConfig, RuntimeController, RuntimeError, RuntimeStats, Subscription,
     SubscriptionStats,

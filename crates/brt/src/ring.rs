@@ -130,6 +130,30 @@ impl RingState {
     }
 }
 
+/// The wait groups a publish satisfied, detached from the ring lock and
+/// not yet notified.  [`BroadcastRing::publish_prepared`] returns one so
+/// the serving loop can time the ring update and the cohort wakeup as
+/// separate phases; dropping a `WakeSet` without calling
+/// [`WakeSet::wake`] would strand parked readers, so don't.
+#[must_use = "call wake() or the satisfied cohort stays parked"]
+#[derive(Debug, Default)]
+pub struct WakeSet(Vec<Arc<Condvar>>);
+
+impl WakeSet {
+    /// `true` when no reader cohort is waiting to be woken (the wakeup
+    /// phase is free).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Notifies every satisfied wait group.
+    pub fn wake(self) {
+        for group in self.0 {
+            group.notify_all();
+        }
+    }
+}
+
 /// A fixed-capacity multi-reader broadcast ring of [`SlotCell`]s.
 ///
 /// Single writer (the serving thread), any number of readers.  Publishing
@@ -172,10 +196,17 @@ impl BroadcastRing {
     /// the notifications happen after the lock is released so woken
     /// readers never pile straight into a held mutex.
     pub fn publish(&self, cell: SlotCell) {
+        self.publish_prepared(cell).wake();
+    }
+
+    /// Like [`BroadcastRing::publish`], but returns the satisfied reader
+    /// cohort as a [`WakeSet`] instead of notifying it — the caller
+    /// performs (and may time) the wakeup as its own phase.
+    pub fn publish_prepared(&self, cell: SlotCell) -> WakeSet {
         let mut state = self.state.lock().expect("broadcast ring lock");
         debug_assert_eq!(cell.slot, state.base + state.cells.len());
         if state.closed {
-            return;
+            return WakeSet::default();
         }
         let slot = cell.slot;
         state.cells.push_back(Arc::new(cell));
@@ -183,11 +214,7 @@ impl BroadcastRing {
             state.cells.pop_front();
             state.base += 1;
         }
-        let wake = state.satisfied_groups(slot);
-        drop(state);
-        for group in wake {
-            group.notify_all();
-        }
+        WakeSet(state.satisfied_groups(slot))
     }
 
     /// Publishes a run of consecutive cells (continuing the ring's tail
@@ -195,13 +222,19 @@ impl BroadcastRing {
     /// equivalent of calling [`BroadcastRing::publish`] per cell, with one
     /// wake sweep for the whole run.
     pub fn publish_run(&self, cells: &mut Vec<SlotCell>) {
+        self.publish_run_prepared(cells).wake();
+    }
+
+    /// Like [`BroadcastRing::publish_run`], but returns the satisfied
+    /// reader cohort as a [`WakeSet`] instead of notifying it.
+    pub fn publish_run_prepared(&self, cells: &mut Vec<SlotCell>) -> WakeSet {
         let Some(last) = cells.last().map(|c| c.slot) else {
-            return;
+            return WakeSet::default();
         };
         let mut state = self.state.lock().expect("broadcast ring lock");
         if state.closed {
             cells.clear();
-            return;
+            return WakeSet::default();
         }
         for cell in cells.drain(..) {
             debug_assert_eq!(cell.slot, state.base + state.cells.len());
@@ -211,11 +244,7 @@ impl BroadcastRing {
                 state.base += 1;
             }
         }
-        let wake = state.satisfied_groups(last);
-        drop(state);
-        for group in wake {
-            group.notify_all();
-        }
+        WakeSet(state.satisfied_groups(last))
     }
 
     /// Advances the ring past the `count` slots starting at `from` without

@@ -41,12 +41,13 @@ use crate::ring::{BatchRead, BroadcastRing, LaneCell, SlotCell};
 use crate::sink::{LaneView, SlotSink};
 use bdisk::TransmissionRef;
 use bmode::SwapPolicy;
+use bobs::{Counter, Event, Gauge, Histogram, Registry, Telemetry};
 use ida::{DispersedBlock, FileId};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Control queues only carry swap notes (never data), and a subscriber can
 /// owe at most a handful before draining them; the bound is nominal.
@@ -119,12 +120,16 @@ pub trait Consumer: Send + 'static {
 }
 
 /// Shared per-subscriber counters (written by the server loop and the
-/// client task, read through the subscription handle).
+/// client task, read through the subscription handle).  These are
+/// unregistered [`bobs::Counter`] handles: per-subscription metrics are
+/// unbounded-cardinality, so they live on the subscription rather than
+/// under a name in the registry — the fleet-level aggregates are what the
+/// registry carries.
 #[derive(Debug, Default)]
 pub struct SubscriberCounters {
-    delivered: AtomicU64,
-    lagged_slots: AtomicU64,
-    lag_erasures: AtomicU64,
+    delivered: Counter,
+    lagged_slots: Counter,
+    lag_erasures: Counter,
 }
 
 /// A point-in-time snapshot of one subscriber's delivery counters.
@@ -322,9 +327,9 @@ impl<O> Subscription<O> {
     /// A snapshot of the subscriber's delivery counters.
     pub fn stats(&self) -> SubscriptionStats {
         SubscriptionStats {
-            delivered: self.counters.delivered.load(Ordering::Relaxed),
-            lagged_slots: self.counters.lagged_slots.load(Ordering::Relaxed),
-            lag_erasures: self.counters.lag_erasures.load(Ordering::Relaxed),
+            delivered: self.counters.delivered.get(),
+            lagged_slots: self.counters.lagged_slots.get(),
+            lag_erasures: self.counters.lag_erasures.get(),
         }
     }
 
@@ -351,6 +356,7 @@ pub struct Runtime<E: Engine> {
     clock: Arc<dyn SlotClock>,
     config: RuntimeConfig,
     ring: Arc<BroadcastRing>,
+    telemetry: Telemetry,
     server: Option<JoinHandle<E>>,
 }
 
@@ -385,6 +391,21 @@ impl<E: Engine> Runtime<E> {
         config: RuntimeConfig,
         sinks: Vec<Box<dyn SlotSink>>,
     ) -> Self {
+        Self::spawn_with_telemetry(engine, clock, config, sinks, Telemetry::new())
+    }
+
+    /// [`Runtime::spawn_with_sinks`] recording into a caller-owned
+    /// [`Telemetry`] handle — the facade passes one shared handle so the
+    /// runtime, the network fan-out and the control plane all land in a
+    /// single scrapable registry.  Recording (histograms + event trace)
+    /// stays whatever the handle says; counters and gauges always count.
+    pub fn spawn_with_telemetry(
+        engine: E,
+        clock: impl SlotClock,
+        config: RuntimeConfig,
+        sinks: Vec<Box<dyn SlotSink>>,
+        telemetry: Telemetry,
+    ) -> Self {
         let clock: Arc<dyn SlotClock> = Arc::new(clock);
         let waker = Arc::new(WakeSignal::new());
         clock.register_waker(waker.clone());
@@ -394,9 +415,10 @@ impl<E: Engine> Runtime<E> {
             let clock = clock.clone();
             let waker = waker.clone();
             let ring = ring.clone();
+            let telemetry = telemetry.clone();
             std::thread::Builder::new()
                 .name("brt-server".to_string())
-                .spawn(move || server_loop(engine, clock, waker, rx, ring, sinks))
+                .spawn(move || server_loop(engine, clock, waker, rx, ring, sinks, telemetry))
                 .expect("the broadcast server thread spawns")
         };
         Runtime {
@@ -407,8 +429,14 @@ impl<E: Engine> Runtime<E> {
             clock,
             config,
             ring,
+            telemetry,
             server: Some(server),
         }
+    }
+
+    /// The telemetry handle the runtime records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// A cloneable controller for off-thread preparation / scheduling.
@@ -551,16 +579,53 @@ struct PendingSwap<E: Engine> {
     reply: mpsc::Sender<Result<E::Report, E::Error>>,
 }
 
-#[derive(Default)]
-struct Fleet {
-    slots_served: u64,
-    total_subscriptions: u64,
-    admission_denied: u64,
-    completed: u64,
-    cancelled: u64,
-    lagged_slots: u64,
-    lag_erasures: u64,
-    swaps_applied: u64,
+/// The fleet-level metrics, as handles into the `bobs` registry: the
+/// serving loop's counting *is* the registry's content, so
+/// [`RuntimeStats`] is a snapshot view rather than a second set of books.
+/// Counter/gauge writes are single relaxed atomics — the same cost as the
+/// plain-field bookkeeping they replaced, now scrapable.
+struct FleetMetrics {
+    slots_served: Counter,
+    total_subscriptions: Counter,
+    admission_denied: Counter,
+    completed: Counter,
+    cancelled: Counter,
+    lagged_slots: Counter,
+    lag_erasures: Counter,
+    swaps_applied: Counter,
+    active_subscribers: Gauge,
+    pending_swaps: Gauge,
+    next_slot: Gauge,
+    /// Signed slot-deadline lateness: publish time minus the slot's
+    /// `SlotClock` due-time, nanoseconds.  Recording-gated, and only fed
+    /// when the clock has deadlines ([`SlotClock::slot_lateness`]).
+    slot_lateness_ns: Histogram,
+    /// Per-phase serving-loop timings, recording-gated like lateness.
+    phase_build_ns: Histogram,
+    phase_publish_ns: Histogram,
+    phase_wakeup_ns: Histogram,
+}
+
+impl FleetMetrics {
+    fn new(registry: &Registry) -> Self {
+        FleetMetrics {
+            slots_served: registry.counter("brt_slots_served"),
+            total_subscriptions: registry.counter("brt_subscriptions_total"),
+            admission_denied: registry.counter("brt_admission_denied"),
+            completed: registry.counter("brt_completed"),
+            cancelled: registry.counter("brt_cancelled"),
+            lagged_slots: registry.counter("brt_lagged_slots"),
+            lag_erasures: registry.counter("brt_lag_erasures"),
+            swaps_applied: registry.counter("brt_swaps_applied"),
+            active_subscribers: registry.gauge("brt_active_subscribers"),
+            pending_swaps: registry.gauge("brt_pending_swaps"),
+            next_slot: registry.gauge("brt_next_slot"),
+            slot_lateness_ns: registry.histogram("brt_slot_lateness_ns"),
+            phase_build_ns: registry.histogram("brt_phase_build_ns"),
+            phase_publish_ns: registry.histogram("brt_phase_publish_ns"),
+            phase_wakeup_ns: registry.histogram("brt_phase_wakeup_ns"),
+        }
+    }
 }
 
 /// Everything the server loop owns besides the engine and the clock.
@@ -572,19 +637,21 @@ struct ServerState<E: Engine> {
     /// control stays O(log channels) however large the fleet grows.
     active: BTreeMap<usize, usize>,
     pending: Vec<PendingSwap<E>>,
-    fleet: Fleet,
+    fleet: FleetMetrics,
+    telemetry: Telemetry,
     ring: Arc<BroadcastRing>,
 }
 
 impl<E: Engine> ServerState<E> {
-    fn new(ring: Arc<BroadcastRing>) -> Self {
+    fn new(ring: Arc<BroadcastRing>, telemetry: Telemetry) -> Self {
         ServerState {
             next_id: 0,
             next_seq: 0,
             subscribers: BTreeMap::new(),
             active: BTreeMap::new(),
             pending: Vec::new(),
-            fleet: Fleet::default(),
+            fleet: FleetMetrics::new(telemetry.registry()),
+            telemetry,
             ring,
         }
     }
@@ -616,6 +683,9 @@ impl<E: Engine> ServerState<E> {
     fn retire(&mut self, id: u64, wake: bool) -> Option<Entry> {
         let entry = self.subscribers.remove(&id)?;
         self.drop_active(entry.channel);
+        self.fleet
+            .active_subscribers
+            .set(self.subscribers.len() as i64);
         entry.control.close();
         entry.detached.store(true, Ordering::SeqCst);
         if wake {
@@ -632,9 +702,10 @@ fn server_loop<E: Engine>(
     commands: mpsc::Receiver<Command<E>>,
     ring: Arc<BroadcastRing>,
     mut sinks: Vec<Box<dyn SlotSink>>,
+    telemetry: Telemetry,
 ) -> E {
     let mut slot: usize = 0;
-    let mut state = ServerState::<E>::new(ring.clone());
+    let mut state = ServerState::<E>::new(ring.clone(), telemetry);
     let mut burst: Vec<SlotCell> = Vec::with_capacity(SERVE_BURST);
     'serve: loop {
         // Commands are handled at slot boundaries only, so a subscribe or a
@@ -650,7 +721,7 @@ fn server_loop<E: Engine>(
         // cursor apply right away — even while the clock is parked — so a
         // blocked `swap_at(past_slot, …)` never waits for the next tick.
         // Future-dated swaps stay pending until the cursor reaches them.
-        apply_due_swaps(&mut engine, slot, &mut state.pending, &mut state.fleet);
+        apply_due_swaps(&mut engine, slot, &mut state);
         match clock.poll(slot) {
             ClockPoll::Closed => break 'serve,
             ClockPoll::Ready => {
@@ -666,6 +737,11 @@ fn server_loop<E: Engine>(
                 if !state.pending.is_empty() {
                     run = 1;
                 }
+                // One recording check per burst; wall-clock phases are
+                // additionally gated on the clock *having* deadlines, so a
+                // ManualClock run records nothing nondeterministic.
+                let recording = state.telemetry.recording();
+                let timed = recording && clock.slot_lateness(slot).is_some();
                 if state.subscribers.is_empty() && sinks.is_empty() {
                     // Nothing can observe these slots — no subscriber is
                     // live, no sink is attached, and a later subscriber's
@@ -673,7 +749,11 @@ fn server_loop<E: Engine>(
                     // Advance past the run instead of snapshotting cells
                     // nobody can ever read.
                     ring.skip_run(slot, run);
-                    state.fleet.slots_served += run as u64;
+                    state.fleet.slots_served.add(run as u64);
+                    state.telemetry.record_event(|| Event::SlotsSkipped {
+                        from_slot: slot as u64,
+                        slots: run as u64,
+                    });
                     slot += run;
                 } else if sinks.is_empty() {
                     // No sink wants per-slot views, so the burst's cells are
@@ -681,18 +761,35 @@ fn server_loop<E: Engine>(
                     // batch — one lock acquisition and one wake sweep per
                     // run instead of one per slot.
                     burst.clear();
+                    let t0 = timed.then(Instant::now);
                     for _ in 0..run {
                         burst.push(build_cell(&engine, slot));
                         slot += 1;
                     }
-                    state.fleet.slots_served += run as u64;
-                    ring.publish_run(&mut burst);
+                    state.fleet.slots_served.add(run as u64);
+                    if recording {
+                        for cell in &burst {
+                            state.telemetry.record_event(|| Event::SlotPublished {
+                                slot: cell.slot as u64,
+                                lanes: live_lanes(cell),
+                            });
+                        }
+                    }
+                    let t1 = timed.then(Instant::now);
+                    let wake = ring.publish_run_prepared(&mut burst);
+                    let t2 = timed.then(Instant::now);
+                    wake.wake();
+                    if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
+                        record_phases(&state.fleet, t0, t1, t2, Instant::now());
+                        record_lateness(&state.fleet, &*clock, slot - run, slot);
+                    }
                 } else {
                     for _ in 0..run {
-                        serve_slot(&engine, slot, &ring, &mut sinks, &mut state.fleet);
+                        serve_slot(&engine, slot, &ring, &mut sinks, &state, timed, &*clock);
                         slot += 1;
                     }
                 }
+                state.fleet.next_slot.set(slot as i64);
             }
             ClockPoll::NotYet(hint) => {
                 let wait = hint.unwrap_or(Duration::from_secs(60));
@@ -707,6 +804,30 @@ fn server_loop<E: Engine>(
     ring.close();
     // Unapplied swaps: drop their replies, unblocking waiters with `Closed`.
     engine
+}
+
+/// Lanes of a cell that carry a block this slot.
+fn live_lanes(cell: &SlotCell) -> u32 {
+    cell.lanes.iter().filter(|l| l.block.is_some()).count() as u32
+}
+
+/// Books one serving pass's phase timings: cell build `[t0, t1)`, ring
+/// publish `[t1, t2)`, cohort wakeup `[t2, t3)`.
+fn record_phases(fleet: &FleetMetrics, t0: Instant, t1: Instant, t2: Instant, t3: Instant) {
+    let nanos = |d: Duration| d.as_nanos().min(i64::MAX as u128) as i64;
+    fleet.phase_build_ns.record(nanos(t1 - t0));
+    fleet.phase_publish_ns.record(nanos(t2 - t1));
+    fleet.phase_wakeup_ns.record(nanos(t3 - t2));
+}
+
+/// Books the signed deadline lateness of every slot in `[from, to)`, as of
+/// now — right after the span was published.
+fn record_lateness(fleet: &FleetMetrics, clock: &dyn SlotClock, from: usize, to: usize) {
+    for s in from..to {
+        if let Some(lateness) = clock.slot_lateness(s) {
+            fleet.slot_lateness_ns.record(lateness);
+        }
+    }
 }
 
 fn handle_command<E: Engine>(
@@ -727,7 +848,10 @@ fn handle_command<E: Engine>(
             Ok(ticket) => {
                 let channel = ticket.channel();
                 if let Err(refusal) = engine.admit(file, channel, state.active_on(channel)) {
-                    state.fleet.admission_denied += 1;
+                    state.fleet.admission_denied.inc();
+                    state.telemetry.record_event(|| Event::SubscriberRefused {
+                        file: file.0 as u64,
+                    });
                     let _ = reply.send(Err(refusal));
                     return;
                 }
@@ -745,7 +869,15 @@ fn handle_command<E: Engine>(
                     },
                 );
                 state.grow_active(channel);
-                state.fleet.total_subscriptions += 1;
+                state.fleet.total_subscriptions.inc();
+                state
+                    .fleet
+                    .active_subscribers
+                    .set(state.subscribers.len() as i64);
+                state.telemetry.record_event(|| Event::SubscriberAdmitted {
+                    id,
+                    file: file.0 as u64,
+                });
                 let _ = reply.send(Ok((id, ticket, slot)));
             }
             Err(e) => {
@@ -758,10 +890,13 @@ fn handle_command<E: Engine>(
         Command::Resolved { id, cancelled } => {
             if state.retire(id, false).is_some() {
                 if cancelled {
-                    state.fleet.cancelled += 1;
+                    state.fleet.cancelled.inc();
                 } else {
-                    state.fleet.completed += 1;
+                    state.fleet.completed.inc();
                 }
+                state
+                    .telemetry
+                    .record_event(|| Event::SubscriberResolved { id, cancelled });
             }
         }
         Command::Lag {
@@ -778,16 +913,15 @@ fn handle_command<E: Engine>(
             let mut lagged = (0, 0);
             if let Some(entry) = state.subscribers.get(&id) {
                 lagged = replay_lag(engine, entry.file, channel, epoch, from, to);
-                entry
-                    .counters
-                    .lagged_slots
-                    .fetch_add(lagged.0, Ordering::Relaxed);
-                entry
-                    .counters
-                    .lag_erasures
-                    .fetch_add(lagged.1, Ordering::Relaxed);
-                state.fleet.lagged_slots += lagged.0;
-                state.fleet.lag_erasures += lagged.1;
+                entry.counters.lagged_slots.add(lagged.0);
+                entry.counters.lag_erasures.add(lagged.1);
+                state.fleet.lagged_slots.add(lagged.0);
+                state.fleet.lag_erasures.add(lagged.1);
+                state.telemetry.record_event(|| Event::SubscriberLagged {
+                    id,
+                    from_slot: from as u64,
+                    to_slot: to as u64,
+                });
             }
             let _ = reply.send(lagged);
         }
@@ -820,7 +954,11 @@ fn handle_command<E: Engine>(
                     .expect("the entry was just looked up");
                 entry.control.push_control(note);
                 state.retire(id, true);
-                state.fleet.cancelled += 1;
+                state.fleet.cancelled.inc();
+                state.telemetry.record_event(|| Event::SubscriberResolved {
+                    id,
+                    cancelled: true,
+                });
             }
         }
         Command::Snapshot { reply } => {
@@ -841,19 +979,23 @@ fn handle_command<E: Engine>(
                 prepared,
                 reply,
             });
+            state.fleet.pending_swaps.set(state.pending.len() as i64);
+            state.telemetry.record_event(|| Event::SwapPrepared {
+                at_slot: at_slot as u64,
+            });
         }
         Command::Stats { reply } => {
             let _ = reply.send(RuntimeStats {
-                slots_served: state.fleet.slots_served,
+                slots_served: state.fleet.slots_served.get(),
                 next_slot: slot as u64,
                 active_subscribers: state.subscribers.len(),
-                total_subscriptions: state.fleet.total_subscriptions,
-                admission_denied: state.fleet.admission_denied,
-                completed: state.fleet.completed,
-                cancelled: state.fleet.cancelled,
-                lagged_slots: state.fleet.lagged_slots,
-                lag_erasures: state.fleet.lag_erasures,
-                swaps_applied: state.fleet.swaps_applied,
+                total_subscriptions: state.fleet.total_subscriptions.get(),
+                admission_denied: state.fleet.admission_denied.get(),
+                completed: state.fleet.completed.get(),
+                cancelled: state.fleet.cancelled.get(),
+                lagged_slots: state.fleet.lagged_slots.get(),
+                lag_erasures: state.fleet.lag_erasures.get(),
+                swaps_applied: state.fleet.swaps_applied.get(),
                 pending_swaps: state.pending.len(),
             });
         }
@@ -865,24 +1007,24 @@ fn handle_command<E: Engine>(
 /// order (FIFO among equal slots), *before* the slot is transmitted — so a
 /// swap planned for slot `s` flips exactly at `s` when it was scheduled
 /// ahead of time, and at the current slot when it arrived late.
-fn apply_due_swaps<E: Engine>(
-    engine: &mut E,
-    slot: usize,
-    pending: &mut Vec<PendingSwap<E>>,
-    fleet: &mut Fleet,
-) {
+fn apply_due_swaps<E: Engine>(engine: &mut E, slot: usize, state: &mut ServerState<E>) {
     loop {
-        let due = pending
+        let due = state
+            .pending
             .iter()
             .enumerate()
             .filter(|(_, p)| p.at_slot <= slot)
             .min_by_key(|(_, p)| (p.at_slot, p.seq))
             .map(|(i, _)| i);
         let Some(index) = due else { return };
-        let swap = pending.remove(index);
+        let swap = state.pending.remove(index);
+        state.fleet.pending_swaps.set(state.pending.len() as i64);
         let result = engine.swap(swap.prepared, slot, swap.policy);
         if result.is_ok() {
-            fleet.swaps_applied += 1;
+            state.fleet.swaps_applied.inc();
+            state.telemetry.record_event(|| Event::SwapLanded {
+                at_slot: slot as u64,
+            });
         }
         let _ = swap.reply.send(result);
     }
@@ -909,15 +1051,25 @@ fn build_cell<E: Engine>(engine: &E, slot: usize) -> SlotCell {
 /// Serves one slot: snapshots every lane's epoch and transmission into one
 /// [`SlotCell`], publishes it to the attached sinks and then onto the
 /// broadcast ring — one publication per slot, independent of the fleet.
+/// Sink sends are part of the "publish" phase: they put the slot on the
+/// wire exactly as the ring puts it on the in-process air.
 fn serve_slot<E: Engine>(
     engine: &E,
     slot: usize,
     ring: &BroadcastRing,
     sinks: &mut [Box<dyn SlotSink>],
-    fleet: &mut Fleet,
+    state: &ServerState<E>,
+    timed: bool,
+    clock: &dyn SlotClock,
 ) {
-    fleet.slots_served += 1;
+    state.fleet.slots_served.inc();
+    let t0 = timed.then(Instant::now);
     let cell = build_cell(engine, slot);
+    state.telemetry.record_event(|| Event::SlotPublished {
+        slot: slot as u64,
+        lanes: live_lanes(&cell),
+    });
+    let t1 = timed.then(Instant::now);
     if !sinks.is_empty() {
         let mut views: Vec<LaneView<'_>> = Vec::with_capacity(cell.lanes.len());
         for (channel, lane) in cell.lanes.iter().enumerate() {
@@ -933,7 +1085,13 @@ fn serve_slot<E: Engine>(
             sink.publish(slot, &views);
         }
     }
-    ring.publish(cell);
+    let wake = ring.publish_prepared(cell);
+    let t2 = timed.then(Instant::now);
+    wake.wake();
+    if let (Some(t0), Some(t1), Some(t2)) = (t0, t1, t2) {
+        record_phases(&state.fleet, t0, t1, t2, Instant::now());
+        record_lateness(&state.fleet, clock, slot, slot + 1);
+    }
 }
 
 /// Counts what a reader missed across an overwritten span `[from, to)` on
@@ -1054,7 +1212,7 @@ fn client_loop<E: Engine, C: Consumer>(
                     };
                     if let Some(channel) = deliver_on {
                         if let Some(block) = cell.lanes[channel].block.as_ref() {
-                            counters.delivered.fetch_add(1, Ordering::Relaxed);
+                            counters.delivered.inc();
                             if consumer.deliver(cell.slot, block) {
                                 let _ = controller.send(Command::Resolved {
                                     id,

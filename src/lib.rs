@@ -74,6 +74,7 @@
 //! | [`bcore`] | conditions, pinwheel algebra, planner, designer |
 //! | [`bmode`] | mode specifications, online re-design, transition planning |
 //! | [`bsim`] | error models, worst-case analysis, Monte-Carlo simulation, mode schedules |
+//! | [`bobs`] | telemetry: metrics registry, lateness histograms, event trace, exporters |
 //! | [`brt`] | slot clocks, the threaded broadcast runtime, the swap scheduler |
 //! | [`bnet`] | wire format, UDP station server, TCP control plane, socket clients |
 
@@ -100,7 +101,8 @@ pub use station::{Station, Stream};
 pub use bcore::{ChannelBudget, GeneralizedFileSpec, ShardPlan, ShardPlanner};
 pub use bdisk::{EpochBank, LatencyVector, MultiChannelServer, RetrievalOutcome, TransmissionRef};
 pub use bmode::{ChannelTransition, ModePlanner, ModeSpec, SwapPolicy, TransitionPlan};
-pub use bnet::{ControlClient, NetClient, NetConfig, NetError, NetStats};
+pub use bnet::{ControlClient, MetricsFormat, NetClient, NetConfig, NetError, NetStats};
+pub use bobs::{Event, Telemetry};
 pub use brt::{
     ManualClock, RuntimeConfig, RuntimeStats, ScheduleOutcome, SlotClock, SubscriptionStats,
     WallClock,
@@ -118,6 +120,7 @@ pub use bcore;
 pub use bdisk;
 pub use bmode;
 pub use bnet;
+pub use bobs;
 pub use brt;
 pub use bsim;
 pub use gf256;

@@ -36,10 +36,20 @@ impl Station {
         net_config: NetConfig,
     ) -> Result<NetServing, Error> {
         let directory = self.network_directory();
+        // One telemetry shared by the runtime and the network side, so a
+        // metrics scrape over the control plane sees `brt_*` and `bnet_*`
+        // in a single registry.
+        let telemetry = bobs::Telemetry::new();
         let (fanout, net) =
-            NetServer::bind(net_config, directory).map_err(|e| Error::Net(e.to_string()))?;
-        let runtime =
-            brt::Runtime::spawn_with_sinks(self, clock, runtime_config, vec![Box::new(fanout)]);
+            NetServer::bind_with_telemetry(net_config, directory, telemetry.clone())
+                .map_err(|e| Error::Net(e.to_string()))?;
+        let runtime = brt::Runtime::spawn_with_telemetry(
+            self,
+            clock,
+            runtime_config,
+            vec![Box::new(fanout)],
+            telemetry,
+        );
         Ok(NetServing {
             runtime: RuntimeHandle::from_inner(runtime),
             net,
@@ -102,6 +112,12 @@ impl NetServing {
     /// station broadcasts on the wire.
     pub fn runtime(&self) -> &RuntimeHandle {
         &self.runtime
+    }
+
+    /// The telemetry shared by the runtime and the network side — the
+    /// registry a [`bnet::ControlClient::metrics`] scrape renders.
+    pub fn telemetry(&self) -> &bobs::Telemetry {
+        self.net.telemetry()
     }
 
     /// Stops the serving loop and the network threads; returns the

@@ -151,6 +151,15 @@ impl RuntimeHandle {
         self.inner.stats().map_err(facade_error)
     }
 
+    /// The runtime's telemetry: the metrics registry behind
+    /// [`RuntimeHandle::stats`], the slot-lateness and serving-phase
+    /// histograms, and the typed event trace.  Call
+    /// [`bobs::Telemetry::set_recording`] to enable histogram and trace
+    /// recording (counters always run); snapshot or export at any time.
+    pub fn telemetry(&self) -> &bobs::Telemetry {
+        self.inner.telemetry()
+    }
+
     /// Slots the server has transmitted so far, read straight off the
     /// broadcast ring — pollable without the command round-trip (and the
     /// server preemption) that [`RuntimeHandle::stats`] costs.

@@ -528,3 +528,144 @@ fn wall_clock_runtime_completes_multi_client_retrievals_with_a_planned_swap() {
     assert_eq!(station.mode(), "without-f1");
     assert!(station.epoch() >= 1);
 }
+
+// ---------------------------------------------------------------------------
+// Telemetry determinism: under a ManualClock no wall-clock quantity may be
+// recorded, so two identical runs must produce identical telemetry.
+
+/// One fully deterministic single-subscriber run: subscribe before any slot
+/// is released, release one burst, wait for quiescence, read the telemetry.
+fn single_subscriber_run() -> (Vec<rtbdisk::Event>, rtbdisk::bobs::RegistrySnapshot) {
+    let station = Broadcast::builder()
+        .file(GeneralizedFileSpec::new(FileId(1), 1, vec![4]).unwrap())
+        .build()
+        .unwrap();
+    let clock = ManualClock::new();
+    let handle = station.serve_concurrent_with(
+        clock.clone(),
+        RuntimeConfig {
+            queue_capacity: 1 << 12,
+        },
+    );
+    handle.telemetry().set_recording(true);
+    let client = handle.subscribe(FileId(1), 0).unwrap();
+    // One release within the server's burst cap: every slot publishes in a
+    // single burst, so the client's resolution command is processed after
+    // the last slot event — a fixed interleaving.
+    clock.advance(32);
+    match client.join().unwrap() {
+        RetrievalResolution::Complete(outcome) => assert!(!outcome.data.is_empty()),
+        other => panic!("the lossless retrieval must complete, got {other:?}"),
+    }
+    // Quiesce: every released slot served, the resolution booked.
+    for _ in 0..20_000 {
+        let stats = handle.stats().unwrap();
+        if stats.slots_served == 32 && stats.completed == 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let trace = handle.telemetry().trace_snapshot();
+    let snapshot = handle.telemetry().snapshot();
+    handle.shutdown().unwrap();
+    (trace, snapshot)
+}
+
+#[test]
+fn manual_clock_telemetry_is_deterministic_for_a_single_subscriber() {
+    let (trace_a, snap_a) = single_subscriber_run();
+    let (trace_b, snap_b) = single_subscriber_run();
+    assert_eq!(
+        trace_a, trace_b,
+        "two identical ManualClock runs must produce identical event traces"
+    );
+    assert_eq!(
+        snap_a, snap_b,
+        "two identical ManualClock runs must produce identical registry snapshots"
+    );
+    // The trace has real structure, not vacuous equality.
+    assert!(trace_a
+        .iter()
+        .any(|e| matches!(e, rtbdisk::Event::SubscriberAdmitted { .. })));
+    assert!(trace_a
+        .iter()
+        .any(|e| matches!(e, rtbdisk::Event::SlotPublished { .. })));
+    assert!(trace_a
+        .iter()
+        .any(|e| matches!(e, rtbdisk::Event::SubscriberResolved { .. })));
+    // The determinism mechanism itself: a ManualClock has no wall-time
+    // deadlines, so every wall-clock histogram stayed empty.
+    assert!(snap_a.histograms.values().all(|h| h.count == 0));
+}
+
+/// A multi-subscriber run: client threads resolve concurrently, so the
+/// *order* of resolution events races — the event multiset and the final
+/// registry state must still be identical across identical runs.
+fn multi_subscriber_run() -> (Vec<String>, rtbdisk::bobs::RegistrySnapshot) {
+    let station =
+        Broadcast::builder()
+            .files((1..=4).map(|i| {
+                GeneralizedFileSpec::new(FileId(i), 1, vec![8 + 2 * i, 12 + 2 * i]).unwrap()
+            }))
+            .channels(2)
+            .build()
+            .unwrap();
+    let clock = ManualClock::new();
+    let handle = station.serve_concurrent_with(
+        clock.clone(),
+        RuntimeConfig {
+            queue_capacity: 1 << 12,
+        },
+    );
+    handle.telemetry().set_recording(true);
+    let clients: Vec<_> = (1..=4)
+        .map(|i| handle.subscribe(FileId(i), (i as usize - 1) * 7).unwrap())
+        .collect();
+    // A fixed release, ample for every completion, inside the server's
+    // single-burst cap: every cell is built in one burst while the whole
+    // fleet is still seated, so which slots publish cells cannot depend on
+    // how fast the client threads happen to resolve.
+    clock.advance(64);
+    for _ in 0..20_000 {
+        if clients.iter().all(|c| c.is_finished()) {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    for client in clients {
+        match client.join().unwrap() {
+            RetrievalResolution::Complete(_) => {}
+            other => panic!("lossless retrievals must complete, got {other:?}"),
+        }
+    }
+    for _ in 0..20_000 {
+        let stats = handle.stats().unwrap();
+        if stats.slots_served == 64 && stats.completed == 4 {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let mut events: Vec<String> = handle
+        .telemetry()
+        .trace_snapshot()
+        .iter()
+        .map(|e| format!("{e:?}"))
+        .collect();
+    events.sort();
+    let snapshot = handle.telemetry().snapshot();
+    handle.shutdown().unwrap();
+    (events, snapshot)
+}
+
+#[test]
+fn manual_clock_telemetry_is_deterministic_across_a_concurrent_fleet() {
+    let (events_a, snap_a) = multi_subscriber_run();
+    let (events_b, snap_b) = multi_subscriber_run();
+    assert_eq!(
+        events_a, events_b,
+        "identical runs must record the same event multiset"
+    );
+    assert_eq!(snap_a, snap_b, "identical runs must agree on every metric");
+    assert!(snap_a.histograms.values().all(|h| h.count == 0));
+    assert_eq!(snap_a.counters["brt_completed"], 4);
+}
