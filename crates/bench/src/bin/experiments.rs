@@ -9,13 +9,15 @@
 //! Available experiment ids: `fig5`, `fig6`, `fig7`, `lemma1`, `lemma2`,
 //! `example1`, `eq1`, `eq2`, `examples`, `speedup`, `ablation-schedulers`,
 //! `ablation-redundancy`, `ablation-blocksize`, `sharding`, `modes`,
-//! `ida_perf`, `runtime_perf`, `net_perf`, `check_regression`, `all`.
+//! `ida_perf`, `runtime_perf`, `net_perf`, `fault_matrix`,
+//! `check_regression`, `all`.
 //!
-//! `ida_perf` / `runtime_perf` / `net_perf` additionally write their
-//! results to `BENCH_ida.json` / `BENCH_runtime.json` / `BENCH_net.json`
-//! in the current directory — the repo's recorded perf trajectories.
-//! Because of that side effect (and their multi-second runtimes) they only
-//! run when requested explicitly, never as part of `all`.
+//! `ida_perf` / `runtime_perf` / `net_perf` / `fault_matrix` additionally
+//! write their results to `BENCH_ida.json` / `BENCH_runtime.json` /
+//! `BENCH_net.json` / `BENCH_fault.json` in the current directory — the
+//! repo's recorded perf trajectories.  Because of that side effect (and
+//! their multi-second runtimes) they only run when requested explicitly,
+//! never as part of `all`.
 //!
 //! `check_regression` is the CI perf gate: it compares the trajectories
 //! against committed baselines and exits non-zero on a throughput drop
@@ -25,14 +27,16 @@
 //! experiments check_regression --tolerance 0.30 \
 //!     --pair BENCH_ida.baseline.json:BENCH_ida.json \
 //!     --pair BENCH_runtime.baseline.json:BENCH_runtime.json \
-//!     --pair BENCH_net.baseline.json:BENCH_net.json
+//!     --pair BENCH_net.baseline.json:BENCH_net.json \
+//!     --pair BENCH_fault.baseline.json:BENCH_fault.json
 //! ```
 //!
 //! (`RTBDISK_PERF_TOLERANCE` overrides `--tolerance` for noisy runners;
 //! the pairs above are the default when none are given.)
 
 use bench::{
-    ablations, bounds, figures, modes, net_perf, perf, regression, runtime_perf, sharding,
+    ablations, bounds, fault_matrix, figures, modes, net_perf, perf, regression, runtime_perf,
+    sharding,
 };
 
 fn print_experiment<T: core::fmt::Display + serde::Serialize>(value: &T, json: bool) {
@@ -98,6 +102,12 @@ fn run(id: &str, json: bool) -> bool {
             std::fs::write("BENCH_net.json", &pretty).expect("BENCH_net.json is writable");
             print_experiment(&result, json);
         }
+        "fault_matrix" => {
+            let result = fault_matrix::fault_matrix();
+            let pretty = serde_json::to_string_pretty(&result).expect("perf results serialise");
+            std::fs::write("BENCH_fault.json", &pretty).expect("BENCH_fault.json is writable");
+            print_experiment(&result, json);
+        }
         _ => return false,
     }
     true
@@ -143,6 +153,10 @@ fn check_regression(args: &[String]) -> i32 {
             (
                 "BENCH_net.baseline.json".to_string(),
                 "BENCH_net.json".to_string(),
+            ),
+            (
+                "BENCH_fault.baseline.json".to_string(),
+                "BENCH_fault.json".to_string(),
             ),
         ];
     }

@@ -26,6 +26,7 @@
 
 pub mod ablations;
 pub mod bounds;
+pub mod fault_matrix;
 pub mod figures;
 pub mod modes;
 pub mod net_perf;

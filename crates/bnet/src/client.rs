@@ -1,35 +1,163 @@
-//! Socket clients: the passive UDP listener and the TCP control client.
+//! Socket clients: the self-healing UDP listener and the TCP control
+//! client.
+//!
+//! [`NetClient::retrieve`] is a *supervised* session loop, not a bare
+//! receive loop.  The failure modes of a real broadcast medium each have a
+//! recovery path:
+//!
+//! * a lost `Join` (or an eviction from the membership table — server
+//!   restart, peer-table wipe) starves the client silently; the loop
+//!   re-sends `Join` with exponential backoff plus deterministic jitter
+//!   whenever no datagram arrived within the retry window;
+//! * a partition is suspected when the liveness watchdog sees no datagram
+//!   for [`RecoveryConfig::watchdog`] (derivable as K slot periods from
+//!   the station's clock); the loop then runs a full *recovery round*;
+//! * a mode swap the client missed entirely shows up as a newer epoch on
+//!   the wire ([`ClientState::stale_epoch`]) — the same recovery round
+//!   re-tunes it.
+//!
+//! A recovery round re-sends `Join` and, when a control plane is
+//! configured, runs `Resync` → `Subscribe` over TCP and applies the answer
+//! with [`ClientState::resubscribe`] — keeping already-verified blocks
+//! when `(m, n)` is unchanged.  Rounds are bounded by
+//! [`RecoveryConfig::max_recoveries`]; a retrieval that still fails after
+//! recovering carries the context as [`NetError::Rejoined`].
 
 use crate::error::NetError;
 use crate::server::SubscriptionInfo;
 use crate::session::{ClientState, ClientStats};
 use crate::wire::{encode, ControlFrame, Frame, MetricsFormat};
 use bdisk::RetrievalOutcome;
+use bobs::{Event, Telemetry};
 use ida::FileId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io::ErrorKind;
 use std::net::{IpAddr, SocketAddr, TcpStream, UdpSocket};
 use std::time::{Duration, Instant};
 
-/// How often an unacknowledged `Join` is re-sent (the join datagram itself
-/// travels the lossy medium).
-const JOIN_RETRY: Duration = Duration::from_millis(100);
+/// Timeouts of one [`ControlClient`] connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlTimeouts {
+    /// Bound on establishing the TCP connection.
+    pub connect: Duration,
+    /// Per-read socket timeout.
+    pub read: Duration,
+    /// Per-write socket timeout.
+    pub write: Duration,
+}
+
+impl Default for ControlTimeouts {
+    fn default() -> Self {
+        ControlTimeouts {
+            connect: Duration::from_secs(2),
+            read: Duration::from_secs(2),
+            write: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ControlTimeouts {
+    /// The same bound for connect, read and write.
+    pub fn uniform(timeout: Duration) -> Self {
+        ControlTimeouts {
+            connect: timeout,
+            read: timeout,
+            write: timeout,
+        }
+    }
+}
+
+/// Tunables of the self-healing retrieval loop.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Initial `Join` re-send interval; doubles (plus jitter) per silent
+    /// re-send, up to [`RecoveryConfig::max_backoff`].
+    pub join_backoff: Duration,
+    /// Ceiling of the join backoff.
+    pub max_backoff: Duration,
+    /// Fraction of the backoff added as deterministic jitter, so a fleet
+    /// rejoining after an outage does not stampede in lockstep.
+    pub jitter: f64,
+    /// Silence longer than this ⇒ suspect a partition and run a recovery
+    /// round.  Derive it from the station's slot period with
+    /// [`RecoveryConfig::watchdog_from_clock`].
+    pub watchdog: Duration,
+    /// Most recovery rounds before the retrieval degrades to
+    /// [`NetError::Rejoined`].
+    pub max_recoveries: u64,
+    /// The station's TCP control plane; `None` limits recovery rounds to
+    /// re-joining (no epoch resync).
+    pub control: Option<SocketAddr>,
+    /// Timeouts of the control-plane connections recovery rounds open.
+    pub control_timeouts: ControlTimeouts,
+    /// Seed of the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            join_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.25,
+            watchdog: Duration::from_secs(1),
+            max_recoveries: 8,
+            control: None,
+            control_timeouts: ControlTimeouts::default(),
+            seed: 0x0BF4,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Points recovery rounds at the station's TCP control plane.
+    pub fn with_control(mut self, addr: SocketAddr) -> Self {
+        self.control = Some(addr);
+        self
+    }
+
+    /// Sets the watchdog to `slots` of the station clock's slot period —
+    /// "no datagram within K slot periods ⇒ suspect partition".  A clock
+    /// without a wall period (e.g. a `ManualClock`) leaves the watchdog
+    /// unchanged.
+    pub fn watchdog_from_clock(mut self, clock: &impl brt::SlotClock, slots: u32) -> Self {
+        if let Some(period) = clock.slot_period() {
+            self.watchdog = period.saturating_mul(slots.max(1));
+        }
+        self
+    }
+}
 
 /// A passive UDP listener retrieving one file from a broadcasting station.
 ///
 /// The client joins the station's fan-out set, then simply listens:
 /// dispersal parameters come from block headers, losses and corruption
 /// become erasures (see [`ClientState`]), and any `m` distinct blocks
-/// reconstruct the file — the paper's client, over a real socket.
+/// reconstruct the file — the paper's client, over a real socket, wrapped
+/// in the supervision loop described at the module level.
 pub struct NetClient {
     socket: UdpSocket,
     server: SocketAddr,
     state: ClientState,
+    config: RecoveryConfig,
+    telemetry: Option<Telemetry>,
+    recoveries: u64,
 }
 
 impl NetClient {
     /// Binds an ephemeral socket and sends a `Join` to the station's data
-    /// address.
+    /// address, with the default [`RecoveryConfig`].
     pub fn join(server: SocketAddr, file: FileId) -> Result<Self, NetError> {
+        NetClient::join_with(server, file, RecoveryConfig::default())
+    }
+
+    /// [`NetClient::join`] with explicit recovery tunables.
+    pub fn join_with(
+        server: SocketAddr,
+        file: FileId,
+        config: RecoveryConfig,
+    ) -> Result<Self, NetError> {
         let bind_ip: IpAddr = match server {
             SocketAddr::V4(_) => "0.0.0.0".parse().expect("valid literal"),
             SocketAddr::V6(_) => "::".parse().expect("valid literal"),
@@ -41,7 +169,17 @@ impl NetClient {
             socket,
             server,
             state: ClientState::new(file),
+            config,
+            telemetry: None,
+            recoveries: 0,
         })
+    }
+
+    /// Records recovery events and counters (`bnet_rejoins`,
+    /// `bnet_resyncs`, `bnet_partition_suspects`) into `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The client's local socket address.
@@ -55,14 +193,50 @@ impl NetClient {
     }
 
     /// Listens until the retrieval completes (or is cancelled by a mode
-    /// swap), then leaves the fan-out set and reconstructs the file.
+    /// swap), recovering from lost joins, evictions, partitions and missed
+    /// epochs along the way, then leaves the fan-out set and reconstructs
+    /// the file.
     ///
     /// `timeout` bounds the whole retrieval; hitting it surfaces as
     /// [`NetError::Incomplete`] / [`NetError::NoSignal`] describing how far
-    /// the retrieval got.
-    pub fn retrieve(mut self, timeout: Duration) -> Result<RetrievalOutcome, NetError> {
+    /// the retrieval got.  A failure after ≥ 1 recovery round is wrapped
+    /// in [`NetError::Rejoined`].
+    pub fn retrieve(self, timeout: Duration) -> Result<RetrievalOutcome, NetError> {
+        self.retrieve_with_stats(timeout).0
+    }
+
+    /// [`NetClient::retrieve`] additionally returning the final
+    /// [`ClientStats`] (the retrieve call consumes the client, so the
+    /// counters would otherwise be lost with it).
+    pub fn retrieve_with_stats(
+        mut self,
+        timeout: Duration,
+    ) -> (Result<RetrievalOutcome, NetError>, ClientStats) {
+        let result = self.run(timeout);
+        let _ = self
+            .socket
+            .send_to(&encode(&Frame::Control(ControlFrame::Leave)), self.server);
+        let stats = self.state.stats();
+        let result = match result {
+            Ok(outcome) => Ok(outcome),
+            // A cancellation is an answer, not a failure to recover from.
+            Err(cancelled @ NetError::Cancelled { .. }) => Err(cancelled),
+            Err(cause) if self.recoveries > 0 => Err(NetError::Rejoined {
+                attempts: self.recoveries,
+                cause: Box::new(cause),
+            }),
+            Err(other) => Err(other),
+        };
+        (result, stats)
+    }
+
+    fn run(&mut self, timeout: Duration) -> Result<RetrievalOutcome, NetError> {
         let deadline = Instant::now() + timeout;
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut backoff = self.config.join_backoff;
+        let mut last_rx = Instant::now();
         let mut last_join = Instant::now();
+        let mut suspected = false;
         let mut buf = vec![0u8; 65_536];
         while !self.state.is_complete() && self.state.cancelled_by().is_none() {
             if Instant::now() >= deadline {
@@ -71,23 +245,116 @@ impl NetClient {
             match self.socket.recv_from(&mut buf) {
                 Ok((len, _)) => {
                     self.state.feed_datagram(&buf[..len]);
+                    last_rx = Instant::now();
+                    suspected = false;
+                    backoff = self.config.join_backoff;
+                    if self.state.stale_epoch().is_some() {
+                        // Live traffic under a newer epoch: the swap was
+                        // missed — resync instead of listening to a
+                        // program that may no longer carry the file.
+                        if !self.recover() {
+                            break;
+                        }
+                        last_rx = Instant::now();
+                    }
                 }
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                    // Until anything arrives, the join itself may have been
-                    // lost: re-send it.
-                    if self.state.stats().datagrams == 0 && last_join.elapsed() >= JOIN_RETRY {
-                        self.socket
-                            .send_to(&encode(&Frame::Control(ControlFrame::Join)), self.server)?;
+                    let idle = last_rx.elapsed();
+                    if idle >= self.config.watchdog {
+                        if !suspected {
+                            suspected = true;
+                            self.state.note_partition_suspect();
+                            if let Some(telemetry) = &self.telemetry {
+                                telemetry
+                                    .registry()
+                                    .counter("bnet_partition_suspects")
+                                    .inc();
+                            }
+                        }
+                        if !self.recover() {
+                            break;
+                        }
+                        // Re-arm the watchdog: give the recovery a full
+                        // period to bear fruit before the next round.
+                        last_rx = Instant::now();
                         last_join = Instant::now();
+                        backoff = self.config.join_backoff;
+                    } else if idle >= backoff && last_join.elapsed() >= backoff {
+                        // No datagram within the retry window: the join
+                        // (or our membership) may be gone — whether or not
+                        // traffic ever arrived before.
+                        self.send_join()?;
+                        last_join = Instant::now();
+                        let jitter = backoff.mul_f64(self.config.jitter * rng.gen::<f64>());
+                        backoff = (backoff.saturating_mul(2) + jitter).min(self.config.max_backoff);
                     }
                 }
                 Err(e) => return Err(e.into()),
             }
         }
+        self.state.finish()
+    }
+
+    /// One bounded recovery round: re-join and, with a control plane,
+    /// resync + resubscribe.  Returns `false` once the round budget is
+    /// spent — the caller gives up and degrades.
+    fn recover(&mut self) -> bool {
+        if self.recoveries >= self.config.max_recoveries {
+            return false;
+        }
+        self.recoveries += 1;
+        let mut resynced = false;
+        if let Some(control) = self.config.control {
+            let round = ControlClient::connect_with(control, self.config.control_timeouts)
+                .and_then(|mut client| {
+                    let (epoch, next_slot) = client.resync()?;
+                    let info = client.subscribe(self.state.file())?;
+                    Ok((epoch, next_slot, info))
+                });
+            if let Ok((epoch, next_slot, info)) = round {
+                self.state.resubscribe(
+                    info.channel,
+                    epoch.max(info.epoch),
+                    info.m,
+                    info.n,
+                    next_slot,
+                );
+                resynced = true;
+            }
+            // A failed control round is not fatal: the partition may still
+            // be on — the next watchdog period retries.
+        }
+        // Always re-join: the membership table may have been wiped, and on
+        // a lossy medium a duplicate join is free.
         let _ = self
             .socket
-            .send_to(&encode(&Frame::Control(ControlFrame::Leave)), self.server);
-        self.state.finish()
+            .send_to(&encode(&Frame::Control(ControlFrame::Join)), self.server);
+        self.state.note_rejoin();
+        if let Some(telemetry) = &self.telemetry {
+            let registry = telemetry.registry();
+            registry.counter("bnet_rejoins").inc();
+            if resynced {
+                registry.counter("bnet_resyncs").inc();
+            }
+            let file = self.state.file().0 as u64;
+            let attempts = self.recoveries;
+            telemetry.record_event(|| Event::Recovery {
+                file,
+                attempts,
+                resynced,
+            });
+        }
+        true
+    }
+
+    fn send_join(&mut self) -> Result<(), NetError> {
+        self.socket
+            .send_to(&encode(&Frame::Control(ControlFrame::Join)), self.server)?;
+        self.state.note_rejoin();
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.registry().counter("bnet_rejoins").inc();
+        }
+        Ok(())
     }
 
     /// A snapshot of what the client has seen.
@@ -101,19 +368,41 @@ pub struct ControlClient {
     stream: TcpStream,
 }
 
+/// Surfaces a socket timeout as the named [`NetError::Timeout`] instead of
+/// a raw io error.
+fn named_timeout(err: NetError, during: &'static str) -> NetError {
+    match err {
+        NetError::Io(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            NetError::Timeout { during }
+        }
+        other => other,
+    }
+}
+
 impl ControlClient {
-    /// Connects to a station's control plane.
+    /// Connects to a station's control plane with the default
+    /// [`ControlTimeouts`] (2 s each).
     pub fn connect(addr: SocketAddr) -> Result<Self, NetError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(2)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+        ControlClient::connect_with(addr, ControlTimeouts::default())
+    }
+
+    /// [`ControlClient::connect`] with explicit timeouts.  Timeouts
+    /// surface as [`NetError::Timeout`], never as raw io errors.
+    pub fn connect_with(addr: SocketAddr, timeouts: ControlTimeouts) -> Result<Self, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, timeouts.connect)
+            .map_err(|e| named_timeout(e.into(), "control connect"))?;
+        stream.set_read_timeout(Some(timeouts.read))?;
+        stream.set_write_timeout(Some(timeouts.write))?;
         Ok(ControlClient { stream })
     }
 
     /// Asks where `file` is served.
     pub fn subscribe(&mut self, file: FileId) -> Result<SubscriptionInfo, NetError> {
-        crate::server::write_control_frame(&mut self.stream, &ControlFrame::Subscribe { file })?;
-        match crate::server::read_control_frame(&mut self.stream)? {
+        crate::server::write_control_frame(&mut self.stream, &ControlFrame::Subscribe { file })
+            .map_err(|e| named_timeout(e, "subscribe request"))?;
+        match crate::server::read_control_frame(&mut self.stream)
+            .map_err(|e| named_timeout(e, "subscribe reply"))?
+        {
             Some(ControlFrame::SubscribeAck {
                 file: acked,
                 channel,
@@ -136,8 +425,11 @@ impl ControlClient {
 
     /// Asks for the station's slot counter: `(epoch, next_slot)`.
     pub fn resync(&mut self) -> Result<(u64, u64), NetError> {
-        crate::server::write_control_frame(&mut self.stream, &ControlFrame::ResyncRequest)?;
-        match crate::server::read_control_frame(&mut self.stream)? {
+        crate::server::write_control_frame(&mut self.stream, &ControlFrame::ResyncRequest)
+            .map_err(|e| named_timeout(e, "resync request"))?;
+        match crate::server::read_control_frame(&mut self.stream)
+            .map_err(|e| named_timeout(e, "resync reply"))?
+        {
             Some(ControlFrame::Resync { epoch, next_slot }) => Ok((epoch, next_slot)),
             Some(_) => Err(NetError::Protocol("unexpected resync reply")),
             None => Err(NetError::Protocol("control connection closed")),
@@ -150,8 +442,11 @@ impl ControlClient {
         crate::server::write_control_frame(
             &mut self.stream,
             &ControlFrame::MetricsRequest { format },
-        )?;
-        match crate::server::read_control_frame(&mut self.stream)? {
+        )
+        .map_err(|e| named_timeout(e, "metrics request"))?;
+        match crate::server::read_control_frame(&mut self.stream)
+            .map_err(|e| named_timeout(e, "metrics reply"))?
+        {
             Some(ControlFrame::Metrics {
                 format: got, body, ..
             }) if got == format => Ok(body),

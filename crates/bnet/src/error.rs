@@ -45,6 +45,20 @@ pub enum NetError {
     /// The peer violated the control-plane protocol (unexpected frame kind
     /// or a closed connection mid-exchange).
     Protocol(&'static str),
+    /// A control-plane socket operation exceeded its configured timeout.
+    Timeout {
+        /// The operation that timed out.
+        during: &'static str,
+    },
+    /// The retrieval failed even though the client recovered (rejoined
+    /// and, where a control plane was available, resynced) `attempts`
+    /// times — the graceful-degradation context around the final failure.
+    Rejoined {
+        /// Recovery rounds run before giving up.
+        attempts: u64,
+        /// The final underlying failure.
+        cause: Box<NetError>,
+    },
 }
 
 impl core::fmt::Display for NetError {
@@ -72,6 +86,10 @@ impl core::fmt::Display for NetError {
                 write!(f, "station refused subscription to {file}: {reason}")
             }
             NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            NetError::Timeout { during } => write!(f, "timed out during {during}"),
+            NetError::Rejoined { attempts, cause } => {
+                write!(f, "failed after {attempts} recovery round(s): {cause}")
+            }
         }
     }
 }
@@ -82,6 +100,7 @@ impl std::error::Error for NetError {
             NetError::Io(e) => Some(e),
             NetError::Wire(e) => Some(e),
             NetError::Ida(e) => Some(e),
+            NetError::Rejoined { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
     }

@@ -34,7 +34,7 @@ mod server;
 mod session;
 pub mod wire;
 
-pub use client::{ControlClient, NetClient};
+pub use client::{ControlClient, ControlTimeouts, NetClient, RecoveryConfig};
 pub use error::NetError;
 pub use server::{
     Directory, NetConfig, NetHandle, NetServer, NetStats, SubscriptionInfo, UdpFanout,

@@ -42,6 +42,10 @@ pub struct NetConfig {
     pub mtu: usize,
     /// Most peers the fan-out set will hold; further joins are ignored.
     pub max_peers: usize,
+    /// How long the control-plane accept loop sleeps between polls of its
+    /// non-blocking listener — the bound on how stale an idle accept can
+    /// be, and on shutdown latency of the control thread.
+    pub control_poll: Duration,
 }
 
 impl Default for NetConfig {
@@ -51,6 +55,7 @@ impl Default for NetConfig {
             control_bind: None,
             mtu: 1400,
             max_peers: 64,
+            control_poll: Duration::from_millis(5),
         }
     }
 }
@@ -59,6 +64,13 @@ impl NetConfig {
     /// Enables the TCP control plane on an ephemeral loopback port.
     pub fn with_control_plane(mut self) -> Self {
         self.control_bind = Some("127.0.0.1:0".parse().expect("valid literal"));
+        self
+    }
+
+    /// Sets the control-plane accept-poll interval (clamped to ≥ 100 µs so
+    /// a zero interval cannot busy-spin the control thread).
+    pub fn with_control_poll(mut self, poll: Duration) -> Self {
+        self.control_poll = poll.max(Duration::from_micros(100));
         self
     }
 }
@@ -76,8 +88,11 @@ pub struct SubscriptionInfo {
     pub n: u32,
 }
 
-/// The control plane's static view of the station: file id → where it is
-/// served.  Built by the caller from the engine at bind time.
+/// The control plane's view of the station: file id → where it is served.
+/// Built by the caller from the engine at bind time and refreshed after
+/// mode swaps with [`NetHandle::update_directory`], so a recovering client
+/// that missed a swap resubscribes against the live program, not the one
+/// it tuned to originally.
 pub type Directory = BTreeMap<u32, SubscriptionInfo>;
 
 /// A snapshot of the network side's counters — a view over the station's
@@ -144,15 +159,25 @@ struct Shared {
     /// The next slot the serving loop will publish — what a `Resync`
     /// reports.
     next_slot: AtomicU64,
+    /// The highest epoch the fan-out has published under — a `Resync`
+    /// must report the *live* epoch even when the directory is stale.
+    current_epoch: AtomicU64,
     stop: AtomicBool,
-    directory: Directory,
+    directory: Mutex<Directory>,
     max_peers: usize,
 }
 
 impl Shared {
     fn resync_frame(&self) -> Frame {
+        let directory_epoch = self
+            .directory
+            .lock()
+            .expect("directory lock")
+            .values()
+            .next()
+            .map_or(0, |info| info.epoch);
         Frame::Control(ControlFrame::Resync {
-            epoch: self.directory.values().next().map_or(0, |info| info.epoch),
+            epoch: directory_epoch.max(self.current_epoch.load(Ordering::Relaxed)),
             next_slot: self.next_slot.load(Ordering::Relaxed),
         })
     }
@@ -173,6 +198,11 @@ impl SlotSink for UdpFanout {
         self.shared
             .next_slot
             .store(slot as u64 + 1, Ordering::Relaxed);
+        for lane in lanes {
+            self.shared
+                .current_epoch
+                .fetch_max(lane.epoch, Ordering::Relaxed);
+        }
         let peers: Vec<SocketAddr> = {
             let guard = self.shared.peers.lock().expect("peer set lock");
             guard.iter().copied().collect()
@@ -263,6 +293,12 @@ impl NetHandle {
         &self.shared.telemetry
     }
 
+    /// Replaces the control plane's directory — call after a mode swap so
+    /// recovering clients resubscribe against the live program.
+    pub fn update_directory(&self, directory: Directory) {
+        *self.shared.directory.lock().expect("directory lock") = directory;
+    }
+
     /// Stops the membership and control threads and waits for them.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -320,8 +356,9 @@ impl NetServer {
             metrics: NetMetrics::new(telemetry.registry()),
             telemetry,
             next_slot: AtomicU64::new(0),
+            current_epoch: AtomicU64::new(0),
             stop: AtomicBool::new(false),
-            directory,
+            directory: Mutex::new(directory),
             max_peers: config.max_peers.max(1),
         });
 
@@ -339,8 +376,9 @@ impl NetServer {
                 let addr = listener.local_addr()?;
                 listener.set_nonblocking(true)?;
                 let shared = Arc::clone(&shared);
+                let poll = config.control_poll.max(Duration::from_micros(100));
                 threads.push(std::thread::spawn(move || {
-                    control_loop(&listener, &shared);
+                    control_loop(&listener, &shared, poll);
                 }));
                 Some(addr)
             }
@@ -405,7 +443,7 @@ fn membership_loop(socket: &UdpSocket, shared: &Shared) {
 /// Largest control frame the TCP plane will read.
 const MAX_CONTROL_FRAME: usize = 64 * 1024;
 
-fn control_loop(listener: &TcpListener, shared: &Shared) {
+fn control_loop(listener: &TcpListener, shared: &Shared, poll: Duration) {
     while !shared.stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
@@ -415,9 +453,9 @@ fn control_loop(listener: &TcpListener, shared: &Shared) {
                 let _ = serve_control_connection(stream, shared);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+                std::thread::sleep(poll);
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            Err(_) => std::thread::sleep(poll),
         }
     }
 }
@@ -440,19 +478,27 @@ fn serve_control_connection(mut stream: TcpStream, shared: &Shared) -> Result<()
             Err(_) => return Ok(()), // garbage on a reliable link: drop them
         };
         let reply = match frame {
-            ControlFrame::Subscribe { file } => Some(match shared.directory.get(&file.0) {
-                Some(info) => ControlFrame::SubscribeAck {
-                    file,
-                    channel: info.channel,
-                    epoch: info.epoch,
-                    m: info.m,
-                    n: info.n,
-                },
-                None => ControlFrame::SubscribeNak {
-                    file,
-                    reason: "file is not on this station".to_string(),
-                },
-            }),
+            ControlFrame::Subscribe { file } => {
+                let info = shared
+                    .directory
+                    .lock()
+                    .expect("directory lock")
+                    .get(&file.0)
+                    .copied();
+                Some(match info {
+                    Some(info) => ControlFrame::SubscribeAck {
+                        file,
+                        channel: info.channel,
+                        epoch: info.epoch,
+                        m: info.m,
+                        n: info.n,
+                    },
+                    None => ControlFrame::SubscribeNak {
+                        file,
+                        reason: "file is not on this station".to_string(),
+                    },
+                })
+            }
             ControlFrame::ResyncRequest => match shared.resync_frame() {
                 Frame::Control(resync) => Some(resync),
                 Frame::Slot(_) => None,
@@ -665,6 +711,74 @@ mod tests {
         write_control_frame(&mut stream, &ControlFrame::ResyncRequest).unwrap();
         let reply = read_control_frame(&mut stream).unwrap().unwrap();
         assert!(matches!(reply, ControlFrame::Resync { epoch: 5, .. }));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn directory_updates_and_published_epochs_reach_the_control_plane() {
+        let mut directory = Directory::new();
+        directory.insert(
+            1,
+            SubscriptionInfo {
+                channel: 0,
+                epoch: 1,
+                m: 2,
+                n: 4,
+            },
+        );
+        let (mut fanout, handle) =
+            NetServer::bind(NetConfig::default().with_control_plane(), directory).unwrap();
+        let addr = handle.control_addr().expect("control plane configured");
+        // Publishing under epoch 9 makes the resync report the live epoch
+        // even while the directory still says 1 (a swap the caller has
+        // not refreshed yet).
+        let block = test_block();
+        fanout.publish(
+            5,
+            &[LaneView {
+                channel: 0,
+                epoch: 9,
+                transmission: TransmissionRef {
+                    slot: 5,
+                    block: &block,
+                },
+            }],
+        );
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write_control_frame(&mut stream, &ControlFrame::ResyncRequest).unwrap();
+        let reply = read_control_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(
+            reply,
+            ControlFrame::Resync {
+                epoch: 9,
+                next_slot: 6,
+            }
+        );
+        // A directory refresh re-answers subscriptions from the live
+        // program.
+        let mut updated = Directory::new();
+        updated.insert(
+            1,
+            SubscriptionInfo {
+                channel: 1,
+                epoch: 9,
+                m: 3,
+                n: 6,
+            },
+        );
+        handle.update_directory(updated);
+        write_control_frame(&mut stream, &ControlFrame::Subscribe { file: FileId(1) }).unwrap();
+        let reply = read_control_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(
+            reply,
+            ControlFrame::SubscribeAck {
+                file: FileId(1),
+                channel: 1,
+                epoch: 9,
+                m: 3,
+                n: 6,
+            }
+        );
         handle.shutdown();
     }
 

@@ -41,6 +41,12 @@ pub struct ClientStats {
     pub gap_erasures: u64,
     /// Erasures recorded in total (decode errors + gaps + evictions).
     pub erasures: u64,
+    /// `Join` datagrams (re-)sent by the supervising client loop.
+    pub rejoins: u64,
+    /// Control-plane resync/resubscribe rounds completed.
+    pub resyncs: u64,
+    /// Times the liveness watchdog suspected a partition.
+    pub partition_suspects: u64,
 }
 
 impl ClientStats {
@@ -71,6 +77,15 @@ impl ClientStats {
         registry
             .gauge("bnet_client_erasures")
             .set(self.erasures as i64);
+        registry
+            .gauge("bnet_client_rejoins")
+            .set(self.rejoins as i64);
+        registry
+            .gauge("bnet_client_resyncs")
+            .set(self.resyncs as i64);
+        registry
+            .gauge("bnet_client_partition_suspects")
+            .set(self.partition_suspects as i64);
     }
 }
 
@@ -85,6 +100,8 @@ pub struct ClientState {
     session: Option<ClientSession>,
     pending_erasures: usize,
     last_slot: Option<u64>,
+    epoch: Option<u64>,
+    stale_epoch: Option<u64>,
     reassembler: Reassembler,
     cancelled: Option<String>,
     stats: ClientStats,
@@ -101,6 +118,8 @@ impl ClientState {
             session: None,
             pending_erasures: 0,
             last_slot: None,
+            epoch: None,
+            stale_epoch: None,
             reassembler: Reassembler::new(CLIENT_REASSEMBLY_GROUPS),
             cancelled: None,
             stats: ClientStats::default(),
@@ -120,6 +139,18 @@ impl ClientState {
     /// The channel carrying the file, once learned.
     pub fn channel(&self) -> Option<u16> {
         self.channel
+    }
+
+    /// The epoch the client's channel serves under, once learned.
+    pub fn epoch(&self) -> Option<u64> {
+        self.epoch
+    }
+
+    /// A newer epoch seen on the wire than the one this session tuned to —
+    /// the signature of a mode swap the client missed.  Cleared by
+    /// [`ClientState::resubscribe`] (or a `Retune` note catching up).
+    pub fn stale_epoch(&self) -> Option<u64> {
+        self.stale_epoch
     }
 
     /// The mode that cancelled this retrieval, if a cancel note arrived.
@@ -201,6 +232,46 @@ impl ClientState {
         self.note_erasures(count);
     }
 
+    /// Counts a (re-sent) `Join` — bumped by the supervising client loop.
+    pub fn note_rejoin(&mut self) {
+        self.stats.rejoins += 1;
+    }
+
+    /// Counts a suspected partition (liveness watchdog fired).
+    pub fn note_partition_suspect(&mut self) {
+        self.stats.partition_suspects += 1;
+    }
+
+    /// Applies a fresh control-plane answer after a recovery round: tunes
+    /// to `channel` under `epoch`, re-baselines the gap detector at the
+    /// station's `next_slot` (the slots missed while partitioned were
+    /// already accounted — a resync must not double-count them), and keeps
+    /// the already-verified blocks when the dispersal parameters are
+    /// unchanged.  When `(m, n)` changed, the old blocks belong to a
+    /// different dispersal: the session restarts, carrying the erasure
+    /// accounting forward.
+    pub fn resubscribe(&mut self, channel: u16, epoch: u64, m: u32, n: u32, next_slot: u64) {
+        self.stats.resyncs += 1;
+        self.channel = Some(channel);
+        self.epoch = Some(epoch);
+        self.stale_epoch = None;
+        if let Some(baseline) = next_slot.checked_sub(1) {
+            let baseline = self.last_slot.map_or(baseline, |last| last.max(baseline));
+            self.last_slot = Some(baseline);
+        }
+        if m < 1 || m > n {
+            return;
+        }
+        if self.params == Some((m, n)) {
+            return;
+        }
+        let mut session = ClientSession::new(self.file, m as usize, 0);
+        session.record_erasures(self.stats.erasures as usize);
+        self.pending_erasures = 0;
+        self.params = Some((m, n));
+        self.session = Some(session);
+    }
+
     /// Finishes the retrieval: reconstructs the file.
     ///
     /// Fails with [`NetError::Cancelled`] if a cancel note arrived,
@@ -250,6 +321,15 @@ impl ClientState {
             if self.last_slot.is_none_or(|last| sf.slot > last) {
                 self.last_slot = Some(sf.slot);
             }
+            // Epoch tracking on the client's own channel: a *newer* epoch
+            // on the wire means a mode swap happened — flagged stale so a
+            // supervising loop can resync, never an error (the frames
+            // themselves still carry valid blocks).
+            match self.epoch {
+                None => self.epoch = Some(sf.epoch),
+                Some(known) if sf.epoch > known => self.stale_epoch = Some(sf.epoch),
+                _ => {}
+            }
         }
         if !ours {
             return false;
@@ -268,15 +348,25 @@ impl ClientState {
             ControlFrame::SubscribeAck {
                 file,
                 channel,
+                epoch,
                 m,
                 n,
-                ..
             } if file == self.file => {
                 self.channel = Some(channel);
+                self.epoch = Some(epoch);
+                self.stale_epoch = None;
                 self.learn_params(m, n);
             }
-            ControlFrame::Retune { file, channel, .. } if file == self.file => {
+            ControlFrame::Retune {
+                file,
+                channel,
+                epoch,
+            } if file == self.file => {
+                // An in-band swap note: the client heard about the swap,
+                // so the new epoch is not stale knowledge.
                 self.channel = Some(channel);
+                self.epoch = Some(epoch);
+                self.stale_epoch = None;
             }
             ControlFrame::Cancel { file, mode } if file == self.file => {
                 self.cancelled = Some(mode);
@@ -448,6 +538,110 @@ mod tests {
         state.feed_datagram(&encode(&frame(1, 0, 1, 1, b"bbbb")));
         state.stats().export_into(&registry);
         assert_eq!(registry.snapshot().gauges["bnet_client_datagrams"], 3);
+    }
+
+    fn epoch_frame(slot: u64, epoch: u64, file: u32, index: u32, payload: &[u8]) -> Frame {
+        let Frame::Slot(mut sf) = frame(slot, 0, file, index, payload) else {
+            unreachable!()
+        };
+        sf.epoch = epoch;
+        Frame::Slot(sf)
+    }
+
+    #[test]
+    fn a_newer_epoch_on_the_wire_flags_the_session_stale() {
+        let mut state = ClientState::new(FileId(1));
+        state.feed_frame(epoch_frame(0, 3, 1, 0, b"aaaa"));
+        assert_eq!(state.epoch(), Some(3));
+        assert_eq!(state.stale_epoch(), None);
+        state.feed_frame(epoch_frame(1, 4, 1, 1, b"bbbb"));
+        assert_eq!(state.stale_epoch(), Some(4));
+        // A Retune note catching up clears the staleness.
+        state.feed_frame(Frame::Control(ControlFrame::Retune {
+            file: FileId(1),
+            channel: 0,
+            epoch: 4,
+        }));
+        assert_eq!(state.epoch(), Some(4));
+        assert_eq!(state.stale_epoch(), None);
+    }
+
+    #[test]
+    fn resubscribe_with_unchanged_params_keeps_verified_blocks() {
+        let mut state = ClientState::new(FileId(1));
+        state.feed_frame(epoch_frame(10, 1, 1, 0, b"aaaa"));
+        assert_eq!(state.blocks_received(), 1);
+        // A foreign file's frame on the same channel carries the new epoch.
+        state.feed_frame(epoch_frame(50, 2, 9, 0, b"zzzz"));
+        assert_eq!(state.stale_epoch(), Some(2));
+        // Recovery round: same (m, n) = (2, 4) — the block survives, the
+        // gap detector jumps to the station's counter, staleness clears.
+        state.resubscribe(0, 2, 2, 4, 100);
+        assert_eq!(state.blocks_received(), 1);
+        assert_eq!(state.stale_epoch(), None);
+        assert_eq!(state.stats().resyncs, 1);
+        let gaps_before = state.stats().gap_erasures;
+        state.feed_frame(epoch_frame(100, 2, 1, 1, b"bbbb"));
+        assert_eq!(state.stats().gap_erasures, gaps_before);
+        assert!(state.is_complete());
+    }
+
+    #[test]
+    fn resubscribe_with_changed_params_restarts_but_keeps_the_accounting() {
+        let mut state = ClientState::new(FileId(1));
+        state.feed_datagram(&encode(&frame(0, 0, 1, 0, b"aaaa")));
+        state.feed_datagram(b"junk"); // one erasure on the books
+        assert_eq!(state.blocks_received(), 1);
+        state.resubscribe(1, 2, 3, 6, 40);
+        assert_eq!(state.params(), Some((3, 6)));
+        assert_eq!(
+            state.blocks_received(),
+            0,
+            "blocks of a different dispersal cannot be kept"
+        );
+        // The new session inherits every erasure seen so far.
+        let sf = |slot, index| {
+            Frame::Slot(SlotFrame {
+                epoch: 2,
+                channel: 1,
+                slot,
+                block: DispersedBlock::new(
+                    BlockHeader {
+                        file: FileId(1),
+                        index,
+                        m: 3,
+                        n: 6,
+                        original_len: 9,
+                    },
+                    Bytes::from(vec![index as u8; 3]),
+                ),
+            })
+        };
+        state.feed_frame(sf(40, 0));
+        state.feed_frame(sf(41, 1));
+        state.feed_frame(sf(42, 2));
+        assert!(state.is_complete());
+        assert_eq!(state.finish().unwrap().errors_observed, 1);
+    }
+
+    #[test]
+    fn recovery_counters_ride_the_stats_and_the_registry_export() {
+        let mut state = ClientState::new(FileId(1));
+        state.note_rejoin();
+        state.note_rejoin();
+        state.note_partition_suspect();
+        state.resubscribe(0, 1, 2, 4, 0);
+        let stats = state.stats();
+        assert_eq!(
+            (stats.rejoins, stats.resyncs, stats.partition_suspects),
+            (2, 1, 1)
+        );
+        let registry = bobs::Registry::new();
+        stats.export_into(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauges["bnet_client_rejoins"], 2);
+        assert_eq!(snap.gauges["bnet_client_resyncs"], 1);
+        assert_eq!(snap.gauges["bnet_client_partition_suspects"], 1);
     }
 
     #[test]

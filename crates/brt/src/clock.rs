@@ -65,6 +65,17 @@ pub trait SlotClock: Send + Sync + 'static {
         None
     }
 
+    /// The wall-time duration of one slot, when the clock has one.
+    ///
+    /// `None` means slot time is not tied to wall time — the default, and
+    /// what [`ManualClock`] inherits.  Callers that derive wall-clock
+    /// budgets from slot counts (e.g. a network client sizing its
+    /// partition watchdog as "K slot periods") gate on this returning
+    /// `Some` and fall back to their own defaults otherwise.
+    fn slot_period(&self) -> Option<Duration> {
+        None
+    }
+
     /// Registers a waker to be notified whenever the clock's state changes.
     fn register_waker(&self, waker: Arc<WakeSignal>);
 
@@ -190,6 +201,10 @@ impl SlotClock for WallClock {
         } else {
             -signed(due - now)
         })
+    }
+
+    fn slot_period(&self) -> Option<Duration> {
+        Some(self.period)
     }
 
     fn register_waker(&self, waker: Arc<WakeSignal>) {
@@ -332,6 +347,13 @@ mod tests {
         assert!(clock.slot_lateness(1000).unwrap() < 0);
         // Manual clocks have no deadlines — nothing wall-timed may record.
         assert_eq!(ManualClock::new().slot_lateness(0), None);
+    }
+
+    #[test]
+    fn slot_period_is_wall_clock_only() {
+        let period = Duration::from_millis(7);
+        assert_eq!(WallClock::new(period).slot_period(), Some(period));
+        assert_eq!(ManualClock::new().slot_period(), None);
     }
 
     #[test]

@@ -77,6 +77,7 @@
 //! | [`bobs`] | telemetry: metrics registry, lateness histograms, event trace, exporters |
 //! | [`brt`] | slot clocks, the threaded broadcast runtime, the swap scheduler |
 //! | [`bnet`] | wire format, UDP station server, TCP control plane, socket clients |
+//! | [`bfault`] | deterministic fault injection: seeded impaired UDP relay, partitions, restarts |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -101,7 +102,10 @@ pub use station::{Station, Stream};
 pub use bcore::{ChannelBudget, GeneralizedFileSpec, ShardPlan, ShardPlanner};
 pub use bdisk::{EpochBank, LatencyVector, MultiChannelServer, RetrievalOutcome, TransmissionRef};
 pub use bmode::{ChannelTransition, ModePlanner, ModeSpec, SwapPolicy, TransitionPlan};
-pub use bnet::{ControlClient, MetricsFormat, NetClient, NetConfig, NetError, NetStats};
+pub use bnet::{
+    ControlClient, ControlTimeouts, MetricsFormat, NetClient, NetConfig, NetError, NetStats,
+    RecoveryConfig,
+};
 pub use bobs::{Event, Telemetry};
 pub use brt::{
     ManualClock, RuntimeConfig, RuntimeStats, ScheduleOutcome, SlotClock, SubscriptionStats,
@@ -118,6 +122,7 @@ pub use pinwheel::SchedulerChoice;
 // Full per-crate APIs, re-exported for power users.
 pub use bcore;
 pub use bdisk;
+pub use bfault;
 pub use bmode;
 pub use bnet;
 pub use bobs;

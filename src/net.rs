@@ -114,6 +114,31 @@ impl NetServing {
         &self.runtime
     }
 
+    /// Rebuilds the control-plane directory from the station as it is
+    /// served *right now* and installs it on the network side, so
+    /// subscribe answers (channel, epoch, dispersal parameters) track the
+    /// live program after a mode swap.
+    pub fn refresh_directory(&self) -> Result<(), Error> {
+        let directory = self.runtime.snapshot()?.network_directory();
+        self.net.update_directory(directory);
+        Ok(())
+    }
+
+    /// Schedules a prepared mode swap at `at_slot`, blocks until it lands,
+    /// then refreshes the control-plane directory — the one-call path for
+    /// swapping modes on a network-serving station without leaving the
+    /// control plane answering from the pre-swap program.
+    pub fn swap_at(
+        &self,
+        prepared: crate::PreparedMode,
+        at_slot: usize,
+        policy: bmode::SwapPolicy,
+    ) -> Result<crate::SwapReport, Error> {
+        let report = self.runtime.swap_at(prepared, at_slot, policy)?;
+        self.refresh_directory()?;
+        Ok(report)
+    }
+
     /// The telemetry shared by the runtime and the network side — the
     /// registry a [`bnet::ControlClient::metrics`] scrape renders.
     pub fn telemetry(&self) -> &bobs::Telemetry {
