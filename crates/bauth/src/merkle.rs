@@ -1,0 +1,349 @@
+//! Per-file Merkle commitments over dispersed blocks.
+//!
+//! At disperse time every block of a file is hashed into a leaf binding its
+//! `(file, index, m, n, original_len)` header *and* its payload; the leaves
+//! form a Merkle tree whose root is the file's commitment.  A receiver that
+//! knows the root (delivered out of band — program metadata, a subscribe
+//! ack) verifies each block against an O(log n) inclusion proof and treats a
+//! mismatch as an erasure, which the IDA `n − m` budget already absorbs.
+//!
+//! Tree shape is fixed by the dispersal width `n` alone, so the
+//! [`CommitPlan`] (depth, padding subtree hashes) is built once per
+//! `Dispersal` and shared via `Arc` — the commit/verify analogue of the
+//! shared encode plan.
+
+use crate::sha256::{sha256, Sha256};
+
+/// A file's Merkle commitment root.
+pub type Root = [u8; 32];
+
+/// Deepest tree this crate will build or verify (`n ≤ 2^16` blocks).
+pub const MAX_DEPTH: usize = 16;
+
+/// Domain-separation tags: leaves, interior nodes and padding can never be
+/// confused for one another.
+const LEAF_TAG: u8 = 0x00;
+const NODE_TAG: u8 = 0x01;
+const PAD_TAG: u8 = 0x02;
+
+/// The leaf hash of one dispersed block: a binding of the block's full
+/// header and payload, so a proof vouches for *which* block this is, not
+/// just its bytes.
+pub fn leaf_hash(file: u32, index: u32, m: u32, n: u32, original_len: u64, payload: &[u8]) -> Root {
+    let mut header = [0u8; 25];
+    header[0] = LEAF_TAG;
+    header[1..5].copy_from_slice(&file.to_le_bytes());
+    header[5..9].copy_from_slice(&index.to_le_bytes());
+    header[9..13].copy_from_slice(&m.to_le_bytes());
+    header[13..17].copy_from_slice(&n.to_le_bytes());
+    header[17..25].copy_from_slice(&original_len.to_le_bytes());
+    let mut h = Sha256::new();
+    h.update(&header).update(payload);
+    h.finalize()
+}
+
+fn node_hash(left: &Root, right: &Root) -> Root {
+    let mut h = Sha256::new();
+    h.update(&[NODE_TAG]).update(left).update(right);
+    h.finalize()
+}
+
+/// One block's inclusion proof: the sibling hashes from its leaf up to the
+/// root, bottom-first.  `O(log n)` hashes; the leaf index rides in the block
+/// header, so the proof itself is just the path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockProof {
+    path: Vec<Root>,
+}
+
+impl BlockProof {
+    /// Reassembles a proof from its raw path (e.g. decoded off the wire).
+    /// Paths deeper than [`MAX_DEPTH`] are rejected.
+    pub fn from_path(path: Vec<Root>) -> Option<Self> {
+        if path.len() > MAX_DEPTH {
+            return None;
+        }
+        Some(BlockProof { path })
+    }
+
+    /// The sibling path, bottom-first.
+    pub fn path(&self) -> &[Root] {
+        &self.path
+    }
+
+    /// Number of levels in the path.
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// Folds `leaf` (at position `index`) up the path and compares against
+    /// `root`.
+    pub fn verify(&self, index: u32, leaf: &Root, root: &Root) -> bool {
+        let mut idx = index as usize;
+        let mut cur = *leaf;
+        for sibling in &self.path {
+            cur = if idx & 1 == 1 {
+                node_hash(sibling, &cur)
+            } else {
+                node_hash(&cur, sibling)
+            };
+            idx >>= 1;
+        }
+        // A leaf index wider than the path would silently alias another
+        // position; reject instead.
+        idx == 0 && cur == *root
+    }
+}
+
+/// The shared per-dispersal commitment plan: tree depth and the padding
+/// subtree hashes for a width-`n` leaf layer.  Build once per `(m, n)`
+/// dispersal configuration, share via `Arc`, reuse across every file and
+/// every re-dispersal with the same width.
+#[derive(Debug, Clone)]
+pub struct CommitPlan {
+    n: usize,
+    depth: usize,
+    /// `pads[l]` is the hash of an all-padding subtree of height `l`.
+    pads: Vec<Root>,
+}
+
+impl CommitPlan {
+    /// A plan for trees over `n` leaves (`1 ≤ n ≤ 2^MAX_DEPTH`).
+    pub fn new(n: usize) -> Option<Self> {
+        if n == 0 || n > (1usize << MAX_DEPTH) {
+            return None;
+        }
+        let depth = (n.max(1) as u64).next_power_of_two().trailing_zeros() as usize;
+        let mut pads = Vec::with_capacity(depth + 1);
+        pads.push(sha256(&[PAD_TAG]));
+        for l in 0..depth {
+            let below = pads[l];
+            pads.push(node_hash(&below, &below));
+        }
+        Some(CommitPlan { n, depth, pads })
+    }
+
+    /// The leaf-layer width the plan commits.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The tree depth (and every proof's path length).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Builds the commitment over exactly `n` leaf hashes.
+    ///
+    /// # Panics
+    /// If `leaves.len() != n` — dispersal always produces all `n` blocks, so
+    /// a mismatch is a caller bug, not an input condition.
+    pub fn commit(&self, leaves: &[Root]) -> Commitment {
+        assert_eq!(
+            leaves.len(),
+            self.n,
+            "commit plan is for {} leaves, got {}",
+            self.n,
+            leaves.len()
+        );
+        let width = 1usize << self.depth;
+        let mut levels = Vec::with_capacity(self.depth + 1);
+        let mut level = Vec::with_capacity(width);
+        level.extend_from_slice(leaves);
+        level.resize(width, self.pads[0]);
+        levels.push(level);
+        for l in 0..self.depth {
+            let below = &levels[l];
+            let mut above = Vec::with_capacity(below.len() / 2);
+            for pair in below.chunks_exact(2) {
+                above.push(node_hash(&pair[0], &pair[1]));
+            }
+            levels.push(above);
+        }
+        Commitment { levels }
+    }
+
+    /// Verifies one block against `root` under this plan: recomputes the
+    /// leaf, pins the proof depth to the plan's tree, folds the path.
+    #[allow(clippy::too_many_arguments)] // the block header, spelled out
+    pub fn verify(
+        &self,
+        root: &Root,
+        file: u32,
+        index: u32,
+        m: u32,
+        original_len: u64,
+        payload: &[u8],
+        proof: &BlockProof,
+    ) -> bool {
+        if proof.depth() != self.depth || (index as usize) >= self.n {
+            return false;
+        }
+        let leaf = leaf_hash(file, index, m, self.n as u32, original_len, payload);
+        proof.verify(index, &leaf, root)
+    }
+}
+
+/// A built per-file commitment: the root plus every interior node, so the
+/// per-block proofs are O(log n) *lookups*, not O(n) rebuilds.
+#[derive(Debug, Clone)]
+pub struct Commitment {
+    /// `levels[0]` is the padded leaf layer; the last level is `[root]`.
+    levels: Vec<Vec<Root>>,
+}
+
+impl Commitment {
+    /// The commitment root.
+    pub fn root(&self) -> Root {
+        self.levels
+            .last()
+            .and_then(|top| top.first())
+            .copied()
+            .expect("commit always builds at least the leaf level")
+    }
+
+    /// The inclusion proof of leaf `index` (`None` past the padded width).
+    pub fn proof(&self, index: usize) -> Option<BlockProof> {
+        if index >= self.levels[0].len() {
+            return None;
+        }
+        let mut path = Vec::with_capacity(self.levels.len() - 1);
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            path.push(level[idx ^ 1]);
+            idx >>= 1;
+        }
+        Some(BlockProof { path })
+    }
+}
+
+/// Standalone block verification for receivers without a shared plan: the
+/// tree depth is pinned from the advertised width `n`.
+#[allow(clippy::too_many_arguments)] // the block header, spelled out
+pub fn verify_block(
+    root: &Root,
+    file: u32,
+    index: u32,
+    m: u32,
+    n: u32,
+    original_len: u64,
+    payload: &[u8],
+    proof: &BlockProof,
+) -> bool {
+    let expected_depth = (n.max(1) as u64).next_power_of_two().trailing_zeros() as usize;
+    if proof.depth() != expected_depth || index >= n {
+        return false;
+    }
+    let leaf = leaf_hash(file, index, m, n, original_len, payload);
+    proof.verify(index, &leaf, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Root> {
+        (0..n)
+            .map(|i| leaf_hash(7, i as u32, 3, n as u32, 4096, &[i as u8; 64]))
+            .collect()
+    }
+
+    #[test]
+    fn every_leaf_of_every_width_verifies() {
+        for n in 1..=17usize {
+            let plan = CommitPlan::new(n).unwrap();
+            let commitment = plan.commit(&leaves(n));
+            let root = commitment.root();
+            for i in 0..n {
+                let proof = commitment.proof(i).unwrap();
+                assert_eq!(proof.depth(), plan.depth());
+                assert!(
+                    plan.verify(&root, 7, i as u32, 3, 4096, &[i as u8; 64], &proof),
+                    "width {n} leaf {i}"
+                );
+                assert!(verify_block(
+                    &root,
+                    7,
+                    i as u32,
+                    3,
+                    n as u32,
+                    4096,
+                    &[i as u8; 64],
+                    &proof
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn any_tampering_fails() {
+        let n = 10;
+        let plan = CommitPlan::new(n).unwrap();
+        let commitment = plan.commit(&leaves(n));
+        let root = commitment.root();
+        let proof = commitment.proof(4).unwrap();
+        // Payload, header fields, index, root and path are each binding.
+        assert!(!plan.verify(&root, 7, 4, 3, 4096, &[0xAA; 64], &proof));
+        assert!(!plan.verify(&root, 8, 4, 3, 4096, &[4u8; 64], &proof));
+        assert!(!plan.verify(&root, 7, 5, 3, 4096, &[4u8; 64], &proof));
+        assert!(!plan.verify(&root, 7, 4, 4, 4096, &[4u8; 64], &proof));
+        assert!(!plan.verify(&root, 7, 4, 3, 4095, &[4u8; 64], &proof));
+        let mut bad_root = root;
+        bad_root[0] ^= 1;
+        assert!(!plan.verify(&bad_root, 7, 4, 3, 4096, &[4u8; 64], &proof));
+        let mut bad_path = proof.path().to_vec();
+        bad_path[0][0] ^= 1;
+        let bad = BlockProof::from_path(bad_path).unwrap();
+        assert!(!plan.verify(&root, 7, 4, 3, 4096, &[4u8; 64], &bad));
+    }
+
+    #[test]
+    fn proofs_do_not_transfer_between_positions() {
+        let n = 8;
+        let plan = CommitPlan::new(n).unwrap();
+        let commitment = plan.commit(&leaves(n));
+        let root = commitment.root();
+        let proof_of_2 = commitment.proof(2).unwrap();
+        // Block 3's contents under block 2's proof (and vice versa) fail.
+        assert!(!plan.verify(&root, 7, 3, 3, 4096, &[3u8; 64], &proof_of_2));
+    }
+
+    #[test]
+    fn padding_leaves_are_not_provable_as_data() {
+        // Width 5 pads to 8: indices 5..8 exist in the tree but the plan
+        // refuses them (index >= n).
+        let n = 5;
+        let plan = CommitPlan::new(n).unwrap();
+        let commitment = plan.commit(&leaves(n));
+        let root = commitment.root();
+        let proof = commitment.proof(5).unwrap();
+        assert!(!plan.verify(&root, 7, 5, 3, 4096, &[], &proof));
+    }
+
+    #[test]
+    fn plan_bounds() {
+        assert!(CommitPlan::new(0).is_none());
+        assert!(CommitPlan::new(1 << MAX_DEPTH).is_some());
+        assert!(CommitPlan::new((1 << MAX_DEPTH) + 1).is_none());
+        assert!(BlockProof::from_path(vec![[0u8; 32]; MAX_DEPTH + 1]).is_none());
+        // Width 1: the root *is* the leaf-layer hash, proofs are empty.
+        let plan = CommitPlan::new(1).unwrap();
+        assert_eq!(plan.depth(), 0);
+        let commitment = plan.commit(&leaves(1));
+        let proof = commitment.proof(0).unwrap();
+        assert!(proof.path().is_empty());
+        assert!(plan.verify(&commitment.root(), 7, 0, 3, 4096, &[0u8; 64], &proof));
+    }
+
+    #[test]
+    fn commitments_are_deterministic() {
+        let plan = CommitPlan::new(12).unwrap();
+        let a = plan.commit(&leaves(12)).root();
+        let b = plan.commit(&leaves(12)).root();
+        assert_eq!(a, b);
+        // And sensitive to any single leaf.
+        let mut tampered = leaves(12);
+        tampered[11][31] ^= 0x80;
+        assert_ne!(plan.commit(&tampered).root(), a);
+    }
+}

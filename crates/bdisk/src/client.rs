@@ -8,8 +8,83 @@
 //! whole point of the paper is how long that makes it wait.
 
 use crate::{Transmission, TransmissionRef};
+use bauth::{BlockProof, Root};
 use ida::{Dispersal, DispersedBlock, FileId, IdaError};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One unit of client-side block/erasure intake — everything a
+/// [`ClientSession`] can learn about its file flows through
+/// [`ClientSession::ingest`] as one of these, whether it came off an
+/// in-process slot driver, a network transport, or out-of-band lag
+/// accounting.
+#[derive(Debug, Clone)]
+pub enum Observation<'a> {
+    /// One slot as heard on the channel: what was on the air (`None` for an
+    /// idle slot) and whether reception succeeded — the in-process driver
+    /// path, borrowing straight from the server.
+    Slot {
+        /// The channel's transmission this slot, if any.
+        transmission: Option<TransmissionRef<'a>>,
+        /// Whether the client's reception succeeded; a failed reception of a
+        /// block of the session's file counts as an erasure.
+        received_ok: bool,
+    },
+    /// One block delivered by a transport at `slot` — the wire path, where
+    /// blocks arrive decoded from frames rather than borrowed from a server.
+    Block {
+        /// The slot the block was transmitted in.
+        slot: usize,
+        /// The delivered block.
+        block: &'a DispersedBlock,
+        /// Whether reception succeeded (transports usually only deliver
+        /// intact frames, but the flag keeps the erasure bookkeeping in one
+        /// place).
+        received_ok: bool,
+        /// An inclusion proof delivered alongside the block (e.g. decoded
+        /// from a wire-v2 frame).  `None` falls back to the proof embedded
+        /// in the block itself, if any.
+        proof: Option<Arc<BlockProof>>,
+    },
+    /// `count` reception errors observed out of band — slots a lagging
+    /// subscriber dropped while blocks of this file were on the air.
+    Erasure {
+        /// Number of erasures to book.
+        count: usize,
+    },
+}
+
+/// What one [`ClientSession::ingest`] call did with its observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ingest {
+    /// The observation completed the retrieval.
+    Completed,
+    /// A new distinct block was stored; the retrieval is still short of its
+    /// threshold.
+    Stored,
+    /// Nothing for this session: idle slot, another file's block, a slot
+    /// before the request, a duplicate index, or a session already complete.
+    Ignored,
+    /// The observation was booked as one or more erasures.
+    Erased,
+    /// The block failed commitment verification against the session's
+    /// expected root and was booked as an erasure — the typed Byzantine
+    /// outcome (corruption degrades to a loss the `n − m` budget absorbs).
+    BadProof,
+}
+
+impl Ingest {
+    /// `true` when the observation completed the retrieval.
+    pub fn completed(self) -> bool {
+        matches!(self, Ingest::Completed)
+    }
+
+    /// `true` when the observation was booked as an erasure (including a
+    /// failed proof).
+    pub fn is_erasure(self) -> bool {
+        matches!(self, Ingest::Erased | Ingest::BadProof)
+    }
+}
 
 /// The outcome of a completed retrieval.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +118,11 @@ pub struct ClientSession {
     received: BTreeMap<u32, DispersedBlock>,
     errors_observed: usize,
     completed_at: Option<usize>,
+    /// The file's Merkle commitment root, when the session verifies on
+    /// receive: blocks that fail their inclusion proof are booked as
+    /// erasures instead of stored.
+    expected_root: Option<Root>,
+    verify_failures: usize,
 }
 
 impl ClientSession {
@@ -56,7 +136,28 @@ impl ClientSession {
             received: BTreeMap::new(),
             errors_observed: 0,
             completed_at: None,
+            expected_root: None,
+            verify_failures: 0,
         }
+    }
+
+    /// Arms verify-on-receive: every subsequently ingested block must carry
+    /// an inclusion proof that verifies against `root`, or it is booked as
+    /// an erasure ([`Ingest::BadProof`]).  Blocks already stored are kept —
+    /// arm the root before feeding the session.
+    pub fn require_root(&mut self, root: Root) {
+        self.expected_root = Some(root);
+    }
+
+    /// The commitment root this session verifies against, if armed.
+    pub fn expected_root(&self) -> Option<Root> {
+        self.expected_root
+    }
+
+    /// Number of blocks that failed commitment verification (each also
+    /// counted in [`ClientSession::errors_observed`]).
+    pub fn verify_failures(&self) -> usize {
+        self.verify_failures
     }
 
     /// The file being retrieved.
@@ -79,77 +180,151 @@ impl ClientSession {
         self.completed_at.is_some()
     }
 
-    /// Feeds one slot of the broadcast into the session.
+    /// The single block/erasure intake of the session — every way a client
+    /// learns something about its file funnels through here, so erasure
+    /// bookkeeping, duplicate suppression and commitment verification live
+    /// in exactly one audited place.
     ///
-    /// * `transmission` — what the server put on the channel this slot
-    ///   (`None` for idle slots);
-    /// * `received_ok` — whether the client's reception succeeded; a failed
-    ///   reception of a block of *this* file counts as an observed error.
+    /// * [`Observation::Slot`] — one slot as heard on the channel (idle
+    ///   slots, other files' blocks and pre-request slots are
+    ///   [`Ingest::Ignored`]);
+    /// * [`Observation::Block`] — one transport-delivered block, optionally
+    ///   with a wire-carried inclusion proof;
+    /// * [`Observation::Erasure`] — out-of-band erasures (lag accounting).
     ///
-    /// Slots before the session's request slot are ignored (the client was
-    /// not listening yet), so sessions with different request slots can
-    /// share one slot-driver loop.
-    ///
-    /// Returns `true` if this slot completed the retrieval.
-    pub fn observe(&mut self, transmission: Option<&Transmission>, received_ok: bool) -> bool {
-        self.observe_ref(transmission.map(Transmission::as_ref), received_ok)
+    /// When a root is armed ([`ClientSession::require_root`]), every block
+    /// must verify against it before it is stored; a failure is booked as
+    /// an erasure and reported as [`Ingest::BadProof`] so callers can count
+    /// it distinctly (it is the Byzantine signal, not a mere loss).
+    pub fn ingest(&mut self, observation: Observation<'_>) -> Ingest {
+        match observation {
+            Observation::Erasure { count } => {
+                if self.is_complete() || count == 0 {
+                    return Ingest::Ignored;
+                }
+                self.errors_observed += count;
+                Ingest::Erased
+            }
+            Observation::Slot {
+                transmission,
+                received_ok,
+            } => match transmission {
+                Some(tx) => self.ingest_block(tx.slot, tx.block, received_ok, None),
+                None => Ingest::Ignored,
+            },
+            Observation::Block {
+                slot,
+                block,
+                received_ok,
+                proof,
+            } => self.ingest_block(slot, block, received_ok, proof.as_ref()),
+        }
     }
 
-    /// Borrowing variant of [`ClientSession::observe`] — pairs with
-    /// [`crate::BroadcastServer::transmit_ref`] so a slot-driver loop never
-    /// clones blocks the session doesn't keep.
+    fn ingest_block(
+        &mut self,
+        slot: usize,
+        block: &DispersedBlock,
+        received_ok: bool,
+        proof: Option<&Arc<BlockProof>>,
+    ) -> Ingest {
+        if self.is_complete() {
+            return Ingest::Ignored;
+        }
+        if slot < self.request_slot || block.file() != self.file {
+            return Ingest::Ignored;
+        }
+        if !received_ok {
+            self.errors_observed += 1;
+            return Ingest::Erased;
+        }
+        if let Some(root) = &self.expected_root {
+            let h = block.header();
+            let verified = proof.or(block.proof()).is_some_and(|p| {
+                bauth::verify_block(
+                    root,
+                    h.file.0,
+                    h.index,
+                    h.m,
+                    h.n,
+                    h.original_len,
+                    block.payload(),
+                    p,
+                )
+            });
+            if !verified {
+                self.errors_observed += 1;
+                self.verify_failures += 1;
+                return Ingest::BadProof;
+            }
+        }
+        let mut fresh = false;
+        self.received.entry(block.index()).or_insert_with(|| {
+            fresh = true;
+            block.clone()
+        });
+        if self.received.len() >= self.threshold {
+            self.completed_at = Some(slot);
+            return Ingest::Completed;
+        }
+        if fresh {
+            Ingest::Stored
+        } else {
+            Ingest::Ignored
+        }
+    }
+
+    /// Feeds one slot of the broadcast into the session.
+    ///
+    /// Returns `true` if this slot completed the retrieval.
+    #[deprecated(note = "use ClientSession::ingest(Observation::Slot { .. })")]
+    pub fn observe(&mut self, transmission: Option<&Transmission>, received_ok: bool) -> bool {
+        self.ingest(Observation::Slot {
+            transmission: transmission.map(Transmission::as_ref),
+            received_ok,
+        })
+        .completed()
+    }
+
+    /// Borrowing variant of the old `observe` entry point.
+    ///
+    /// Returns `true` if this slot completed the retrieval.
+    #[deprecated(note = "use ClientSession::ingest(Observation::Slot { .. })")]
     pub fn observe_ref(
         &mut self,
         transmission: Option<TransmissionRef<'_>>,
         received_ok: bool,
     ) -> bool {
-        if self.is_complete() {
-            return false;
-        }
-        let Some(tx) = transmission else {
-            return false;
-        };
-        if tx.slot < self.request_slot || tx.block.file() != self.file {
-            return false;
-        }
-        if !received_ok {
-            self.errors_observed += 1;
-            return false;
-        }
-        self.received
-            .entry(tx.block.index())
-            .or_insert_with(|| tx.block.clone());
-        if self.received.len() >= self.threshold {
-            self.completed_at = Some(tx.slot);
-            return true;
-        }
-        false
+        self.ingest(Observation::Slot {
+            transmission,
+            received_ok,
+        })
+        .completed()
     }
 
-    /// Feeds one received *owned* block into the session — the frame→block
-    /// adapter for transports (e.g. a network client) that deliver
-    /// [`DispersedBlock`]s decoded from wire frames rather than borrowing
-    /// from an in-process server.  Equivalent to
-    /// [`ClientSession::observe_ref`] with a transmission at `slot`.
+    /// Feeds one received *owned* block into the session.
     ///
     /// Returns `true` if this block completed the retrieval.
+    #[deprecated(note = "use ClientSession::ingest(Observation::Block { .. })")]
     pub fn observe_block(
         &mut self,
         slot: usize,
         block: &DispersedBlock,
         received_ok: bool,
     ) -> bool {
-        self.observe_ref(Some(TransmissionRef { slot, block }), received_ok)
+        self.ingest(Observation::Block {
+            slot,
+            block,
+            received_ok,
+            proof: None,
+        })
+        .completed()
     }
 
-    /// Records `count` reception errors that were observed *out of band* —
-    /// e.g. slots a lagging concurrent subscriber dropped while blocks of
-    /// this file were on the air.  A completed session ignores them (the
-    /// retrieval no longer listens).
+    /// Records `count` reception errors observed out of band.
+    #[deprecated(note = "use ClientSession::ingest(Observation::Erasure { .. })")]
     pub fn record_erasures(&mut self, count: usize) {
-        if !self.is_complete() {
-            self.errors_observed += count;
-        }
+        self.ingest(Observation::Erasure { count });
     }
 
     /// Finishes the session: reconstructs the file from the received blocks.
@@ -175,6 +350,14 @@ mod tests {
     use super::*;
     use crate::{BroadcastFile, BroadcastProgram, BroadcastServer, FileSet, FlatOrder};
 
+    /// Test shorthand: one slot of the broadcast into the session.
+    fn hear(session: &mut ClientSession, tx: Option<&Transmission>, ok: bool) -> Ingest {
+        session.ingest(Observation::Slot {
+            transmission: tx.map(Transmission::as_ref),
+            received_ok: ok,
+        })
+    }
+
     fn setup() -> (FileSet, BroadcastServer, Dispersal) {
         let files = FileSet::new(vec![
             BroadcastFile::new(FileId(0), "A", 5, 16).with_dispersal(10),
@@ -194,7 +377,7 @@ mod tests {
         let mut slot = 0;
         while !session.is_complete() {
             let tx = server.transmit(slot);
-            session.observe(tx.as_ref(), true);
+            hear(&mut session, tx.as_ref(), true);
             slot += 1;
             assert!(slot <= 16, "retrieval did not complete in a data cycle");
         }
@@ -228,7 +411,7 @@ mod tests {
             } else {
                 true
             };
-            session.observe(tx.as_ref(), ok);
+            hear(&mut session, tx.as_ref(), ok);
             slot += 1;
         }
         let outcome = session.finish(&dispersal).unwrap();
@@ -251,8 +434,9 @@ mod tests {
         let mut session = ClientSession::new(FileId(0), 2, 0);
         // Feed the same slot repeatedly: only one distinct block arrives.
         let tx = server.transmit(0);
-        for _ in 0..5 {
-            session.observe(tx.as_ref(), true);
+        assert_eq!(hear(&mut session, tx.as_ref(), true), Ingest::Stored);
+        for _ in 0..4 {
+            assert_eq!(hear(&mut session, tx.as_ref(), true), Ingest::Ignored);
         }
         assert_eq!(session.blocks_received(), 1);
         assert!(!session.is_complete());
@@ -265,7 +449,7 @@ mod tests {
         // Slot 0 carries A1 in the spread layout; it must not count for B.
         let tx = server.transmit(0);
         assert_eq!(tx.as_ref().unwrap().block.file(), FileId(0));
-        session.observe(tx.as_ref(), true);
+        assert_eq!(hear(&mut session, tx.as_ref(), true), Ingest::Ignored);
         assert_eq!(session.blocks_received(), 0);
     }
 
@@ -273,7 +457,7 @@ mod tests {
     fn finishing_early_fails_cleanly() {
         let (_, server, dispersal) = setup();
         let mut session = ClientSession::new(FileId(0), 5, 0);
-        session.observe(server.transmit(0).as_ref(), true);
+        hear(&mut session, server.transmit(0).as_ref(), true);
         assert!(session.finish(&dispersal).is_err());
     }
 
@@ -296,11 +480,119 @@ mod tests {
         assert!(!session.is_complete());
         let mut slot = 0;
         while !session.is_complete() {
-            session.observe(server.transmit(slot).as_ref(), true);
+            hear(&mut session, server.transmit(slot).as_ref(), true);
             slot += 1;
         }
         let before = session.blocks_received();
-        assert!(!session.observe(server.transmit(slot).as_ref(), true));
+        assert_eq!(
+            hear(&mut session, server.transmit(slot).as_ref(), true),
+            Ingest::Ignored
+        );
         assert_eq!(session.blocks_received(), before);
+        // A completed session also ignores out-of-band erasures.
+        assert_eq!(
+            session.ingest(Observation::Erasure { count: 3 }),
+            Ingest::Ignored
+        );
+        assert_eq!(session.errors_observed(), 0);
+    }
+
+    #[test]
+    fn erasure_observations_book_errors() {
+        let mut session = ClientSession::new(FileId(0), 5, 0);
+        assert_eq!(
+            session.ingest(Observation::Erasure { count: 2 }),
+            Ingest::Erased
+        );
+        assert_eq!(
+            session.ingest(Observation::Erasure { count: 0 }),
+            Ingest::Ignored
+        );
+        assert_eq!(session.errors_observed(), 2);
+    }
+
+    #[test]
+    fn armed_sessions_verify_on_receive() {
+        use bytes::Bytes;
+        let d = Dispersal::authenticated(3, 6).unwrap();
+        let data: Vec<u8> = (0..300u32).map(|i| i as u8).collect();
+        let df = d.disperse(FileId(7), &data).unwrap();
+        let root = df.commitment_root().unwrap();
+
+        let mut session = ClientSession::new(FileId(7), 3, 0);
+        session.require_root(root);
+        assert_eq!(session.expected_root(), Some(root));
+
+        // A corrupted payload under the real proof: booked as an erasure,
+        // never stored.
+        let good = &df.blocks()[0];
+        let mut tampered = good.payload().to_vec();
+        tampered[0] ^= 0xFF;
+        let bad = ida::DispersedBlock::new(*good.header(), Bytes::from(tampered))
+            .with_proof(good.proof().unwrap().clone());
+        assert_eq!(
+            session.ingest(Observation::Block {
+                slot: 0,
+                block: &bad,
+                received_ok: true,
+                proof: None,
+            }),
+            Ingest::BadProof
+        );
+        assert_eq!(session.blocks_received(), 0);
+        assert_eq!(session.errors_observed(), 1);
+        assert_eq!(session.verify_failures(), 1);
+
+        // A proofless block fails too (an unauthenticated sender cannot
+        // satisfy an armed session).
+        let bare = ida::DispersedBlock::new(*good.header(), good.payload().clone());
+        assert_eq!(
+            session.ingest(Observation::Block {
+                slot: 1,
+                block: &bare,
+                received_ok: true,
+                proof: None,
+            }),
+            Ingest::BadProof
+        );
+
+        // The authentic blocks complete the retrieval byte-identically; a
+        // wire-carried proof (explicit field) works like an embedded one.
+        for (i, b) in df.blocks().iter().take(3).enumerate() {
+            let outcome = session.ingest(Observation::Block {
+                slot: 2 + i,
+                block: &ida::DispersedBlock::new(*b.header(), b.payload().clone()),
+                received_ok: true,
+                proof: b.proof().cloned(),
+            });
+            if i == 2 {
+                assert_eq!(outcome, Ingest::Completed);
+            } else {
+                assert_eq!(outcome, Ingest::Stored);
+            }
+        }
+        let outcome = session.finish(&d).unwrap();
+        assert_eq!(outcome.data, data);
+        assert_eq!(outcome.errors_observed, 2);
+        assert_eq!(session.verify_failures(), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_stay_equivalent() {
+        let (_, server, _) = setup();
+        let mut old = ClientSession::new(FileId(0), 5, 0);
+        let mut new = ClientSession::new(FileId(0), 5, 0);
+        for slot in 0..16 {
+            let tx = server.transmit(slot);
+            let completed = old.observe(tx.as_ref(), slot % 3 != 0);
+            let via_ingest = hear(&mut new, tx.as_ref(), slot % 3 != 0).completed();
+            assert_eq!(completed, via_ingest, "slot {slot}");
+        }
+        old.record_erasures(2);
+        new.ingest(Observation::Erasure { count: 2 });
+        assert_eq!(old.blocks_received(), new.blocks_received());
+        assert_eq!(old.errors_observed(), new.errors_observed());
+        assert_eq!(old.is_complete(), new.is_complete());
     }
 }

@@ -50,7 +50,7 @@ mod multi;
 mod program;
 mod server;
 
-pub use client::{ClientSession, RetrievalOutcome};
+pub use client::{ClientSession, Ingest, Observation, RetrievalOutcome};
 pub use epoch::{EpochBank, SwapApplied};
 pub use file::{BroadcastFile, FileSet, LatencyVector};
 pub use ida::FileId;

@@ -25,6 +25,16 @@ use std::time::{Duration, Instant};
 /// The downstream loss rates of the recorded trajectory.
 pub const LOSS_RATES: [f64; 3] = [0.01, 0.05, 0.20];
 
+/// Post-CRC corruption rate of the Byzantine rows: slot-frame payloads
+/// mutated *after* the checksum recompute, so the wire decoder accepts
+/// them.  Crossed with `authenticated` on/off — Merkle verification turns
+/// each tampered block into a typed erasure; without it the corruption
+/// reaches reconstruction.  High enough that the short retrieval window
+/// (~40 slots) is all but guaranteed to see several tampered victim
+/// blocks — at a few percent the whole window can pass untouched and the
+/// row demonstrates nothing.
+pub const TAMPER_RATE: f64 = 0.25;
+
 /// Seed of every cell's [`FaultPlan`] (and of the client's backoff
 /// jitter): the matrix is a scripted medium, not a sampled one.
 const PLAN_SEED: u64 = 0xFA17;
@@ -85,6 +95,11 @@ impl Partition {
 pub struct FaultRow {
     /// Downstream datagram loss rate.
     pub loss: f64,
+    /// Post-CRC payload corruption rate (Byzantine rows; 0 elsewhere).
+    pub tamper: f64,
+    /// The station Merkle-committed its dispersals and the client verified
+    /// blocks on receive.
+    pub authenticated: bool,
     /// The scripted partition scenario.
     pub partition: String,
     /// The retrieval completed byte-identical to the in-process reference.
@@ -95,6 +110,10 @@ pub struct FaultRow {
     pub completion_slot: u64,
     /// Erasures the session absorbed (losses, gaps, corruption).
     pub erasures: u64,
+    /// Blocks rejected by Merkle verification (each also an erasure).
+    pub verify_failures: u64,
+    /// Slot datagrams the link Byzantine-mutated on the way down.
+    pub tampered: u64,
     /// `Join` datagrams the supervision loop (re-)sent.
     pub rejoins: u64,
     /// Control-plane resync/resubscribe rounds completed.
@@ -116,7 +135,7 @@ pub struct FaultMatrixResult {
     pub rows: Vec<FaultRow>,
 }
 
-fn station() -> Station {
+fn station(authenticated: bool) -> Station {
     // Unlike `net_perf`'s single-block files, these need `m = 4` distinct
     // blocks each: a retrieval cannot complete off the first slot or two,
     // so the partition window opening at slot 2 always interrupts a
@@ -126,6 +145,7 @@ fn station() -> Station {
     Broadcast::builder()
         .files(files)
         .channels(2)
+        .authenticated(authenticated)
         .build()
         .expect("the measurement specs are feasible")
 }
@@ -155,8 +175,10 @@ fn pick_victim(station: &Station) -> (FileId, FileId) {
         .expect("two files share a channel")
 }
 
-fn plan_for(loss: f64, partition: Partition) -> FaultPlan {
-    let plan = FaultPlan::seeded(PLAN_SEED).down_loss(loss);
+fn plan_for(loss: f64, tamper: f64, partition: Partition) -> FaultPlan {
+    let plan = FaultPlan::seeded(PLAN_SEED)
+        .down_loss(loss)
+        .down_tamper(tamper);
     match partition {
         Partition::None => plan,
         Partition::WithinEpoch => plan.partition(PARTITION_FROM, PARTITION_FROM + SHORT_PARTITION),
@@ -164,8 +186,8 @@ fn plan_for(loss: f64, partition: Partition) -> FaultPlan {
     }
 }
 
-fn measure_cell(loss: f64, partition: Partition) -> FaultRow {
-    let station = station();
+fn measure_cell(loss: f64, tamper: f64, partition: Partition, authenticated: bool) -> FaultRow {
+    let station = station(authenticated);
     let (victim, sibling) = pick_victim(&station);
     let expected = station
         .retrieve(victim, 0, &mut NoErrors)
@@ -197,8 +219,8 @@ fn measure_cell(loss: f64, partition: Partition) -> FaultRow {
             .expect("the shed mode designs")
     });
 
-    let link =
-        ImpairedLink::spawn(serving.data_addr(), plan_for(loss, partition)).expect("relay spawns");
+    let link = ImpairedLink::spawn(serving.data_addr(), plan_for(loss, tamper, partition))
+        .expect("relay spawns");
     let config = RecoveryConfig {
         join_backoff: Duration::from_millis(10),
         max_backoff: Duration::from_millis(100),
@@ -251,11 +273,15 @@ fn measure_cell(loss: f64, partition: Partition) -> FaultRow {
     let completed = outcome.is_some_and(|o| o.data == expected);
     FaultRow {
         loss,
+        tamper,
+        authenticated,
         partition: partition.label().to_string(),
         completed,
         bytes: outcome.map_or(0, |o| o.data.len() as u64),
         completion_slot: outcome.map_or(0, |o| o.completion_slot as u64),
         erasures: stats.erasures,
+        verify_failures: stats.verify_failures,
+        tampered: link_stats.down.tampered,
         rejoins: stats.rejoins,
         resyncs: stats.resyncs,
         partition_suspects: stats.partition_suspects,
@@ -270,9 +296,16 @@ pub fn fault_matrix() -> FaultMatrixResult {
     let mut rows = Vec::new();
     for &loss in &LOSS_RATES {
         for &partition in &PARTITIONS {
-            rows.push(measure_cell(loss, partition));
+            rows.push(measure_cell(loss, 0.0, partition, false));
         }
     }
+    // The Byzantine rows: post-CRC corruption the CRC cannot catch, with
+    // and without Merkle verification.  Authenticated, every tampered
+    // block is a typed `verify_failures` erasure and the retrieval stays
+    // byte-identical; unauthenticated, tampered blocks reach
+    // reconstruction and the mismatch shows up as `completed: false`.
+    rows.push(measure_cell(0.0, TAMPER_RATE, Partition::None, true));
+    rows.push(measure_cell(0.0, TAMPER_RATE, Partition::None, false));
     FaultMatrixResult { rows }
 }
 
@@ -288,10 +321,14 @@ impl core::fmt::Display for FaultMatrixResult {
             .map(|r| {
                 vec![
                     format!("{:.0}%", r.loss * 100.0),
+                    format!("{:.0}%", r.tamper * 100.0),
+                    if r.authenticated { "yes" } else { "no" }.to_string(),
                     r.partition.clone(),
                     if r.completed { "yes" } else { "NO" }.to_string(),
                     r.completion_slot.to_string(),
                     r.erasures.to_string(),
+                    r.verify_failures.to_string(),
+                    r.tampered.to_string(),
                     r.rejoins.to_string(),
                     r.resyncs.to_string(),
                     r.partition_suspects.to_string(),
@@ -306,10 +343,14 @@ impl core::fmt::Display for FaultMatrixResult {
             crate::render_table(
                 &[
                     "loss",
+                    "tamper",
+                    "auth",
                     "partition",
                     "ok",
                     "done@slot",
                     "erasures",
+                    "badproof",
+                    "tampered",
                     "rejoins",
                     "resyncs",
                     "suspects",
@@ -328,22 +369,41 @@ mod tests {
 
     #[test]
     fn a_lossy_cell_completes_and_serialises() {
-        let row = measure_cell(0.05, Partition::None);
+        let row = measure_cell(0.05, 0.0, Partition::None, false);
         assert!(row.completed, "5% loss must not break a retrieval");
         assert!(row.bytes > 0);
         assert!(row.delivered_ratio > 0.5 && row.delivered_ratio < 1.0);
         let json = serde_json::to_string(&FaultMatrixResult { rows: vec![row] }).unwrap();
         assert!(json.contains("delivered_mb_s"));
+        assert!(json.contains("verify_failures"));
     }
 
     #[test]
     fn a_cross_epoch_partition_recovers_through_resync() {
-        let row = measure_cell(0.01, Partition::CrossEpoch);
+        let row = measure_cell(0.01, 0.0, Partition::CrossEpoch, false);
         assert!(
             row.completed,
             "the client must ride out the concealed swap byte-identically"
         );
         assert!(row.resyncs >= 1, "recovery must have resynced");
         assert!(row.completion_slot >= PARTITION_FROM + LONG_PARTITION);
+    }
+
+    #[test]
+    fn byzantine_tamper_is_verified_away_under_auth() {
+        let row = measure_cell(0.0, TAMPER_RATE, Partition::None, true);
+        assert!(
+            row.completed,
+            "post-CRC corruption must not poison an authenticated retrieval"
+        );
+        assert!(row.tampered > 0, "the scripted link must actually tamper");
+        assert!(
+            row.verify_failures > 0,
+            "tampered victim blocks must be rejected by Merkle verification"
+        );
+        assert!(
+            row.erasures >= row.verify_failures,
+            "every rejected block is booked as an erasure"
+        );
     }
 }

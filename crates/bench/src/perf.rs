@@ -39,6 +39,14 @@ pub struct IdaPerfRow {
     /// Reconstruct throughput in MB/s from the *first* `m` blocks (the
     /// systematic prefix — the fault-free fast path).
     pub reconstruct_systematic_mb_s: f64,
+    /// Authenticated-disperse throughput in MB/s: disperse plus the Merkle
+    /// commitment (leaf hashes, tree, per-block proofs).  Compare against
+    /// `disperse_mb_s` for the cost of committing.
+    pub commit_mb_s: f64,
+    /// Verify-on-receive throughput in MB/s: checking the inclusion proof
+    /// of each of the `m` systematic blocks against the file's root —
+    /// the per-client hot path of an authenticated retrieval.
+    pub verify_mb_s: f64,
 }
 
 /// The full `ida_perf` measurement.
@@ -99,6 +107,19 @@ pub fn ida_perf(iters: usize) -> IdaPerfResult {
             let coded_secs = time(iters, || dispersal.reconstruct(&coded).unwrap());
             let systematic_secs = time(iters, || dispersal.reconstruct(&systematic).unwrap());
 
+            let auth = Dispersal::authenticated(m, n).expect("canonical configurations are valid");
+            let committed = auth.disperse(FileId(1), &data).unwrap();
+            let root = committed
+                .commitment_root()
+                .expect("authenticated dispersal commits");
+            let verify_set = committed.blocks()[..m].to_vec();
+            let commit_secs = time(iters, || auth.disperse(FileId(1), &data).unwrap());
+            let verify_secs = time(iters, || {
+                for block in &verify_set {
+                    std::hint::black_box(auth.verify_block(&root, block));
+                }
+            });
+
             IdaPerfRow {
                 m,
                 n,
@@ -107,6 +128,8 @@ pub fn ida_perf(iters: usize) -> IdaPerfResult {
                 disperse_mb_s: mb_per_sec(data.len(), iters, disperse_secs),
                 reconstruct_coded_mb_s: mb_per_sec(data.len(), iters, coded_secs),
                 reconstruct_systematic_mb_s: mb_per_sec(data.len(), iters, systematic_secs),
+                commit_mb_s: mb_per_sec(data.len(), iters, commit_secs),
+                verify_mb_s: mb_per_sec(data.len(), iters, verify_secs),
             }
         })
         .collect();
@@ -132,6 +155,8 @@ impl core::fmt::Display for IdaPerfResult {
                     format!("{:.1}", r.disperse_mb_s),
                     format!("{:.1}", r.reconstruct_coded_mb_s),
                     format!("{:.1}", r.reconstruct_systematic_mb_s),
+                    format!("{:.1}", r.commit_mb_s),
+                    format!("{:.1}", r.verify_mb_s),
                 ]
             })
             .collect();
@@ -143,7 +168,9 @@ impl core::fmt::Display for IdaPerfResult {
                     "(m,n)",
                     "disperse",
                     "reconstruct(coded)",
-                    "reconstruct(systematic)"
+                    "reconstruct(systematic)",
+                    "commit",
+                    "verify"
                 ],
                 &rows,
             )
@@ -163,6 +190,8 @@ mod tests {
             assert!(row.disperse_mb_s > 0.0);
             assert!(row.reconstruct_coded_mb_s > 0.0);
             assert!(row.reconstruct_systematic_mb_s > 0.0);
+            assert!(row.commit_mb_s > 0.0);
+            assert!(row.verify_mb_s > 0.0);
         }
     }
 
@@ -171,6 +200,8 @@ mod tests {
         let result = ida_perf(1);
         let json = serde_json::to_string(&result).unwrap();
         assert!(json.contains("disperse_mb_s"));
+        assert!(json.contains("commit_mb_s"));
+        assert!(json.contains("verify_mb_s"));
         assert!(result.to_string().contains("8of16"));
     }
 }

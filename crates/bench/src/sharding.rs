@@ -9,7 +9,7 @@
 
 use crate::render_table;
 use bcore::{GeneralizedFileSpec, MultiChannelDesigner, MultiChannelReport};
-use bdisk::{BroadcastServer, ClientSession, MultiChannelServer};
+use bdisk::{BroadcastServer, ClientSession, MultiChannelServer, Observation};
 use bsim::{BernoulliErrors, ErrorModel};
 use ida::FileId;
 use rand::rngs::StdRng;
@@ -141,7 +141,10 @@ fn simulate(
                         Some(t) => !errors.is_lost(t),
                         None => true,
                     };
-                    session.observe_ref(tx, ok);
+                    session.ingest(Observation::Slot {
+                        transmission: tx,
+                        received_ok: ok,
+                    });
                     if session.is_complete() || slot - request_slot >= 100_000 {
                         break;
                     }

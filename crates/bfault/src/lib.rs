@@ -29,7 +29,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bnet::wire::{decode, encode, ControlFrame, Frame, Packet};
+use bnet::wire::{decode, encode, ControlFrame, Frame, Packet, SlotFrame};
+use bytes::Bytes;
+use ida::DispersedBlock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::hash_map::Entry;
@@ -55,6 +57,14 @@ pub struct Impairments {
     pub reorder: f64,
     /// Probability one random bit of a surviving datagram is flipped.
     pub corrupt: f64,
+    /// Probability a surviving slot-frame datagram has one payload byte
+    /// mutated *after* the packet checksum is recomputed — Byzantine
+    /// corruption the CRC cannot catch: the packet decodes as a valid
+    /// frame carrying wrong block bytes.  Only Merkle verification
+    /// (`Broadcast::builder().authenticated(true)`) turns such a block
+    /// into an erasure; an unauthenticated client feeds it straight into
+    /// reconstruction.  Non-slot and fragmented datagrams pass untouched.
+    pub tamper: f64,
     /// Fixed extra latency the relay adds to every surviving datagram.
     pub delay: Duration,
 }
@@ -69,6 +79,14 @@ impl Impairments {
     pub fn loss(drop: f64) -> Self {
         Impairments {
             drop,
+            ..Impairments::default()
+        }
+    }
+
+    /// Byzantine corruption only: `tamper` probability, nothing else.
+    pub fn tamper(tamper: f64) -> Self {
+        Impairments {
+            tamper,
             ..Impairments::default()
         }
     }
@@ -109,6 +127,11 @@ pub struct FaultPlan {
 /// Decorrelates the two directions' generators without a second seed.
 const UP_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Decorrelates the tamper decision stream from the legacy drop /
+/// corrupt / duplicate / reorder stream, so plans recorded before the
+/// Byzantine row keep impairing byte-identically under the same seed.
+const TAMPER_SEED_SALT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+
 impl FaultPlan {
     /// A plan with the given seed and no impairments — add them with the
     /// builder methods.
@@ -134,6 +157,13 @@ impl FaultPlan {
     /// Uniform station → client loss.
     pub fn down_loss(mut self, drop: f64) -> Self {
         self.down.drop = drop;
+        self
+    }
+
+    /// Station → client Byzantine corruption: slot-frame payloads mutated
+    /// after the checksum recompute (see [`Impairments::tamper`]).
+    pub fn down_tamper(mut self, tamper: f64) -> Self {
+        self.down.tamper = tamper;
         self
     }
 
@@ -182,6 +212,9 @@ pub struct ImpairStats {
     pub reordered: u64,
     /// Datagrams with a bit flipped by the corruption rate.
     pub corrupted: u64,
+    /// Slot-frame datagrams Byzantine-mutated (payload changed, checksum
+    /// recomputed) by the tamper rate.
+    pub tampered: u64,
 }
 
 /// The pure impairment core: a deterministic function from a datagram
@@ -194,6 +227,9 @@ pub struct ImpairStats {
 pub struct Impairer {
     rates: Impairments,
     rng: StdRng,
+    /// Tamper decisions draw from their own salted generator: adding the
+    /// Byzantine row must not shift the legacy decision stream.
+    tamper_rng: StdRng,
     held: Option<Vec<u8>>,
     stats: ImpairStats,
 }
@@ -204,6 +240,7 @@ impl Impairer {
         Impairer {
             rates,
             rng: StdRng::seed_from_u64(seed),
+            tamper_rng: StdRng::seed_from_u64(seed ^ TAMPER_SEED_SALT),
             held: None,
             stats: ImpairStats::default(),
         }
@@ -222,6 +259,9 @@ impl Impairer {
         let bit = self.rng.gen_range(0..8u32);
         let duplicate = self.rng.gen_bool(self.rates.duplicate);
         let reorder = self.rng.gen_bool(self.rates.reorder);
+        let tamper = self.tamper_rng.gen_bool(self.rates.tamper);
+        let tamper_byte: u32 = self.tamper_rng.gen();
+        let tamper_bit = self.tamper_rng.gen_range(0..8u32);
 
         let mut out = Vec::new();
         if drop {
@@ -232,6 +272,12 @@ impl Impairer {
         if corrupt && !bytes.is_empty() {
             bytes[byte] ^= 1 << bit;
             self.stats.corrupted += 1;
+        }
+        if tamper {
+            if let Some(resealed) = reseal_tampered(&bytes, tamper_byte, tamper_bit) {
+                bytes = resealed;
+                self.stats.tampered += 1;
+            }
         }
         if reorder && self.held.is_none() {
             // Held back: delivered after the next surviving datagram.
@@ -266,6 +312,30 @@ impl Impairer {
     pub fn stats(&self) -> ImpairStats {
         self.stats
     }
+}
+
+/// The Byzantine mutation: decode the datagram, flip one bit of the slot
+/// frame's block payload, re-encode — which recomputes the trailing CRC,
+/// so the result is a perfectly valid packet carrying wrong bytes.  The
+/// block's inclusion proof (if any) is kept as-is: it committed to the
+/// *original* payload, so an authenticated client's verify rejects the
+/// block.  Returns `None` for anything that is not a whole slot frame
+/// with a non-empty payload (control frames, fragments, junk).
+fn reseal_tampered(datagram: &[u8], byte_pick: u32, bit_pick: u32) -> Option<Vec<u8>> {
+    let Ok(Packet::Frame(Frame::Slot(sf))) = decode(datagram) else {
+        return None;
+    };
+    if sf.block.is_empty() {
+        return None;
+    }
+    let mut payload = sf.block.payload().to_vec();
+    let at = byte_pick as usize % payload.len();
+    payload[at] ^= 1 << bit_pick;
+    let mut block = DispersedBlock::new(*sf.block.header(), Bytes::from(payload));
+    if let Some(proof) = sf.block.proof() {
+        block = block.with_proof(Arc::clone(proof));
+    }
+    Some(encode(&Frame::Slot(SlotFrame { block, ..sf })))
 }
 
 /// Counters of a running [`ImpairedLink`].
@@ -520,7 +590,7 @@ mod tests {
             duplicate: 0.2,
             reorder: 0.2,
             corrupt: 0.2,
-            delay: Duration::ZERO,
+            ..Impairments::default()
         };
         let run = |seed| {
             let mut imp = Impairer::new(rates.clone(), seed);
@@ -594,6 +664,76 @@ mod tests {
             .map(|(a, b)| (a ^ b).count_ones())
             .sum();
         assert_eq!(differing, 1);
+    }
+
+    #[test]
+    fn tamper_reseals_a_valid_packet_with_wrong_payload_bytes() {
+        // Byzantine row: the mutated datagram still decodes (CRC was
+        // recomputed), the header survives, the payload differs, and the
+        // original inclusion proof rides along — so only Merkle
+        // verification can tell.
+        let dispersal = ida::Dispersal::authenticated(3, 5).unwrap();
+        let file = dispersal
+            .disperse(ida::FileId(7), &vec![0x5Au8; 3 * 512])
+            .unwrap();
+        let original = file.blocks()[1].clone();
+        let frame = Frame::Slot(SlotFrame {
+            epoch: 4,
+            channel: 0,
+            slot: 99,
+            block: original.clone(),
+        });
+        let datagram = encode(&frame);
+
+        let mut imp = Impairer::new(Impairments::tamper(1.0), 11);
+        let out = imp.apply(&datagram);
+        assert_eq!(out.len(), 1);
+        assert_eq!(imp.stats().tampered, 1);
+        let Ok(Packet::Frame(Frame::Slot(sf))) = decode(&out[0]) else {
+            panic!("tampered datagram must still decode as a slot frame");
+        };
+        assert_eq!(sf.block.header(), original.header());
+        assert_ne!(sf.block.payload(), original.payload());
+        let root = file.commitment_root().unwrap();
+        assert!(dispersal.verify_block(&root, &original));
+        assert!(
+            !dispersal.verify_block(&root, &sf.block),
+            "the kept proof committed to the original payload"
+        );
+    }
+
+    #[test]
+    fn tamper_leaves_non_slot_datagrams_and_the_legacy_stream_alone() {
+        // Control frames and junk pass through unmutated even at rate 1.
+        let control = encode(&Frame::Control(ControlFrame::Leave));
+        let mut imp = Impairer::new(Impairments::tamper(1.0), 11);
+        assert_eq!(imp.apply(&control), vec![control.clone()]);
+        assert_eq!(imp.apply(b"not a packet"), vec![b"not a packet".to_vec()]);
+        assert_eq!(imp.stats().tampered, 0);
+
+        // The tamper rate draws from its own salted generator: a legacy
+        // plan impairs byte-identically whether the field exists or not.
+        let legacy = Impairments {
+            drop: 0.3,
+            duplicate: 0.2,
+            reorder: 0.2,
+            corrupt: 0.2,
+            ..Impairments::default()
+        };
+        let with_tamper = Impairments {
+            tamper: 0.9,
+            ..legacy.clone()
+        };
+        let run = |rates: Impairments| {
+            let mut imp = Impairer::new(rates, 7);
+            let mut dropped = Vec::new();
+            for i in 0..200u8 {
+                imp.apply(&numbered(i));
+                dropped.push(imp.stats().dropped);
+            }
+            dropped
+        };
+        assert_eq!(run(legacy), run(with_tamper));
     }
 
     #[test]

@@ -24,9 +24,8 @@
 //! recovering carries the context as [`NetError::Rejoined`].
 
 use crate::error::NetError;
-use crate::server::SubscriptionInfo;
 use crate::session::{ClientState, ClientStats};
-use crate::wire::{encode, ControlFrame, Frame, MetricsFormat};
+use crate::wire::{encode, ControlFrame, Frame, MetricsFormat, SubscriptionInfo};
 use bdisk::RetrievalOutcome;
 use bobs::{Event, Telemetry};
 use ida::FileId;
@@ -165,10 +164,23 @@ impl NetClient {
         let socket = UdpSocket::bind(SocketAddr::new(bind_ip, 0))?;
         socket.set_read_timeout(Some(Duration::from_millis(25)))?;
         socket.send_to(&encode(&Frame::Control(ControlFrame::Join)), server)?;
+        let mut state = ClientState::new(file);
+        // Authenticated stations publish each file's commitment root in
+        // the control plane's subscribe ack: fetch it up front (best
+        // effort — the UDP path needs no control plane to work) so
+        // verify-on-receive is armed from the first datagram, not only
+        // after a recovery round.
+        if let Some(control) = config.control {
+            if let Ok(mut cc) = ControlClient::connect_with(control, config.control_timeouts) {
+                if let Ok(info) = cc.subscribe(file) {
+                    state.feed_frame(Frame::Control(ControlFrame::SubscribeAck { file, info }));
+                }
+            }
+        }
         Ok(NetClient {
             socket,
             server,
-            state: ClientState::new(file),
+            state,
             config,
             telemetry: None,
             recoveries: 0,
@@ -244,7 +256,16 @@ impl NetClient {
             }
             match self.socket.recv_from(&mut buf) {
                 Ok((len, _)) => {
+                    let rejected_before = self.state.stats().verify_failures;
                     self.state.feed_datagram(&buf[..len]);
+                    let rejected = self.state.stats().verify_failures;
+                    if rejected > rejected_before {
+                        if let Some(telemetry) = &self.telemetry {
+                            telemetry.registry().counter("bauth_verify_failures").inc();
+                            let file = self.state.file().0 as u64;
+                            telemetry.record_event(|| Event::BadBlock { file, rejected });
+                        }
+                    }
                     last_rx = Instant::now();
                     suspected = false;
                     backoff = self.config.join_backoff;
@@ -311,14 +332,9 @@ impl NetClient {
                     let info = client.subscribe(self.state.file())?;
                     Ok((epoch, next_slot, info))
                 });
-            if let Ok((epoch, next_slot, info)) = round {
-                self.state.resubscribe(
-                    info.channel,
-                    epoch.max(info.epoch),
-                    info.m,
-                    info.n,
-                    next_slot,
-                );
+            if let Ok((epoch, next_slot, mut info)) = round {
+                info.epoch = epoch.max(info.epoch);
+                self.state.resubscribe(info, next_slot);
                 resynced = true;
             }
             // A failed control round is not fatal: the partition may still
@@ -403,18 +419,7 @@ impl ControlClient {
         match crate::server::read_control_frame(&mut self.stream)
             .map_err(|e| named_timeout(e, "subscribe reply"))?
         {
-            Some(ControlFrame::SubscribeAck {
-                file: acked,
-                channel,
-                epoch,
-                m,
-                n,
-            }) if acked == file => Ok(SubscriptionInfo {
-                channel,
-                epoch,
-                m,
-                n,
-            }),
+            Some(ControlFrame::SubscribeAck { file: acked, info }) if acked == file => Ok(info),
             Some(ControlFrame::SubscribeNak { reason, .. }) => {
                 Err(NetError::Refused { file, reason })
             }

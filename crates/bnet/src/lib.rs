@@ -36,8 +36,6 @@ pub mod wire;
 
 pub use client::{ControlClient, ControlTimeouts, NetClient, RecoveryConfig};
 pub use error::NetError;
-pub use server::{
-    Directory, NetConfig, NetHandle, NetServer, NetStats, SubscriptionInfo, UdpFanout,
-};
+pub use server::{Directory, NetConfig, NetHandle, NetServer, NetStats, UdpFanout};
 pub use session::{ClientState, ClientStats};
-pub use wire::MetricsFormat;
+pub use wire::{MetricsFormat, SubscriptionInfo, VERSION, VERSION_AUTH};

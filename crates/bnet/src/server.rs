@@ -18,6 +18,7 @@
 use crate::error::NetError;
 use crate::wire::{
     datagrams, decode, encode, ControlFrame, Frame, MetricsFormat, Packet, SlotFrame,
+    SubscriptionInfo,
 };
 use bobs::{Counter, Event, Gauge, Registry, Telemetry};
 use brt::{LaneView, SlotSink};
@@ -73,19 +74,6 @@ impl NetConfig {
         self.control_poll = poll.max(Duration::from_micros(100));
         self
     }
-}
-
-/// Where one file is served: the answer to a subscription request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct SubscriptionInfo {
-    /// The channel carrying the file.
-    pub channel: u16,
-    /// The epoch the channel serves under (at directory-build time).
-    pub epoch: u64,
-    /// Reconstruction threshold.
-    pub m: u32,
-    /// Dispersed block count.
-    pub n: u32,
 }
 
 /// The control plane's view of the station: file id → where it is served.
@@ -486,13 +474,7 @@ fn serve_control_connection(mut stream: TcpStream, shared: &Shared) -> Result<()
                     .get(&file.0)
                     .copied();
                 Some(match info {
-                    Some(info) => ControlFrame::SubscribeAck {
-                        file,
-                        channel: info.channel,
-                        epoch: info.epoch,
-                        m: info.m,
-                        n: info.n,
-                    },
+                    Some(info) => ControlFrame::SubscribeAck { file, info },
                     None => ControlFrame::SubscribeNak {
                         file,
                         reason: "file is not on this station".to_string(),
@@ -671,15 +653,7 @@ mod tests {
     #[test]
     fn control_plane_answers_subscriptions_from_the_directory() {
         let mut directory = Directory::new();
-        directory.insert(
-            1,
-            SubscriptionInfo {
-                channel: 2,
-                epoch: 5,
-                m: 3,
-                n: 6,
-            },
-        );
+        directory.insert(1, SubscriptionInfo::new(2, 5, 3, 6).with_root([7; 32]));
         let (_fanout, handle) =
             NetServer::bind(NetConfig::default().with_control_plane(), directory).unwrap();
         let addr = handle.control_addr().expect("control plane configured");
@@ -691,10 +665,7 @@ mod tests {
             reply,
             ControlFrame::SubscribeAck {
                 file: FileId(1),
-                channel: 2,
-                epoch: 5,
-                m: 3,
-                n: 6,
+                info: SubscriptionInfo::new(2, 5, 3, 6).with_root([7; 32]),
             }
         );
 
@@ -717,15 +688,7 @@ mod tests {
     #[test]
     fn directory_updates_and_published_epochs_reach_the_control_plane() {
         let mut directory = Directory::new();
-        directory.insert(
-            1,
-            SubscriptionInfo {
-                channel: 0,
-                epoch: 1,
-                m: 2,
-                n: 4,
-            },
-        );
+        directory.insert(1, SubscriptionInfo::new(0, 1, 2, 4));
         let (mut fanout, handle) =
             NetServer::bind(NetConfig::default().with_control_plane(), directory).unwrap();
         let addr = handle.control_addr().expect("control plane configured");
@@ -757,15 +720,7 @@ mod tests {
         // A directory refresh re-answers subscriptions from the live
         // program.
         let mut updated = Directory::new();
-        updated.insert(
-            1,
-            SubscriptionInfo {
-                channel: 1,
-                epoch: 9,
-                m: 3,
-                n: 6,
-            },
-        );
+        updated.insert(1, SubscriptionInfo::new(1, 9, 3, 6));
         handle.update_directory(updated);
         write_control_frame(&mut stream, &ControlFrame::Subscribe { file: FileId(1) }).unwrap();
         let reply = read_control_frame(&mut stream).unwrap().unwrap();
@@ -773,10 +728,7 @@ mod tests {
             reply,
             ControlFrame::SubscribeAck {
                 file: FileId(1),
-                channel: 1,
-                epoch: 9,
-                m: 3,
-                n: 6,
+                info: SubscriptionInfo::new(1, 9, 3, 6),
             }
         );
         handle.shutdown();

@@ -22,8 +22,9 @@
 //! replay log.
 
 use crate::error::NetError;
-use crate::wire::{decode, ControlFrame, Frame, Packet, Reassembler, SlotFrame};
-use bdisk::{ClientSession, RetrievalOutcome};
+use crate::wire::{decode, ControlFrame, Frame, Packet, Reassembler, SlotFrame, SubscriptionInfo};
+use bauth::Root;
+use bdisk::{ClientSession, Ingest, Observation, RetrievalOutcome};
 use ida::{Dispersal, FileId};
 
 /// Counters describing what a [`ClientState`] has seen.
@@ -39,8 +40,12 @@ pub struct ClientStats {
     pub decode_errors: u64,
     /// Missing slots detected on the client's channel.
     pub gap_erasures: u64,
-    /// Erasures recorded in total (decode errors + gaps + evictions).
+    /// Erasures recorded in total (decode errors + gaps + evictions +
+    /// verification failures).
     pub erasures: u64,
+    /// Blocks rejected because their Merkle inclusion proof failed against
+    /// the file's commitment root (each is also counted as an erasure).
+    pub verify_failures: u64,
     /// `Join` datagrams (re-)sent by the supervising client loop.
     pub rejoins: u64,
     /// Control-plane resync/resubscribe rounds completed.
@@ -78,6 +83,9 @@ impl ClientStats {
             .gauge("bnet_client_erasures")
             .set(self.erasures as i64);
         registry
+            .gauge("bauth_verify_failures")
+            .set(self.verify_failures as i64);
+        registry
             .gauge("bnet_client_rejoins")
             .set(self.rejoins as i64);
         registry
@@ -97,6 +105,7 @@ pub struct ClientState {
     file: FileId,
     channel: Option<u16>,
     params: Option<(u32, u32)>,
+    root: Option<Root>,
     session: Option<ClientSession>,
     pending_erasures: usize,
     last_slot: Option<u64>,
@@ -115,6 +124,7 @@ impl ClientState {
             file,
             channel: None,
             params: None,
+            root: None,
             session: None,
             pending_erasures: 0,
             last_slot: None,
@@ -139,6 +149,22 @@ impl ClientState {
     /// The channel carrying the file, once learned.
     pub fn channel(&self) -> Option<u16> {
         self.channel
+    }
+
+    /// The file's commitment root, once learned from a subscribe ack —
+    /// while set, every received block must carry a valid inclusion proof
+    /// or it is booked as an erasure (verify-on-receive).
+    pub fn commitment_root(&self) -> Option<Root> {
+        self.root
+    }
+
+    /// Arms verify-on-receive against `root` out of band (e.g. a root
+    /// pinned by the operator rather than learned from the station).
+    pub fn require_root(&mut self, root: Root) {
+        self.root = Some(root);
+        if let Some(session) = &mut self.session {
+            session.require_root(root);
+        }
     }
 
     /// The epoch the client's channel serves under, once learned.
@@ -250,23 +276,38 @@ impl ClientState {
     /// unchanged.  When `(m, n)` changed, the old blocks belong to a
     /// different dispersal: the session restarts, carrying the erasure
     /// accounting forward.
-    pub fn resubscribe(&mut self, channel: u16, epoch: u64, m: u32, n: u32, next_slot: u64) {
+    pub fn resubscribe(&mut self, info: SubscriptionInfo, next_slot: u64) {
         self.stats.resyncs += 1;
-        self.channel = Some(channel);
-        self.epoch = Some(epoch);
+        self.channel = Some(info.channel);
+        self.epoch = Some(info.epoch);
         self.stale_epoch = None;
         if let Some(baseline) = next_slot.checked_sub(1) {
             let baseline = self.last_slot.map_or(baseline, |last| last.max(baseline));
             self.last_slot = Some(baseline);
         }
+        if let Some(root) = info.commitment_root {
+            self.root = Some(root);
+        }
+        let (m, n) = (info.m, info.n);
         if m < 1 || m > n {
             return;
         }
         if self.params == Some((m, n)) {
+            // Same dispersal: the verified blocks stay, but a root that
+            // changed with the swap (same `(m, n)`, new contents) re-arms
+            // the live session.
+            if let (Some(root), Some(session)) = (self.root, &mut self.session) {
+                session.require_root(root);
+            }
             return;
         }
         let mut session = ClientSession::new(self.file, m as usize, 0);
-        session.record_erasures(self.stats.erasures as usize);
+        if let Some(root) = self.root {
+            session.require_root(root);
+        }
+        session.ingest(Observation::Erasure {
+            count: self.stats.erasures as usize,
+        });
         self.pending_erasures = 0;
         self.params = Some((m, n));
         self.session = Some(session);
@@ -340,22 +381,32 @@ impl ClientState {
             .session
             .as_mut()
             .expect("learn_params created the session");
-        session.observe_block(sf.slot as usize, &sf.block, true)
+        let outcome = session.ingest(Observation::Block {
+            slot: sf.slot as usize,
+            block: &sf.block,
+            received_ok: true,
+            proof: None,
+        });
+        if outcome == Ingest::BadProof {
+            // Byzantine corruption: the block survived the CRC but fails
+            // its inclusion proof — a typed erasure, never a poisoned
+            // reconstruction.
+            self.stats.verify_failures += 1;
+            self.stats.erasures += 1;
+        }
+        outcome.completed()
     }
 
     fn feed_control(&mut self, cf: ControlFrame) {
         match cf {
-            ControlFrame::SubscribeAck {
-                file,
-                channel,
-                epoch,
-                m,
-                n,
-            } if file == self.file => {
-                self.channel = Some(channel);
-                self.epoch = Some(epoch);
+            ControlFrame::SubscribeAck { file, info } if file == self.file => {
+                self.channel = Some(info.channel);
+                self.epoch = Some(info.epoch);
                 self.stale_epoch = None;
-                self.learn_params(m, n);
+                if let Some(root) = info.commitment_root {
+                    self.require_root(root);
+                }
+                self.learn_params(info.m, info.n);
             }
             ControlFrame::Retune {
                 file,
@@ -384,7 +435,12 @@ impl ClientState {
         if self.params.is_none() && m >= 1 && m <= n {
             self.params = Some((m, n));
             let mut session = ClientSession::new(self.file, m as usize, 0);
-            session.record_erasures(self.pending_erasures);
+            if let Some(root) = self.root {
+                session.require_root(root);
+            }
+            session.ingest(Observation::Erasure {
+                count: self.pending_erasures,
+            });
             self.pending_erasures = 0;
             self.session = Some(session);
         }
@@ -396,7 +452,9 @@ impl ClientState {
         }
         self.stats.erasures += count as u64;
         match &mut self.session {
-            Some(session) => session.record_erasures(count),
+            Some(session) => {
+                session.ingest(Observation::Erasure { count });
+            }
             None => self.pending_erasures += count,
         }
     }
@@ -491,10 +549,7 @@ mod tests {
         let mut state = ClientState::new(FileId(1));
         state.feed_frame(Frame::Control(ControlFrame::SubscribeAck {
             file: FileId(1),
-            channel: 2,
-            epoch: 0,
-            m: 2,
-            n: 4,
+            info: SubscriptionInfo::new(2, 0, 2, 4),
         }));
         assert_eq!(state.params(), Some((2, 4)));
         assert_eq!(state.channel(), Some(2));
@@ -576,7 +631,7 @@ mod tests {
         assert_eq!(state.stale_epoch(), Some(2));
         // Recovery round: same (m, n) = (2, 4) — the block survives, the
         // gap detector jumps to the station's counter, staleness clears.
-        state.resubscribe(0, 2, 2, 4, 100);
+        state.resubscribe(SubscriptionInfo::new(0, 2, 2, 4), 100);
         assert_eq!(state.blocks_received(), 1);
         assert_eq!(state.stale_epoch(), None);
         assert_eq!(state.stats().resyncs, 1);
@@ -592,7 +647,7 @@ mod tests {
         state.feed_datagram(&encode(&frame(0, 0, 1, 0, b"aaaa")));
         state.feed_datagram(b"junk"); // one erasure on the books
         assert_eq!(state.blocks_received(), 1);
-        state.resubscribe(1, 2, 3, 6, 40);
+        state.resubscribe(SubscriptionInfo::new(1, 2, 3, 6), 40);
         assert_eq!(state.params(), Some((3, 6)));
         assert_eq!(
             state.blocks_received(),
@@ -630,7 +685,7 @@ mod tests {
         state.note_rejoin();
         state.note_rejoin();
         state.note_partition_suspect();
-        state.resubscribe(0, 1, 2, 4, 0);
+        state.resubscribe(SubscriptionInfo::new(0, 1, 2, 4), 0);
         let stats = state.stats();
         assert_eq!(
             (stats.rejoins, stats.resyncs, stats.partition_suspects),
@@ -642,6 +697,70 @@ mod tests {
         assert_eq!(snap.gauges["bnet_client_rejoins"], 2);
         assert_eq!(snap.gauges["bnet_client_resyncs"], 1);
         assert_eq!(snap.gauges["bnet_client_partition_suspects"], 1);
+    }
+
+    #[test]
+    fn armed_clients_verify_blocks_on_receive() {
+        let d = ida::Dispersal::authenticated(2, 4).unwrap();
+        let data: Vec<u8> = (0..64u32).map(|i| i as u8).collect();
+        let df = d.disperse(FileId(1), &data).unwrap();
+        let root = df.commitment_root().unwrap();
+
+        let mut state = ClientState::new(FileId(1));
+        state.feed_frame(Frame::Control(ControlFrame::SubscribeAck {
+            file: FileId(1),
+            info: SubscriptionInfo::new(0, 1, 2, 4).with_root(root),
+        }));
+        assert_eq!(state.commitment_root(), Some(root));
+
+        let slot = |slot: u64, block: DispersedBlock| {
+            Frame::Slot(SlotFrame {
+                epoch: 1,
+                channel: 0,
+                slot,
+                block,
+            })
+        };
+        // A tampered payload under the real proof: rejected and counted,
+        // round-tripped through the v2 encoding like a real datagram.
+        let good = &df.blocks()[0];
+        let mut tampered = good.payload().to_vec();
+        tampered[0] ^= 0xFF;
+        let bad = DispersedBlock::new(*good.header(), Bytes::from(tampered))
+            .with_proof(good.proof().unwrap().clone());
+        assert!(!state.feed_datagram(&encode(&slot(0, bad))));
+        assert_eq!(state.stats().verify_failures, 1);
+        assert_eq!(state.blocks_received(), 0);
+
+        // The authentic blocks complete the retrieval byte-identically.
+        assert!(!state.feed_datagram(&encode(&slot(1, df.blocks()[1].clone()))));
+        assert!(state.feed_datagram(&encode(&slot(2, df.blocks()[2].clone()))));
+        let outcome = state.finish().unwrap();
+        assert_eq!(outcome.data, data);
+        assert_eq!(outcome.errors_observed, 1);
+
+        let registry = bobs::Registry::new();
+        state.stats().export_into(&registry);
+        assert_eq!(registry.snapshot().gauges["bauth_verify_failures"], 1);
+    }
+
+    #[test]
+    fn unarmed_clients_accept_proofless_blocks_from_v2_stations() {
+        // A client that never learned the root (pure-UDP, no control
+        // plane) still completes: verification is opt-in by knowledge.
+        let d = ida::Dispersal::authenticated(2, 4).unwrap();
+        let data: Vec<u8> = (0..64u32).map(|i| i as u8).collect();
+        let df = d.disperse(FileId(1), &data).unwrap();
+        let mut state = ClientState::new(FileId(1));
+        for (i, b) in df.blocks().iter().take(2).enumerate() {
+            state.feed_datagram(&encode(&Frame::Slot(SlotFrame {
+                epoch: 1,
+                channel: 0,
+                slot: i as u64,
+                block: b.clone(),
+            })));
+        }
+        assert_eq!(state.finish().unwrap().data, data);
     }
 
     #[test]

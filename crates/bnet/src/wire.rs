@@ -1,4 +1,4 @@
-//! The `bnet` wire format, version 1.
+//! The `bnet` wire format, versions 1 and 2.
 //!
 //! Every datagram is one *packet*: a fixed prefix (magic `b"BNET"`, version
 //! byte, kind byte), a kind-specific body, and a trailing CRC-32 (IEEE) over
@@ -10,6 +10,19 @@
 //! | `0x02` | fragment | `seq u64, index u16, count u16, chunk_len u32, chunk` |
 //! | `0x03` | control frame | `op u8` + op-specific fields |
 //!
+//! Version 2 ([`VERSION_AUTH`]) extends two bodies with authenticated-
+//! broadcast fields and leaves everything else byte-identical to v1:
+//!
+//! | v2 packet | appended fields |
+//! |-----------|-----------------|
+//! | slot frame | `proof_depth u8, proof_depth × [u8; 32]` — the block's Merkle inclusion path (depth 0 = no proof) |
+//! | `SubscribeAck` | `has_root u8, root [u8; 32] if has_root` — the file's commitment root |
+//!
+//! The encoder picks the version per packet: frames without proofs or
+//! roots go out as v1, so an unauthenticated station is bit-compatible
+//! with v1-only clients, and a v1 client talking to an authenticated
+//! station simply rejects the (v2) frames it cannot verify anyway.
+//!
 //! A frame that does not fit the transport MTU is split by [`datagrams`]
 //! into fragment packets sharing a sequence number; a [`Reassembler`] on the
 //! receiver glues them back into the original encoded frame, which is then
@@ -20,15 +33,20 @@
 //! panic or allocate unboundedly — corruption always surfaces as a
 //! [`WireError`].
 
+use bauth::{BlockProof, Root};
 use bdisk::TransmissionRef;
 use bytes::Bytes;
 use ida::{BlockHeader, DispersedBlock, FileId};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The four magic bytes opening every packet.
 pub const MAGIC: [u8; 4] = *b"BNET";
-/// The wire-format version this module speaks.
+/// The baseline (unauthenticated) wire-format version.
 pub const VERSION: u8 = 1;
+/// The authenticated wire-format version: slot frames may carry Merkle
+/// inclusion proofs, `SubscribeAck` may carry the file's commitment root.
+pub const VERSION_AUTH: u8 = 2;
 
 const KIND_SLOT: u8 = 0x01;
 const KIND_FRAG: u8 = 0x02;
@@ -73,6 +91,59 @@ impl SlotFrame {
     }
 }
 
+/// Where (and how) one file is served: the single carrier of subscription
+/// metadata, from the station's directory through the control plane to the
+/// client's tuner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriptionInfo {
+    /// The channel carrying the file.
+    pub channel: u16,
+    /// The epoch the channel serves under (at directory-build time).
+    pub epoch: u64,
+    /// Reconstruction threshold.
+    pub m: u32,
+    /// Dispersed block count.
+    pub n: u32,
+    /// The file's Merkle commitment root, when the station disperses it
+    /// authenticated — the capability bit selecting wire v2.
+    pub commitment_root: Option<Root>,
+}
+
+impl SubscriptionInfo {
+    /// An unauthenticated subscription answer.
+    pub fn new(channel: u16, epoch: u64, m: u32, n: u32) -> Self {
+        SubscriptionInfo {
+            channel,
+            epoch,
+            m,
+            n,
+            commitment_root: None,
+        }
+    }
+
+    /// Attaches the file's commitment root (authenticated serving).
+    pub fn with_root(mut self, root: Root) -> Self {
+        self.commitment_root = Some(root);
+        self
+    }
+
+    /// `true` when the file is served authenticated.
+    pub fn is_authenticated(&self) -> bool {
+        self.commitment_root.is_some()
+    }
+
+    /// The wire version an ack carrying this info encodes as:
+    /// [`VERSION_AUTH`] when a commitment root rides along, [`VERSION`]
+    /// otherwise (v1 clients keep interoperating unauthenticated).
+    pub fn wire_version(&self) -> u8 {
+        if self.commitment_root.is_some() {
+            VERSION_AUTH
+        } else {
+            VERSION
+        }
+    }
+}
+
 /// A reliable in-band control message: membership, subscription and the
 /// wire mirror of the runtime's swap notes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,14 +161,9 @@ pub enum ControlFrame {
     SubscribeAck {
         /// The requested file.
         file: FileId,
-        /// The channel carrying it.
-        channel: u16,
-        /// The epoch that channel currently serves under.
-        epoch: u64,
-        /// Reconstruction threshold.
-        m: u32,
-        /// Dispersed block count.
-        n: u32,
+        /// Everything the client needs to tune: channel, epoch, dispersal
+        /// parameters and (authenticated serving) the commitment root.
+        info: SubscriptionInfo,
     },
     /// The station does not carry the requested file.
     SubscribeNak {
@@ -325,10 +391,10 @@ fn put_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(bytes);
 }
 
-fn open_packet(kind: u8, body_hint: usize) -> Vec<u8> {
+fn open_packet(version: u8, kind: u8, body_hint: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(PACKET_OVERHEAD + body_hint);
     out.extend_from_slice(&MAGIC);
-    out.push(VERSION);
+    out.push(version);
     out.push(kind);
     out
 }
@@ -345,7 +411,14 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
     match frame {
         Frame::Slot(sf) => {
             let h = sf.block.header();
-            let mut out = open_packet(KIND_SLOT, 42 + sf.block.len());
+            let proof = sf.block.proof();
+            let version = if proof.is_some() {
+                VERSION_AUTH
+            } else {
+                VERSION
+            };
+            let proof_bytes = proof.map_or(0, |p| 1 + 32 * p.depth());
+            let mut out = open_packet(version, KIND_SLOT, 42 + sf.block.len() + proof_bytes);
             put_u64(&mut out, sf.epoch);
             put_u16(&mut out, sf.channel);
             put_u64(&mut out, sf.slot);
@@ -357,10 +430,20 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             let payload = sf.block.payload().as_slice();
             put_u32(&mut out, payload.len() as u32);
             out.extend_from_slice(payload);
+            if let Some(proof) = proof {
+                out.push(proof.depth() as u8);
+                for node in proof.path() {
+                    out.extend_from_slice(node);
+                }
+            }
             seal_packet(out)
         }
         Frame::Control(cf) => {
-            let mut out = open_packet(KIND_CONTROL, 32);
+            let version = match cf {
+                ControlFrame::SubscribeAck { info, .. } => info.wire_version(),
+                _ => VERSION,
+            };
+            let mut out = open_packet(version, KIND_CONTROL, 32);
             match cf {
                 ControlFrame::Join => out.push(OP_JOIN),
                 ControlFrame::Leave => out.push(OP_LEAVE),
@@ -368,19 +451,17 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
                     out.push(OP_SUBSCRIBE);
                     put_u32(&mut out, file.0);
                 }
-                ControlFrame::SubscribeAck {
-                    file,
-                    channel,
-                    epoch,
-                    m,
-                    n,
-                } => {
+                ControlFrame::SubscribeAck { file, info } => {
                     out.push(OP_SUBSCRIBE_ACK);
                     put_u32(&mut out, file.0);
-                    put_u16(&mut out, *channel);
-                    put_u64(&mut out, *epoch);
-                    put_u32(&mut out, *m);
-                    put_u32(&mut out, *n);
+                    put_u16(&mut out, info.channel);
+                    put_u64(&mut out, info.epoch);
+                    put_u32(&mut out, info.m);
+                    put_u32(&mut out, info.n);
+                    if let Some(root) = &info.commitment_root {
+                        out.push(1);
+                        out.extend_from_slice(root);
+                    }
                 }
                 ControlFrame::SubscribeNak { file, reason } => {
                     out.push(OP_SUBSCRIBE_NAK);
@@ -432,7 +513,7 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
 }
 
 fn encode_fragment(frag: &Fragment) -> Vec<u8> {
-    let mut out = open_packet(KIND_FRAG, FRAG_HEADER + frag.chunk.len());
+    let mut out = open_packet(VERSION, KIND_FRAG, FRAG_HEADER + frag.chunk.len());
     put_u64(&mut out, frag.seq);
     put_u16(&mut out, frag.index);
     put_u16(&mut out, frag.count);
@@ -540,8 +621,9 @@ pub fn decode(buf: &[u8]) -> Result<Packet, WireError> {
     if buf[0..4] != MAGIC {
         return Err(WireError::BadMagic);
     }
-    if buf[4] != VERSION {
-        return Err(WireError::BadVersion(buf[4]));
+    let version = buf[4];
+    if version != VERSION && version != VERSION_AUTH {
+        return Err(WireError::BadVersion(version));
     }
     let (content, crc_bytes) = buf.split_at(buf.len() - 4);
     let expected = u32::from_le_bytes(crc_bytes.try_into().unwrap());
@@ -551,16 +633,16 @@ pub fn decode(buf: &[u8]) -> Result<Packet, WireError> {
     let kind = buf[5];
     let mut rd = Reader { buf: &content[6..] };
     let packet = match kind {
-        KIND_SLOT => Packet::Frame(Frame::Slot(decode_slot(&mut rd)?)),
+        KIND_SLOT => Packet::Frame(Frame::Slot(decode_slot(&mut rd, version)?)),
         KIND_FRAG => Packet::Fragment(decode_fragment(&mut rd)?),
-        KIND_CONTROL => Packet::Frame(Frame::Control(decode_control(&mut rd)?)),
+        KIND_CONTROL => Packet::Frame(Frame::Control(decode_control(&mut rd, version)?)),
         k => return Err(WireError::BadKind(k)),
     };
     rd.finish()?;
     Ok(packet)
 }
 
-fn decode_slot(rd: &mut Reader<'_>) -> Result<SlotFrame, WireError> {
+fn decode_slot(rd: &mut Reader<'_>, version: u8) -> Result<SlotFrame, WireError> {
     let epoch = rd.u64()?;
     let channel = rd.u16()?;
     let slot = rd.u64()?;
@@ -584,11 +666,27 @@ fn decode_slot(rd: &mut Reader<'_>) -> Result<SlotFrame, WireError> {
         n,
         original_len,
     };
+    let mut block = DispersedBlock::new(header, Bytes::from(payload.to_vec()));
+    if version >= VERSION_AUTH {
+        let depth = rd.u8()? as usize;
+        if depth > bauth::MAX_DEPTH {
+            return Err(WireError::Inconsistent("proof deeper than MAX_DEPTH"));
+        }
+        if depth > 0 {
+            let mut path: Vec<Root> = Vec::with_capacity(depth);
+            for _ in 0..depth {
+                path.push(rd.take(32)?.try_into().expect("32-byte node"));
+            }
+            let proof = BlockProof::from_path(path)
+                .ok_or(WireError::Inconsistent("proof deeper than MAX_DEPTH"))?;
+            block = block.with_proof(Arc::new(proof));
+        }
+    }
     Ok(SlotFrame {
         epoch,
         channel,
         slot,
-        block: DispersedBlock::new(header, Bytes::from(payload.to_vec())),
+        block,
     })
 }
 
@@ -612,7 +710,7 @@ fn decode_fragment(rd: &mut Reader<'_>) -> Result<Fragment, WireError> {
     })
 }
 
-fn decode_control(rd: &mut Reader<'_>) -> Result<ControlFrame, WireError> {
+fn decode_control(rd: &mut Reader<'_>, version: u8) -> Result<ControlFrame, WireError> {
     let op = rd.u8()?;
     Ok(match op {
         OP_JOIN => ControlFrame::Join,
@@ -620,13 +718,20 @@ fn decode_control(rd: &mut Reader<'_>) -> Result<ControlFrame, WireError> {
         OP_SUBSCRIBE => ControlFrame::Subscribe {
             file: FileId(rd.u32()?),
         },
-        OP_SUBSCRIBE_ACK => ControlFrame::SubscribeAck {
-            file: FileId(rd.u32()?),
-            channel: rd.u16()?,
-            epoch: rd.u64()?,
-            m: rd.u32()?,
-            n: rd.u32()?,
-        },
+        OP_SUBSCRIBE_ACK => {
+            let file = FileId(rd.u32()?);
+            let mut info = SubscriptionInfo::new(rd.u16()?, rd.u64()?, rd.u32()?, rd.u32()?);
+            if version >= VERSION_AUTH {
+                match rd.u8()? {
+                    0 => {}
+                    1 => {
+                        info.commitment_root = Some(rd.take(32)?.try_into().expect("32-byte root"))
+                    }
+                    _ => return Err(WireError::Inconsistent("bad commitment-root flag")),
+                }
+            }
+            ControlFrame::SubscribeAck { file, info }
+        }
         OP_SUBSCRIBE_NAK => ControlFrame::SubscribeNak {
             file: FileId(rd.u32()?),
             reason: rd.string()?,
@@ -780,10 +885,11 @@ mod tests {
             ControlFrame::Subscribe { file: FileId(1) },
             ControlFrame::SubscribeAck {
                 file: FileId(1),
-                channel: 3,
-                epoch: 9,
-                m: 4,
-                n: 8,
+                info: SubscriptionInfo::new(3, 9, 4, 8),
+            },
+            ControlFrame::SubscribeAck {
+                file: FileId(1),
+                info: SubscriptionInfo::new(3, 9, 4, 8).with_root([0xA5; 32]),
             },
             ControlFrame::SubscribeNak {
                 file: FileId(2),
@@ -825,9 +931,104 @@ mod tests {
     fn slot_frames_round_trip() {
         for len in [0, 1, 64, 1500] {
             let frame = slot_frame(len);
-            let decoded = decode(&encode(&frame)).unwrap();
+            let encoded = encode(&frame);
+            assert_eq!(encoded[4], VERSION, "proof-free frames stay v1");
+            let decoded = decode(&encoded).unwrap();
             assert_eq!(decoded, Packet::Frame(frame));
         }
+    }
+
+    fn authenticated_slot_frame() -> Frame {
+        let d = ida::Dispersal::authenticated(4, 9).unwrap();
+        let data: Vec<u8> = (0..4096u32).map(|i| i as u8).collect();
+        let df = d.disperse(FileId(7), &data).unwrap();
+        Frame::Slot(SlotFrame {
+            epoch: 11,
+            channel: 2,
+            slot: 12345,
+            block: df.blocks()[3].clone(),
+        })
+    }
+
+    #[test]
+    fn proof_bearing_slot_frames_round_trip_as_v2() {
+        let frame = authenticated_slot_frame();
+        let encoded = encode(&frame);
+        assert_eq!(encoded[4], VERSION_AUTH);
+        let Packet::Frame(Frame::Slot(sf)) = decode(&encoded).unwrap() else {
+            panic!("expected a slot frame");
+        };
+        let Frame::Slot(original) = &frame else {
+            unreachable!()
+        };
+        assert_eq!(sf.block, original.block);
+        let proof = sf.block.proof().expect("proof survives the wire");
+        assert_eq!(
+            proof.path(),
+            original.block.proof().unwrap().path(),
+            "the decoded path is byte-identical"
+        );
+    }
+
+    #[test]
+    fn proof_bearing_frames_fragment_and_reassemble() {
+        let frame = authenticated_slot_frame();
+        let dgrams = datagrams(&frame, 256, 31);
+        assert!(dgrams.len() > 1);
+        let mut reassembler = Reassembler::new(8);
+        let mut complete = None;
+        for d in &dgrams {
+            let Packet::Fragment(frag) = decode(d).unwrap() else {
+                panic!("expected fragment");
+            };
+            if let Some(bytes) = reassembler.offer(frag) {
+                complete = Some(bytes);
+            }
+        }
+        let decoded = decode(&complete.expect("all fragments offered")).unwrap();
+        assert_eq!(decoded, Packet::Frame(frame));
+    }
+
+    #[test]
+    fn rooted_subscribe_acks_are_v2_and_rootless_stay_v1() {
+        let v1 = encode(&Frame::Control(ControlFrame::SubscribeAck {
+            file: FileId(1),
+            info: SubscriptionInfo::new(0, 1, 2, 4),
+        }));
+        assert_eq!(v1[4], VERSION);
+        let v2 = encode(&Frame::Control(ControlFrame::SubscribeAck {
+            file: FileId(1),
+            info: SubscriptionInfo::new(0, 1, 2, 4).with_root([9; 32]),
+        }));
+        assert_eq!(v2[4], VERSION_AUTH);
+        let Packet::Frame(Frame::Control(ControlFrame::SubscribeAck { info, .. })) =
+            decode(&v2).unwrap()
+        else {
+            panic!("expected an ack");
+        };
+        assert_eq!(info.commitment_root, Some([9; 32]));
+        assert_eq!(info.wire_version(), VERSION_AUTH);
+    }
+
+    #[test]
+    fn v2_proofs_deeper_than_max_depth_are_rejected() {
+        // Hand-build a v2 slot packet claiming a 17-level proof.
+        let mut out = open_packet(VERSION_AUTH, KIND_SLOT, 64);
+        put_u64(&mut out, 1);
+        put_u16(&mut out, 0);
+        put_u64(&mut out, 0);
+        put_u32(&mut out, 1);
+        put_u32(&mut out, 0);
+        put_u32(&mut out, 2);
+        put_u32(&mut out, 4);
+        put_u64(&mut out, 8);
+        put_u32(&mut out, 0);
+        out.push((bauth::MAX_DEPTH + 1) as u8);
+        for _ in 0..=bauth::MAX_DEPTH {
+            out.extend_from_slice(&[0u8; 32]);
+        }
+        let packet = seal_packet(out);
+        assert!(matches!(decode(&packet), Err(WireError::Inconsistent(_))));
     }
 
     #[test]
@@ -979,7 +1180,7 @@ mod tests {
     fn rejects_inconsistent_dispersal_headers() {
         // m = 0 and index >= n, with valid checksums.
         for (m, n, index) in [(0u32, 5u32, 0u32), (6, 5, 0), (4, 5, 5)] {
-            let mut out = open_packet(KIND_SLOT, 64);
+            let mut out = open_packet(VERSION, KIND_SLOT, 64);
             put_u64(&mut out, 1);
             put_u16(&mut out, 0);
             put_u64(&mut out, 0);
@@ -1038,7 +1239,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_metrics_format() {
-        let mut out = open_packet(KIND_CONTROL, 8);
+        let mut out = open_packet(VERSION, KIND_CONTROL, 8);
         out.push(OP_METRICS_REQUEST);
         out.push(9); // no such format
         let packet = seal_packet(out);

@@ -89,6 +89,15 @@ pub enum Event {
         /// its join.
         resynced: bool,
     },
+    /// A received block failed Merkle verification against the file's
+    /// commitment root — a Byzantine (post-CRC) corruption, booked as an
+    /// erasure rather than poisoning the reconstruction.
+    BadBlock {
+        /// The file whose block failed verification.
+        file: u64,
+        /// Blocks of this retrieval rejected so far (this one included).
+        rejected: u64,
+    },
 }
 
 #[derive(Debug, Default)]

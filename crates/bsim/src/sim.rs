@@ -7,7 +7,7 @@
 
 use crate::error::ErrorModel;
 use crate::stats::{LatencySummary, MissReport};
-use bdisk::{BroadcastServer, ClientSession};
+use bdisk::{BroadcastServer, ClientSession, Observation};
 use ida::FileId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -99,7 +99,10 @@ impl<'a, E: ErrorModel> RetrievalSimulator<'a, E> {
                     Some(t) => !self.error_model.is_lost(t),
                     None => true,
                 };
-                session.observe_ref(tx, ok);
+                session.ingest(Observation::Slot {
+                    transmission: tx,
+                    received_ok: ok,
+                });
                 if session.is_complete() {
                     break true;
                 }

@@ -6,8 +6,10 @@
 //! [`BlockHeader`] captures exactly that, plus the dispersal parameters a
 //! client needs to choose the correct inverse transformation.
 
+use bauth::BlockProof;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Identifier of a broadcast data item (file).
 #[derive(
@@ -46,12 +48,34 @@ pub struct BlockHeader {
 pub struct DispersedBlock {
     header: BlockHeader,
     payload: Bytes,
+    /// The block's Merkle inclusion proof under its file's commitment root,
+    /// when the file was dispersed authenticated (`Arc`-shared: cloning a
+    /// block never copies the path).
+    proof: Option<Arc<BlockProof>>,
 }
 
 impl DispersedBlock {
-    /// Creates a block from its header and payload.
+    /// Creates a block from its header and payload (unauthenticated: no
+    /// inclusion proof attached).
     pub fn new(header: BlockHeader, payload: Bytes) -> Self {
-        DispersedBlock { header, payload }
+        DispersedBlock {
+            header,
+            payload,
+            proof: None,
+        }
+    }
+
+    /// Attaches a Merkle inclusion proof (disperse-time commitment, or a
+    /// proof decoded off the wire alongside the block).
+    pub fn with_proof(mut self, proof: Arc<BlockProof>) -> Self {
+        self.proof = Some(proof);
+        self
+    }
+
+    /// The block's inclusion proof under its file's commitment root, if it
+    /// was dispersed (or delivered) authenticated.
+    pub fn proof(&self) -> Option<&Arc<BlockProof>> {
+        self.proof.as_ref()
     }
 
     /// The block header.

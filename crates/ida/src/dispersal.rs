@@ -1,6 +1,7 @@
 //! The dispersal and reconstruction operations of IDA (paper Figure 3).
 
 use crate::{BlockHeader, DispersedBlock, FileId, IdaError};
+use bauth::{CommitPlan, Root};
 use bytes::Bytes;
 use gf256::{Matrix, MulTable};
 use std::collections::HashSet;
@@ -46,6 +47,12 @@ pub struct Dispersal {
     matrix: Matrix,
     encode: Arc<EncodePlan>,
     inverses: Arc<Mutex<InverseCache>>,
+    /// The shared Merkle commit plan of an *authenticated* configuration:
+    /// [`Dispersal::disperse`] commits every file it disperses (root on the
+    /// [`DispersedFile`], O(log n) inclusion proof on every block).  `None`
+    /// disperses unauthenticated, exactly as before.  Built once per
+    /// configuration and shared by every clone, mirroring the encode plan.
+    commit: Option<Arc<CommitPlan>>,
 }
 
 /// How one dispersed (or reconstructed) block is produced from a set of
@@ -183,12 +190,22 @@ pub struct DispersedFile {
     file: FileId,
     original_len: usize,
     blocks: Vec<DispersedBlock>,
+    /// The file's Merkle commitment root, present when dispersed through an
+    /// authenticated configuration ([`Dispersal::authenticated`]).
+    root: Option<Root>,
 }
 
 impl DispersedFile {
     /// The file these blocks belong to.
     pub fn file(&self) -> FileId {
         self.file
+    }
+
+    /// The Merkle commitment root over the dispersed blocks, if this file
+    /// was dispersed authenticated.  Receivers that learn the root out of
+    /// band verify each block's inclusion proof against it.
+    pub fn commitment_root(&self) -> Option<Root> {
+        self.root
     }
 
     /// Length of the original file in bytes.
@@ -221,6 +238,19 @@ impl Dispersal {
         Self::with_kind(m, n, MatrixKind::Systematic)
     }
 
+    /// [`Dispersal::new`] with Merkle commitments: every dispersed file
+    /// carries a commitment root and every block an inclusion proof, so
+    /// receivers can verify blocks on receive and treat corruption as
+    /// erasures.  The commit plan (tree shape, padding hashes) is built once
+    /// here and shared by every clone.
+    pub fn authenticated(m: usize, n: usize) -> Result<Self, IdaError> {
+        let mut d = Self::with_kind(m, n, MatrixKind::Systematic)?;
+        d.commit = Some(Arc::new(
+            CommitPlan::new(n).expect("n ≤ 255 always fits a commit plan"),
+        ));
+        Ok(d)
+    }
+
     /// Creates a dispersal configuration with an explicit matrix family.
     pub fn with_kind(m: usize, n: usize, kind: MatrixKind) -> Result<Self, IdaError> {
         if m == 0 {
@@ -242,7 +272,44 @@ impl Dispersal {
             matrix,
             encode,
             inverses: Arc::new(Mutex::new(InverseCache::default())),
+            commit: None,
         })
+    }
+
+    /// `true` when this configuration commits what it disperses (built via
+    /// [`Dispersal::authenticated`]).
+    pub fn is_authenticated(&self) -> bool {
+        self.commit.is_some()
+    }
+
+    /// The shared Merkle commit plan of an authenticated configuration.
+    pub fn commit_plan(&self) -> Option<&Arc<CommitPlan>> {
+        self.commit.as_ref()
+    }
+
+    /// Verifies one received block against a known commitment `root` under
+    /// this configuration's shared commit plan: recomputes the block's leaf
+    /// hash and folds its O(log n) inclusion proof.  Returns `false` for
+    /// tampered payloads or headers, wrong-depth proofs, *and* blocks that
+    /// carry no proof at all; unauthenticated configurations verify nothing
+    /// and return `true`.
+    pub fn verify_block(&self, root: &Root, block: &DispersedBlock) -> bool {
+        let Some(plan) = &self.commit else {
+            return true;
+        };
+        let Some(proof) = block.proof() else {
+            return false;
+        };
+        let h = block.header();
+        plan.verify(
+            root,
+            h.file.0,
+            h.index,
+            h.m,
+            h.original_len,
+            block.payload(),
+            proof,
+        )
     }
 
     /// The reconstruction threshold `m`.
@@ -303,7 +370,7 @@ impl Dispersal {
             let end = (start + block_len).min(data.len());
             &data[start..end]
         };
-        let blocks = self
+        let mut blocks: Vec<DispersedBlock> = self
             .encode
             .rows
             .iter()
@@ -323,10 +390,37 @@ impl Dispersal {
                 )
             })
             .collect();
+        // Authenticated configurations commit what they just encoded: one
+        // leaf per block, one Merkle tree per file, the root on the file and
+        // an O(log n) proof on every block.
+        let root = self.commit.as_ref().map(|plan| {
+            let leaves: Vec<Root> = blocks
+                .iter()
+                .map(|b| {
+                    bauth::leaf_hash(
+                        file.0,
+                        b.index(),
+                        self.m as u32,
+                        self.n as u32,
+                        data.len() as u64,
+                        b.payload(),
+                    )
+                })
+                .collect();
+            let commitment = plan.commit(&leaves);
+            for (index, block) in blocks.iter_mut().enumerate() {
+                let proof = commitment
+                    .proof(index)
+                    .expect("every dispersed index is inside the committed width");
+                *block = block.clone().with_proof(Arc::new(proof));
+            }
+            commitment.root()
+        });
         Ok(DispersedFile {
             file,
             original_len: data.len(),
             blocks,
+            root,
         })
     }
 
@@ -634,6 +728,71 @@ mod tests {
         }
         assert!(d.cached_inverses() <= super::INVERSE_CACHE_CAP);
         assert!(d.cached_inverses() > 0);
+    }
+
+    #[test]
+    fn authenticated_dispersal_commits_and_verifies() {
+        let d = Dispersal::authenticated(5, 10).unwrap();
+        assert!(d.is_authenticated());
+        let data = sample(997);
+        let df = d.disperse(FileId(3), &data).unwrap();
+        let root = df.commitment_root().expect("authenticated root");
+        for b in df.blocks() {
+            assert!(b.proof().is_some());
+            assert!(d.verify_block(&root, b));
+        }
+        // Blocks still reconstruct exactly as unauthenticated ones do.
+        let survivors: Vec<_> = df.blocks()[3..8].to_vec();
+        assert_eq!(d.reconstruct(&survivors).unwrap(), data);
+        // Distinct contents commit to distinct roots.
+        let other = d.disperse(FileId(3), &sample(998)).unwrap();
+        assert_ne!(other.commitment_root(), Some(root));
+    }
+
+    #[test]
+    fn tampered_blocks_fail_verification() {
+        let d = Dispersal::authenticated(3, 6).unwrap();
+        let df = d.disperse(FileId(1), &sample(300)).unwrap();
+        let root = df.commitment_root().unwrap();
+        let good = &df.blocks()[2];
+        // Tampered payload under the original proof.
+        let mut payload = good.payload().to_vec();
+        payload[0] ^= 0xA5;
+        let tampered = DispersedBlock::new(*good.header(), Bytes::from(payload))
+            .with_proof(good.proof().unwrap().clone());
+        assert!(!d.verify_block(&root, &tampered));
+        // A proofless block fails under an authenticated configuration.
+        let bare = DispersedBlock::new(*good.header(), good.payload().clone());
+        assert!(!d.verify_block(&root, &bare));
+        // Another block's proof does not transfer.
+        let crossed = bare.with_proof(df.blocks()[3].proof().unwrap().clone());
+        assert!(!d.verify_block(&root, &crossed));
+    }
+
+    #[test]
+    fn unauthenticated_dispersal_stays_proof_free() {
+        let d = Dispersal::new(3, 6).unwrap();
+        assert!(!d.is_authenticated());
+        assert!(d.commit_plan().is_none());
+        let df = d.disperse(FileId(1), &sample(60)).unwrap();
+        assert_eq!(df.commitment_root(), None);
+        assert!(df.blocks().iter().all(|b| b.proof().is_none()));
+        // verify_block is vacuously true without a plan.
+        assert!(d.verify_block(&[0u8; 32], &df.blocks()[0]));
+    }
+
+    #[test]
+    fn same_contents_same_configuration_same_root() {
+        // Re-dispersal with an (m, n)-compatible configuration reproduces
+        // the root bit for bit — what lets an epoch swap republish the same
+        // commitment when a file's bytes survive the transition.
+        let a = Dispersal::authenticated(4, 8).unwrap();
+        let b = Dispersal::authenticated(4, 8).unwrap();
+        let data = sample(512);
+        let ra = a.disperse(FileId(7), &data).unwrap().commitment_root();
+        let rb = b.disperse(FileId(7), &data).unwrap().commitment_root();
+        assert_eq!(ra, rb);
+        assert!(ra.is_some());
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub struct BroadcastBuilder {
     channels: ChannelBudget,
     listen_cap: usize,
     channel_fleet_budget: Option<usize>,
+    authenticated: bool,
 }
 
 impl Default for BroadcastBuilder {
@@ -55,6 +56,7 @@ impl Default for BroadcastBuilder {
             channels: ChannelBudget::Fixed(1),
             listen_cap: 100_000,
             channel_fleet_budget: None,
+            authenticated: false,
         }
     }
 }
@@ -121,6 +123,18 @@ impl BroadcastBuilder {
         self
     }
 
+    /// Commits every file's dispersed blocks to a Merkle root at build time
+    /// (and again at every re-dispersal a mode swap triggers), so clients
+    /// can verify each received block against the root before it enters
+    /// reconstruction.  Roots ride the station's program metadata — see
+    /// [`Station::commitment_root_of`] — and a [`crate::Retrieval`] from an
+    /// authenticated station rejects tampered blocks as typed erasures
+    /// instead of reconstructing poisoned bytes.  Default `false`.
+    pub fn authenticated(mut self, on: bool) -> Self {
+        self.authenticated = on;
+        self
+    }
+
     /// Runs the full design pipeline and returns a serving [`Station`].
     ///
     /// Pipeline: specifications → shard plan (one shard per channel) →
@@ -161,8 +175,12 @@ impl BroadcastBuilder {
         let mut dispersals = BTreeMap::new();
         for report in &design.reports {
             for f in report.files.files() {
-                let dispersal =
-                    Dispersal::new(f.size_blocks as usize, f.dispersed_blocks as usize)?;
+                let (m, n) = (f.size_blocks as usize, f.dispersed_blocks as usize);
+                let dispersal = if self.authenticated {
+                    Dispersal::authenticated(m, n)?
+                } else {
+                    Dispersal::new(m, n)?
+                };
                 dispersals.insert(f.id, Arc::new(dispersal));
             }
         }
@@ -193,6 +211,7 @@ impl BroadcastBuilder {
             self.scheduler,
             self.channels,
             self.channel_fleet_budget,
+            self.authenticated,
         )
     }
 }

@@ -120,6 +120,7 @@ pub use ida::{FileId, ModeProfile, RedundancyPolicy};
 pub use pinwheel::SchedulerChoice;
 
 // Full per-crate APIs, re-exported for power users.
+pub use bauth;
 pub use bcore;
 pub use bdisk;
 pub use bfault;

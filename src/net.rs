@@ -65,15 +65,16 @@ impl Station {
                 continue;
             };
             let epoch = self.bank().current_epoch_of(channel).unwrap_or(0);
-            directory.insert(
-                file.id.0,
-                SubscriptionInfo {
-                    channel: channel as u16,
-                    epoch,
-                    m: file.threshold(),
-                    n: file.dispersed_blocks,
-                },
+            let mut info = SubscriptionInfo::new(
+                channel as u16,
+                epoch,
+                file.threshold(),
+                file.dispersed_blocks,
             );
+            if let Some(root) = self.commitment_root_of(file.id) {
+                info = info.with_root(root);
+            }
+            directory.insert(file.id.0, info);
         }
         directory
     }

@@ -7,7 +7,8 @@
 //! "any m distinct blocks suffice" parameters.
 
 use crate::Error;
-use bdisk::{ClientSession, LatencyVector, RetrievalOutcome, TransmissionRef};
+use bauth::Root;
+use bdisk::{ClientSession, LatencyVector, Observation, RetrievalOutcome, TransmissionRef};
 use ida::{Dispersal, FileId};
 use std::sync::Arc;
 
@@ -148,6 +149,24 @@ impl Retrieval {
         self.latencies = latencies;
     }
 
+    /// Arms verify-on-receive: every block this retrieval ingests must carry
+    /// a valid Merkle inclusion proof under `root` or it is booked as an
+    /// erasure (an authenticated station sets this at subscription time).
+    pub(crate) fn require_root(&mut self, root: Root) {
+        self.session.require_root(root);
+    }
+
+    /// The commitment root this retrieval verifies against, if armed.
+    pub fn commitment_root(&self) -> Option<Root> {
+        self.session.expected_root()
+    }
+
+    /// Number of blocks rejected because their inclusion proof failed (each
+    /// also counts as an observed error).
+    pub fn verify_failures(&self) -> usize {
+        self.session.verify_failures()
+    }
+
     /// The slot at which the retrieval was issued.
     pub fn request_slot(&self) -> usize {
         self.request_slot
@@ -201,7 +220,12 @@ impl Retrieval {
         transmission: Option<TransmissionRef<'_>>,
         received_ok: bool,
     ) -> bool {
-        self.session.observe_ref(transmission, received_ok)
+        self.session
+            .ingest(Observation::Slot {
+                transmission,
+                received_ok,
+            })
+            .completed()
     }
 
     /// Records reception errors observed out of band — slots a lagging
@@ -209,7 +233,7 @@ impl Retrieval {
     /// air.  Completed or cancelled retrievals ignore them.
     pub(crate) fn record_erasures(&mut self, count: usize) {
         if !self.is_cancelled() {
-            self.session.record_erasures(count);
+            self.session.ingest(Observation::Erasure { count });
         }
     }
 

@@ -55,6 +55,9 @@ pub struct Station {
     /// admits every subscription) — the operator's Lemma 3 capacity
     /// declaration; see [`Error::AdmissionDenied`].
     channel_fleet_budget: Option<usize>,
+    /// Whether every dispersal is Merkle-committed ([`bauth`]) so clients
+    /// verify blocks on receive; set by `Broadcast::builder().authenticated`.
+    authenticated: bool,
     mode: String,
     swaps: Vec<SwapRecord>,
 }
@@ -84,6 +87,7 @@ impl Station {
         scheduler: SchedulerChoice,
         channels: ChannelBudget,
         channel_fleet_budget: Option<usize>,
+        authenticated: bool,
     ) -> Result<Self, Error> {
         let files = merge_files(&specs, &design)?;
         // Reuse the builder's dispersal configurations (the servers encoded
@@ -92,11 +96,16 @@ impl Station {
         let mut dispersals = dispersals;
         for f in files.files() {
             let (m, n) = (f.size_blocks as usize, f.dispersed_blocks as usize);
-            let reuse = dispersals
-                .get(&f.id)
-                .is_some_and(|d| d.threshold() == m && d.total_blocks() == n);
+            let reuse = dispersals.get(&f.id).is_some_and(|d| {
+                d.threshold() == m && d.total_blocks() == n && d.is_authenticated() == authenticated
+            });
             if !reuse {
-                dispersals.insert(f.id, Arc::new(Dispersal::new(m, n)?));
+                let dispersal = if authenticated {
+                    Dispersal::authenticated(m, n)?
+                } else {
+                    Dispersal::new(m, n)?
+                };
+                dispersals.insert(f.id, Arc::new(dispersal));
             }
         }
         dispersals.retain(|id, _| files.get(*id).is_some());
@@ -112,6 +121,7 @@ impl Station {
             scheduler,
             channels,
             channel_fleet_budget,
+            authenticated,
             mode: "initial".to_string(),
             swaps: Vec::new(),
         })
@@ -121,6 +131,25 @@ impl Station {
     /// (`None` admits every subscription).
     pub fn channel_fleet_budget(&self) -> Option<usize> {
         self.channel_fleet_budget
+    }
+
+    /// Whether this station Merkle-commits every dispersal so clients verify
+    /// blocks on receive (`Broadcast::builder().authenticated(true)`).
+    pub fn is_authenticated(&self) -> bool {
+        self.authenticated
+    }
+
+    /// The Merkle commitment root of `file` as served right now: the root
+    /// every block of the file's current dispersal carries an inclusion
+    /// proof against.  `None` on unauthenticated stations and for unknown
+    /// files.  Mode swaps that re-disperse a file republish its new root
+    /// here automatically (the root lives with the serving program).
+    pub fn commitment_root_of(&self, file: FileId) -> Option<bauth::Root> {
+        let channel = self.channel_of(file)?;
+        self.bank
+            .current(channel)?
+            .dispersed(file)?
+            .commitment_root()
     }
 
     /// The specifications this station's current mode was designed from.
@@ -275,7 +304,7 @@ impl Station {
             .bank
             .current_epoch_of(channel)
             .ok_or(Error::UnknownFile(file))?;
-        Ok(Retrieval::new(
+        let mut retrieval = Retrieval::new(
             file,
             channel,
             at_slot,
@@ -283,7 +312,11 @@ impl Station {
             dispersal,
             f.latencies.clone(),
             epoch,
-        ))
+        );
+        if let Some(root) = self.commitment_root_of(file) {
+            retrieval.require_root(root);
+        }
+        Ok(retrieval)
     }
 
     /// An infinite slot-by-slot view of the first channel, starting at
@@ -411,13 +444,18 @@ impl Station {
             let reused = self.dispersals.get(&f.id).filter(|d| {
                 d.threshold() == f.size_blocks as usize
                     && d.total_blocks() == f.dispersed_blocks as usize
+                    && d.is_authenticated() == self.authenticated
             });
             let dispersal = match reused {
                 Some(d) => d.clone(),
-                None => Arc::new(Dispersal::new(
-                    f.size_blocks as usize,
-                    f.dispersed_blocks as usize,
-                )?),
+                None => {
+                    let (m, n) = (f.size_blocks as usize, f.dispersed_blocks as usize);
+                    Arc::new(if self.authenticated {
+                        Dispersal::authenticated(m, n)?
+                    } else {
+                        Dispersal::new(m, n)?
+                    })
+                }
             };
             dispersals.insert(f.id, dispersal);
         }

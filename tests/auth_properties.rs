@@ -1,0 +1,459 @@
+//! Authenticated-broadcast properties: the Merkle commitment pipeline from
+//! disperse-time commit to verify-on-receive.
+//!
+//! The claims pinned here are the tentpole guarantees of the `bauth`
+//! subsystem:
+//!
+//! * **corruption ≡ erasure** — under an armed root, a post-CRC-corrupted
+//!   block costs a retrieval *exactly* what a lost block costs: one typed
+//!   erasure, byte-identical output;
+//! * **proofs survive the wire** — inclusion proofs ride slot frames
+//!   through encode/decode whole and through MTU fragmentation, verifying
+//!   on the far side;
+//! * **roots survive epoch swaps** — a mode swap that keeps a file's
+//!   `(m, n)` republishes the same commitment root, so armed sessions keep
+//!   verifying across the flip;
+//! * **a tampered root fails typed** — a session armed with the wrong root
+//!   rejects every authentic block as `bauth_verify_failures`, never as a
+//!   poisoned reconstruct;
+//! * **the acceptance scenario** — a real retrieval through a 5% post-CRC
+//!   corrupting `ImpairedLink` reconstructs byte-identically with
+//!   `authenticated(true)`, corrupted blocks visible as typed erasures.
+
+use bytes::Bytes;
+use rtbdisk::bauth::Root;
+use rtbdisk::bdisk::{ClientSession, Ingest, Observation};
+use rtbdisk::bfault::{FaultPlan, ImpairedLink};
+use rtbdisk::bnet::wire::{
+    datagrams, decode, encode, ControlFrame, Frame, Packet, Reassembler, SlotFrame,
+    SubscriptionInfo, VERSION, VERSION_AUTH,
+};
+use rtbdisk::bnet::ClientState;
+use rtbdisk::ida::{Dispersal, DispersedBlock, FileId};
+use rtbdisk::{
+    Broadcast, GeneralizedFileSpec, ManualClock, ModeSpec, NetClient, NetConfig, NoErrors,
+    RecoveryConfig, RuntimeConfig, Station, SwapPolicy,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One authenticated dispersal every in-process property runs against.
+fn authenticated_file() -> (Dispersal, rtbdisk::ida::DispersedFile, Vec<u8>, Root) {
+    let dispersal = Dispersal::authenticated(4, 8).expect("4-of-8 is valid");
+    let data: Vec<u8> = (0..4 * 256u32).map(|i| (i * 31 + 5) as u8).collect();
+    let file = dispersal.disperse(FileId(9), &data).expect("disperses");
+    let root = file.commitment_root().expect("authenticated commits");
+    (dispersal, file, data, root)
+}
+
+/// Flips one payload bit of `block`, keeping its header and (stale) proof —
+/// the post-CRC Byzantine mutation.
+fn tampered(block: &DispersedBlock) -> DispersedBlock {
+    let mut payload = block.payload().to_vec();
+    payload[0] ^= 0x01;
+    let mut out = DispersedBlock::new(*block.header(), Bytes::from(payload));
+    if let Some(proof) = block.proof() {
+        out = out.with_proof(proof.clone());
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Corruption ≡ erasure under an armed root.
+
+#[test]
+fn a_corrupted_block_costs_exactly_what_an_erasure_costs() {
+    let (dispersal, file, data, root) = authenticated_file();
+
+    // Session A sees block 0 Byzantine-corrupted; session B loses the same
+    // slot outright.  Both then hear blocks 1..=4 clean.
+    let mut corrupted = ClientSession::new(FileId(9), 4, 0);
+    corrupted.require_root(root);
+    let mut erased = ClientSession::new(FileId(9), 4, 0);
+    erased.require_root(root);
+
+    let bad = tampered(&file.blocks()[0]);
+    assert_eq!(
+        corrupted.ingest(Observation::Block {
+            slot: 0,
+            block: &bad,
+            received_ok: true,
+            proof: None,
+        }),
+        Ingest::BadProof,
+        "a stale proof over mutated bytes must fail verification"
+    );
+    assert_eq!(
+        erased.ingest(Observation::Erasure { count: 1 }),
+        Ingest::Erased
+    );
+
+    for (i, block) in file.blocks()[1..5].iter().enumerate() {
+        let a = corrupted.ingest(Observation::Block {
+            slot: 1 + i,
+            block,
+            received_ok: true,
+            proof: None,
+        });
+        let b = erased.ingest(Observation::Block {
+            slot: 1 + i,
+            block,
+            received_ok: true,
+            proof: None,
+        });
+        assert_eq!(a, b, "block {i}: the two sessions must move in lockstep");
+    }
+
+    let a = corrupted.finish(&dispersal).expect("corrupted completes");
+    let b = erased.finish(&dispersal).expect("erased completes");
+    assert_eq!(a.data, data, "corruption must not reach the output bytes");
+    assert_eq!(a.data, b.data);
+    assert_eq!(a.completion_slot, b.completion_slot);
+    assert_eq!(
+        a.errors_observed, b.errors_observed,
+        "the corruption is booked as exactly one erasure"
+    );
+    // The only visible difference is the *type* of the loss.
+    assert_eq!(corrupted.verify_failures(), 1);
+    assert_eq!(erased.verify_failures(), 0);
+}
+
+#[test]
+fn an_unauthenticated_session_cannot_tell_and_reconstructs_wrong() {
+    // The contrast case: no armed root, the same corrupted block poisons
+    // the reconstruction silently — which is why the Byzantine fault-matrix
+    // row without auth records `completed: false`.
+    let (dispersal, file, data, _root) = authenticated_file();
+    let mut blind = ClientSession::new(FileId(9), 4, 0);
+    let bad = tampered(&file.blocks()[0]);
+    assert_eq!(
+        blind.ingest(Observation::Block {
+            slot: 0,
+            block: &bad,
+            received_ok: true,
+            proof: None,
+        }),
+        Ingest::Stored,
+        "without a root the corrupted block is accepted"
+    );
+    for (i, block) in file.blocks()[1..4].iter().enumerate() {
+        blind.ingest(Observation::Block {
+            slot: 1 + i,
+            block,
+            received_ok: true,
+            proof: None,
+        });
+    }
+    let outcome = blind.finish(&dispersal).expect("reconstruction runs");
+    assert_ne!(outcome.data, data, "the poison is silent without a root");
+}
+
+// ---------------------------------------------------------------------------
+// Proofs over the wire: whole datagrams and fragmentation.
+
+#[test]
+fn proofs_round_trip_the_wire_whole_and_fragmented() {
+    let (dispersal, file, _data, root) = authenticated_file();
+    let block = file.blocks()[3].clone();
+    assert!(block.proof().is_some(), "authenticated blocks carry proofs");
+    let frame = Frame::Slot(SlotFrame {
+        epoch: 7,
+        channel: 1,
+        slot: 42,
+        block: block.clone(),
+    });
+
+    // Whole: one datagram, version byte 2, proof intact and verifying.
+    let wire = encode(&frame);
+    assert_eq!(wire[4], VERSION_AUTH, "proof-carrying slots are wire v2");
+    let Ok(Packet::Frame(Frame::Slot(sf))) = decode(&wire) else {
+        panic!("the v2 slot frame must decode");
+    };
+    assert_eq!(sf.block.payload(), block.payload());
+    let proof = sf.block.proof().expect("the proof rode the wire");
+    assert_eq!(proof.depth(), block.proof().unwrap().depth());
+    assert!(dispersal.verify_block(&root, &sf.block));
+
+    // A proofless block of the same file stays byte-identical wire v1.
+    let bare = DispersedBlock::new(*block.header(), block.payload().clone());
+    let v1 = encode(&Frame::Slot(SlotFrame {
+        epoch: 7,
+        channel: 1,
+        slot: 42,
+        block: bare,
+    }));
+    assert_eq!(v1[4], VERSION, "proofless slots stay wire v1");
+
+    // Fragmented: an MTU far below the frame size forces several
+    // fragments; the reassembled inner frame still verifies.
+    let mtu = 96;
+    let pieces = datagrams(&frame, mtu, 11);
+    assert!(pieces.len() > 2, "the tiny MTU must actually fragment");
+    let mut reassembler = Reassembler::new(4);
+    let mut inner = None;
+    for piece in &pieces {
+        assert!(piece.len() <= mtu, "fragments respect the MTU");
+        let Ok(Packet::Fragment(frag)) = decode(piece) else {
+            panic!("sub-MTU pieces decode as fragments");
+        };
+        if let Some(whole) = reassembler.offer(frag) {
+            inner = Some(whole);
+        }
+    }
+    let inner = inner.expect("all fragments together reassemble");
+    let Ok(Packet::Frame(Frame::Slot(sf))) = decode(&inner) else {
+        panic!("the reassembled frame must decode");
+    };
+    assert!(
+        dispersal.verify_block(&root, &sf.block),
+        "the proof survives fragmentation"
+    );
+}
+
+#[test]
+fn subscription_info_carries_the_root_and_picks_its_wire_version() {
+    let root: Root = [0xAB; 32];
+    let plain = SubscriptionInfo::new(1, 3, 4, 8);
+    assert!(!plain.is_authenticated());
+    assert_eq!(plain.wire_version(), VERSION);
+    let rooted = plain.with_root(root);
+    assert!(rooted.is_authenticated());
+    assert_eq!(rooted.wire_version(), VERSION_AUTH);
+
+    // The rooted ack round-trips the root; the plain ack stays v1 bytes.
+    for info in [plain, rooted] {
+        let wire = encode(&Frame::Control(ControlFrame::SubscribeAck {
+            file: FileId(5),
+            info,
+        }));
+        assert_eq!(wire[4], info.wire_version());
+        let Ok(Packet::Frame(Frame::Control(ControlFrame::SubscribeAck { file, info: back }))) =
+            decode(&wire)
+        else {
+            panic!("the subscribe ack must decode");
+        };
+        assert_eq!(file, FileId(5));
+        assert_eq!(back, info);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Roots across epoch swaps.
+
+/// Two channels, two files each — the sibling's removal reprograms the
+/// victim's channel (epoch bump) without touching the victim's dispersal.
+fn authenticated_station() -> Station {
+    let files = (1..=4u32).map(|i| {
+        GeneralizedFileSpec::new(FileId(i), 4, vec![40 + 4 * i, 48 + 4 * i]).expect("feasible spec")
+    });
+    Broadcast::builder()
+        .files(files)
+        .channels(2)
+        .authenticated(true)
+        .build()
+        .expect("the test specs are feasible")
+}
+
+#[test]
+fn the_commitment_root_survives_an_epoch_swap_with_unchanged_mn() {
+    let mut station = authenticated_station();
+    assert!(station.is_authenticated());
+    let victim = FileId(1);
+    let sibling = {
+        let channel = station.channel_of(victim);
+        station
+            .specs()
+            .iter()
+            .map(|s| s.id)
+            .find(|&f| f != victim && station.channel_of(f) == channel)
+            .expect("two files share a channel")
+    };
+    let root_before = station
+        .commitment_root_of(victim)
+        .expect("authenticated stations publish roots");
+    let expected = station
+        .retrieve(victim, 0, &mut NoErrors)
+        .expect("the reference retrieval completes")
+        .data;
+
+    // Shed the sibling: the victim's channel reprograms under a new epoch,
+    // the victim's own dispersal (and therefore its root) is untouched.
+    let remaining: Vec<GeneralizedFileSpec> = station
+        .specs()
+        .iter()
+        .filter(|s| s.id != sibling)
+        .cloned()
+        .collect();
+    let prepared = station
+        .prepare_mode(&ModeSpec::new("shed-sibling").files(remaining))
+        .expect("the shed mode designs");
+    station
+        .swap(prepared, 8, SwapPolicy::Immediate)
+        .expect("the swap lands");
+
+    let root_after = station
+        .commitment_root_of(victim)
+        .expect("the new epoch republishes the root");
+    assert_eq!(
+        root_before, root_after,
+        "unchanged (m, n) and bytes must keep the commitment root"
+    );
+
+    // A post-swap subscription arms with that root and retrieves
+    // byte-identically, verification on.
+    let mut fleet = vec![station.subscribe(victim, 16).expect("subscribes")];
+    assert_eq!(fleet[0].commitment_root(), Some(root_after));
+    let outcome = station
+        .run_until_complete(&mut fleet, &mut NoErrors)
+        .expect("the armed retrieval completes")
+        .pop()
+        .expect("one outcome");
+    assert_eq!(outcome.data, expected);
+}
+
+#[test]
+fn an_unauthenticated_station_publishes_no_root() {
+    let files = (1..=2u32).map(|i| {
+        GeneralizedFileSpec::new(FileId(i), 4, vec![40 + 4 * i, 48 + 4 * i]).expect("feasible spec")
+    });
+    let station = Broadcast::builder()
+        .files(files)
+        .channels(1)
+        .build()
+        .expect("feasible");
+    assert!(!station.is_authenticated());
+    assert_eq!(station.commitment_root_of(FileId(1)), None);
+    let retrieval = station.subscribe(FileId(1), 0).expect("subscribes");
+    assert_eq!(retrieval.commitment_root(), None);
+}
+
+// ---------------------------------------------------------------------------
+// A tampered root fails typed.
+
+#[test]
+fn a_tampered_root_rejects_every_authentic_block_as_verify_failures() {
+    let (_dispersal, file, _data, root) = authenticated_file();
+    let mut wrong_root = root;
+    wrong_root[0] ^= 0xFF;
+
+    let mut state = ClientState::new(FileId(9));
+    // The (tampered) subscription metadata arrives exactly as a control
+    // ack would deliver it.
+    state.feed_frame(Frame::Control(ControlFrame::SubscribeAck {
+        file: FileId(9),
+        info: SubscriptionInfo::new(0, 1, 4, 8).with_root(wrong_root),
+    }));
+    assert_eq!(state.commitment_root(), Some(wrong_root));
+
+    for (slot, block) in file.blocks().iter().enumerate() {
+        let completed = state.feed_frame(Frame::Slot(SlotFrame {
+            epoch: 1,
+            channel: 0,
+            slot: slot as u64,
+            block: block.clone(),
+        }));
+        assert!(!completed, "nothing verifies against the wrong root");
+    }
+    let stats = state.stats();
+    assert!(!state.is_complete());
+    assert_eq!(state.blocks_received(), 0, "no block may be stored");
+    assert_eq!(
+        stats.verify_failures,
+        file.blocks().len() as u64,
+        "every authentic block is rejected as a typed verify failure"
+    );
+    assert!(stats.erasures >= stats.verify_failures);
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance scenario: 5% post-CRC corruption on a real link.
+
+#[test]
+fn five_percent_post_crc_corruption_is_verified_away_on_a_real_link() {
+    // Much bigger files than the in-process properties (m = 32): the
+    // retrieval window spans enough slot datagrams that a 5% tamper rate
+    // reliably mutates several victim blocks under the seeded plan.
+    let files = (1..=2u32).map(|i| {
+        GeneralizedFileSpec::new(FileId(i), 32, vec![320 + 32 * i]).expect("feasible spec")
+    });
+    let station = Broadcast::builder()
+        .files(files)
+        .channels(1)
+        .authenticated(true)
+        .build()
+        .expect("the test specs are feasible");
+    let victim = FileId(2);
+    let expected = station
+        .retrieve(victim, 0, &mut NoErrors)
+        .expect("the reference retrieval completes")
+        .data;
+
+    let clock = ManualClock::new();
+    let serving = station
+        .serve_network_with(
+            clock.clone(),
+            RuntimeConfig::default(),
+            NetConfig::default().with_control_plane(),
+        )
+        .expect("loopback serving binds");
+    let link = ImpairedLink::spawn(
+        serving.data_addr(),
+        FaultPlan::seeded(0xB12A).down_tamper(0.05),
+    )
+    .expect("relay spawns");
+    let config = RecoveryConfig {
+        join_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(100),
+        watchdog: Duration::from_millis(40),
+        max_recoveries: 32,
+        seed: 0xB12A,
+        ..RecoveryConfig::default()
+    }
+    .with_control(serving.control_addr().expect("control plane configured"));
+    let client =
+        NetClient::join_with(link.client_addr(), victim, config).expect("client joins via relay");
+    let mut budget = 200_000i64;
+    while serving.net_stats().peers < 1 {
+        std::thread::sleep(Duration::from_micros(50));
+        budget -= 1;
+        assert!(budget > 0, "the client never joined through the relay");
+    }
+
+    let retriever = std::thread::spawn(move || client.retrieve_with_stats(Duration::from_secs(30)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let driver = std::thread::spawn({
+        let clock = clock.clone();
+        let stop = Arc::clone(&stop);
+        move || {
+            while !stop.load(Ordering::Relaxed) {
+                clock.advance(32);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    });
+    let (result, stats) = retriever.join().expect("retriever thread exits");
+    stop.store(true, Ordering::Relaxed);
+    driver.join().expect("driver thread exits");
+    let tampered = link.stats().down.tampered;
+    link.shutdown();
+    serving
+        .shutdown()
+        .expect("network serving shuts down cleanly");
+
+    let outcome = result.expect("the authenticated retrieval completes");
+    assert_eq!(
+        outcome.data, expected,
+        "5% post-CRC corruption must not reach the output bytes"
+    );
+    assert!(tampered > 0, "the scripted link must actually tamper");
+    assert!(
+        stats.verify_failures > 0,
+        "corrupted blocks must be visible as typed verify failures \
+         (link tampered {tampered} datagrams)"
+    );
+    assert!(
+        stats.erasures >= stats.verify_failures,
+        "every rejected block is booked as an erasure"
+    );
+}

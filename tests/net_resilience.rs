@@ -107,6 +107,7 @@ fn the_same_fault_plan_impairs_a_session_identically_twice() {
         duplicate: 0.10,
         reorder: 0.10,
         corrupt: 0.10,
+        tamper: 0.0,
         delay: Duration::ZERO,
     });
     let run = || {
